@@ -1,0 +1,116 @@
+package gqr
+
+// One testing.B benchmark per table and figure of the paper. Each bench
+// drives the same experiment harness as cmd/gqr-bench, at a reduced
+// corpus scale so `go test -bench=.` finishes in minutes; run
+// `gqr-bench -experiment all -scale 1` for the full-scale numbers
+// recorded in EXPERIMENTS.md. Caches are reset every iteration so ns/op
+// reflects a full regeneration of the table or figure.
+
+import (
+	"io"
+	"testing"
+
+	"gqr/internal/bench"
+	"gqr/internal/dataset"
+)
+
+// benchOpts is the reduced scale used by the testing.B entry points.
+var benchOpts = bench.RunOptions{
+	Scale:   0.02,
+	NQ:      10,
+	K:       10,
+	Budgets: []float64{0.01, 0.05, 0.2, 1.0},
+}
+
+// runExperiment executes one registered experiment b.N times.
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, err := bench.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bench.ResetCaches()
+		if err := e.Run(benchOpts, io.Discard); err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+	}
+}
+
+func BenchmarkTable1LinearSearch(b *testing.B)  { runExperiment(b, "table1") }
+func BenchmarkFig2BucketCounts(b *testing.B)    { runExperiment(b, "fig2") }
+func BenchmarkFig4CodeLengthHR(b *testing.B)    { runExperiment(b, "fig4") }
+func BenchmarkFig6GQRvsQR(b *testing.B)         { runExperiment(b, "fig6") }
+func BenchmarkFig7GQRvsHR(b *testing.B)         { runExperiment(b, "fig7") }
+func BenchmarkFig8RecallItems(b *testing.B)     { runExperiment(b, "fig8") }
+func BenchmarkFig9TimeToRecall(b *testing.B)    { runExperiment(b, "fig9") }
+func BenchmarkFig10CodeLength(b *testing.B)     { runExperiment(b, "fig10") }
+func BenchmarkFig11EffectOfK(b *testing.B)      { runExperiment(b, "fig11") }
+func BenchmarkFig12MultiTable(b *testing.B)     { runExperiment(b, "fig12") }
+func BenchmarkFig13PCAH(b *testing.B)           { runExperiment(b, "fig13") }
+func BenchmarkFig14PCAHTime(b *testing.B)       { runExperiment(b, "fig14") }
+func BenchmarkFig15SH(b *testing.B)             { runExperiment(b, "fig15") }
+func BenchmarkFig16SHTime(b *testing.B)         { runExperiment(b, "fig16") }
+func BenchmarkFig17OPQ(b *testing.B)            { runExperiment(b, "fig17") }
+func BenchmarkTable2TrainingCost(b *testing.B)  { runExperiment(b, "table2") }
+func BenchmarkFig18MIH(b *testing.B)            { runExperiment(b, "fig18") }
+func BenchmarkFig19MIHPCAH(b *testing.B)        { runExperiment(b, "fig19") }
+func BenchmarkFig20KMH(b *testing.B)            { runExperiment(b, "fig20") }
+func BenchmarkFig21Additional(b *testing.B)     { runExperiment(b, "fig21") }
+func BenchmarkAblationHeap(b *testing.B)        { runExperiment(b, "abl-heap") }
+func BenchmarkAblationSharedTree(b *testing.B)  { runExperiment(b, "abl-tree") }
+func BenchmarkAblationCodePacking(b *testing.B) { runExperiment(b, "abl-pack") }
+func BenchmarkAblationEarlyStop(b *testing.B)   { runExperiment(b, "abl-earlystop") }
+func BenchmarkAblationMPLSH(b *testing.B)       { runExperiment(b, "abl-mplsh") }
+func BenchmarkAblationLongCode(b *testing.B)    { runExperiment(b, "abl-longcode") }
+func BenchmarkAblationKMHAffinity(b *testing.B) { runExperiment(b, "abl-kmh-affinity") }
+func BenchmarkAblationProfile(b *testing.B)     { runExperiment(b, "abl-profile") }
+
+// ---- public-API micro-benchmarks --------------------------------------
+
+func apiIndex(b *testing.B, m QueryMethod) (*Index, *dataset.Dataset) {
+	b.Helper()
+	ds := dataset.Generate(dataset.GeneratorSpec{
+		Name: "bench", N: 20000, Dim: 32, Clusters: 16, LatentDim: 8, Seed: 17,
+	})
+	ds.SampleQueries(64, 18)
+	ix, err := Build(ds.Vectors, ds.Dim, WithQueryMethod(m), WithSeed(19))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ix, ds
+}
+
+func benchSearch(b *testing.B, m QueryMethod, budget int) {
+	ix, ds := apiIndex(b, m)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := ds.Query(i % ds.NQ())
+		if _, err := ix.Search(q, 10, WithMaxCandidates(budget)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSearchGQRBudget1000(b *testing.B) { benchSearch(b, GQR, 1000) }
+func BenchmarkSearchGHRBudget1000(b *testing.B) { benchSearch(b, GHR, 1000) }
+func BenchmarkSearchHRBudget1000(b *testing.B)  { benchSearch(b, HR, 1000) }
+func BenchmarkSearchQRBudget1000(b *testing.B)  { benchSearch(b, QR, 1000) }
+func BenchmarkSearchMIHBudget1000(b *testing.B) { benchSearch(b, MIH, 1000) }
+
+func BenchmarkBuildITQ20k(b *testing.B) {
+	ds := dataset.Generate(dataset.GeneratorSpec{
+		Name: "build", N: 20000, Dim: 32, Clusters: 16, LatentDim: 8, Seed: 21,
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(ds.Vectors, ds.Dim, WithSeed(int64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,99 @@
+// Command gqr-datagen materializes the simulated corpora to fvecs/ivecs
+// files (the TEXMEX exchange formats used by standard ANN benchmarks),
+// so indexes can be built and queried from files with gqr-search or by
+// external tools.
+//
+// Usage:
+//
+//	gqr-datagen -corpus cifar-sim -out data/cifar       # named corpus
+//	gqr-datagen -n 50000 -dim 64 -clusters 16 -out data/custom
+//
+// Writes <out>_base.fvecs, <out>_query.fvecs and <out>_groundtruth.ivecs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gqr/internal/dataset"
+)
+
+func main() {
+	var (
+		corpus   = flag.String("corpus", "", "named simulated corpus (see -listcorpora)")
+		listAll  = flag.Bool("listcorpora", false, "list named corpora and exit")
+		scale    = flag.Float64("scale", 1.0, "scale factor for named corpora")
+		n        = flag.Int("n", 0, "custom corpus: number of vectors")
+		dim      = flag.Int("dim", 0, "custom corpus: dimensionality")
+		clusters = flag.Int("clusters", 16, "custom corpus: mixture components")
+		seed     = flag.Int64("seed", 1, "custom corpus: generator seed")
+		nq       = flag.Int("nq", 100, "queries to sample out of the corpus")
+		k        = flag.Int("k", 100, "ground-truth neighbors per query")
+		out      = flag.String("out", "", "output path prefix (required)")
+	)
+	flag.Parse()
+
+	if *listAll {
+		for _, name := range append(dataset.AllCorpora(), dataset.AppendixCorpora()...) {
+			spec := dataset.Specs(name, 1)
+			fmt.Printf("%-16s %7d x %-4d\n", name, spec.N, spec.Dim)
+		}
+		return
+	}
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "gqr-datagen: -out is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var ds *dataset.Dataset
+	switch {
+	case *corpus != "":
+		ds = dataset.Load(*corpus, *scale, *nq, *k)
+	case *n > 0 && *dim > 0:
+		ds = dataset.Generate(dataset.GeneratorSpec{
+			Name: "custom", N: *n, Dim: *dim, Clusters: *clusters, Seed: *seed,
+		})
+		ds.SampleQueries(*nq, *seed+1)
+		ds.ComputeGroundTruth(*k)
+	default:
+		fmt.Fprintln(os.Stderr, "gqr-datagen: pass -corpus or both -n and -dim")
+		os.Exit(2)
+	}
+
+	if err := ds.Validate(); err != nil {
+		fatal(err)
+	}
+	write := func(suffix string, fn func(path string) error) {
+		path := *out + suffix
+		if err := fn(path); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote", path)
+	}
+	write("_base.fvecs", func(p string) error {
+		return dataset.SaveFvecsFile(p, ds.Vectors, ds.Dim)
+	})
+	write("_query.fvecs", func(p string) error {
+		return dataset.SaveFvecsFile(p, ds.Queries, ds.Dim)
+	})
+	write("_groundtruth.ivecs", func(p string) error {
+		f, err := os.Create(p)
+		if err != nil {
+			return err
+		}
+		if err := dataset.WriteIvecs(f, ds.GroundTruth); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	})
+	fmt.Printf("corpus: %d base vectors, %d queries, dim %d, ground-truth k=%d\n",
+		ds.N(), ds.NQ(), ds.Dim, ds.GroundTruthK)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gqr-datagen:", err)
+	os.Exit(1)
+}

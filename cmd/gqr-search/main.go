@@ -1,0 +1,150 @@
+// Command gqr-search builds a learned-hash index over an fvecs file and
+// answers queries from another, optionally reporting recall against an
+// ivecs ground-truth file — an end-to-end driver of the public gqr API.
+//
+// Usage:
+//
+//	gqr-search -base b.fvecs -query q.fvecs -k 10 -budget 2000
+//	gqr-search -base b.fvecs -query q.fvecs -gt gt.ivecs \
+//	           -algorithm pcah -method gqr -tables 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"gqr"
+	"gqr/internal/dataset"
+)
+
+func main() {
+	var (
+		base      = flag.String("base", "", "fvecs file with base vectors (required)")
+		queryFile = flag.String("query", "", "fvecs file with query vectors (required)")
+		gt        = flag.String("gt", "", "ivecs file with ground-truth neighbor ids (optional)")
+		algorithm = flag.String("algorithm", "itq", "learner: itq|pcah|sh|kmh|lsh|ssh")
+		method    = flag.String("method", "gqr", "querying method: gqr|qr|hr|ghr|mih")
+		k         = flag.Int("k", 10, "neighbors per query")
+		budget    = flag.Int("budget", 0, "max candidates per query (0 = unbounded)")
+		bits      = flag.Int("bits", 0, "code length (0 = log2(n/10) rule)")
+		tables    = flag.Int("tables", 1, "hash tables")
+		seed      = flag.Int64("seed", 0, "training seed")
+		verbose   = flag.Bool("v", false, "print every query's neighbor list")
+		saveIdx   = flag.String("save", "", "after building, save the index to this file")
+		loadIdx   = flag.String("load", "", "load a previously saved index instead of training")
+	)
+	flag.Parse()
+	if *base == "" || *queryFile == "" {
+		fmt.Fprintln(os.Stderr, "gqr-search: -base and -query are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	vecs, dim, err := dataset.LoadFvecsFile(*base)
+	if err != nil {
+		fatal(err)
+	}
+	queries, qdim, err := dataset.LoadFvecsFile(*queryFile)
+	if err != nil {
+		fatal(err)
+	}
+	if qdim != dim {
+		fatal(fmt.Errorf("query dim %d != base dim %d", qdim, dim))
+	}
+
+	var truth [][]int32
+	if *gt != "" {
+		f, err := os.Open(*gt)
+		if err != nil {
+			fatal(err)
+		}
+		truth, err = dataset.ReadIvecs(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	start := time.Now()
+	var ix *gqr.Index
+	if *loadIdx != "" {
+		ix, err = gqr.LoadFile(*loadIdx, vecs, dim)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		ix, err = gqr.Build(vecs, dim,
+			gqr.WithAlgorithm(gqr.Algorithm(*algorithm)),
+			gqr.WithQueryMethod(gqr.QueryMethod(*method)),
+			gqr.WithCodeLength(*bits),
+			gqr.WithTables(*tables),
+			gqr.WithSeed(*seed))
+		if err != nil {
+			fatal(err)
+		}
+	}
+	st := ix.Stats()
+	fmt.Printf("built %s/%s index: %d items, %d bits, %d tables, %v buckets (%s)\n",
+		st.Algorithm, st.Method, st.Items, st.CodeLength, st.Tables, st.Buckets,
+		time.Since(start).Round(time.Millisecond))
+	if *saveIdx != "" {
+		if err := ix.SaveFile(*saveIdx); err != nil {
+			fatal(err)
+		}
+		fmt.Println("index saved to", *saveIdx)
+	}
+
+	nq := len(queries) / dim
+	var opts []gqr.SearchOption
+	if *budget > 0 {
+		opts = append(opts, gqr.WithMaxCandidates(*budget))
+	}
+	var totalRecall float64
+	start = time.Now()
+	for qi := 0; qi < nq; qi++ {
+		q := queries[qi*dim : (qi+1)*dim]
+		nbrs, err := ix.Search(q, *k, opts...)
+		if err != nil {
+			fatal(err)
+		}
+		if *verbose {
+			fmt.Printf("query %d:", qi)
+			for _, nb := range nbrs {
+				fmt.Printf(" %d(%.3f)", nb.ID, nb.Distance)
+			}
+			fmt.Println()
+		}
+		if truth != nil && qi < len(truth) {
+			want := truth[qi]
+			if len(want) > *k {
+				want = want[:*k]
+			}
+			in := make(map[int]bool, len(nbrs))
+			for _, nb := range nbrs {
+				in[nb.ID] = true
+			}
+			hit := 0
+			for _, id := range want {
+				if in[int(id)] {
+					hit++
+				}
+			}
+			if len(want) > 0 {
+				totalRecall += float64(hit) / float64(len(want))
+			}
+		}
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("%d queries in %s (%.2fms/query)\n", nq, elapsed.Round(time.Millisecond),
+		float64(elapsed.Milliseconds())/float64(nq))
+	if truth != nil {
+		fmt.Printf("recall@%d: %.4f\n", *k, totalRecall/float64(nq))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gqr-search:", err)
+	os.Exit(1)
+}

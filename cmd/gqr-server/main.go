@@ -1,0 +1,78 @@
+// Command gqr-server serves approximate nearest-neighbor queries over
+// HTTP: it builds (or loads) a learned-hash index from an fvecs file
+// and exposes the JSON API of internal/server.
+//
+// Usage:
+//
+//	gqr-server -base vectors.fvecs -addr :8080
+//	gqr-server -base vectors.fvecs -load index.gqr -addr :8080
+//
+//	curl -s localhost:8080/stats
+//	curl -s -X POST localhost:8080/search \
+//	     -d '{"query":[...], "k":10, "maxCandidates":2000}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"gqr"
+	"gqr/internal/dataset"
+	"gqr/internal/server"
+)
+
+func main() {
+	var (
+		base      = flag.String("base", "", "fvecs file with base vectors (required)")
+		addr      = flag.String("addr", ":8080", "listen address")
+		algorithm = flag.String("algorithm", "itq", "learner: itq|pcah|sh|kmh|lsh|ssh")
+		method    = flag.String("method", "gqr", "querying method: gqr|qr|hr|ghr|mih")
+		metric    = flag.String("metric", "euclidean", "metric: euclidean|angular")
+		bits      = flag.Int("bits", 0, "code length (0 = log2(n/10) rule)")
+		tables    = flag.Int("tables", 1, "hash tables")
+		seed      = flag.Int64("seed", 0, "training seed")
+		loadIdx   = flag.String("load", "", "load a saved index instead of training")
+	)
+	flag.Parse()
+	if *base == "" {
+		fmt.Fprintln(os.Stderr, "gqr-server: -base is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	vecs, dim, err := dataset.LoadFvecsFile(*base)
+	if err != nil {
+		log.Fatal("gqr-server: ", err)
+	}
+	start := time.Now()
+	var ix *gqr.Index
+	if *loadIdx != "" {
+		ix, err = gqr.LoadFile(*loadIdx, vecs, dim)
+	} else {
+		ix, err = gqr.Build(vecs, dim,
+			gqr.WithAlgorithm(gqr.Algorithm(*algorithm)),
+			gqr.WithQueryMethod(gqr.QueryMethod(*method)),
+			gqr.WithMetric(gqr.Metric(*metric)),
+			gqr.WithCodeLength(*bits),
+			gqr.WithTables(*tables),
+			gqr.WithSeed(*seed))
+	}
+	if err != nil {
+		log.Fatal("gqr-server: ", err)
+	}
+	st := ix.Stats()
+	log.Printf("index ready: %d items, %s/%s, %d bits, %d tables (%s)",
+		st.Items, st.Algorithm, st.Method, st.CodeLength, st.Tables,
+		time.Since(start).Round(time.Millisecond))
+	log.Printf("listening on %s", *addr)
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           server.New(ix),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	log.Fatal(srv.ListenAndServe())
+}

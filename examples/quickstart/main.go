@@ -1,0 +1,66 @@
+// Quickstart: build a learned-hash index over random vectors and query
+// it with generate-to-probe quantization-distance ranking (GQR).
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"gqr"
+)
+
+func main() {
+	const (
+		n   = 10000
+		dim = 32
+	)
+	// Synthetic data: a handful of Gaussian clusters, the shape real
+	// descriptor collections have.
+	rng := rand.New(rand.NewSource(42))
+	centers := make([][]float64, 8)
+	for c := range centers {
+		centers[c] = make([]float64, dim)
+		for j := range centers[c] {
+			centers[c][j] = rng.NormFloat64() * 5
+		}
+	}
+	vecs := make([]float32, n*dim)
+	for i := 0; i < n; i++ {
+		ctr := centers[rng.Intn(len(centers))]
+		for j := 0; j < dim; j++ {
+			vecs[i*dim+j] = float32(ctr[j] + rng.NormFloat64())
+		}
+	}
+
+	// Build with the defaults: ITQ learning, GQR querying, code length
+	// from the log2(n/10) rule.
+	ix, err := gqr.Build(vecs, dim, gqr.WithSeed(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := ix.Stats()
+	fmt.Printf("index: %d vectors, %d-bit codes, %d non-empty buckets\n",
+		st.Items, st.CodeLength, st.Buckets[0])
+
+	// Query with a perturbed copy of item 0: it must come back first.
+	q := make([]float32, dim)
+	for j := range q {
+		q[j] = vecs[j] + float32(rng.NormFloat64()*0.01)
+	}
+	// The candidate budget is the recall/latency knob: evaluating 500
+	// of the 10000 items is usually enough for the true neighbors.
+	nbrs, err := ix.Search(q, 5, gqr.WithMaxCandidates(500))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("5 nearest neighbors (id, distance):")
+	for _, nb := range nbrs {
+		fmt.Printf("  %5d  %.4f\n", nb.ID, nb.Distance)
+	}
+	if nbrs[0].ID == 0 {
+		fmt.Println("item 0 found first, as expected")
+	}
+}

@@ -1,0 +1,81 @@
+// Recommendation: nearest-neighbor lookup over item embeddings (the
+// paper cites Google News personalization as a motivating application).
+// A cheap learner (PCAH) plus GQR gives low-latency candidate
+// generation without ITQ's iterative training — the trade the paper's
+// §6.4 recommends when training cost matters.
+//
+//	go run ./examples/recommend
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"gqr"
+)
+
+// catalogue simulates item embeddings from a matrix-factorization
+// model: unit-ish vectors with a few dominant latent directions.
+func catalogue(n, dim int, seed int64) []float32 {
+	rng := rand.New(rand.NewSource(seed))
+	// Latent factor loadings shared across the catalogue.
+	factors := make([]float64, dim*8)
+	for i := range factors {
+		factors[i] = rng.NormFloat64()
+	}
+	vecs := make([]float32, n*dim)
+	for i := 0; i < n; i++ {
+		var latent [8]float64
+		for l := range latent {
+			latent[l] = rng.NormFloat64() / float64(l+1)
+		}
+		for j := 0; j < dim; j++ {
+			var v float64
+			for l, lv := range latent {
+				v += factors[j*8+l] * lv
+			}
+			vecs[i*dim+j] = float32(v + rng.NormFloat64()*0.05)
+		}
+	}
+	return vecs
+}
+
+func main() {
+	const (
+		items = 50000
+		dim   = 48
+	)
+	vecs := catalogue(items, dim, 11)
+
+	start := time.Now()
+	ix, err := gqr.Build(vecs, dim,
+		gqr.WithAlgorithm(gqr.PCAH), // no iterative training
+		gqr.WithQueryMethod(gqr.GQR))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("catalogue of %d items indexed in %s (PCAH trains in one pass)\n",
+		items, time.Since(start).Round(time.Millisecond))
+
+	// "Users who liked item X": query with item embeddings, exclude the
+	// item itself, serve the top 5 as recommendations.
+	for _, item := range []int{0, 123, 4567} {
+		q := vecs[item*dim : (item+1)*dim]
+		start := time.Now()
+		nbrs, err := ix.Search(q, 6, gqr.WithMaxCandidates(1500))
+		if err != nil {
+			log.Fatal(err)
+		}
+		lat := time.Since(start)
+		fmt.Printf("item %5d -> recommend:", item)
+		for _, nb := range nbrs {
+			if nb.ID == item {
+				continue // the item itself
+			}
+			fmt.Printf(" %d", nb.ID)
+		}
+		fmt.Printf("   (%.2fms)\n", float64(lat.Microseconds())/1000)
+	}
+}

@@ -1,0 +1,94 @@
+// Semantic search: cosine-similarity retrieval over text-style
+// embeddings (the GloVe workloads of the paper's appendix, Table 3).
+// Word/sentence embeddings are compared by angle, not magnitude, so the
+// index is built with the Angular metric: vectors are normalized onto
+// the unit sphere where Euclidean distance is monotone in cosine
+// similarity. Batches of queries fan out across cores via SearchBatch.
+//
+//	go run ./examples/semantic
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"gqr"
+)
+
+// embeddings fabricates GloVe-like vectors: topic directions plus
+// per-word jitter, with magnitudes varying by "word frequency" (which
+// cosine retrieval must ignore — that is the point of Angular).
+func embeddings(words, dim, topics int, seed int64) ([]float32, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	topicDirs := make([][]float64, topics)
+	for t := range topicDirs {
+		topicDirs[t] = make([]float64, dim)
+		for j := range topicDirs[t] {
+			topicDirs[t][j] = rng.NormFloat64()
+		}
+	}
+	vecs := make([]float32, words*dim)
+	topicOf := make([]int, words)
+	for w := 0; w < words; w++ {
+		t := rng.Intn(topics)
+		topicOf[w] = t
+		scale := 0.5 + rng.Float64()*4 // frequency-dependent magnitude
+		for j := 0; j < dim; j++ {
+			vecs[w*dim+j] = float32(scale * (topicDirs[t][j] + rng.NormFloat64()*0.4))
+		}
+	}
+	return vecs, topicOf
+}
+
+func main() {
+	const (
+		words  = 40000
+		dim    = 32
+		topics = 25
+	)
+	vecs, topicOf := embeddings(words, dim, topics, 9)
+
+	ix, err := gqr.Build(vecs, dim,
+		gqr.WithMetric(gqr.Angular), // cosine retrieval
+		gqr.WithAlgorithm(gqr.ITQ),
+		gqr.WithSeed(10))
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := ix.Stats()
+	fmt.Printf("vocabulary of %d embeddings indexed (%d-bit codes, %s metric)\n",
+		st.Items, st.CodeLength, st.Metric)
+
+	// A batch of "query words": their neighbors should share the topic.
+	queryIDs := []int{11, 222, 3333, 7777, 12345, 23456}
+	batch := make([]float32, 0, len(queryIDs)*dim)
+	for _, id := range queryIDs {
+		batch = append(batch, vecs[id*dim:(id+1)*dim]...)
+	}
+	start := time.Now()
+	results, err := ix.SearchBatch(batch, 6, gqr.WithMaxCandidates(1200))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("batch of %d cosine queries in %s\n\n", len(queryIDs), time.Since(start).Round(time.Microsecond))
+
+	sameTopic, total := 0, 0
+	for bi, id := range queryIDs {
+		fmt.Printf("word %5d (topic %2d) ->", id, topicOf[id])
+		for _, nb := range results[bi] {
+			if nb.ID == id {
+				continue
+			}
+			cos := 1 - nb.Distance*nb.Distance/2 // chordal -> cosine
+			fmt.Printf(" %d(cos %.2f)", nb.ID, cos)
+			if topicOf[nb.ID] == topicOf[id] {
+				sameTopic++
+			}
+			total++
+		}
+		fmt.Println()
+	}
+	fmt.Printf("\n%d/%d retrieved neighbors share the query's topic\n", sameTopic, total)
+}

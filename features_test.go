@@ -1,0 +1,440 @@
+package gqr
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"testing"
+
+	"gqr/internal/dataset"
+)
+
+func TestRadiusSearchExactUnderEarlyStop(t *testing.T) {
+	ds := demoData(t)
+	ix, err := Build(ds.Vectors, ds.Dim, WithSeed(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi := 0; qi < ds.NQ(); qi++ {
+		q := ds.Query(qi)
+		// Radius chosen between the 3rd and 4th true neighbor, so the
+		// radius query must return exactly the first 3.
+		d3 := exactDist(ds, qi, ds.GroundTruth[qi][2])
+		d4 := exactDist(ds, qi, ds.GroundTruth[qi][3])
+		if d4 <= d3 {
+			continue // tie; skip this query
+		}
+		radius := (d3 + d4) / 2
+		nbrs, err := ix.Search(q, 10, WithRadius(radius))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(nbrs) != 3 {
+			t.Fatalf("query %d: radius search returned %d items, want 3", qi, len(nbrs))
+		}
+		for i := 0; i < 3; i++ {
+			if nbrs[i].ID != int(ds.GroundTruth[qi][i]) {
+				t.Fatalf("query %d: radius result %v != truth prefix", qi, nbrs)
+			}
+			if nbrs[i].Distance > radius {
+				t.Fatalf("query %d: returned item beyond radius", qi)
+			}
+		}
+	}
+}
+
+func TestRadiusSearchPrunesWork(t *testing.T) {
+	// With a tight radius, the QD threshold rule must probe far fewer
+	// buckets than a full scan (this is the §4.1 efficiency claim).
+	ds := demoData(t)
+	ix, err := Build(ds.Vectors, ds.Dim, WithSeed(22))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := ds.Query(0)
+	d1 := exactDist(ds, 0, ds.GroundTruth[0][0])
+	// A radius search must return without a candidate budget and find
+	// the nearest item.
+	nbrs, err := ix.Search(q, 5, WithRadius(d1*1.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nbrs) == 0 || nbrs[0].ID != int(ds.GroundTruth[0][0]) {
+		t.Fatalf("radius search missed the nearest neighbor: %v", nbrs)
+	}
+}
+
+func exactDist(ds *dataset.Dataset, qi int, id int32) float64 {
+	q := ds.Query(qi)
+	v := ds.Vector(int(id))
+	var s float64
+	for j := range q {
+		d := float64(q[j]) - float64(v[j])
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+func TestAngularMetricMatchesBruteForceCosine(t *testing.T) {
+	ds := demoData(t)
+	ix, err := Build(ds.Vectors, ds.Dim, WithMetric(Angular), WithSeed(23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Stats().Metric != Angular {
+		t.Fatal("metric not recorded in stats")
+	}
+	for qi := 0; qi < 5; qi++ {
+		q := ds.Query(qi)
+		nbrs, err := ix.Search(q, 5) // unbudgeted: exact under the metric
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Brute-force cosine ranking.
+		type pair struct {
+			id  int
+			cos float64
+		}
+		best := pair{-1, math.Inf(-1)}
+		qn := norm32(q)
+		for i := 0; i < ds.N(); i++ {
+			v := ds.Vector(i)
+			cos := dot32(q, v) / (qn*norm32(v) + 1e-30)
+			if cos > best.cos {
+				best = pair{i, cos}
+			}
+		}
+		if nbrs[0].ID != best.id {
+			t.Fatalf("query %d: angular top-1 %d != cosine argmax %d", qi, nbrs[0].ID, best.id)
+		}
+		// Chordal distance ↔ cosine identity: cos = 1 − d²/2.
+		wantCos := 1 - nbrs[0].Distance*nbrs[0].Distance/2
+		if math.Abs(wantCos-best.cos) > 1e-5 {
+			t.Fatalf("chordal identity violated: %g vs %g", wantCos, best.cos)
+		}
+	}
+}
+
+func TestAngularDoesNotMutateCallerBlock(t *testing.T) {
+	ds := demoData(t)
+	orig := make([]float32, len(ds.Vectors))
+	copy(orig, ds.Vectors)
+	if _, err := Build(ds.Vectors, ds.Dim, WithMetric(Angular)); err != nil {
+		t.Fatal(err)
+	}
+	for i := range orig {
+		if ds.Vectors[i] != orig[i] {
+			t.Fatal("Build with Angular metric mutated the caller's block")
+		}
+	}
+}
+
+func dot32(a, b []float32) float64 {
+	var s float64
+	for i := range a {
+		s += float64(a[i]) * float64(b[i])
+	}
+	return s
+}
+
+func norm32(a []float32) float64 {
+	return math.Sqrt(dot32(a, a))
+}
+
+func TestSearchBatchMatchesSequential(t *testing.T) {
+	ds := demoData(t)
+	ix, err := Build(ds.Vectors, ds.Dim, WithSeed(24))
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := ix.SearchBatch(ds.Queries, 5, WithMaxCandidates(200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != ds.NQ() {
+		t.Fatalf("batch returned %d result lists", len(batch))
+	}
+	for qi := 0; qi < ds.NQ(); qi++ {
+		seq, err := ix.Search(ds.Query(qi), 5, WithMaxCandidates(200))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(seq) != len(batch[qi]) {
+			t.Fatalf("query %d: batch %d results vs sequential %d", qi, len(batch[qi]), len(seq))
+		}
+		for i := range seq {
+			if seq[i].ID != batch[qi][i].ID {
+				t.Fatalf("query %d: batch diverges from sequential", qi)
+			}
+		}
+	}
+}
+
+func TestSearchBatchValidation(t *testing.T) {
+	ds := demoData(t)
+	ix, err := Build(ds.Vectors, ds.Dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ix.SearchBatch(ds.Queries[:5], 5); err == nil {
+		t.Fatal("ragged query block must be rejected")
+	}
+	out, err := ix.SearchBatch(nil, 5)
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty batch: %v %v", out, err)
+	}
+}
+
+func TestBuildRejectsBadMetric(t *testing.T) {
+	ds := demoData(t)
+	if _, err := Build(ds.Vectors, ds.Dim, WithMetric("hamming")); err == nil {
+		t.Fatal("unknown metric must be rejected")
+	}
+}
+
+func TestPublicSaveLoadRoundTrip(t *testing.T) {
+	ds := demoData(t)
+	for _, metric := range []Metric{Euclidean, Angular} {
+		ix, err := Build(ds.Vectors, ds.Dim, WithMetric(metric), WithSeed(31))
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := t.TempDir() + "/index.gqr"
+		if err := ix.SaveFile(path); err != nil {
+			t.Fatal(err)
+		}
+		ix2, err := LoadFile(path, ds.Vectors, ds.Dim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s1, s2 := ix.Stats(), ix2.Stats()
+		if s1.CodeLength != s2.CodeLength || s1.Metric != s2.Metric || s1.Method != s2.Method {
+			t.Fatalf("%s: stats changed: %+v vs %+v", metric, s1, s2)
+		}
+		for qi := 0; qi < 5; qi++ {
+			a, err := ix.Search(ds.Query(qi), 5, WithMaxCandidates(100))
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := ix2.Search(ds.Query(qi), 5, WithMaxCandidates(100))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(a) != len(b) {
+				t.Fatalf("%s: result counts differ after reload", metric)
+			}
+			for i := range a {
+				if a[i].ID != b[i].ID || a[i].Distance != b[i].Distance {
+					t.Fatalf("%s: results differ after reload: %v vs %v", metric, a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	ds := demoData(t)
+	if _, err := LoadFile("/nonexistent/x.gqr", ds.Vectors, ds.Dim); err == nil {
+		t.Fatal("missing file must error")
+	}
+	path := t.TempDir() + "/garbage"
+	if err := writeFileHelper(path, []byte("this is not an index")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFile(path, ds.Vectors, ds.Dim); err == nil {
+		t.Fatal("garbage file must be rejected")
+	}
+}
+
+func writeFileHelper(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}
+
+func TestAddThenSearchFindsNewItems(t *testing.T) {
+	ds := demoData(t)
+	for _, m := range []QueryMethod{GQR, HR, MIH} {
+		ix, err := Build(ds.Vectors, ds.Dim, WithQueryMethod(m), WithSeed(51))
+		if err != nil {
+			t.Fatal(err)
+		}
+		before := ix.Stats().Items
+		// Add an exact copy of query 0: it must become the top result.
+		id, err := ix.Add(ds.Query(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id != before {
+			t.Fatalf("%s: new id %d, want %d", m, id, before)
+		}
+		nbrs, err := ix.Search(ds.Query(0), 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if nbrs[0].ID != id || nbrs[0].Distance != 0 {
+			t.Fatalf("%s: added item not found first: %v", m, nbrs)
+		}
+		if ix.Stats().Items != before+1 {
+			t.Fatalf("%s: stats not updated after Add", m)
+		}
+	}
+}
+
+func TestAddManyKeepsExactness(t *testing.T) {
+	ds := demoData(t)
+	half := ds.N() / 2
+	ix, err := Build(ds.Vectors[:half*ds.Dim], ds.Dim, WithSeed(52))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := half; i < ds.N(); i++ {
+		if _, err := ix.Add(ds.Vector(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Unbudgeted search over the grown index must equal brute force.
+	for qi := 0; qi < 5; qi++ {
+		nbrs, err := ix.Search(ds.Query(qi), 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, id := range ds.GroundTruth[qi] {
+			if nbrs[i].ID != int(id) {
+				t.Fatalf("query %d: grown index missed ground truth: %v vs %v", qi, nbrs, ds.GroundTruth[qi])
+			}
+		}
+	}
+}
+
+func TestAddAngularNormalizes(t *testing.T) {
+	ds := demoData(t)
+	ix, err := Build(ds.Vectors, ds.Dim, WithMetric(Angular), WithSeed(53))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A scaled copy of query 0 must match the unscaled query exactly
+	// under the angular metric.
+	scaled := make([]float32, ds.Dim)
+	for j, v := range ds.Query(0) {
+		scaled[j] = v * 7
+	}
+	id, err := ix.Add(scaled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nbrs, err := ix.Search(ds.Query(0), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nbrs[0].ID != id || nbrs[0].Distance > 1e-4 {
+		t.Fatalf("angular Add broken: %v want id %d at ~0", nbrs, id)
+	}
+}
+
+func TestWithMaxBucketsOption(t *testing.T) {
+	ds := demoData(t)
+	ix, err := Build(ds.Vectors, ds.Dim, WithSeed(61))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With a 1-bucket budget only the query's own bucket is probed.
+	nbrs, err := ix.Search(ds.Query(0), 10, WithMaxBuckets(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := ix.Search(ds.Query(0), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nbrs) > len(all) {
+		t.Fatal("bucket budget increased results")
+	}
+}
+
+func TestSaveToFailingWriter(t *testing.T) {
+	ds := demoData(t)
+	ix, err := Build(ds.Vectors, ds.Dim, WithSeed(62))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Save(failWriter{}); err == nil {
+		t.Fatal("Save to failing writer must error")
+	}
+	if err := ix.SaveFile("/nonexistent-dir/x.gqr"); err == nil {
+		t.Fatal("SaveFile to bad path must error")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write(p []byte) (int, error) { return 0, errBoom }
+
+var errBoom = fmt.Errorf("boom")
+
+func TestLoadWrongVectorsRejected(t *testing.T) {
+	ds := demoData(t)
+	ix, err := Build(ds.Vectors, ds.Dim, WithSeed(63))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/i.gqr"
+	if err := ix.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	// Wrong dim and wrong count must both fail.
+	if _, err := LoadFile(path, ds.Vectors, ds.Dim+1); err == nil {
+		t.Fatal("wrong dim accepted")
+	}
+	if _, err := LoadFile(path, ds.Vectors[:ds.Dim*10], ds.Dim); err == nil {
+		t.Fatal("short block accepted")
+	}
+}
+
+func TestAddThenSaveLoadRoundTrip(t *testing.T) {
+	// Dynamic inserts must survive persistence.
+	ds := demoData(t)
+	ix, err := Build(ds.Vectors, ds.Dim, WithSeed(71))
+	if err != nil {
+		t.Fatal(err)
+	}
+	added, err := ix.Add(ds.Query(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/grown.gqr"
+	if err := ix.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	// The reloaded index needs the grown vector block.
+	grown := append(append([]float32{}, ds.Vectors...), ds.Query(0)...)
+	ix2, err := LoadFile(path, grown, ds.Dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nbrs, err := ix2.Search(ds.Query(0), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nbrs[0].ID != added || nbrs[0].Distance != 0 {
+		t.Fatalf("added item lost across save/load: %v", nbrs)
+	}
+}
+
+func TestCombinedBudgets(t *testing.T) {
+	// Both budgets set: whichever trips first stops the search.
+	ds := demoData(t)
+	ix, err := Build(ds.Vectors, ds.Dim, WithSeed(72))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := ix.Search(ds.Query(0), 5, WithMaxCandidates(10000), WithMaxBuckets(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ix.Search(ds.Query(0), 5, WithMaxCandidates(10000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) > len(b) {
+		t.Fatal("bucket cap produced more results than uncapped")
+	}
+}

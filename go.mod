@@ -1,0 +1,3 @@
+module gqr
+
+go 1.22

@@ -1,0 +1,329 @@
+package gqr
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"gqr/internal/hash"
+	"gqr/internal/index"
+	"gqr/internal/query"
+	"gqr/internal/vecmath"
+)
+
+// Neighbor is one search result: an item id (the row index of the
+// vector in the build block) and its exact Euclidean distance to the
+// query.
+type Neighbor struct {
+	ID       int
+	Distance float64
+}
+
+// Index is a learned-hash ANN index over a fixed set of vectors. An
+// Index is safe for concurrent Search calls.
+type Index struct {
+	ix     *index.Index
+	method query.Method
+	mu     float64 // Theorem 2 scale for early stop (0 when unavailable)
+	metric Metric
+
+	searchMu sync.Mutex
+	searcher *query.Searcher
+	qbuf     []float32 // normalized-query scratch (angular metric)
+	// methodStale marks that Add changed the bucket structure since the
+	// querying method precomputed its per-table views (HR/QR bucket
+	// lists, MIH substring tables); the next search rebuilds them.
+	methodStale bool
+}
+
+// Build trains hash functions on the n×dim row-major block vectors
+// (n = len(vectors)/dim) and indexes every row. The block is retained
+// by reference for evaluation; do not mutate it afterwards.
+func Build(vectors []float32, dim int, opts ...Option) (*Index, error) {
+	cfg := defaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if dim <= 0 || len(vectors) == 0 || len(vectors)%dim != 0 {
+		return nil, fmt.Errorf("gqr: vector block length %d not a positive multiple of dim %d", len(vectors), dim)
+	}
+	n := len(vectors) / dim
+	if cfg.metric == Angular {
+		normalized := make([]float32, len(vectors))
+		copy(normalized, vectors)
+		for i := 0; i < n; i++ {
+			normalizeRow(normalized[i*dim : (i+1)*dim])
+		}
+		vectors = normalized
+	}
+	bits := cfg.bits
+	if bits == 0 {
+		bits = index.CodeLengthFor(n, cfg.expected)
+		if cfg.algorithm == KMH && bits%2 != 0 {
+			bits++ // KMH needs a multiple of its 2-bit subspaces
+		}
+	}
+	learner, err := learnerOf(cfg.algorithm)
+	if err != nil {
+		return nil, err
+	}
+	ix, err := index.Build(learner, vectors, n, dim, bits, cfg.tables, cfg.seed)
+	if err != nil {
+		return nil, err
+	}
+	method, err := query.NewMethod(string(cfg.method), ix)
+	if err != nil {
+		return nil, err
+	}
+	out := &Index{ix: ix, method: method, metric: cfg.metric, qbuf: make([]float32, dim)}
+	out.mu = earlyStopScale(ix)
+	out.searcher = query.NewSearcher(ix, method)
+	return out, nil
+}
+
+// normalizeRow scales v to unit L2 norm in place (zero vectors are left
+// untouched).
+func normalizeRow(v []float32) {
+	var s float64
+	for _, x := range v {
+		s += float64(x) * float64(x)
+	}
+	if s == 0 {
+		return
+	}
+	inv := float32(1 / math.Sqrt(s))
+	for i := range v {
+		v[i] *= inv
+	}
+}
+
+// learnerOf maps the public Algorithm to a configured learner.
+func learnerOf(a Algorithm) (hash.Learner, error) {
+	switch a {
+	case KMH:
+		return hash.KMH{SubspaceBits: 2}, nil
+	default:
+		return hash.ByName(string(a))
+	}
+}
+
+// earlyStopScale computes µ = 1/(σ_max(H)·√m), minimized over tables
+// (the weakest bound is safe for all of them), when every hasher
+// exposes its projection matrix; otherwise 0 (early stop unavailable).
+func earlyStopScale(ix *index.Index) float64 {
+	mu := math.Inf(1)
+	for _, t := range ix.Tables {
+		p, ok := t.Hasher.(interface{ Matrix() *vecmath.Mat })
+		if !ok {
+			return 0
+		}
+		h := p.Matrix()
+		var sn float64
+		if h.Rows >= h.Cols {
+			sn = vecmath.SpectralNorm(h)
+		} else {
+			sn = vecmath.SpectralNorm(h.T())
+		}
+		if sn <= 0 {
+			return 0
+		}
+		v := 1 / (sn * math.Sqrt(float64(h.Rows)))
+		if v < mu {
+			mu = v
+		}
+	}
+	if math.IsInf(mu, 1) {
+		return 0
+	}
+	return mu
+}
+
+// Search returns the k approximate nearest neighbors of q in ascending
+// distance order. With no options the entire index is probed (exact but
+// slow); pass WithMaxCandidates to trade recall for latency.
+func (ix *Index) Search(q []float32, k int, opts ...SearchOption) ([]Neighbor, error) {
+	var sc searchConfig
+	for _, o := range opts {
+		o(&sc)
+	}
+	ix.searchMu.Lock()
+	defer ix.searchMu.Unlock()
+	if err := ix.refreshMethodLocked(); err != nil {
+		return nil, err
+	}
+	if ix.metric == Angular && len(q) == len(ix.qbuf) {
+		copy(ix.qbuf, q)
+		normalizeRow(ix.qbuf)
+		q = ix.qbuf
+	}
+	res, err := ix.searcher.Search(q, query.Options{
+		K:             k,
+		MaxCandidates: sc.maxCandidates,
+		MaxBuckets:    sc.maxBuckets,
+		EarlyStop:     sc.earlyStop,
+		Radius:        sc.radius,
+		Mu:            ix.mu,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Neighbor, len(res.IDs))
+	for i := range res.IDs {
+		out[i] = Neighbor{ID: int(res.IDs[i]), Distance: res.Dists[i]}
+	}
+	return out, nil
+}
+
+// Add appends one vector to the index and returns its id (the next row
+// index). The learned hash functions are not retrained — as with every
+// L2H system they are assumed trained on a representative sample — so
+// heavy drift calls for a rebuild. Safe for concurrent use with Search.
+func (ix *Index) Add(vec []float32) (int, error) {
+	ix.searchMu.Lock()
+	defer ix.searchMu.Unlock()
+	if ix.metric == Angular {
+		if len(vec) != ix.ix.Dim {
+			return 0, fmt.Errorf("gqr: vector dim %d != index dim %d", len(vec), ix.ix.Dim)
+		}
+		n := make([]float32, len(vec))
+		copy(n, vec)
+		normalizeRow(n)
+		vec = n
+	}
+	id, err := ix.ix.Add(vec)
+	if err != nil {
+		return 0, err
+	}
+	ix.methodStale = true
+	return int(id), nil
+}
+
+// refreshMethodLocked rebuilds the querying method's precomputed
+// per-table views after Add calls. Caller holds searchMu.
+func (ix *Index) refreshMethodLocked() error {
+	if !ix.methodStale {
+		return nil
+	}
+	method, err := query.NewMethod(ix.method.Name(), ix.ix)
+	if err != nil {
+		return err
+	}
+	ix.method = method
+	ix.searcher = query.NewSearcher(ix.ix, method)
+	ix.methodStale = false
+	return nil
+}
+
+// SearchBatch answers many queries concurrently: queries is an
+// nq×dim row-major block, and the result slice has one neighbor list
+// per query. Parallelism is capped at GOMAXPROCS; each worker gets its
+// own searcher, so batch throughput scales with cores while Search's
+// single-query latency semantics stay untouched.
+func (ix *Index) SearchBatch(queries []float32, k int, opts ...SearchOption) ([][]Neighbor, error) {
+	dim := ix.ix.Dim
+	if dim <= 0 || len(queries)%dim != 0 {
+		return nil, fmt.Errorf("gqr: query block length %d not a multiple of dim %d", len(queries), dim)
+	}
+	var sc searchConfig
+	for _, o := range opts {
+		o(&sc)
+	}
+	ix.searchMu.Lock()
+	if err := ix.refreshMethodLocked(); err != nil {
+		ix.searchMu.Unlock()
+		return nil, err
+	}
+	ix.searchMu.Unlock()
+	nq := len(queries) / dim
+	out := make([][]Neighbor, nq)
+	errs := make([]error, nq)
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > nq {
+		workers = nq
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := query.NewSearcher(ix.ix, ix.method)
+			qbuf := make([]float32, dim)
+			for qi := range next {
+				q := queries[qi*dim : (qi+1)*dim]
+				if ix.metric == Angular {
+					copy(qbuf, q)
+					normalizeRow(qbuf)
+					q = qbuf
+				}
+				res, err := s.Search(q, query.Options{
+					K:             k,
+					MaxCandidates: sc.maxCandidates,
+					MaxBuckets:    sc.maxBuckets,
+					EarlyStop:     sc.earlyStop,
+					Radius:        sc.radius,
+					Mu:            ix.mu,
+				})
+				if err != nil {
+					errs[qi] = err
+					continue
+				}
+				nbrs := make([]Neighbor, len(res.IDs))
+				for i := range res.IDs {
+					nbrs[i] = Neighbor{ID: int(res.IDs[i]), Distance: res.Dists[i]}
+				}
+				out[qi] = nbrs
+			}
+		}()
+	}
+	for qi := 0; qi < nq; qi++ {
+		next <- qi
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Stats describes the built index.
+type Stats struct {
+	Items      int
+	Dim        int
+	CodeLength int
+	Tables     int
+	// Buckets is the number of non-empty buckets per table.
+	Buckets []int
+	// Algorithm, Method and Metric echo the build configuration.
+	Algorithm Algorithm
+	Method    QueryMethod
+	Metric    Metric
+}
+
+// Stats reports size and occupancy information.
+func (ix *Index) Stats() Stats {
+	s := Stats{
+		Items:      ix.ix.N,
+		Dim:        ix.ix.Dim,
+		CodeLength: ix.ix.Bits(),
+		Tables:     len(ix.ix.Tables),
+		Algorithm:  Algorithm(ix.ix.Tables[0].Hasher.Name()),
+		Method:     QueryMethod(ix.method.Name()),
+		Metric:     ix.metric,
+	}
+	for _, t := range ix.ix.Tables {
+		s.Buckets = append(s.Buckets, t.BucketCount())
+	}
+	return s
+}

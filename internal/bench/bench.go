@@ -1,0 +1,201 @@
+// Package bench is the experiment harness: it measures recall-time and
+// recall-items curves, solves for time-to-target-recall, compares
+// querying methods and learners, and regenerates every table and figure
+// of the paper's evaluation (see the registry in experiments.go).
+package bench
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"gqr/internal/dataset"
+	"gqr/internal/index"
+	"gqr/internal/query"
+)
+
+// Point is one measurement on a recall-vs-work curve: all queries run
+// with one candidate budget.
+type Point struct {
+	// BudgetFrac is the candidate budget as a fraction of the dataset.
+	BudgetFrac float64
+	// Recall is the average fraction of true k-NN found.
+	Recall float64
+	// Time is the total query-processing wall time across all queries.
+	Time time.Duration
+	// Candidates is the average number of items evaluated per query.
+	Candidates float64
+	// Buckets is the average number of buckets generated per query.
+	Buckets float64
+}
+
+// Curve is a labelled series of points, one per budget.
+type Curve struct {
+	Label  string
+	Points []Point
+}
+
+// Recall returns |result ∩ truth| / |truth|.
+func Recall(result, truth []int32) float64 {
+	if len(truth) == 0 {
+		return 1
+	}
+	in := make(map[int32]bool, len(result))
+	for _, id := range result {
+		in[id] = true
+	}
+	hit := 0
+	for _, id := range truth {
+		if in[id] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(truth))
+}
+
+// DefaultBudgets is the budget sweep used by the figure experiments:
+// candidate budgets as fractions of N, log-spaced up to the full
+// dataset. The final 1.0 point pins the recall-1 end of every curve.
+var DefaultBudgets = []float64{0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.35, 0.5, 0.75, 1.0}
+
+// MethodCurve measures one querying method on one index: for every
+// budget, run all queries and record recall and total time. The searcher
+// is reused so the visited-epoch array is warm, matching a serving
+// deployment.
+func MethodCurve(ds *dataset.Dataset, ix *index.Index, method query.Method, budgets []float64, k int) (Curve, error) {
+	s := query.NewSearcher(ix, method)
+	curve := Curve{Label: method.Name()}
+	// Untimed warm-up pass: first-touch page faults and allocator
+	// growth otherwise pollute the first measured point.
+	for qi := 0; qi < ds.NQ(); qi++ {
+		if _, err := s.Search(ds.Query(qi), query.Options{K: k, MaxCandidates: k * 4}); err != nil {
+			return Curve{}, err
+		}
+	}
+	for _, frac := range budgets {
+		budget := int(math.Ceil(frac * float64(ix.N)))
+		if budget < k {
+			budget = k
+		}
+		var totalRecall, totalCand, totalBuckets float64
+		start := time.Now()
+		results := make([][]int32, ds.NQ())
+		for qi := 0; qi < ds.NQ(); qi++ {
+			res, err := s.Search(ds.Query(qi), query.Options{K: k, MaxCandidates: budget})
+			if err != nil {
+				return Curve{}, err
+			}
+			results[qi] = res.IDs
+			totalCand += float64(res.Stats.Candidates)
+			totalBuckets += float64(res.Stats.BucketsGenerated)
+		}
+		elapsed := time.Since(start)
+		for qi := 0; qi < ds.NQ(); qi++ {
+			truth := ds.GroundTruth[qi]
+			if len(truth) > k {
+				truth = truth[:k]
+			}
+			totalRecall += Recall(results[qi], truth)
+		}
+		nq := float64(ds.NQ())
+		curve.Points = append(curve.Points, Point{
+			BudgetFrac: frac,
+			Recall:     totalRecall / nq,
+			Time:       elapsed,
+			Candidates: totalCand / nq,
+			Buckets:    totalBuckets / nq,
+		})
+	}
+	return curve, nil
+}
+
+// TimeToRecall interpolates the time at which a curve reaches the target
+// recall. It returns an error when the curve never reaches the target.
+func TimeToRecall(c Curve, target float64) (time.Duration, error) {
+	prevT, prevR := time.Duration(0), 0.0
+	for _, p := range c.Points {
+		if p.Recall >= target {
+			if p.Recall == prevR {
+				return p.Time, nil
+			}
+			frac := (target - prevR) / (p.Recall - prevR)
+			if frac < 0 {
+				frac = 0
+			}
+			return prevT + time.Duration(frac*float64(p.Time-prevT)), nil
+		}
+		prevT, prevR = p.Time, p.Recall
+	}
+	return 0, fmt.Errorf("bench: curve %q tops out at recall %.3f < target %.3f", c.Label, maxRecall(c), target)
+}
+
+func maxRecall(c Curve) float64 {
+	m := 0.0
+	for _, p := range c.Points {
+		if p.Recall > m {
+			m = p.Recall
+		}
+	}
+	return m
+}
+
+// CandidatesToRecall interpolates the number of evaluated items needed
+// to reach the target recall (Figure 8's x-axis) on a curve.
+func CandidatesToRecall(c Curve, target float64) (float64, error) {
+	prevC, prevR := 0.0, 0.0
+	for _, p := range c.Points {
+		if p.Recall >= target {
+			if p.Recall == prevR {
+				return p.Candidates, nil
+			}
+			frac := (target - prevR) / (p.Recall - prevR)
+			if frac < 0 {
+				frac = 0
+			}
+			return prevC + frac*(p.Candidates-prevC), nil
+		}
+		prevC, prevR = p.Candidates, p.Recall
+	}
+	return 0, fmt.Errorf("bench: curve %q tops out at recall %.3f < target %.3f", c.Label, maxRecall(c), target)
+}
+
+// Speedup returns tBase/tNew as a ratio (how many times faster the new
+// curve reaches the target recall than the baseline).
+func Speedup(base, new Curve, target float64) (float64, error) {
+	tb, err := TimeToRecall(base, target)
+	if err != nil {
+		return 0, err
+	}
+	tn, err := TimeToRecall(new, target)
+	if err != nil {
+		return 0, err
+	}
+	if tn <= 0 {
+		return math.Inf(1), nil
+	}
+	return float64(tb) / float64(tn), nil
+}
+
+// Precision returns |result ∩ truth| / |result| (Figure 4a's y-axis).
+func Precision(result, truth []int32) float64 {
+	if len(result) == 0 {
+		return 0
+	}
+	in := make(map[int32]bool, len(truth))
+	for _, id := range truth {
+		in[id] = true
+	}
+	hit := 0
+	for _, id := range result {
+		if in[id] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(result))
+}
+
+// SortCurvesByLabel orders curves deterministically for rendering.
+func SortCurvesByLabel(curves []Curve) {
+	sort.Slice(curves, func(i, j int) bool { return curves[i].Label < curves[j].Label })
+}

@@ -1,0 +1,237 @@
+package bench
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"gqr/internal/dataset"
+	"gqr/internal/query"
+)
+
+func TestRecallAndPrecision(t *testing.T) {
+	truth := []int32{1, 2, 3, 4}
+	result := []int32{2, 4, 9}
+	if r := Recall(result, truth); r != 0.5 {
+		t.Fatalf("recall = %g", r)
+	}
+	if p := Precision(result, truth); math.Abs(p-2.0/3) > 1e-12 {
+		t.Fatalf("precision = %g", p)
+	}
+	if r := Recall(nil, nil); r != 1 {
+		t.Fatalf("empty truth recall = %g", r)
+	}
+	if p := Precision(nil, truth); p != 0 {
+		t.Fatalf("empty result precision = %g", p)
+	}
+}
+
+func TestTimeToRecallInterpolation(t *testing.T) {
+	c := Curve{Label: "x", Points: []Point{
+		{Recall: 0.5, Time: 100 * time.Millisecond, Candidates: 10},
+		{Recall: 0.9, Time: 300 * time.Millisecond, Candidates: 50},
+	}}
+	// Target 0.7 is halfway between 0.5 and 0.9.
+	got, err := TimeToRecall(c, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := got - 200*time.Millisecond; diff < -time.Millisecond || diff > time.Millisecond {
+		t.Fatalf("TimeToRecall = %v, want ~200ms", got)
+	}
+	cands, err := CandidatesToRecall(c, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cands-30) > 1e-9 {
+		t.Fatalf("CandidatesToRecall = %g", cands)
+	}
+	if _, err := TimeToRecall(c, 0.95); err == nil {
+		t.Fatal("unreachable target must error")
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	base := Curve{Points: []Point{{Recall: 1, Time: 400 * time.Millisecond}}}
+	fast := Curve{Points: []Point{{Recall: 1, Time: 100 * time.Millisecond}}}
+	sp, err := Speedup(base, fast, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sp-4) > 1e-9 {
+		t.Fatalf("speedup = %g", sp)
+	}
+}
+
+func TestPointPrecision(t *testing.T) {
+	p := Point{Recall: 0.5, Candidates: 100}
+	if got := PointPrecision(p, 20); got != 0.1 {
+		t.Fatalf("PointPrecision = %g", got)
+	}
+	if got := PointPrecision(Point{}, 20); got != 0 {
+		t.Fatal("zero candidates must give zero precision")
+	}
+}
+
+func quickOpts() RunOptions {
+	return RunOptions{Scale: 0.02, NQ: 8, K: 5, Budgets: []float64{0.01, 0.1, 1.0}}
+}
+
+func TestMethodCurveMonotoneRecall(t *testing.T) {
+	opt := quickOpts()
+	ds := corpus(dataset.CorpusAUDIO, opt)
+	ix, err := buildIndex(ds, opt, dataset.CorpusAUDIO, "itq", 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := MethodCurve(ds, ix, query.NewGQR(ix), opt.Budgets, opt.K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Points) != 3 {
+		t.Fatalf("%d points", len(c.Points))
+	}
+	for i := 1; i < len(c.Points); i++ {
+		if c.Points[i].Recall < c.Points[i-1].Recall-1e-9 {
+			t.Fatalf("recall decreased along the budget sweep: %+v", c.Points)
+		}
+	}
+	final := c.Points[len(c.Points)-1]
+	if final.Recall != 1 {
+		t.Fatalf("full budget recall = %g, want 1", final.Recall)
+	}
+	if final.Candidates != float64(ds.N()) {
+		t.Fatalf("full budget evaluated %g items, want %d", final.Candidates, ds.N())
+	}
+}
+
+func TestMeasureMethodsCacheHit(t *testing.T) {
+	opt := quickOpts()
+	c1, err := measureMethods(opt, dataset.CorpusAUDIO, "pcah", 0, 1, []string{"gqr"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := measureMethods(opt, dataset.CorpusAUDIO, "pcah", 0, 1, []string{"gqr"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cached curves are returned as-is, including identical timings.
+	if c1[0].Points[0].Time != c2[0].Points[0].Time {
+		t.Fatal("curve cache miss on identical key")
+	}
+}
+
+func TestIMICurveReachesFullRecall(t *testing.T) {
+	opt := quickOpts()
+	ds := corpus(dataset.CorpusAUDIO, opt)
+	imi, err := imiFor(ds, opt, dataset.CorpusAUDIO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := IMICurve(ds, imi, opt.Budgets, opt.K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Points[len(c.Points)-1].Recall; got != 1 {
+		t.Fatalf("full-budget IMI recall = %g", got)
+	}
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	exps := Experiments()
+	if len(exps) < 20 {
+		t.Fatalf("only %d experiments registered", len(exps))
+	}
+	seen := map[string]bool{}
+	for _, e := range exps {
+		if seen[e.ID] {
+			t.Fatalf("duplicate experiment id %q", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Run == nil || e.Title == "" {
+			t.Fatalf("experiment %q incomplete", e.ID)
+		}
+	}
+	for _, id := range []string{"table1", "fig7", "fig17", "abl-heap"} {
+		if _, err := ByID(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := ByID("nope"); err == nil {
+		t.Fatal("ByID must reject unknown ids")
+	}
+}
+
+// TestAllExperimentsSmoke runs every registered experiment at a tiny
+// scale: the full harness must execute end to end and produce output.
+func TestAllExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test skipped in -short mode")
+	}
+	opt := RunOptions{Scale: 0.01, NQ: 5, K: 5, Budgets: []float64{0.05, 1.0}}
+	for _, e := range Experiments() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			var sb strings.Builder
+			if err := e.Run(opt, &sb); err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if sb.Len() == 0 {
+				t.Fatalf("%s produced no output", e.ID)
+			}
+		})
+	}
+}
+
+func TestWriteCurvesAndCSV(t *testing.T) {
+	c := []Curve{{Label: "gqr", Points: []Point{{BudgetFrac: 0.1, Recall: 0.9, Time: time.Millisecond, Candidates: 42, Buckets: 7}}}}
+	var sb strings.Builder
+	WriteCurves(&sb, "demo", c)
+	if !strings.Contains(sb.String(), "gqr") || !strings.Contains(sb.String(), "0.9") {
+		t.Fatalf("WriteCurves output missing data:\n%s", sb.String())
+	}
+	sb.Reset()
+	WriteCSV(&sb, c)
+	if !strings.Contains(sb.String(), "gqr,0.1,0.9") {
+		t.Fatalf("WriteCSV output wrong:\n%s", sb.String())
+	}
+	sb.Reset()
+	WriteTimeToRecall(&sb, "ttr", c, []float64{0.5, 0.99})
+	out := sb.String()
+	if !strings.Contains(out, "50") || !strings.Contains(out, "n/a") {
+		t.Fatalf("WriteTimeToRecall output wrong:\n%s", out)
+	}
+}
+
+func TestFmtHelpers(t *testing.T) {
+	cases := map[time.Duration]string{
+		2 * time.Second:      "2.00s",
+		3 * time.Millisecond: "3.00ms",
+		4 * time.Microsecond: "4.0µs",
+	}
+	for d, want := range cases {
+		if got := fmtDur(d); got != want {
+			t.Fatalf("fmtDur(%v) = %q, want %q", d, got, want)
+		}
+	}
+	if got := fmtBytes(2 << 20); got != "2.0MiB" {
+		t.Fatalf("fmtBytes = %q", got)
+	}
+}
+
+func TestMeasureTraining(t *testing.T) {
+	cost, err := MeasureTraining(func() error {
+		_ = make([]byte, 1<<20)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost.AllocBytes < 1<<20 {
+		t.Fatalf("alloc accounting too low: %d", cost.AllocBytes)
+	}
+	if cost.WallTime < 0 || cost.CPUTime != cost.WallTime {
+		t.Fatalf("cost times inconsistent: %+v", cost)
+	}
+}

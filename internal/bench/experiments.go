@@ -1,0 +1,219 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"gqr/internal/dataset"
+	"gqr/internal/hash"
+	"gqr/internal/index"
+	"gqr/internal/query"
+)
+
+// RunOptions scales an experiment run. The zero value is filled with
+// defaults by normalize: full simulated corpus size, 100 queries, k=20
+// (the paper's default), the standard budget sweep.
+type RunOptions struct {
+	// Scale shrinks every corpus to this fraction of its simulated
+	// size (0 < Scale ≤ 1). Tests use small scales; EXPERIMENTS.md
+	// records full-scale runs.
+	Scale float64
+	// NQ is the number of sampled queries per corpus.
+	NQ int
+	// K is the number of target neighbors.
+	K int
+	// Budgets is the candidate-budget sweep (fractions of N).
+	Budgets []float64
+	// Seed offsets all training seeds, for variance checks.
+	Seed int64
+}
+
+func (o RunOptions) normalize() RunOptions {
+	if o.Scale <= 0 || o.Scale > 1 {
+		o.Scale = 1
+	}
+	if o.NQ <= 0 {
+		o.NQ = 100
+	}
+	if o.K <= 0 {
+		o.K = 20
+	}
+	if len(o.Budgets) == 0 {
+		o.Budgets = DefaultBudgets
+	}
+	return o
+}
+
+// Experiment regenerates one table or figure of the paper.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(opt RunOptions, w io.Writer) error
+}
+
+var registry []Experiment
+
+func register(id, title string, run func(opt RunOptions, w io.Writer) error) {
+	registry = append(registry, Experiment{ID: id, Title: title, Run: run})
+}
+
+// Experiments lists every registered experiment in registration order
+// (paper order: tables and figures, then ablations).
+func Experiments() []Experiment {
+	out := make([]Experiment, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// ByID looks up an experiment.
+func ByID(id string) (Experiment, error) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	ids := make([]string, len(registry))
+	for i, e := range registry {
+		ids[i] = e.ID
+	}
+	sort.Strings(ids)
+	return Experiment{}, fmt.Errorf("bench: unknown experiment %q (known: %v)", id, ids)
+}
+
+// ---- shared state ----------------------------------------------------
+//
+// Experiments that share a corpus or a set of measured curves reuse them
+// through these caches (e.g. fig7/fig8/fig9 are three views of one
+// measurement). The harness is single-threaded, matching the paper's
+// per-query latency methodology, so plain maps suffice.
+
+type corpusKey struct {
+	name  string
+	scale float64
+	nq, k int
+}
+
+var corpusCache = map[corpusKey]*dataset.Dataset{}
+
+// corpus loads (or reuses) a simulated corpus with ground truth.
+func corpus(name string, opt RunOptions) *dataset.Dataset {
+	key := corpusKey{name, opt.Scale, opt.NQ, opt.K}
+	if ds, ok := corpusCache[key]; ok {
+		return ds
+	}
+	ds := dataset.Load(name, opt.Scale, opt.NQ, opt.K)
+	corpusCache[key] = ds
+	return ds
+}
+
+type curveKey struct {
+	corpus  string
+	scale   float64
+	nq, k   int
+	learner string
+	bits    int
+	tables  int
+	method  string
+	budgets int
+	seed    int64
+}
+
+var curveCache = map[curveKey][]Curve{}
+
+type indexKey struct {
+	corpus  string
+	scale   float64
+	nq, k   int
+	learner string
+	bits    int
+	tables  int
+	seed    int64
+}
+
+var indexCache = map[indexKey]*index.Index{}
+
+// ResetCaches clears the corpus, index, and curve caches (tests use it
+// to bound memory).
+func ResetCaches() {
+	corpusCache = map[corpusKey]*dataset.Dataset{}
+	curveCache = map[curveKey][]Curve{}
+	indexCache = map[indexKey]*index.Index{}
+}
+
+// learnerFor instantiates a learner with the iteration budgets used
+// throughout the experiments.
+func learnerFor(name string) (hash.Learner, error) {
+	switch name {
+	case "itq":
+		return hash.ITQ{Iterations: 30}, nil
+	case "kmh":
+		return hash.KMH{SubspaceBits: 2, Iterations: 15}, nil
+	default:
+		return hash.ByName(name)
+	}
+}
+
+// buildIndex trains (or reuses) an index for a corpus/learner pair.
+// bits=0 applies the paper's log2(N/10) rule, rounded up to the KMH
+// subspace multiple when the learner is kmh.
+func buildIndex(ds *dataset.Dataset, opt RunOptions, corpusName, learnerName string, bits, tables int) (*index.Index, error) {
+	if bits == 0 {
+		bits = index.CodeLengthFor(ds.N(), 10)
+		if learnerName == "kmh" && bits%2 != 0 {
+			bits++
+		}
+	}
+	key := indexKey{corpusName, opt.Scale, opt.NQ, opt.K, learnerName, bits, tables, opt.Seed}
+	if ix, ok := indexCache[key]; ok {
+		return ix, nil
+	}
+	l, err := learnerFor(learnerName)
+	if err != nil {
+		return nil, err
+	}
+	ix, err := index.Build(l, ds.Vectors, ds.N(), ds.Dim, bits, tables, 1000+opt.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("bench: building %s/%s index: %w", corpusName, learnerName, err)
+	}
+	indexCache[key] = ix
+	return ix, nil
+}
+
+// measureMethods returns one curve per querying method over a single
+// corpus/learner configuration, through the cache.
+func measureMethods(opt RunOptions, corpusName, learnerName string, bits, tables int, methods []string) ([]Curve, error) {
+	ds := corpus(corpusName, opt)
+	ix, err := buildIndex(ds, opt, corpusName, learnerName, bits, tables)
+	if err != nil {
+		return nil, err
+	}
+	var curves []Curve
+	for _, mName := range methods {
+		key := curveKey{corpusName, opt.Scale, opt.NQ, opt.K, learnerName, ix.Bits(), tables, mName, len(opt.Budgets), opt.Seed}
+		if c, ok := curveCache[key]; ok {
+			curves = append(curves, c...)
+			continue
+		}
+		m, err := query.NewMethod(mName, ix)
+		if err != nil {
+			return nil, err
+		}
+		c, err := MethodCurve(ds, ix, m, opt.Budgets, opt.K)
+		if err != nil {
+			return nil, err
+		}
+		curveCache[key] = []Curve{c}
+		curves = append(curves, c)
+	}
+	return curves, nil
+}
+
+// PointPrecision converts a curve point to Figure 4a's precision:
+// (true neighbors found) / (items retrieved) = recall·k / candidates.
+func PointPrecision(p Point, k int) float64 {
+	if p.Candidates == 0 {
+		return 0
+	}
+	return p.Recall * float64(k) / p.Candidates
+}

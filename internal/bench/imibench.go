@@ -1,0 +1,86 @@
+package bench
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"gqr/internal/dataset"
+	"gqr/internal/quantization"
+	"gqr/internal/vecmath"
+)
+
+// IMICurve measures the OPQ+IMI system the same way MethodCurve measures
+// an L2H method: candidates are gathered from the inverted multi-index
+// cell by cell, then evaluated with exact distances (identical
+// evaluation stage to the hashing pipeline, so the curves compare the
+// retrieval structures — which is the comparison the paper's §6.5
+// makes).
+func IMICurve(ds *dataset.Dataset, imi *quantization.IMI, budgets []float64, k int) (Curve, error) {
+	curve := Curve{Label: "opq+imi"}
+	n := ds.N()
+	// Untimed warm-up pass (see MethodCurve).
+	for qi := 0; qi < ds.NQ(); qi++ {
+		imi.Retrieve(ds.Query(qi), k*4)
+	}
+	for _, frac := range budgets {
+		budget := int(math.Ceil(frac * float64(n)))
+		if budget < k {
+			budget = k
+		}
+		var totalRecall, totalCand float64
+		start := time.Now()
+		results := make([][]int32, ds.NQ())
+		for qi := 0; qi < ds.NQ(); qi++ {
+			q := ds.Query(qi)
+			cands := imi.Retrieve(q, budget)
+			totalCand += float64(len(cands))
+			results[qi] = exactTopK(ds, q, cands, k)
+		}
+		elapsed := time.Since(start)
+		for qi := 0; qi < ds.NQ(); qi++ {
+			truth := ds.GroundTruth[qi]
+			if len(truth) > k {
+				truth = truth[:k]
+			}
+			totalRecall += Recall(results[qi], truth)
+		}
+		nq := float64(ds.NQ())
+		curve.Points = append(curve.Points, Point{
+			BudgetFrac: frac,
+			Recall:     totalRecall / nq,
+			Time:       elapsed,
+			Candidates: totalCand / nq,
+		})
+	}
+	return curve, nil
+}
+
+// scoredID pairs a candidate with its exact distance during evaluation.
+type scoredID struct {
+	id   int32
+	dist float64
+}
+
+// exactTopK evaluates candidate ids with exact distances and returns the
+// k best (ascending distance, ties by id).
+func exactTopK(ds *dataset.Dataset, q []float32, cands []int32, k int) []int32 {
+	all := make([]scoredID, len(cands))
+	for i, id := range cands {
+		all[i] = scoredID{id: id, dist: vecmath.SquaredL2(q, ds.Vector(int(id)))}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].dist != all[j].dist {
+			return all[i].dist < all[j].dist
+		}
+		return all[i].id < all[j].id
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	out := make([]int32, k)
+	for i := 0; i < k; i++ {
+		out[i] = all[i].id
+	}
+	return out
+}

@@ -1,0 +1,57 @@
+package bench
+
+import (
+	"io"
+
+	"gqr/internal/dataset"
+	"gqr/internal/hash"
+	"gqr/internal/index"
+	"gqr/internal/query"
+)
+
+func init() {
+	register("abl-kmh-affinity", "Ablation: KMH affinity-preserving refinement on/off (Figure 20 fidelity)", runAblKMHAffinity)
+}
+
+// runAblKMHAffinity compares GQR over K-means hashing trained with the
+// original affinity-preserving refinement against plain-Lloyd
+// codebooks. Affinity-preserving training is what makes Hamming/flip
+// neighborhoods geometrically meaningful, which both GHR and GQR's
+// flipping costs exploit.
+func runAblKMHAffinity(opt RunOptions, w io.Writer) error {
+	opt = opt.normalize()
+	Rule(w, "Ablation: KMH affinity-preserving refinement")
+	name := dataset.CorpusCIFAR
+	ds := corpus(name, opt)
+	bits := index.CodeLengthFor(ds.N(), 10)
+	if bits%2 != 0 {
+		bits++
+	}
+	var curves []Curve
+	for _, cfg := range []struct {
+		label string
+		l     hash.Learner
+	}{
+		{"kmh-affinity", hash.KMH{SubspaceBits: 2, Iterations: 15, Affinity: 3, AffinitySweeps: 10}},
+		{"kmh-plain", hash.KMH{SubspaceBits: 2, Iterations: 15, Affinity: -1}},
+	} {
+		ix, err := index.Build(cfg.l, ds.Vectors, ds.N(), ds.Dim, bits, 1, 6000+opt.Seed)
+		if err != nil {
+			return err
+		}
+		for _, mName := range []string{"gqr", "ghr"} {
+			m, err := query.NewMethod(mName, ix)
+			if err != nil {
+				return err
+			}
+			c, err := MethodCurve(ds, ix, m, opt.Budgets, opt.K)
+			if err != nil {
+				return err
+			}
+			c.Label = cfg.label + "+" + mName
+			curves = append(curves, c)
+		}
+	}
+	WriteCurves(w, name, curves)
+	return nil
+}

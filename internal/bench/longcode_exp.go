@@ -1,0 +1,80 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"gqr/internal/dataset"
+	"gqr/internal/hash"
+	"gqr/internal/index"
+	"gqr/internal/longcode"
+)
+
+func init() {
+	register("abl-longcode", "Ablation: long-code linear Hamming scan versus bucket-based GQR (§3 discussion)", runAblLongCode)
+}
+
+// runAblLongCode measures the traditional fix for Hamming coarseness —
+// long codes with a full linear Hamming scan — against short-code
+// GQR. The paper's §1/§3 position: long codes classify buckets more
+// finely but pay in sort time, storage, and scalability; GQR achieves
+// the fine ranking at short code lengths instead.
+func runAblLongCode(opt RunOptions, w io.Writer) error {
+	opt = opt.normalize()
+	Rule(w, "Ablation: long-code linear scan vs bucket-based GQR")
+	name := dataset.CorpusCIFAR
+	ds := corpus(name, opt)
+
+	gqrCurves, err := measureMethods(opt, name, "itq", 0, 1, []string{"gqr"})
+	if err != nil {
+		return err
+	}
+	bits := index.CodeLengthFor(ds.N(), 10)
+	gqrCurves[0].Label = fmt.Sprintf("gqr-%db", bits)
+	curves := []Curve{gqrCurves[0]}
+
+	for _, codeBits := range []int{64, 128} {
+		sc, err := longcode.Build(hash.ITQ{Iterations: 30}, ds.Vectors, ds.N(), ds.Dim, codeBits, 5000+opt.Seed)
+		if err != nil {
+			return err
+		}
+		c := Curve{Label: fmt.Sprintf("scan-%db", codeBits)}
+		for _, frac := range opt.Budgets {
+			rerank := int(math.Ceil(frac * float64(ds.N())))
+			if rerank < opt.K {
+				rerank = opt.K
+			}
+			var totalRecall float64
+			start := time.Now()
+			results := make([][]int32, ds.NQ())
+			for qi := 0; qi < ds.NQ(); qi++ {
+				results[qi] = sc.Search(ds.Query(qi), opt.K, rerank)
+			}
+			elapsed := time.Since(start)
+			for qi := 0; qi < ds.NQ(); qi++ {
+				truth := ds.GroundTruth[qi]
+				if len(truth) > opt.K {
+					truth = truth[:opt.K]
+				}
+				totalRecall += Recall(results[qi], truth)
+			}
+			c.Points = append(c.Points, Point{
+				BudgetFrac: frac,
+				Recall:     totalRecall / float64(ds.NQ()),
+				Time:       elapsed,
+				Candidates: float64(rerank),
+			})
+		}
+		curves = append(curves, c)
+		fmt.Fprintf(w, "scan-%db code storage: %.1f MiB (vs %d-bit bucket index)\n",
+			codeBits, float64(sc.MemoryBytes())/(1<<20), bits)
+	}
+	fmt.Fprintln(w)
+	WriteCurves(w, name, curves)
+	fmt.Fprintln(w, "The linear scan pays O(N) Hamming distance computations per query at")
+	fmt.Fprintln(w, "any budget; GQR's fine-grained QD ranking reaches the same recall from a")
+	fmt.Fprintln(w, "short-code bucket index while probing a fraction of the items.")
+	return nil
+}

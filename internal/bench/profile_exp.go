@@ -1,0 +1,64 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"gqr/internal/dataset"
+	"gqr/internal/query"
+)
+
+func init() {
+	register("abl-profile", "Ablation: retrieval vs evaluation time split per querying method", runAblProfile)
+}
+
+// runAblProfile splits each method's query time into the paper's two
+// stages (§2.2): retrieval (deciding which buckets to probe — including
+// HR/QR's up-front sorting, the "slow start") and evaluation (exact
+// distances). The same candidate budget is used for every method, so
+// evaluation time is comparable and the retrieval column exposes each
+// method's overhead.
+func runAblProfile(opt RunOptions, w io.Writer) error {
+	opt = opt.normalize()
+	Rule(w, "Ablation: retrieval vs evaluation split")
+	name := dataset.CorpusSIFT
+	ds := corpus(name, opt)
+	ix, err := buildIndex(ds, opt, name, "itq", 0, 1)
+	if err != nil {
+		return err
+	}
+	budget := ds.N() / 100 // 1% of the corpus per query
+	fmt.Fprintf(w, "corpus %s, %d buckets, budget %d items/query, %d queries\n\n",
+		name, ix.Tables[0].BucketCount(), budget, ds.NQ())
+	fmt.Fprintf(w, "%-8s | %-12s | %-12s | %-12s | %-10s\n", "method", "retrieval", "evaluation", "total", "recall")
+	for _, mName := range []string{"hr", "qr", "ghr", "gqr", "mih"} {
+		m, err := query.NewMethod(mName, ix)
+		if err != nil {
+			return err
+		}
+		s := query.NewSearcher(ix, m)
+		var ret, eval time.Duration
+		var recall float64
+		for qi := 0; qi < ds.NQ(); qi++ {
+			res, err := s.Search(ds.Query(qi), query.Options{K: opt.K, MaxCandidates: budget, Profile: true})
+			if err != nil {
+				return err
+			}
+			ret += res.Stats.RetrievalTime
+			eval += res.Stats.EvaluationTime
+			truth := ds.GroundTruth[qi]
+			if len(truth) > opt.K {
+				truth = truth[:opt.K]
+			}
+			recall += Recall(res.IDs, truth)
+		}
+		fmt.Fprintf(w, "%-8s | %-12s | %-12s | %-12s | %-10.4f\n",
+			mName, fmtDur(ret), fmtDur(eval), fmtDur(ret+eval), recall/float64(ds.NQ()))
+	}
+	fmt.Fprintln(w, "\nHR and QR pay their bucket-sorting cost inside retrieval before the")
+	fmt.Fprintln(w, "first probe (the slow start); the generate-to-probe methods spread tiny")
+	fmt.Fprintln(w, "incremental costs across the scan. QD methods also reach higher recall")
+	fmt.Fprintln(w, "from the same evaluated items.")
+	return nil
+}

@@ -1,0 +1,104 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// WriteCurves renders curves as an aligned text table: one row per
+// budget, one column group per curve. This is the textual equivalent of
+// the paper's recall-time figures.
+func WriteCurves(w io.Writer, title string, curves []Curve) {
+	fmt.Fprintf(w, "## %s\n\n", title)
+	if len(curves) == 0 {
+		fmt.Fprintln(w, "(no data)")
+		return
+	}
+	fmt.Fprintf(w, "%-8s", "budget")
+	for _, c := range curves {
+		fmt.Fprintf(w, " | %-10s %-10s %-10s", c.Label+"·recall", "time", "items")
+	}
+	fmt.Fprintln(w)
+	n := 0
+	for _, c := range curves {
+		if len(c.Points) > n {
+			n = len(c.Points)
+		}
+	}
+	for i := 0; i < n; i++ {
+		var budget string
+		for _, c := range curves {
+			if i < len(c.Points) {
+				budget = fmt.Sprintf("%.3f", c.Points[i].BudgetFrac)
+				break
+			}
+		}
+		fmt.Fprintf(w, "%-8s", budget)
+		for _, c := range curves {
+			if i >= len(c.Points) {
+				fmt.Fprintf(w, " | %-32s", "")
+				continue
+			}
+			p := c.Points[i]
+			fmt.Fprintf(w, " | %-10.4f %-10s %-10.0f", p.Recall, fmtDur(p.Time), p.Candidates)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w)
+}
+
+// WriteTimeToRecall renders the Figure 9/14/16-style bar data: the time
+// each method needs to reach each target recall.
+func WriteTimeToRecall(w io.Writer, title string, curves []Curve, targets []float64) {
+	fmt.Fprintf(w, "## %s\n\n", title)
+	fmt.Fprintf(w, "%-10s", "recall")
+	for _, c := range curves {
+		fmt.Fprintf(w, " | %-12s", c.Label)
+	}
+	fmt.Fprintln(w)
+	for _, target := range targets {
+		fmt.Fprintf(w, "%-10.0f%%", target*100)
+		for _, c := range curves {
+			t, err := TimeToRecall(c, target)
+			if err != nil {
+				fmt.Fprintf(w, " | %-12s", "n/a")
+				continue
+			}
+			fmt.Fprintf(w, " | %-12s", fmtDur(t))
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w)
+}
+
+// WriteCSV emits curves in a machine-readable form for plotting.
+func WriteCSV(w io.Writer, curves []Curve) {
+	fmt.Fprintln(w, "label,budget_frac,recall,time_seconds,candidates,buckets")
+	for _, c := range curves {
+		for _, p := range c.Points {
+			fmt.Fprintf(w, "%s,%g,%g,%g,%g,%g\n",
+				c.Label, p.BudgetFrac, p.Recall, p.Time.Seconds(), p.Candidates, p.Buckets)
+		}
+	}
+}
+
+// fmtDur renders durations compactly with ~3 significant digits.
+func fmtDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d)/float64(time.Millisecond))
+	case d >= time.Microsecond:
+		return fmt.Sprintf("%.1fµs", float64(d)/float64(time.Microsecond))
+	default:
+		return d.String()
+	}
+}
+
+// Rule renders a section separator for multi-part experiment output.
+func Rule(w io.Writer, name string) {
+	fmt.Fprintf(w, "%s\n%s\n", name, strings.Repeat("=", len(name)))
+}

@@ -1,0 +1,34 @@
+package bench
+
+import (
+	"runtime"
+	"time"
+)
+
+// TrainCost records the cost of one training run (Table 2's columns).
+// CPUTime equals WallTime in this reproduction because training is
+// single-threaded; the paper's gap between the two came from MATLAB's
+// multi-core BLAS.
+type TrainCost struct {
+	WallTime time.Duration
+	CPUTime  time.Duration
+	// AllocBytes is the total heap allocated during training, the
+	// closest portable stand-in for the paper's peak-memory column.
+	AllocBytes uint64
+}
+
+// MeasureTraining runs fn and reports its wall time and heap allocation.
+func MeasureTraining(fn func() error) (TrainCost, error) {
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	err := fn()
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return TrainCost{
+		WallTime:   wall,
+		CPUTime:    wall,
+		AllocBytes: after.TotalAlloc - before.TotalAlloc,
+	}, err
+}

@@ -1,0 +1,182 @@
+// Package c2lsh implements C2LSH-style collision counting (Gan, Feng,
+// Fang & Ng, SIGMOD 2012), the external-memory LSH family the paper's
+// §7 describes: every hash table uses a single LSH projection (m = 1),
+// and a query expands its search bi-directionally from its own slot in
+// each table, counting per-item collisions; items whose collision count
+// reaches a threshold become candidates. The paper's observation — such
+// methods scan the whole dataset eventually but are "generally worse
+// than L2H methods in practice" — is what abl-c2lsh measures.
+package c2lsh
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"gqr/internal/vecmath"
+)
+
+// table is one single-projection hash table: items sorted by their
+// projection value, so bi-directional expansion is a two-pointer walk.
+type table struct {
+	a    []float64 // projection vector
+	b    float64
+	proj []float64 // per-item projection, sorted
+	ids  []int32   // ids in the same order
+}
+
+// Index is a collision-counting LSH index.
+type Index struct {
+	Dim    int
+	N      int
+	Data   []float32
+	Tables []*table
+	// Threshold is the collision count an item needs to become a
+	// candidate (l in C2LSH; at most len(Tables)).
+	Threshold int
+}
+
+// Build constructs the index with the given number of single-projection
+// tables and collision threshold.
+func Build(data []float32, n, d, tables, threshold int, seed int64) (*Index, error) {
+	if n <= 0 || d <= 0 || len(data) != n*d {
+		return nil, fmt.Errorf("c2lsh: invalid data shape n=%d d=%d len=%d", n, d, len(data))
+	}
+	if tables <= 0 || tables > 255 {
+		return nil, fmt.Errorf("c2lsh: table count %d out of [1,255]", tables)
+	}
+	if threshold <= 0 || threshold > tables {
+		return nil, fmt.Errorf("c2lsh: threshold %d out of [1,%d]", threshold, tables)
+	}
+	ix := &Index{Dim: d, N: n, Data: data, Threshold: threshold}
+	rng := rand.New(rand.NewSource(seed))
+	for t := 0; t < tables; t++ {
+		tb := &table{b: rng.Float64()}
+		tb.a = make([]float64, d)
+		for j := range tb.a {
+			tb.a[j] = rng.NormFloat64()
+		}
+		type pv struct {
+			p  float64
+			id int32
+		}
+		all := make([]pv, n)
+		for i := 0; i < n; i++ {
+			all[i] = pv{tb.project(data[i*d : (i+1)*d]), int32(i)}
+		}
+		sort.Slice(all, func(x, y int) bool {
+			if all[x].p != all[y].p {
+				return all[x].p < all[y].p
+			}
+			return all[x].id < all[y].id
+		})
+		tb.proj = make([]float64, n)
+		tb.ids = make([]int32, n)
+		for i, e := range all {
+			tb.proj[i] = e.p
+			tb.ids[i] = e.id
+		}
+		ix.Tables = append(ix.Tables, tb)
+	}
+	return ix, nil
+}
+
+func (t *table) project(x []float32) float64 {
+	var s float64
+	for j, v := range t.a {
+		s += v * float64(x[j])
+	}
+	return s + t.b
+}
+
+// Retrieve expands bi-directionally from the query's position in every
+// table, round-robin, counting collisions; an item becomes a candidate
+// once its count reaches the threshold. Expansion stops when at least
+// budget candidates are collected or every table is fully scanned.
+func (ix *Index) Retrieve(q []float32, budget int) []int32 {
+	type cursor struct {
+		lo, hi int     // next unvisited positions (hi side walks up)
+		p      float64 // the query's projection in this table
+	}
+	curs := make([]cursor, len(ix.Tables))
+	for t, tb := range ix.Tables {
+		p := tb.project(q)
+		// First position with proj >= p.
+		hi := sort.SearchFloat64s(tb.proj, p)
+		curs[t] = cursor{lo: hi - 1, hi: hi, p: p}
+	}
+	counts := make([]uint8, ix.N)
+	var out []int32
+	exhausted := 0
+	alive := make([]bool, len(ix.Tables))
+	for t := range alive {
+		alive[t] = true
+	}
+	for len(out) < budget && exhausted < len(ix.Tables) {
+		for t, tb := range ix.Tables {
+			if !alive[t] {
+				continue
+			}
+			c := &curs[t]
+			// Take the nearer of the two frontier items.
+			var pos int
+			switch {
+			case c.lo < 0 && c.hi >= ix.N:
+				alive[t] = false
+				exhausted++
+				continue
+			case c.lo < 0:
+				pos = c.hi
+				c.hi++
+			case c.hi >= ix.N:
+				pos = c.lo
+				c.lo--
+			case c.p-tb.proj[c.lo] <= tb.proj[c.hi]-c.p:
+				pos = c.lo
+				c.lo--
+			default:
+				pos = c.hi
+				c.hi++
+			}
+			id := tb.ids[pos]
+			if counts[id] < uint8(ix.Threshold) {
+				counts[id]++
+				if counts[id] == uint8(ix.Threshold) {
+					out = append(out, id)
+					if len(out) >= budget {
+						return out
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// SearchExact retrieves candidates and re-ranks them with exact
+// distances, returning the k best ids.
+func (ix *Index) SearchExact(q []float32, k, budget int) []int32 {
+	cands := ix.Retrieve(q, budget)
+	type scored struct {
+		id   int32
+		dist float64
+	}
+	all := make([]scored, len(cands))
+	for i, id := range cands {
+		all[i] = scored{id, vecmath.SquaredL2(q, ix.Data[int(id)*ix.Dim:(int(id)+1)*ix.Dim])}
+	}
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].dist != all[b].dist {
+			return all[a].dist < all[b].dist
+		}
+		return all[a].id < all[b].id
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	out := make([]int32, k)
+	for i := range out {
+		out[i] = all[i].id
+	}
+	return out
+}

@@ -1,0 +1,160 @@
+package c2lsh
+
+import (
+	"testing"
+
+	"gqr/internal/dataset"
+)
+
+func testData(t testing.TB) *dataset.Dataset {
+	t.Helper()
+	ds := dataset.Generate(dataset.GeneratorSpec{
+		Name: "c2", N: 700, Dim: 12, Clusters: 5, LatentDim: 3, Seed: 75,
+	})
+	ds.SampleQueries(10, 76)
+	ds.ComputeGroundTruth(10)
+	return ds
+}
+
+func TestBuildValidation(t *testing.T) {
+	ds := testData(t)
+	cases := []struct{ tables, threshold int }{
+		{0, 1}, {256, 1}, {4, 0}, {4, 5},
+	}
+	for _, c := range cases {
+		if _, err := Build(ds.Vectors, ds.N(), ds.Dim, c.tables, c.threshold, 1); err == nil {
+			t.Fatalf("Build(tables=%d, threshold=%d) accepted", c.tables, c.threshold)
+		}
+	}
+	if _, err := Build(ds.Vectors[:5], ds.N(), ds.Dim, 4, 2, 1); err == nil {
+		t.Fatal("short data accepted")
+	}
+}
+
+func TestTablesSortedByProjection(t *testing.T) {
+	ds := testData(t)
+	ix, err := Build(ds.Vectors, ds.N(), ds.Dim, 3, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ti, tb := range ix.Tables {
+		for i := 1; i < len(tb.proj); i++ {
+			if tb.proj[i] < tb.proj[i-1] {
+				t.Fatalf("table %d projections not sorted", ti)
+			}
+		}
+		// Stored projections must match recomputation.
+		for i := 0; i < 20; i++ {
+			id := tb.ids[i]
+			if got := tb.project(ds.Vector(int(id))); got != tb.proj[i] {
+				t.Fatalf("table %d: stored projection %g != recomputed %g", ti, tb.proj[i], got)
+			}
+		}
+	}
+}
+
+func TestRetrieveCoversDatasetAtFullBudget(t *testing.T) {
+	// The paper's §7: these LSH algorithms "guarantee to enumerate all
+	// the items" — with an unbounded budget every item must eventually
+	// become a candidate exactly once.
+	ds := testData(t)
+	ix, err := Build(ds.Vectors, ds.N(), ds.Dim, 5, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands := ix.Retrieve(ds.Query(0), ds.N()*2)
+	if len(cands) != ds.N() {
+		t.Fatalf("full expansion yielded %d candidates, want %d", len(cands), ds.N())
+	}
+	seen := make(map[int32]bool)
+	for _, id := range cands {
+		if seen[id] {
+			t.Fatalf("item %d became a candidate twice", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestNearItemsSurfaceEarly(t *testing.T) {
+	// A small-budget retrieval should contain the query's true nearest
+	// neighbor much more often than chance.
+	ds := testData(t)
+	ix, err := Build(ds.Vectors, ds.N(), ds.Dim, 8, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := 0
+	for qi := 0; qi < ds.NQ(); qi++ {
+		cands := ix.Retrieve(ds.Query(qi), 100)
+		for _, id := range cands {
+			if id == ds.GroundTruth[qi][0] {
+				hits++
+				break
+			}
+		}
+	}
+	if hits < ds.NQ()/2 {
+		t.Fatalf("nearest neighbor surfaced in only %d/%d small-budget retrievals", hits, ds.NQ())
+	}
+}
+
+func TestSearchExactAtFullBudgetIsExact(t *testing.T) {
+	ds := testData(t)
+	ix, err := Build(ds.Vectors, ds.N(), ds.Dim, 4, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi := 0; qi < 5; qi++ {
+		got := ix.SearchExact(ds.Query(qi), 10, ds.N())
+		for i, id := range ds.GroundTruth[qi] {
+			if got[i] != id {
+				t.Fatalf("query %d: full-budget results diverge from ground truth", qi)
+			}
+		}
+	}
+}
+
+func TestThresholdGatesCandidates(t *testing.T) {
+	// With threshold = tables, an item must collide in every table
+	// before becoming a candidate, so small budgets surface fewer
+	// candidates than with threshold 1 for the same expansion work.
+	ds := testData(t)
+	strict, err := Build(ds.Vectors, ds.N(), ds.Dim, 6, 6, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose, err := Build(ds.Vectors, ds.N(), ds.Dim, 6, 1, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := ds.Query(0)
+	// Compare how many expansion rounds it takes to gather 50
+	// candidates: measure indirectly via candidate count after a small
+	// budget request (both stop at the budget; the strict index needs
+	// more scanning internally, which we can't observe directly, so
+	// instead check both deliver the budget and the strict one's
+	// candidates are "better" on average: higher overlap with the true
+	// top-100).
+	sc := strict.Retrieve(q, 50)
+	lc := loose.Retrieve(q, 50)
+	if len(sc) != 50 || len(lc) != 50 {
+		t.Fatalf("budgets not met: %d, %d", len(sc), len(lc))
+	}
+	ds.ComputeGroundTruth(100)
+	top := make(map[int32]bool)
+	for _, id := range ds.GroundTruth[0] {
+		top[id] = true
+	}
+	overlap := func(ids []int32) int {
+		n := 0
+		for _, id := range ids {
+			if top[id] {
+				n++
+			}
+		}
+		return n
+	}
+	if overlap(sc) < overlap(lc) {
+		t.Fatalf("multi-collision candidates (%d in top-100) not better than single (%d)", overlap(sc), overlap(lc))
+	}
+}

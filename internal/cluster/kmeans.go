@@ -1,0 +1,120 @@
+// Package cluster provides Lloyd k-means with k-means++ seeding, the
+// shared clustering substrate of K-means hashing (package hash) and
+// product quantization (package quantization).
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gqr/internal/vecmath"
+)
+
+// KMeans runs Lloyd iterations on the n×dims row-major block and returns
+// k centroids (k×dims, row-major). Seeding is k-means++ (distance-
+// weighted); empty clusters are reseeded from random points so no dead
+// centroids survive. Deterministic given rng's state.
+func KMeans(data []float32, n, dims, k, iters int, rng *rand.Rand) ([]float32, error) {
+	if n <= 0 || dims <= 0 || len(data) != n*dims {
+		return nil, fmt.Errorf("cluster: invalid data shape n=%d dims=%d len=%d", n, dims, len(data))
+	}
+	if k <= 0 || k > n {
+		return nil, fmt.Errorf("cluster: k=%d out of range [1,%d]", k, n)
+	}
+	if iters <= 0 {
+		iters = 25
+	}
+	centroids := make([]float32, k*dims)
+
+	// k-means++ seeding.
+	first := rng.Intn(n)
+	copy(centroids[:dims], data[first*dims:(first+1)*dims])
+	minDist := make([]float64, n)
+	for i := range minDist {
+		minDist[i] = vecmath.SquaredL2(data[i*dims:(i+1)*dims], centroids[:dims])
+	}
+	for c := 1; c < k; c++ {
+		var total float64
+		for _, dd := range minDist {
+			total += dd
+		}
+		var pick int
+		if total <= 0 {
+			pick = rng.Intn(n)
+		} else {
+			r := rng.Float64() * total
+			for i, dd := range minDist {
+				r -= dd
+				if r <= 0 {
+					pick = i
+					break
+				}
+			}
+		}
+		copy(centroids[c*dims:(c+1)*dims], data[pick*dims:(pick+1)*dims])
+		for i := range minDist {
+			dd := vecmath.SquaredL2(data[i*dims:(i+1)*dims], centroids[c*dims:(c+1)*dims])
+			if dd < minDist[i] {
+				minDist[i] = dd
+			}
+		}
+	}
+
+	assign := make([]int, n)
+	counts := make([]int, k)
+	sums := make([]float64, k*dims)
+	for it := 0; it < iters; it++ {
+		changed := false
+		for i := 0; i < n; i++ {
+			best, _ := vecmath.ArgNearest(data[i*dims:(i+1)*dims], centroids, k, dims)
+			if assign[i] != best || it == 0 {
+				assign[i] = best
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+		for i := range sums {
+			sums[i] = 0
+		}
+		for i := range counts {
+			counts[i] = 0
+		}
+		for i := 0; i < n; i++ {
+			c := assign[i]
+			counts[c]++
+			row := data[i*dims : (i+1)*dims]
+			dst := sums[c*dims : (c+1)*dims]
+			for j, v := range row {
+				dst[j] += float64(v)
+			}
+		}
+		for c := 0; c < k; c++ {
+			if counts[c] == 0 {
+				p := rng.Intn(n)
+				copy(centroids[c*dims:(c+1)*dims], data[p*dims:(p+1)*dims])
+				continue
+			}
+			inv := 1 / float64(counts[c])
+			dst := centroids[c*dims : (c+1)*dims]
+			src := sums[c*dims : (c+1)*dims]
+			for j := range dst {
+				dst[j] = float32(src[j] * inv)
+			}
+		}
+	}
+	return centroids, nil
+}
+
+// QuantizationError returns the mean squared distance from each row to
+// its nearest centroid — the k-means objective, used by tests to check
+// that training actually descends.
+func QuantizationError(data []float32, n, dims int, centroids []float32, k int) float64 {
+	var total float64
+	for i := 0; i < n; i++ {
+		_, d := vecmath.ArgNearest(data[i*dims:(i+1)*dims], centroids, k, dims)
+		total += d
+	}
+	return total / float64(n)
+}

@@ -1,0 +1,195 @@
+// Package dataset provides the data substrate for the reproduction: the
+// Dataset container, deterministic synthetic corpus generators standing in
+// for the paper's real descriptor collections (CIFAR60K, GIST1M, TINY5M,
+// SIFT10M and the eight appendix datasets), fvecs/ivecs file IO for
+// interoperability with the standard ANN benchmark formats, and exact
+// brute-force ground truth.
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"gqr/internal/vecmath"
+)
+
+// Dataset is an in-memory collection of n vectors of dimension Dim,
+// stored as one contiguous row-major float32 block, plus query vectors
+// and (optionally) exact ground truth for the queries.
+type Dataset struct {
+	Name    string
+	Dim     int
+	Vectors []float32 // len = N()*Dim
+	Queries []float32 // len = NQ()*Dim
+
+	// GroundTruth[i] holds the ids of the exact k nearest neighbors of
+	// query i in ascending distance order (k = GroundTruthK).
+	GroundTruth  [][]int32
+	GroundTruthK int
+}
+
+// N returns the number of base vectors.
+func (d *Dataset) N() int {
+	if d.Dim == 0 {
+		return 0
+	}
+	return len(d.Vectors) / d.Dim
+}
+
+// NQ returns the number of query vectors.
+func (d *Dataset) NQ() int {
+	if d.Dim == 0 {
+		return 0
+	}
+	return len(d.Queries) / d.Dim
+}
+
+// Vector returns base vector i (aliasing the underlying block).
+func (d *Dataset) Vector(i int) []float32 {
+	return d.Vectors[i*d.Dim : (i+1)*d.Dim]
+}
+
+// Query returns query vector i (aliasing the underlying block).
+func (d *Dataset) Query(i int) []float32 {
+	return d.Queries[i*d.Dim : (i+1)*d.Dim]
+}
+
+// Validate reports an error if the dataset is internally inconsistent.
+func (d *Dataset) Validate() error {
+	if d.Dim <= 0 {
+		return fmt.Errorf("dataset %q: non-positive dimension %d", d.Name, d.Dim)
+	}
+	if len(d.Vectors)%d.Dim != 0 {
+		return fmt.Errorf("dataset %q: vector block length %d not divisible by dim %d", d.Name, len(d.Vectors), d.Dim)
+	}
+	if len(d.Queries)%d.Dim != 0 {
+		return fmt.Errorf("dataset %q: query block length %d not divisible by dim %d", d.Name, len(d.Queries), d.Dim)
+	}
+	if d.GroundTruth != nil && len(d.GroundTruth) != d.NQ() {
+		return fmt.Errorf("dataset %q: %d ground-truth rows for %d queries", d.Name, len(d.GroundTruth), d.NQ())
+	}
+	for qi, row := range d.GroundTruth {
+		for _, id := range row {
+			if id < 0 || int(id) >= d.N() {
+				return fmt.Errorf("dataset %q: ground truth for query %d references item %d outside [0,%d)", d.Name, qi, id, d.N())
+			}
+		}
+	}
+	return nil
+}
+
+// neighbor is a (distance, id) pair used while computing ground truth.
+type neighbor struct {
+	dist float64
+	id   int32
+}
+
+// ComputeGroundTruth fills d.GroundTruth with the exact k nearest base
+// vectors of every query under Euclidean distance, via brute-force scan.
+// Ties are broken by ascending id so the result is deterministic.
+func (d *Dataset) ComputeGroundTruth(k int) {
+	if k > d.N() {
+		k = d.N()
+	}
+	d.GroundTruthK = k
+	d.GroundTruth = make([][]int32, d.NQ())
+	for qi := 0; qi < d.NQ(); qi++ {
+		d.GroundTruth[qi] = exactKNN(d, d.Query(qi), k)
+	}
+}
+
+// exactKNN returns the ids of the k nearest base vectors to q in
+// ascending distance order using a bounded max-heap scan.
+func exactKNN(d *Dataset, q []float32, k int) []int32 {
+	heap := make([]neighbor, 0, k)
+	// siftDown maintains the max-heap property rooted at i.
+	siftDown := func(i int) {
+		for {
+			l, r := 2*i+1, 2*i+2
+			largest := i
+			if l < len(heap) && heap[l].dist > heap[largest].dist {
+				largest = l
+			}
+			if r < len(heap) && heap[r].dist > heap[largest].dist {
+				largest = r
+			}
+			if largest == i {
+				return
+			}
+			heap[i], heap[largest] = heap[largest], heap[i]
+			i = largest
+		}
+	}
+	for i := 0; i < d.N(); i++ {
+		dist := vecmath.SquaredL2(q, d.Vector(i))
+		if len(heap) < k {
+			heap = append(heap, neighbor{dist, int32(i)})
+			// Sift up.
+			for c := len(heap) - 1; c > 0; {
+				p := (c - 1) / 2
+				if heap[p].dist >= heap[c].dist {
+					break
+				}
+				heap[p], heap[c] = heap[c], heap[p]
+				c = p
+			}
+		} else if dist < heap[0].dist {
+			heap[0] = neighbor{dist, int32(i)}
+			siftDown(0)
+		}
+	}
+	sort.Slice(heap, func(a, b int) bool {
+		if heap[a].dist != heap[b].dist {
+			return heap[a].dist < heap[b].dist
+		}
+		return heap[a].id < heap[b].id
+	})
+	out := make([]int32, len(heap))
+	for i, nb := range heap {
+		out[i] = nb.id
+	}
+	return out
+}
+
+// LinearSearchAll runs the brute-force exact k-NN for every query and
+// returns the per-query results; it is the "linear search" row of the
+// paper's Table 1.
+func (d *Dataset) LinearSearchAll(k int) [][]int32 {
+	out := make([][]int32, d.NQ())
+	for qi := range out {
+		out[qi] = exactKNN(d, d.Query(qi), k)
+	}
+	return out
+}
+
+// SampleQueries moves nq deterministic pseudo-random base vectors out of
+// the base set and into the query set (the paper samples 1000 items as
+// queries). The selected items are removed from Vectors so queries are
+// not their own nearest neighbors.
+func (d *Dataset) SampleQueries(nq int, seed int64) {
+	n := d.N()
+	if nq > n {
+		nq = n
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(n)[:nq]
+	sort.Ints(perm)
+	chosen := make(map[int]bool, nq)
+	for _, i := range perm {
+		chosen[i] = true
+	}
+	queries := make([]float32, 0, nq*d.Dim)
+	remaining := make([]float32, 0, (n-nq)*d.Dim)
+	for i := 0; i < n; i++ {
+		row := d.Vector(i)
+		if chosen[i] {
+			queries = append(queries, row...)
+		} else {
+			remaining = append(remaining, row...)
+		}
+	}
+	d.Vectors = remaining
+	d.Queries = queries
+	d.GroundTruth = nil
+}

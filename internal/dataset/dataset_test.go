@@ -1,0 +1,253 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gqr/internal/vecmath"
+)
+
+func tinyDataset() *Dataset {
+	// 5 points on a line; queries at 0.1 and 3.9.
+	return &Dataset{
+		Name:    "line",
+		Dim:     1,
+		Vectors: []float32{0, 1, 2, 3, 4},
+		Queries: []float32{0.1, 3.9},
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	d := tinyDataset()
+	if d.N() != 5 || d.NQ() != 2 {
+		t.Fatalf("N=%d NQ=%d", d.N(), d.NQ())
+	}
+	if d.Vector(2)[0] != 2 || d.Query(1)[0] != 3.9 {
+		t.Fatal("Vector/Query accessors broken")
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	d := tinyDataset()
+	d.Vectors = d.Vectors[:4] // no longer divisible... 4/1 is fine; corrupt dim instead
+	d.Dim = 3
+	if err := d.Validate(); err == nil {
+		t.Fatal("Validate must reject block not divisible by dim")
+	}
+	d2 := tinyDataset()
+	d2.GroundTruth = [][]int32{{99}, {0}}
+	if err := d2.Validate(); err == nil {
+		t.Fatal("Validate must reject out-of-range ground-truth ids")
+	}
+}
+
+func TestGroundTruthKnown(t *testing.T) {
+	d := tinyDataset()
+	d.ComputeGroundTruth(2)
+	// Query 0.1: nearest are 0 (id 0) then 1 (id 1).
+	if got := d.GroundTruth[0]; got[0] != 0 || got[1] != 1 {
+		t.Fatalf("gt[0] = %v", got)
+	}
+	// Query 3.9: nearest are 4 (id 4) then 3 (id 3).
+	if got := d.GroundTruth[1]; got[0] != 4 || got[1] != 3 {
+		t.Fatalf("gt[1] = %v", got)
+	}
+}
+
+func TestGroundTruthTieBreaksById(t *testing.T) {
+	d := &Dataset{
+		Name:    "ties",
+		Dim:     1,
+		Vectors: []float32{1, 1, 1, 1},
+		Queries: []float32{1},
+	}
+	d.ComputeGroundTruth(3)
+	want := []int32{0, 1, 2}
+	for i, id := range d.GroundTruth[0] {
+		if id != want[i] {
+			t.Fatalf("gt = %v, want %v", d.GroundTruth[0], want)
+		}
+	}
+}
+
+func TestGroundTruthClampsK(t *testing.T) {
+	d := tinyDataset()
+	d.ComputeGroundTruth(50)
+	if d.GroundTruthK != 5 || len(d.GroundTruth[0]) != 5 {
+		t.Fatalf("k should clamp to N: k=%d len=%d", d.GroundTruthK, len(d.GroundTruth[0]))
+	}
+}
+
+// Property: heap-based exact kNN matches a full sort, on random data.
+func TestExactKNNMatchesFullSort(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, dim := 40+rng.Intn(60), 1+rng.Intn(8)
+		d := &Dataset{Name: "r", Dim: dim}
+		d.Vectors = make([]float32, n*dim)
+		for i := range d.Vectors {
+			d.Vectors[i] = float32(rng.NormFloat64())
+		}
+		q := make([]float32, dim)
+		for i := range q {
+			q[i] = float32(rng.NormFloat64())
+		}
+		k := 1 + rng.Intn(10)
+		got := exactKNN(d, q, k)
+
+		type pair struct {
+			dist float64
+			id   int32
+		}
+		all := make([]pair, n)
+		for i := 0; i < n; i++ {
+			all[i] = pair{vecmath.SquaredL2(q, d.Vector(i)), int32(i)}
+		}
+		// Selection sort of the top k (n is small).
+		for i := 0; i < k; i++ {
+			best := i
+			for j := i + 1; j < n; j++ {
+				if all[j].dist < all[best].dist ||
+					(all[j].dist == all[best].dist && all[j].id < all[best].id) {
+					best = j
+				}
+			}
+			all[i], all[best] = all[best], all[i]
+			if got[i] != all[i].id {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSampleQueriesRemovesFromBase(t *testing.T) {
+	d := Generate(GeneratorSpec{Name: "g", N: 200, Dim: 4, Clusters: 3, LatentDim: 2, Seed: 1})
+	d.SampleQueries(20, 42)
+	if d.N() != 180 || d.NQ() != 20 {
+		t.Fatalf("N=%d NQ=%d after sampling", d.N(), d.NQ())
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// A sampled query must not be bit-identical to any remaining base
+	// vector (removal happened). With continuous data collisions are
+	// impossible.
+	q := d.Query(0)
+	for i := 0; i < d.N(); i++ {
+		if vecmath.SquaredL2(q, d.Vector(i)) == 0 {
+			t.Fatal("query still present in base set")
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec := GeneratorSpec{Name: "det", N: 50, Dim: 6, Clusters: 2, LatentDim: 3, Seed: 7}
+	a := Generate(spec)
+	b := Generate(spec)
+	for i := range a.Vectors {
+		if a.Vectors[i] != b.Vectors[i] {
+			t.Fatal("Generate must be deterministic for a fixed seed")
+		}
+	}
+}
+
+func TestGenerateHasCorrelatedStructure(t *testing.T) {
+	// The synthetic corpora must have a non-flat covariance spectrum:
+	// that is the property that makes PCA-style hashing meaningful (see
+	// DESIGN.md §4). Check top eigenvalue dominates the median one.
+	d := Generate(GeneratorSpec{Name: "corr", N: 2000, Dim: 16, Clusters: 4, LatentDim: 3, Seed: 9})
+	cov, _ := vecmath.Covariance(d.Vectors, d.N(), d.Dim)
+	vals, _ := vecmath.EigenSym(cov)
+	if vals[0] < 4*vals[len(vals)/2] {
+		t.Fatalf("spectrum too flat: top=%g median=%g", vals[0], vals[len(vals)/2])
+	}
+}
+
+func TestSpecsScaling(t *testing.T) {
+	full := Specs(CorpusCIFAR, 1)
+	half := Specs(CorpusCIFAR, 0.5)
+	if half.N != full.N/2 {
+		t.Fatalf("scaled N=%d want %d", half.N, full.N/2)
+	}
+	if half.Dim != full.Dim || half.Seed != full.Seed {
+		t.Fatal("scale must only change N")
+	}
+}
+
+func TestSpecsUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Specs must panic on unknown corpus")
+		}
+	}()
+	Specs("nope", 1)
+}
+
+func TestAllCorporaHaveSpecs(t *testing.T) {
+	for _, name := range append(AllCorpora(), AppendixCorpora()...) {
+		spec := Specs(name, 0.01)
+		d := Generate(spec)
+		if d.N() < 100 || d.Dim != spec.Dim {
+			t.Fatalf("%s: bad tiny corpus N=%d dim=%d", name, d.N(), d.Dim)
+		}
+	}
+}
+
+func TestLoadEndToEnd(t *testing.T) {
+	d := Load(CorpusAUDIO, 0.02, 10, 5)
+	if d.NQ() != 10 || d.GroundTruthK != 5 {
+		t.Fatalf("NQ=%d k=%d", d.NQ(), d.GroundTruthK)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Ground truth distances must be non-decreasing.
+	for qi, row := range d.GroundTruth {
+		prev := -1.0
+		for _, id := range row {
+			dist := vecmath.SquaredL2(d.Query(qi), d.Vector(int(id)))
+			if dist < prev {
+				t.Fatalf("query %d: ground truth not sorted by distance", qi)
+			}
+			prev = dist
+		}
+	}
+}
+
+func TestLinearSearchAllMatchesGroundTruth(t *testing.T) {
+	d := Load(CorpusAUDIO, 0.02, 5, 3)
+	res := d.LinearSearchAll(3)
+	for qi := range res {
+		for i := range res[qi] {
+			if res[qi][i] != d.GroundTruth[qi][i] {
+				t.Fatalf("query %d: linear search %v != gt %v", qi, res[qi], d.GroundTruth[qi])
+			}
+		}
+	}
+}
+
+func TestGeneratorClusterSeparation(t *testing.T) {
+	// Points should be closer to same-cluster points than to a random
+	// point on average — a sanity check that clusters exist at all.
+	d := Generate(GeneratorSpec{Name: "sep", N: 400, Dim: 8, Clusters: 4, LatentDim: 2, Spread: 10, NoiseScale: 0.05, Seed: 3})
+	d.SampleQueries(20, 1)
+	d.ComputeGroundTruth(5)
+	var nnDist, randDist float64
+	rng := rand.New(rand.NewSource(2))
+	for qi := 0; qi < d.NQ(); qi++ {
+		nnDist += math.Sqrt(vecmath.SquaredL2(d.Query(qi), d.Vector(int(d.GroundTruth[qi][0]))))
+		randDist += math.Sqrt(vecmath.SquaredL2(d.Query(qi), d.Vector(rng.Intn(d.N()))))
+	}
+	if nnDist*2 > randDist {
+		t.Fatalf("nearest-neighbor structure too weak: nn=%g rand=%g", nnDist, randDist)
+	}
+}

@@ -1,0 +1,64 @@
+package dataset
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadFvecs ensures the fvecs parser never panics and that anything
+// it accepts round-trips byte-for-byte.
+func FuzzReadFvecs(f *testing.F) {
+	var seed bytes.Buffer
+	if err := WriteFvecs(&seed, []float32{1, 2, 3, 4, 5, 6}, 3); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{1, 0, 0, 0})
+	f.Add([]byte{255, 255, 255, 255, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		vecs, dim, err := ReadFvecs(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if dim == 0 {
+			return // empty input
+		}
+		var out bytes.Buffer
+		if err := WriteFvecs(&out, vecs, dim); err != nil {
+			t.Fatalf("accepted vectors failed to re-encode: %v", err)
+		}
+		back, dim2, err := ReadFvecs(&out)
+		if err != nil || dim2 != dim || len(back) != len(vecs) {
+			t.Fatalf("re-encoded fvecs do not round-trip: %v", err)
+		}
+		for i := range vecs {
+			// NaNs compare unequal; compare bit patterns via !=
+			// tolerance: identical float32 storage must be identical.
+			if back[i] != vecs[i] && !(back[i] != back[i] && vecs[i] != vecs[i]) {
+				t.Fatalf("value %d changed: %v -> %v", i, vecs[i], back[i])
+			}
+		}
+	})
+}
+
+// FuzzReadIvecs ensures the ivecs parser never panics.
+func FuzzReadIvecs(f *testing.F) {
+	var seed bytes.Buffer
+	if err := WriteIvecs(&seed, [][]int32{{1, 2}, {3}}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{4, 0, 0, 0, 1, 2})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rows, err := ReadIvecs(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := WriteIvecs(&out, rows); err != nil {
+			t.Fatalf("accepted rows failed to re-encode: %v", err)
+		}
+	})
+}

@@ -1,0 +1,142 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// The fvecs/ivecs formats are the de-facto exchange formats of the ANN
+// benchmark corpora the paper uses (TEXMEX SIFT/GIST releases): each
+// vector is stored as a little-endian int32 dimension header followed by
+// that many little-endian float32 (fvecs) or int32 (ivecs) components.
+
+// WriteFvecs writes vecs (n rows of dimension dim, row-major) to w in
+// fvecs format.
+func WriteFvecs(w io.Writer, vecs []float32, dim int) error {
+	if dim <= 0 || len(vecs)%dim != 0 {
+		return fmt.Errorf("fvecs: block length %d not divisible by dim %d", len(vecs), dim)
+	}
+	bw := bufio.NewWriter(w)
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(dim))
+	var buf [4]byte
+	for i := 0; i < len(vecs); i += dim {
+		if _, err := bw.Write(hdr[:]); err != nil {
+			return err
+		}
+		for _, v := range vecs[i : i+dim] {
+			binary.LittleEndian.PutUint32(buf[:], math.Float32bits(v))
+			if _, err := bw.Write(buf[:]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadFvecs reads all vectors from r in fvecs format. All vectors must
+// share one dimension, which is returned.
+func ReadFvecs(r io.Reader) (vecs []float32, dim int, err error) {
+	br := bufio.NewReader(r)
+	var hdr [4]byte
+	for {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			if err == io.EOF {
+				return vecs, dim, nil
+			}
+			return nil, 0, fmt.Errorf("fvecs: reading header: %w", err)
+		}
+		d := int(int32(binary.LittleEndian.Uint32(hdr[:])))
+		if d <= 0 || d > 1<<20 {
+			return nil, 0, fmt.Errorf("fvecs: implausible dimension %d", d)
+		}
+		if dim == 0 {
+			dim = d
+		} else if d != dim {
+			return nil, 0, fmt.Errorf("fvecs: mixed dimensions %d and %d", dim, d)
+		}
+		row := make([]byte, 4*d)
+		if _, err := io.ReadFull(br, row); err != nil {
+			return nil, 0, fmt.Errorf("fvecs: truncated vector: %w", err)
+		}
+		for j := 0; j < d; j++ {
+			bits := binary.LittleEndian.Uint32(row[4*j:])
+			vecs = append(vecs, math.Float32frombits(bits))
+		}
+	}
+}
+
+// WriteIvecs writes integer rows (e.g. ground-truth neighbor lists) in
+// ivecs format. Rows may have differing lengths.
+func WriteIvecs(w io.Writer, rows [][]int32) error {
+	bw := bufio.NewWriter(w)
+	var buf [4]byte
+	for _, row := range rows {
+		binary.LittleEndian.PutUint32(buf[:], uint32(len(row)))
+		if _, err := bw.Write(buf[:]); err != nil {
+			return err
+		}
+		for _, v := range row {
+			binary.LittleEndian.PutUint32(buf[:], uint32(v))
+			if _, err := bw.Write(buf[:]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadIvecs reads all integer rows from r in ivecs format.
+func ReadIvecs(r io.Reader) ([][]int32, error) {
+	br := bufio.NewReader(r)
+	var hdr [4]byte
+	var rows [][]int32
+	for {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			if err == io.EOF {
+				return rows, nil
+			}
+			return nil, fmt.Errorf("ivecs: reading header: %w", err)
+		}
+		d := int(int32(binary.LittleEndian.Uint32(hdr[:])))
+		if d < 0 || d > 1<<20 {
+			return nil, fmt.Errorf("ivecs: implausible row length %d", d)
+		}
+		raw := make([]byte, 4*d)
+		if _, err := io.ReadFull(br, raw); err != nil {
+			return nil, fmt.Errorf("ivecs: truncated row: %w", err)
+		}
+		row := make([]int32, d)
+		for j := range row {
+			row[j] = int32(binary.LittleEndian.Uint32(raw[4*j:]))
+		}
+		rows = append(rows, row)
+	}
+}
+
+// SaveFvecsFile writes vecs to the named file in fvecs format.
+func SaveFvecsFile(path string, vecs []float32, dim int) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteFvecs(f, vecs, dim); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFvecsFile reads all vectors from the named fvecs file.
+func LoadFvecsFile(path string) ([]float32, int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	return ReadFvecs(f)
+}

@@ -1,0 +1,128 @@
+package dataset
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func TestFvecsRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, dim := 1+rng.Intn(20), 1+rng.Intn(16)
+		vecs := make([]float32, n*dim)
+		for i := range vecs {
+			vecs[i] = float32(rng.NormFloat64())
+		}
+		var buf bytes.Buffer
+		if err := WriteFvecs(&buf, vecs, dim); err != nil {
+			return false
+		}
+		got, gotDim, err := ReadFvecs(&buf)
+		if err != nil || gotDim != dim || len(got) != len(vecs) {
+			return false
+		}
+		for i := range vecs {
+			if got[i] != vecs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFvecsEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFvecs(&buf, nil, 4); err != nil {
+		t.Fatal(err)
+	}
+	vecs, dim, err := ReadFvecs(&buf)
+	if err != nil || len(vecs) != 0 || dim != 0 {
+		t.Fatalf("empty roundtrip: vecs=%v dim=%d err=%v", vecs, dim, err)
+	}
+}
+
+func TestFvecsRejectsBadBlock(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFvecs(&buf, make([]float32, 5), 2); err == nil {
+		t.Fatal("WriteFvecs must reject non-divisible block")
+	}
+}
+
+func TestFvecsRejectsTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFvecs(&buf, []float32{1, 2, 3}, 3); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if _, _, err := ReadFvecs(bytes.NewReader(raw[:len(raw)-2])); err == nil {
+		t.Fatal("ReadFvecs must reject truncated input")
+	}
+}
+
+func TestFvecsRejectsMixedDims(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFvecs(&buf, []float32{1, 2}, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFvecs(&buf, []float32{1, 2, 3}, 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadFvecs(&buf); err == nil {
+		t.Fatal("ReadFvecs must reject mixed dimensions")
+	}
+}
+
+func TestIvecsRoundTrip(t *testing.T) {
+	rows := [][]int32{{1, 2, 3}, {}, {-5}, {7, 8}}
+	var buf bytes.Buffer
+	if err := WriteIvecs(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadIvecs(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(rows) {
+		t.Fatalf("rows=%d want %d", len(got), len(rows))
+	}
+	for i := range rows {
+		if len(got[i]) != len(rows[i]) {
+			t.Fatalf("row %d length mismatch", i)
+		}
+		for j := range rows[i] {
+			if got[i][j] != rows[i][j] {
+				t.Fatalf("row %d mismatch: %v vs %v", i, got[i], rows[i])
+			}
+		}
+	}
+}
+
+func TestFvecsFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "v.fvecs")
+	vecs := []float32{1, 2, 3, 4, 5, 6}
+	if err := SaveFvecsFile(path, vecs, 3); err != nil {
+		t.Fatal(err)
+	}
+	got, dim, err := LoadFvecsFile(path)
+	if err != nil || dim != 3 {
+		t.Fatalf("load: dim=%d err=%v", dim, err)
+	}
+	for i := range vecs {
+		if got[i] != vecs[i] {
+			t.Fatal("file roundtrip mismatch")
+		}
+	}
+}
+
+func TestLoadFvecsFileMissing(t *testing.T) {
+	if _, _, err := LoadFvecsFile("/nonexistent/x.fvecs"); err == nil {
+		t.Fatal("missing file must error")
+	}
+}

@@ -1,0 +1,177 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// GeneratorSpec describes a synthetic corpus. The generator draws from a
+// mixture of anisotropic Gaussians whose covariance has low-rank
+// structure: each cluster is an affine image of a lower-dimensional
+// latent Gaussian plus isotropic noise. Real descriptor collections
+// (GIST, SIFT) have exactly this character — strong correlated principal
+// directions with a noise floor — which is what makes PCA-family hashing
+// (PCAH, ITQ, SH) effective and is the property the paper's experiments
+// rely on.
+type GeneratorSpec struct {
+	Name       string
+	N          int     // number of base vectors (before query sampling)
+	Dim        int     // ambient dimensionality
+	Clusters   int     // mixture components
+	LatentDim  int     // intrinsic dimensionality of each component
+	NoiseScale float64 // isotropic noise stddev
+	Spread     float64 // stddev of cluster centers
+	Seed       int64
+}
+
+// Generate materializes the corpus described by spec.
+func Generate(spec GeneratorSpec) *Dataset {
+	if spec.N <= 0 || spec.Dim <= 0 {
+		panic(fmt.Sprintf("dataset: invalid spec %+v", spec))
+	}
+	if spec.Clusters <= 0 {
+		spec.Clusters = 1
+	}
+	if spec.LatentDim <= 0 || spec.LatentDim > spec.Dim {
+		spec.LatentDim = spec.Dim / 4
+		if spec.LatentDim == 0 {
+			spec.LatentDim = 1
+		}
+	}
+	if spec.NoiseScale == 0 {
+		spec.NoiseScale = 0.1
+	}
+	if spec.Spread == 0 {
+		spec.Spread = 4
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+
+	// Per-cluster parameters: center and a Dim×LatentDim loading matrix
+	// with decaying column scales, giving anisotropic covariance
+	// A·diag(s²)·Aᵀ + σ²I.
+	centers := make([][]float64, spec.Clusters)
+	loadings := make([][]float64, spec.Clusters) // row-major Dim×LatentDim
+	for c := range centers {
+		ctr := make([]float64, spec.Dim)
+		for j := range ctr {
+			ctr[j] = rng.NormFloat64() * spec.Spread
+		}
+		centers[c] = ctr
+		load := make([]float64, spec.Dim*spec.LatentDim)
+		for i := range load {
+			load[i] = rng.NormFloat64()
+		}
+		// Decay latent scales so the spectrum is non-flat (like PCA on
+		// real descriptors).
+		for l := 0; l < spec.LatentDim; l++ {
+			scale := 2.0 / (1.0 + float64(l)*0.5)
+			for i := 0; i < spec.Dim; i++ {
+				load[i*spec.LatentDim+l] *= scale
+			}
+		}
+		loadings[c] = load
+	}
+
+	vectors := make([]float32, spec.N*spec.Dim)
+	latent := make([]float64, spec.LatentDim)
+	for i := 0; i < spec.N; i++ {
+		c := rng.Intn(spec.Clusters)
+		ctr, load := centers[c], loadings[c]
+		for l := range latent {
+			latent[l] = rng.NormFloat64()
+		}
+		row := vectors[i*spec.Dim : (i+1)*spec.Dim]
+		for j := 0; j < spec.Dim; j++ {
+			v := ctr[j]
+			lr := load[j*spec.LatentDim : (j+1)*spec.LatentDim]
+			for l, lv := range latent {
+				v += lr[l] * lv
+			}
+			v += rng.NormFloat64() * spec.NoiseScale
+			row[j] = float32(v)
+		}
+	}
+	return &Dataset{Name: spec.Name, Dim: spec.Dim, Vectors: vectors}
+}
+
+// Corpus identifiers for the simulated analogues of the paper's datasets.
+// Sizes and dimensions are scaled to laptop/single-core budgets while
+// preserving the paper's size spread (12×) and the log2(N/10) code-length
+// rule; see DESIGN.md §4.
+const (
+	CorpusCIFAR = "cifar-sim" // stands in for CIFAR60K (60k × 512)
+	CorpusGIST  = "gist-sim"  // stands in for GIST1M  (1M × 960)
+	CorpusTINY  = "tiny-sim"  // stands in for TINY5M  (5M × 384)
+	CorpusSIFT  = "sift-sim"  // stands in for SIFT10M (10M × 128)
+
+	// Appendix corpora (Figures 21-22, Table 3 analogues).
+	CorpusDEEP     = "deep-sim"     // DEEP1M (256d image)
+	CorpusMSONG    = "msong-sim"    // MSONG1M (420d audio)
+	CorpusGLOVE12  = "glove12-sim"  // GLOVE1.2M (200d text)
+	CorpusGLOVE22  = "glove22-sim"  // GLOVE2.2M (300d text)
+	CorpusAUDIO    = "audio-sim"    // AUDIO50K (192d audio)
+	CorpusNUSWIDE  = "nuswide-sim"  // NUSWIDE0.26M (500d image)
+	CorpusUKBENCH  = "ukbench-sim"  // UKBENCH1M (128d image)
+	CorpusIMAGENET = "imagenet-sim" // IMAGENET2.3M (150d image)
+)
+
+// Specs returns the generator spec for a named simulated corpus, scaled
+// by the given factor in (0,1] (1 = the full simulated size used in
+// EXPERIMENTS.md; tests and testing.B benches use smaller factors).
+func Specs(name string, scale float64) GeneratorSpec {
+	if scale <= 0 || scale > 1 {
+		panic(fmt.Sprintf("dataset: scale %g out of (0,1]", scale))
+	}
+	// Spread 1 with noise 0.5 makes clusters overlap just enough that
+	// learned codes fill ~N/10 buckets at the paper's code-length rule
+	// (the paper reports 3.8k-568k buckets, ~10-15 items each); larger
+	// spreads concentrate whole clusters into single buckets and
+	// flatten every recall curve.
+	base := map[string]GeneratorSpec{
+		CorpusCIFAR:    {N: 20000, Dim: 64, Clusters: 10, LatentDim: 12, Seed: 101, Spread: 1, NoiseScale: 0.5},
+		CorpusGIST:     {N: 60000, Dim: 96, Clusters: 24, LatentDim: 16, Seed: 102, Spread: 1, NoiseScale: 0.5},
+		CorpusTINY:     {N: 120000, Dim: 48, Clusters: 40, LatentDim: 10, Seed: 103, Spread: 1, NoiseScale: 0.5},
+		CorpusSIFT:     {N: 240000, Dim: 32, Clusters: 64, LatentDim: 8, Seed: 104, Spread: 1, NoiseScale: 0.5},
+		CorpusDEEP:     {N: 30000, Dim: 40, Clusters: 20, LatentDim: 8, Seed: 105, Spread: 1, NoiseScale: 0.5},
+		CorpusMSONG:    {N: 30000, Dim: 52, Clusters: 16, LatentDim: 10, Seed: 106, Spread: 1, NoiseScale: 0.5},
+		CorpusGLOVE12:  {N: 36000, Dim: 32, Clusters: 30, LatentDim: 6, Seed: 107, Spread: 1, NoiseScale: 0.5},
+		CorpusGLOVE22:  {N: 66000, Dim: 40, Clusters: 40, LatentDim: 8, Seed: 108, Spread: 1, NoiseScale: 0.5},
+		CorpusAUDIO:    {N: 16000, Dim: 28, Clusters: 8, LatentDim: 6, Seed: 109, Spread: 1, NoiseScale: 0.5},
+		CorpusNUSWIDE:  {N: 24000, Dim: 56, Clusters: 12, LatentDim: 10, Seed: 110, Spread: 1, NoiseScale: 0.5},
+		CorpusUKBENCH:  {N: 33000, Dim: 24, Clusters: 30, LatentDim: 6, Seed: 111, Spread: 1, NoiseScale: 0.5},
+		CorpusIMAGENET: {N: 70000, Dim: 30, Clusters: 48, LatentDim: 7, Seed: 112, Spread: 1, NoiseScale: 0.5},
+	}
+	spec, ok := base[name]
+	if !ok {
+		panic(fmt.Sprintf("dataset: unknown corpus %q", name))
+	}
+	spec.Name = name
+	spec.N = int(float64(spec.N) * scale)
+	if spec.N < 100 {
+		spec.N = 100
+	}
+	return spec
+}
+
+// AllCorpora lists the four primary simulated corpora in paper order.
+func AllCorpora() []string {
+	return []string{CorpusCIFAR, CorpusGIST, CorpusTINY, CorpusSIFT}
+}
+
+// AppendixCorpora lists the eight additional simulated corpora.
+func AppendixCorpora() []string {
+	return []string{
+		CorpusDEEP, CorpusMSONG, CorpusGLOVE12, CorpusGLOVE22,
+		CorpusAUDIO, CorpusNUSWIDE, CorpusUKBENCH, CorpusIMAGENET,
+	}
+}
+
+// Load generates a simulated corpus, samples nq queries out of it and
+// computes exact ground truth for k neighbors. It is the one-call entry
+// point used by benchmarks and examples.
+func Load(name string, scale float64, nq, k int) *Dataset {
+	d := Generate(Specs(name, scale))
+	d.SampleQueries(nq, 9000+int64(len(name)))
+	d.ComputeGroundTruth(k)
+	return d
+}

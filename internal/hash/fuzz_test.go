@@ -1,0 +1,31 @@
+package hash
+
+import "testing"
+
+// FuzzUnmarshal ensures the hasher decoder never panics on corrupt
+// input, and that accepted hashers are self-consistent.
+func FuzzUnmarshal(f *testing.F) {
+	data := trainData(f, 100, 8, 51)
+	for _, l := range []Learner{PCAH{}, SH{}, KMH{SubspaceBits: 2, Iterations: 3}} {
+		h, err := l.Train(data, 100, 8, 6, 52)
+		if err != nil {
+			f.Fatal(err)
+		}
+		blob, err := Marshal(h)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(blob)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{1, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, blob []byte) {
+		h, err := Unmarshal(blob)
+		if err != nil {
+			return
+		}
+		if h.Bits() < 1 || h.Bits() > MaxBits {
+			t.Fatalf("accepted hasher with invalid Bits %d", h.Bits())
+		}
+	})
+}

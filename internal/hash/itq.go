@@ -1,0 +1,72 @@
+package hash
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gqr/internal/vecmath"
+)
+
+// ITQ is iterative quantization (Gong & Lazebnik): PCA projection
+// followed by an orthogonal rotation R learned to minimize the
+// quantization error ‖B − V·R‖_F, alternating between B = sign(V·R) and
+// the Procrustes update of R. It is the paper's default learner.
+type ITQ struct {
+	// Iterations is the number of alternating updates; the original
+	// paper uses 50. Zero means 50.
+	Iterations int
+}
+
+// Name implements Learner.
+func (ITQ) Name() string { return "itq" }
+
+// Train implements Learner.
+func (t ITQ) Train(data []float32, n, d, bits int, seed int64) (Hasher, error) {
+	if err := validateTrain(data, n, d, bits); err != nil {
+		return nil, err
+	}
+	if bits > d {
+		return nil, fmt.Errorf("hash: itq needs bits (%d) <= dim (%d)", bits, d)
+	}
+	iters := t.Iterations
+	if iters <= 0 {
+		iters = 50
+	}
+
+	cov, mean := vecmath.Covariance(data, n, d)
+	e := vecmath.TopEigenvectors(cov, bits) // bits×d
+
+	// Project the (centered) training data: V = Xc·Eᵀ, n×bits.
+	v := vecmath.NewMat(n, bits)
+	for i := 0; i < n; i++ {
+		row := data[i*d : (i+1)*d]
+		dst := v.Row(i)
+		for b := 0; b < bits; b++ {
+			er := e.Row(b)
+			var s float64
+			for j, ev := range er {
+				s += ev * (float64(row[j]) - mean[j])
+			}
+			dst[b] = s
+		}
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	r := vecmath.RandomRotation(rng, bits)
+	vr := vecmath.Mul(v, r)
+	b := vecmath.NewMat(n, bits)
+	for it := 0; it < iters; it++ {
+		// B = sign(V·R).
+		for i := range vr.Data {
+			b.Data[i] = signOf(vr.Data[i])
+		}
+		// R = argmin ‖B − V·R‖ over orthogonal R (Procrustes).
+		r = vecmath.Procrustes(v, b)
+		vr = vecmath.Mul(v, r)
+	}
+
+	// Fold the rotation into the hashing matrix: p(x) = Rᵀ·E·(x−mean),
+	// so H = Rᵀ·E (bits×d) and Theorem 1 applies directly.
+	h := vecmath.Mul(r.T(), e)
+	return newProjHasher("itq", h, mean), nil
+}

@@ -1,0 +1,28 @@
+package hash
+
+import (
+	"math/rand"
+
+	"gqr/internal/vecmath"
+)
+
+// LSH is the data-oblivious baseline: sign random projections (SimHash
+// for Euclidean data). Each hash vector is an independent N(0,1) draw;
+// the data is centered at its mean so bits are roughly balanced. The
+// paper contrasts L2H against this family (Section 1).
+type LSH struct{}
+
+// Name implements Learner.
+func (LSH) Name() string { return "lsh" }
+
+// Train implements Learner. Training only estimates the data mean; the
+// projection itself ignores the data, which is the defining property of
+// LSH.
+func (LSH) Train(data []float32, n, d, bits int, seed int64) (Hasher, error) {
+	if err := validateTrain(data, n, d, bits); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	h := vecmath.GaussianMat(rng, bits, d)
+	return newProjHasher("lsh", h, meanOf(data, n, d)), nil
+}

@@ -1,0 +1,91 @@
+package hash
+
+import (
+	"testing"
+)
+
+func TestMarshalRoundTripAllHashers(t *testing.T) {
+	const n, d, bits = 300, 16, 8
+	data := trainData(t, n, d, 31)
+	for _, l := range allLearners() {
+		h, err := l.Train(data, n, d, bits, 32)
+		if err != nil {
+			t.Fatalf("%s: %v", l.Name(), err)
+		}
+		blob, err := Marshal(h)
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", l.Name(), err)
+		}
+		h2, err := Unmarshal(blob)
+		if err != nil {
+			t.Fatalf("%s: unmarshal: %v", l.Name(), err)
+		}
+		if h2.Name() != h.Name() || h2.Bits() != h.Bits() {
+			t.Fatalf("%s: identity lost: %s/%d", l.Name(), h2.Name(), h2.Bits())
+		}
+		costs1 := make([]float64, bits)
+		costs2 := make([]float64, bits)
+		for i := 0; i < 50; i++ {
+			x := data[i*d : (i+1)*d]
+			if h.Code(x) != h2.Code(x) {
+				t.Fatalf("%s: codes differ after round trip", l.Name())
+			}
+			c1 := h.QueryProjection(x, costs1)
+			c2 := h2.QueryProjection(x, costs2)
+			if c1 != c2 {
+				t.Fatalf("%s: query codes differ after round trip", l.Name())
+			}
+			for b := range costs1 {
+				if costs1[b] != costs2[b] {
+					t.Fatalf("%s: flipping costs differ after round trip", l.Name())
+				}
+			}
+		}
+	}
+}
+
+func TestUnmarshalRejectsCorruption(t *testing.T) {
+	const n, d, bits = 100, 8, 6
+	data := trainData(t, n, d, 33)
+	h, err := (ITQ{Iterations: 5}).Train(data, n, d, bits, 34)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := Marshal(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Empty input.
+	if _, err := Unmarshal(nil); err == nil {
+		t.Fatal("empty blob must be rejected")
+	}
+	// Unknown tag.
+	bad := append([]byte{99}, blob[1:]...)
+	if _, err := Unmarshal(bad); err == nil {
+		t.Fatal("unknown tag must be rejected")
+	}
+	// Truncations at every prefix length must error, not panic.
+	for cut := 1; cut < len(blob); cut += 7 {
+		if _, err := Unmarshal(blob[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestUnmarshalRejectsInconsistentKMH(t *testing.T) {
+	const n, d, bits = 200, 8, 8
+	data := trainData(t, n, d, 35)
+	h, err := (KMH{SubspaceBits: 2, Iterations: 5}).Train(data, n, d, bits, 36)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := Marshal(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the bits field (offset 1..4 after the tag byte).
+	blob[1] = 63
+	if _, err := Unmarshal(blob); err == nil {
+		t.Fatal("inconsistent kmh header must be rejected")
+	}
+}

@@ -1,0 +1,30 @@
+package hash
+
+import (
+	"fmt"
+
+	"gqr/internal/vecmath"
+)
+
+// PCAH is principal component analysis hashing: the hash vectors are the
+// top-m eigenvectors of the data covariance and codes are the signs of
+// the centered projections. It is the cheapest learner in the paper's
+// lineup (Table 2) and the one GQR boosts to OPQ-level quality
+// (Figure 17).
+type PCAH struct{}
+
+// Name implements Learner.
+func (PCAH) Name() string { return "pcah" }
+
+// Train implements Learner. The seed is unused: PCAH is deterministic.
+func (PCAH) Train(data []float32, n, d, bits int, seed int64) (Hasher, error) {
+	if err := validateTrain(data, n, d, bits); err != nil {
+		return nil, err
+	}
+	if bits > d {
+		return nil, fmt.Errorf("hash: pcah needs bits (%d) <= dim (%d)", bits, d)
+	}
+	cov, mean := vecmath.Covariance(data, n, d)
+	h := vecmath.TopEigenvectors(cov, bits)
+	return newProjHasher("pcah", h, mean), nil
+}

@@ -1,0 +1,27 @@
+package hash
+
+import "fmt"
+
+// ByName returns the learner registered under the given algorithm name.
+// Recognized names: "lsh", "pcah", "itq", "sh", "kmh", "ssh".
+func ByName(name string) (Learner, error) {
+	switch name {
+	case "lsh":
+		return LSH{}, nil
+	case "pcah":
+		return PCAH{}, nil
+	case "itq":
+		return ITQ{}, nil
+	case "sh":
+		return SH{}, nil
+	case "kmh":
+		return KMH{}, nil
+	case "ssh":
+		return SSH{}, nil
+	default:
+		return nil, fmt.Errorf("hash: unknown learning algorithm %q", name)
+	}
+}
+
+// Algorithms lists the registered learner names.
+func Algorithms() []string { return []string{"lsh", "pcah", "itq", "sh", "kmh", "ssh"} }

@@ -1,0 +1,161 @@
+package hash
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"gqr/internal/vecmath"
+)
+
+// SH is spectral hashing (Weiss, Torralba & Fergus): PCA-project the
+// data, then treat each principal direction as a 1-D uniform
+// distribution and take the analytical eigenfunctions of its Laplacian,
+// Φ_k(y) = sin(π/2 + kπ·(y−a)/(b−a)) with eigenvalue ~ (kπ/(b−a))². The
+// m eigenfunctions with the smallest eigenvalues across all directions
+// become the bits. Unlike PCAH/ITQ the projection is non-linear, which
+// exercises the generality of QD: the flipping cost of bit i is simply
+// |Φ_i(y)|.
+type SH struct{}
+
+// Name implements Learner.
+func (SH) Name() string { return "sh" }
+
+// shFunc is one selected eigenfunction: principal direction dim with
+// mode k over the projected range [lo,hi].
+type shFunc struct {
+	dim  int
+	k    int
+	lo   float64
+	hi   float64
+	eig  float64
+	freq float64 // kπ/(hi−lo), precomputed
+}
+
+// shHasher evaluates the eigenfunctions on top of a PCA projection.
+// It holds no mutable state, so it is safe for concurrent use; the PCA
+// dimensionality is at most MaxBits, so scratch lives on the stack.
+type shHasher struct {
+	e     *vecmath.Mat // pca×d principal directions
+	mean  []float64
+	funcs []shFunc
+}
+
+// Train implements Learner. The seed is unused: SH is deterministic.
+func (SH) Train(data []float32, n, d, bits int, seed int64) (Hasher, error) {
+	if err := validateTrain(data, n, d, bits); err != nil {
+		return nil, err
+	}
+	pcaDims := bits
+	if pcaDims > d {
+		pcaDims = d
+	}
+	cov, mean := vecmath.Covariance(data, n, d)
+	e := vecmath.TopEigenvectors(cov, pcaDims)
+
+	// Range of the projected data per principal direction.
+	lo := make([]float64, pcaDims)
+	hi := make([]float64, pcaDims)
+	for j := range lo {
+		lo[j] = math.Inf(1)
+		hi[j] = math.Inf(-1)
+	}
+	for i := 0; i < n; i++ {
+		row := data[i*d : (i+1)*d]
+		for j := 0; j < pcaDims; j++ {
+			er := e.Row(j)
+			var s float64
+			for c, ev := range er {
+				s += ev * (float64(row[c]) - mean[c])
+			}
+			if s < lo[j] {
+				lo[j] = s
+			}
+			if s > hi[j] {
+				hi[j] = s
+			}
+		}
+	}
+
+	// Enumerate candidate eigenfunctions and keep the bits smallest
+	// eigenvalues. Modes per direction capped at bits (enough to fill).
+	var cands []shFunc
+	for j := 0; j < pcaDims; j++ {
+		span := hi[j] - lo[j]
+		if span <= 0 {
+			continue // degenerate direction: constant projection
+		}
+		for k := 1; k <= bits; k++ {
+			f := float64(k) * math.Pi / span
+			cands = append(cands, shFunc{dim: j, k: k, lo: lo[j], hi: hi[j], eig: f * f, freq: f})
+		}
+	}
+	if len(cands) < bits {
+		return nil, fmt.Errorf("hash: sh could not build %d eigenfunctions (data degenerate)", bits)
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].eig != cands[b].eig {
+			return cands[a].eig < cands[b].eig
+		}
+		if cands[a].dim != cands[b].dim {
+			return cands[a].dim < cands[b].dim
+		}
+		return cands[a].k < cands[b].k
+	})
+	return &shHasher{
+		e:     e,
+		mean:  mean,
+		funcs: cands[:bits],
+	}, nil
+}
+
+func (s *shHasher) Name() string { return "sh" }
+func (s *shHasher) Bits() int    { return len(s.funcs) }
+
+// Project computes the eigenfunction values Φ_i(y) into dst.
+func (s *shHasher) Project(x []float32, dst []float64) {
+	if len(x) != s.e.Cols {
+		panic(fmt.Sprintf("hash: vector dim %d != trained dim %d", len(x), s.e.Cols))
+	}
+	var pbuf [MaxBits]float64 // PCA dims ≤ code length ≤ MaxBits
+	for j := 0; j < s.e.Rows; j++ {
+		row := s.e.Row(j)
+		var v float64
+		for c, ev := range row {
+			v += ev * (float64(x[c]) - s.mean[c])
+		}
+		pbuf[j] = v
+	}
+	for i, f := range s.funcs {
+		dst[i] = math.Sin(math.Pi/2 + f.freq*(pbuf[f.dim]-f.lo))
+	}
+}
+
+func (s *shHasher) Code(x []float32) uint64 {
+	var buf [MaxBits]float64
+	dst := buf[:len(s.funcs)]
+	s.Project(x, dst)
+	var code uint64
+	for i, v := range dst {
+		if v >= 0 {
+			code |= 1 << uint(i)
+		}
+	}
+	return code
+}
+
+func (s *shHasher) QueryProjection(x []float32, costs []float64) uint64 {
+	if len(costs) != len(s.funcs) {
+		panic(fmt.Sprintf("hash: costs length %d != bits %d", len(costs), len(s.funcs)))
+	}
+	s.Project(x, costs)
+	var code uint64
+	for i, v := range costs {
+		if v >= 0 {
+			code |= 1 << uint(i)
+		} else {
+			costs[i] = -v
+		}
+	}
+	return code
+}

@@ -1,0 +1,129 @@
+package hash
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gqr/internal/vecmath"
+)
+
+// SSH is semi-supervised hashing (Wang, Kumar & Chang), the fourth
+// learner family the paper lists (§1). The hash directions maximize
+//
+//	tr{ Wᵀ ( X_l·S·X_lᵀ + η·X·Xᵀ ) W }
+//
+// where S holds +1 for must-link (similar) pairs and −1 for cannot-link
+// pairs over the labelled subset X_l, and the η-weighted term is the
+// unsupervised PCA regularizer.
+//
+// The original uses explicit label pairs; absent labels, this
+// implementation synthesizes weak supervision from the data itself
+// (self-supervised pseudo-pairs): for sampled anchor points, the
+// nearest of a sampled candidate set becomes a must-link pair and the
+// farthest a cannot-link pair. This preserves exactly what the
+// reproduction needs — a learner whose objective mixes a pairwise
+// supervision matrix with a PCA term — without external labels.
+type SSH struct {
+	// Pairs is the number of pseudo-pairs of each kind (default 500).
+	Pairs int
+	// Candidates is the candidate-set size per anchor (default 20).
+	Candidates int
+	// Eta weighs the unsupervised regularizer (default 1).
+	Eta float64
+}
+
+// Name implements Learner.
+func (SSH) Name() string { return "ssh" }
+
+// Train implements Learner.
+func (t SSH) Train(data []float32, n, d, bits int, seed int64) (Hasher, error) {
+	if err := validateTrain(data, n, d, bits); err != nil {
+		return nil, err
+	}
+	if bits > d {
+		return nil, fmt.Errorf("hash: ssh needs bits (%d) <= dim (%d)", bits, d)
+	}
+	pairs := t.Pairs
+	if pairs <= 0 {
+		pairs = 500
+	}
+	cands := t.Candidates
+	if cands <= 0 {
+		cands = 20
+	}
+	if cands > n-1 {
+		cands = n - 1
+	}
+	eta := t.Eta
+	if eta == 0 {
+		eta = 1
+	}
+
+	mean := meanOf(data, n, d)
+	rng := rand.New(rand.NewSource(seed))
+
+	// Supervision term: accumulate Σ s_ij·(x_i−µ)(x_j−µ)ᵀ over
+	// pseudo-pairs, symmetrized.
+	sup := vecmath.NewMat(d, d)
+	ci := make([]float64, d)
+	cj := make([]float64, d)
+	addPair := func(i, j int, sign float64) {
+		xi := data[i*d : (i+1)*d]
+		xj := data[j*d : (j+1)*d]
+		for c := 0; c < d; c++ {
+			ci[c] = float64(xi[c]) - mean[c]
+			cj[c] = float64(xj[c]) - mean[c]
+		}
+		for a := 0; a < d; a++ {
+			row := sup.Row(a)
+			va := sign * ci[a]
+			for b := 0; b < d; b++ {
+				row[b] += va * cj[b]
+			}
+		}
+	}
+	for p := 0; p < pairs; p++ {
+		anchor := rng.Intn(n)
+		xa := data[anchor*d : (anchor+1)*d]
+		bestID, worstID := -1, -1
+		bestDist, worstDist := 0.0, -1.0
+		for c := 0; c < cands; c++ {
+			j := rng.Intn(n)
+			if j == anchor {
+				continue
+			}
+			dist := vecmath.SquaredL2(xa, data[j*d:(j+1)*d])
+			if bestID < 0 || dist < bestDist {
+				bestID, bestDist = j, dist
+			}
+			if dist > worstDist {
+				worstID, worstDist = j, dist
+			}
+		}
+		if bestID < 0 || worstID < 0 || bestID == worstID {
+			continue
+		}
+		addPair(anchor, bestID, 1)   // must-link
+		addPair(anchor, worstID, -1) // cannot-link
+	}
+	// Symmetrize (pairs are ordered draws).
+	for a := 0; a < d; a++ {
+		for b := a + 1; b < d; b++ {
+			v := (sup.At(a, b) + sup.At(b, a)) / 2
+			sup.Set(a, b, v)
+			sup.Set(b, a, v)
+		}
+	}
+	// Normalize by pair count so η means the same at any Pairs setting.
+	if pairs > 0 {
+		sup.Scale(1 / float64(pairs))
+	}
+
+	// Unsupervised regularizer: η·covariance.
+	cov, _ := vecmath.Covariance(data, n, d)
+	cov.Scale(eta)
+	sup.Add(cov)
+
+	h := vecmath.TopEigenvectors(sup, bits)
+	return newProjHasher("ssh", h, mean), nil
+}

@@ -1,0 +1,171 @@
+// Package index implements the storage layer of the reproduction: hash
+// tables that map packed m-bit binary codes to buckets of item ids, with
+// multi-table support (paper §6.3.5) and occupancy statistics used by
+// the experiments (the paper reports bucket counts per dataset in §6.2).
+package index
+
+import (
+	"fmt"
+	"sort"
+
+	"gqr/internal/hash"
+)
+
+// Table is a single hash table: buckets of item ids keyed by binary code.
+type Table struct {
+	Hasher  hash.Hasher
+	Buckets map[uint64][]int32
+}
+
+// NewTable builds a hash table over the n×d data block using the given
+// hasher.
+func NewTable(h hash.Hasher, data []float32, n, d int) *Table {
+	t := &Table{Hasher: h, Buckets: make(map[uint64][]int32)}
+	for i := 0; i < n; i++ {
+		code := h.Code(data[i*d : (i+1)*d])
+		t.Buckets[code] = append(t.Buckets[code], int32(i))
+	}
+	return t
+}
+
+// Bucket returns the item ids stored under the given code (nil when the
+// bucket is empty).
+func (t *Table) Bucket(code uint64) []int32 { return t.Buckets[code] }
+
+// BucketCount returns the number of non-empty buckets, the quantity the
+// paper reports per dataset ("3,872 ... 567,753 buckets", §6.2).
+func (t *Table) BucketCount() int { return len(t.Buckets) }
+
+// Codes returns all non-empty bucket codes in ascending order
+// (deterministic iteration for the sort-based querying methods).
+func (t *Table) Codes() []uint64 {
+	codes := make([]uint64, 0, len(t.Buckets))
+	for c := range t.Buckets {
+		codes = append(codes, c)
+	}
+	sort.Slice(codes, func(i, j int) bool { return codes[i] < codes[j] })
+	return codes
+}
+
+// Stats summarizes bucket occupancy.
+type Stats struct {
+	Items         int
+	Buckets       int
+	MaxBucketSize int
+	AvgBucketSize float64
+}
+
+// Stats computes occupancy statistics for the table.
+func (t *Table) Stats() Stats {
+	var s Stats
+	s.Buckets = len(t.Buckets)
+	for _, b := range t.Buckets {
+		s.Items += len(b)
+		if len(b) > s.MaxBucketSize {
+			s.MaxBucketSize = len(b)
+		}
+	}
+	if s.Buckets > 0 {
+		s.AvgBucketSize = float64(s.Items) / float64(s.Buckets)
+	}
+	return s
+}
+
+// Index is a multi-table hash index over one dataset. Vectors are held
+// by reference; the index adds only codes and id lists.
+type Index struct {
+	Dim    int
+	N      int
+	Data   []float32
+	Tables []*Table
+}
+
+// Build trains one hasher per table (distinct seeds) with the given
+// learner and constructs the tables. This is the paper's multi-hash-
+// table strategy: more tables raise recall per probed bucket at the
+// cost of memory (§6.3.5).
+func Build(l hash.Learner, data []float32, n, d, bits, tables int, seed int64) (*Index, error) {
+	if tables <= 0 {
+		return nil, fmt.Errorf("index: need at least one table, got %d", tables)
+	}
+	idx := &Index{Dim: d, N: n, Data: data}
+	for t := 0; t < tables; t++ {
+		h, err := l.Train(data, n, d, bits, seed+int64(t)*7919)
+		if err != nil {
+			return nil, fmt.Errorf("index: training table %d: %w", t, err)
+		}
+		idx.Tables = append(idx.Tables, NewTable(h, data, n, d))
+	}
+	return idx, nil
+}
+
+// Vector returns item i's vector.
+func (ix *Index) Vector(i int32) []float32 {
+	return ix.Data[int(i)*ix.Dim : (int(i)+1)*ix.Dim]
+}
+
+// Add appends one vector to the index, hashing it into every table, and
+// returns its new id. The hash functions are NOT retrained: like any
+// L2H system, the learned functions are assumed to be trained on a
+// representative sample. Callers that precompute per-table views (the
+// sorting querying methods) must refresh them afterwards.
+func (ix *Index) Add(vec []float32) (int32, error) {
+	if len(vec) != ix.Dim {
+		return 0, fmt.Errorf("index: vector dim %d != index dim %d", len(vec), ix.Dim)
+	}
+	id := int32(ix.N)
+	ix.Data = append(ix.Data, vec...)
+	ix.N++
+	for _, t := range ix.Tables {
+		code := t.Hasher.Code(vec)
+		t.Buckets[code] = append(t.Buckets[code], id)
+	}
+	return id, nil
+}
+
+// Bits returns the code length of the index's hashers.
+func (ix *Index) Bits() int { return ix.Tables[0].Hasher.Bits() }
+
+// CodeLengthFor implements the paper's code-length rule m ≈ log2(N/EP)
+// with expected bucket occupancy EP (the paper fixes EP = 10, §6.1).
+func CodeLengthFor(n, ep int) int {
+	if ep <= 0 {
+		ep = 10
+	}
+	m := 0
+	for (1 << uint(m+1)) <= n/ep {
+		m++
+	}
+	if m < 1 {
+		m = 1
+	}
+	if m > hash.MaxBits {
+		m = hash.MaxBits
+	}
+	return m
+}
+
+// MemoryBytes estimates the index's own storage: bucket keys, id lists
+// and hasher parameters (the vectors belong to the caller). This is the
+// quantity behind the paper's §6.3.5 memory argument — every extra
+// hash table pays this again.
+func (ix *Index) MemoryBytes() int {
+	total := 0
+	for _, t := range ix.Tables {
+		for _, ids := range t.Buckets {
+			total += 8 + 4*len(ids) // key + id list
+		}
+		total += hasherBytes(t.Hasher)
+	}
+	return total
+}
+
+// hasherBytes estimates a hasher's parameter storage via its marshaled
+// size.
+func hasherBytes(h hash.Hasher) int {
+	blob, err := hash.Marshal(h)
+	if err != nil {
+		return 0
+	}
+	return len(blob)
+}

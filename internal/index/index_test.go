@@ -1,0 +1,163 @@
+package index
+
+import (
+	"testing"
+
+	"gqr/internal/dataset"
+	"gqr/internal/hash"
+)
+
+func buildSmall(t *testing.T, tables int) (*Index, *dataset.Dataset) {
+	t.Helper()
+	ds := dataset.Generate(dataset.GeneratorSpec{
+		Name: "idx", N: 500, Dim: 16, Clusters: 4, LatentDim: 4, Seed: 31,
+	})
+	ix, err := Build(hash.PCAH{}, ds.Vectors, ds.N(), ds.Dim, 8, tables, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix, ds
+}
+
+func TestEveryItemRetrievableByOwnCode(t *testing.T) {
+	ix, ds := buildSmall(t, 1)
+	tbl := ix.Tables[0]
+	for i := 0; i < ds.N(); i++ {
+		code := tbl.Hasher.Code(ds.Vector(i))
+		found := false
+		for _, id := range tbl.Bucket(code) {
+			if id == int32(i) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("item %d missing from its own bucket", i)
+		}
+	}
+}
+
+func TestStatsConsistent(t *testing.T) {
+	ix, ds := buildSmall(t, 1)
+	s := ix.Tables[0].Stats()
+	if s.Items != ds.N() {
+		t.Fatalf("stats items %d != N %d", s.Items, ds.N())
+	}
+	if s.Buckets != ix.Tables[0].BucketCount() {
+		t.Fatal("stats bucket count mismatch")
+	}
+	if s.MaxBucketSize <= 0 || float64(s.MaxBucketSize) < s.AvgBucketSize {
+		t.Fatalf("implausible occupancy stats %+v", s)
+	}
+}
+
+func TestCodesSortedAndComplete(t *testing.T) {
+	ix, _ := buildSmall(t, 1)
+	codes := ix.Tables[0].Codes()
+	if len(codes) != ix.Tables[0].BucketCount() {
+		t.Fatal("Codes length mismatch")
+	}
+	for i := 1; i < len(codes); i++ {
+		if codes[i] <= codes[i-1] {
+			t.Fatal("Codes not strictly ascending")
+		}
+	}
+}
+
+func TestMultiTableIndependentHashers(t *testing.T) {
+	ix, ds := buildSmall(t, 3)
+	if len(ix.Tables) != 3 {
+		t.Fatalf("tables = %d", len(ix.Tables))
+	}
+	// PCAH is deterministic so same-learner tables collapse; use LSH to
+	// check seeds differ per table.
+	ix2, err := Build(hash.LSH{}, ds.Vectors, ds.N(), ds.Dim, 8, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := ds.Vector(0)
+	if ix2.Tables[0].Hasher.Code(x) == ix2.Tables[1].Hasher.Code(x) {
+		// Could collide by chance for one vector; check a few.
+		same := true
+		for i := 0; i < 20; i++ {
+			if ix2.Tables[0].Hasher.Code(ds.Vector(i)) != ix2.Tables[1].Hasher.Code(ds.Vector(i)) {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("multi-table hashers identical; seeds not varied")
+		}
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	ds := dataset.Generate(dataset.GeneratorSpec{Name: "v", N: 100, Dim: 8, Seed: 1})
+	if _, err := Build(hash.PCAH{}, ds.Vectors, ds.N(), ds.Dim, 8, 0, 1); err == nil {
+		t.Fatal("Build must reject zero tables")
+	}
+	if _, err := Build(hash.PCAH{}, ds.Vectors, ds.N(), ds.Dim, 99, 1, 1); err == nil {
+		t.Fatal("Build must propagate trainer errors")
+	}
+}
+
+func TestVectorAccessor(t *testing.T) {
+	ix, ds := buildSmall(t, 1)
+	for i := 0; i < 10; i++ {
+		v := ix.Vector(int32(i))
+		for j := range v {
+			if v[j] != ds.Vector(i)[j] {
+				t.Fatal("Vector accessor mismatch")
+			}
+		}
+	}
+	if ix.Bits() != 8 {
+		t.Fatalf("Bits = %d", ix.Bits())
+	}
+}
+
+func TestCodeLengthFor(t *testing.T) {
+	cases := []struct {
+		n, ep, want int
+	}{
+		{20000, 10, 10},
+		{60000, 10, 12},
+		{120000, 10, 13},
+		{240000, 10, 14},
+		{1000000, 10, 16},
+		{5, 10, 1},
+		{1 << 30, 1, 30},
+	}
+	for _, c := range cases {
+		if got := CodeLengthFor(c.n, c.ep); got != c.want {
+			t.Fatalf("CodeLengthFor(%d,%d) = %d, want %d", c.n, c.ep, got, c.want)
+		}
+	}
+	// Paper's own examples: m=12,16,18,20 for 60K,1M,5M,10M at EP=10.
+	paper := []struct{ n, m int }{
+		{60000, 12}, {1000000, 16}, {5000000, 18}, {10000000, 20},
+	}
+	for _, c := range paper {
+		got := CodeLengthFor(c.n, 10)
+		if got < c.m-1 || got > c.m {
+			t.Fatalf("CodeLengthFor(%d) = %d, paper used %d", c.n, got, c.m)
+		}
+	}
+}
+
+func TestAverageOccupancyNearEP(t *testing.T) {
+	// With m = log2(N/10), average occupancy should be within an order
+	// of magnitude of 10 (buckets are not uniformly filled).
+	ds := dataset.Generate(dataset.GeneratorSpec{
+		Name: "occ", N: 5000, Dim: 16, Clusters: 8, LatentDim: 4, Seed: 32,
+	})
+	bits := CodeLengthFor(ds.N(), 10)
+	ix, err := Build(hash.ITQ{Iterations: 10}, ds.Vectors, ds.N(), ds.Dim, bits, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := ix.Tables[0].Stats()
+	if s.AvgBucketSize < 2 || s.AvgBucketSize > 200 {
+		t.Fatalf("average occupancy %g too far from EP=10", s.AvgBucketSize)
+	}
+}

@@ -1,0 +1,150 @@
+package index
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"gqr/internal/hash"
+)
+
+// Index persistence. The file stores the trained hashers and the bucket
+// structure — everything derived from training — but not the raw
+// vectors, which the caller supplies again at load time (the index only
+// ever references them). Format, all little-endian:
+//
+//	magic "GQRIDX1\x00" | dim u32 | n u32 | tables u32
+//	per table: hasher blob (u32 length + bytes)
+//	           bucket count u32
+//	           per bucket: code u64 | id count u32 | ids (u32 each)
+
+var magic = [8]byte{'G', 'Q', 'R', 'I', 'D', 'X', '1', 0}
+
+// Save writes the index (hashers + buckets) to w.
+func (ix *Index) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	writeU32 := func(v uint32) { binary.Write(bw, binary.LittleEndian, v) }
+	writeU32(uint32(ix.Dim))
+	writeU32(uint32(ix.N))
+	writeU32(uint32(len(ix.Tables)))
+	for _, t := range ix.Tables {
+		blob, err := hash.Marshal(t.Hasher)
+		if err != nil {
+			return fmt.Errorf("index: save: %w", err)
+		}
+		writeU32(uint32(len(blob)))
+		if _, err := bw.Write(blob); err != nil {
+			return err
+		}
+		codes := t.Codes()
+		writeU32(uint32(len(codes)))
+		for _, code := range codes {
+			binary.Write(bw, binary.LittleEndian, code)
+			ids := t.Buckets[code]
+			writeU32(uint32(len(ids)))
+			for _, id := range ids {
+				writeU32(uint32(id))
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Load reads an index saved with Save and re-attaches the vector block
+// (which must be the same data the index was built from: same count and
+// dimension; ids are validated against n).
+func Load(r io.Reader, data []float32, dim int) (*Index, error) {
+	br := bufio.NewReader(r)
+	var m [8]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("index: load: %w", err)
+	}
+	if m != magic {
+		return nil, fmt.Errorf("index: load: bad magic %q", m[:])
+	}
+	readU32 := func() (uint32, error) {
+		var v uint32
+		err := binary.Read(br, binary.LittleEndian, &v)
+		return v, err
+	}
+	fdim, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	n, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	tables, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	if int(fdim) != dim {
+		return nil, fmt.Errorf("index: load: file dim %d != provided dim %d", fdim, dim)
+	}
+	if dim <= 0 || len(data) != int(n)*dim {
+		return nil, fmt.Errorf("index: load: vector block has %d floats, want %d*%d", len(data), n, dim)
+	}
+	if tables == 0 || tables > 1024 {
+		return nil, fmt.Errorf("index: load: implausible table count %d", tables)
+	}
+	ix := &Index{Dim: dim, N: int(n), Data: data}
+	for t := 0; t < int(tables); t++ {
+		blobLen, err := readU32()
+		if err != nil {
+			return nil, err
+		}
+		if blobLen > 1<<30 {
+			return nil, fmt.Errorf("index: load: implausible hasher size %d", blobLen)
+		}
+		blob := make([]byte, blobLen)
+		if _, err := io.ReadFull(br, blob); err != nil {
+			return nil, fmt.Errorf("index: load: %w", err)
+		}
+		h, err := hash.Unmarshal(blob)
+		if err != nil {
+			return nil, err
+		}
+		nb, err := readU32()
+		if err != nil {
+			return nil, err
+		}
+		tbl := &Table{Hasher: h, Buckets: make(map[uint64][]int32, nb)}
+		total := 0
+		for b := 0; b < int(nb); b++ {
+			var code uint64
+			if err := binary.Read(br, binary.LittleEndian, &code); err != nil {
+				return nil, fmt.Errorf("index: load: %w", err)
+			}
+			cnt, err := readU32()
+			if err != nil {
+				return nil, err
+			}
+			total += int(cnt)
+			if total > int(n) {
+				return nil, fmt.Errorf("index: load: table %d holds more ids than items", t)
+			}
+			ids := make([]int32, cnt)
+			for i := range ids {
+				v, err := readU32()
+				if err != nil {
+					return nil, err
+				}
+				if v >= n {
+					return nil, fmt.Errorf("index: load: item id %d out of range", v)
+				}
+				ids[i] = int32(v)
+			}
+			tbl.Buckets[code] = ids
+		}
+		if total != int(n) {
+			return nil, fmt.Errorf("index: load: table %d indexes %d of %d items", t, total, n)
+		}
+		ix.Tables = append(ix.Tables, tbl)
+	}
+	return ix, nil
+}

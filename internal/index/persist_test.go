@@ -1,0 +1,90 @@
+package index
+
+import (
+	"bytes"
+	"testing"
+
+	"gqr/internal/dataset"
+	"gqr/internal/hash"
+)
+
+func TestIndexSaveLoadRoundTrip(t *testing.T) {
+	ds := dataset.Generate(dataset.GeneratorSpec{
+		Name: "p", N: 400, Dim: 12, Clusters: 4, LatentDim: 3, Seed: 41,
+	})
+	for _, l := range []hash.Learner{hash.ITQ{Iterations: 5}, hash.SH{}, hash.KMH{SubspaceBits: 2, Iterations: 5}} {
+		ix, err := Build(l, ds.Vectors, ds.N(), ds.Dim, 8, 2, 42)
+		if err != nil {
+			t.Fatalf("%s: %v", l.Name(), err)
+		}
+		var buf bytes.Buffer
+		if err := ix.Save(&buf); err != nil {
+			t.Fatalf("%s: save: %v", l.Name(), err)
+		}
+		ix2, err := Load(&buf, ds.Vectors, ds.Dim)
+		if err != nil {
+			t.Fatalf("%s: load: %v", l.Name(), err)
+		}
+		if ix2.N != ix.N || ix2.Dim != ix.Dim || len(ix2.Tables) != len(ix.Tables) {
+			t.Fatalf("%s: shape lost", l.Name())
+		}
+		for ti := range ix.Tables {
+			a, b := ix.Tables[ti], ix2.Tables[ti]
+			if a.BucketCount() != b.BucketCount() {
+				t.Fatalf("%s: table %d bucket count %d != %d", l.Name(), ti, a.BucketCount(), b.BucketCount())
+			}
+			for code, ids := range a.Buckets {
+				got := b.Buckets[code]
+				if len(got) != len(ids) {
+					t.Fatalf("%s: bucket %b size changed", l.Name(), code)
+				}
+				for i := range ids {
+					if got[i] != ids[i] {
+						t.Fatalf("%s: bucket %b ids changed", l.Name(), code)
+					}
+				}
+			}
+			// Hashers must agree on fresh codes.
+			for i := 0; i < 30; i++ {
+				if a.Hasher.Code(ds.Vector(i)) != b.Hasher.Code(ds.Vector(i)) {
+					t.Fatalf("%s: hasher changed after round trip", l.Name())
+				}
+			}
+		}
+	}
+}
+
+func TestIndexLoadValidation(t *testing.T) {
+	ds := dataset.Generate(dataset.GeneratorSpec{
+		Name: "pv", N: 200, Dim: 8, Clusters: 3, LatentDim: 2, Seed: 43,
+	})
+	ix, err := Build(hash.PCAH{}, ds.Vectors, ds.N(), ds.Dim, 6, 1, 44)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	// Wrong dim.
+	if _, err := Load(bytes.NewReader(raw), ds.Vectors, 9); err == nil {
+		t.Fatal("wrong dim must be rejected")
+	}
+	// Wrong vector count.
+	if _, err := Load(bytes.NewReader(raw), ds.Vectors[:8*100], 8); err == nil {
+		t.Fatal("short vector block must be rejected")
+	}
+	// Bad magic.
+	bad := append([]byte("NOTANIDX"), raw[8:]...)
+	if _, err := Load(bytes.NewReader(bad), ds.Vectors, 8); err == nil {
+		t.Fatal("bad magic must be rejected")
+	}
+	// Truncations must error, never panic.
+	for cut := 0; cut < len(raw); cut += 97 {
+		if _, err := Load(bytes.NewReader(raw[:cut]), ds.Vectors, 8); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}

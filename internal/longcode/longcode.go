@@ -1,0 +1,172 @@
+// Package longcode implements the long-code regime the paper's §3
+// discusses as the traditional fix for Hamming ranking's coarseness:
+// instead of short codes indexing buckets, every item gets a long
+// binary code (up to 256 bits here) and queries rank the whole
+// collection by Hamming distance with a linear scan, re-ranking the
+// best T candidates with exact distances.
+//
+// The paper's §1/§3 argument against this design — time-consuming
+// sorting, high storage, poor scalability — is what the abl-longcode
+// experiment measures against bucket-based GQR.
+package longcode
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"gqr/internal/hash"
+	"gqr/internal/vecmath"
+)
+
+// Words is the number of 64-bit words per code.
+const Words = 4
+
+// MaxBits is the longest supported long code.
+const MaxBits = Words * 64
+
+// Code is a multi-word binary code.
+type Code [Words]uint64
+
+// Hamming returns the Hamming distance between two codes.
+func (c Code) Hamming(o Code) int {
+	d := 0
+	for w := 0; w < Words; w++ {
+		d += bits.OnesCount64(c[w] ^ o[w])
+	}
+	return d
+}
+
+// SetBit sets bit i.
+func (c *Code) SetBit(i int) { c[i/64] |= 1 << uint(i%64) }
+
+// Bit reports bit i.
+func (c Code) Bit(i int) bool { return c[i/64]&(1<<uint(i%64)) != 0 }
+
+// Scanner holds long codes for a dataset and answers queries by linear
+// Hamming scan + exact re-rank.
+type Scanner struct {
+	Dim   int
+	N     int
+	Data  []float32
+	Bits  int
+	codes []Code
+	// hashers are the (at most four) stacked 64-bit hashers whose
+	// concatenation forms the long code.
+	hashers []hash.Hasher
+}
+
+// Build trains stacked hashers with the given learner until bits are
+// covered (each trained with a distinct seed) and encodes every item.
+func Build(l hash.Learner, data []float32, n, d, codeBits int, seed int64) (*Scanner, error) {
+	if codeBits <= 0 || codeBits > MaxBits {
+		return nil, fmt.Errorf("longcode: bits %d out of (0,%d]", codeBits, MaxBits)
+	}
+	s := &Scanner{Dim: d, N: n, Data: data, Bits: codeBits}
+	remaining := codeBits
+	for remaining > 0 {
+		chunk := remaining
+		if chunk > 64 {
+			chunk = 64
+		}
+		h, err := l.Train(data, n, d, chunk, seed+int64(len(s.hashers))*31)
+		if err != nil {
+			return nil, fmt.Errorf("longcode: training chunk %d: %w", len(s.hashers), err)
+		}
+		s.hashers = append(s.hashers, h)
+		remaining -= chunk
+	}
+	s.codes = make([]Code, n)
+	for i := 0; i < n; i++ {
+		s.codes[i] = s.encode(data[i*d : (i+1)*d])
+	}
+	return s, nil
+}
+
+// encode concatenates the chunk hashers' codes.
+func (s *Scanner) encode(x []float32) Code {
+	var c Code
+	offset := 0
+	for _, h := range s.hashers {
+		chunk := h.Code(x)
+		hb := h.Bits()
+		for b := 0; b < hb; b++ {
+			if chunk&(1<<uint(b)) != 0 {
+				c.SetBit(offset + b)
+			}
+		}
+		offset += hb
+	}
+	return c
+}
+
+// CodeOf exposes item i's stored code (tests and diagnostics).
+func (s *Scanner) CodeOf(i int) Code { return s.codes[i] }
+
+// MemoryBytes returns the storage the codes logically occupy (used
+// words only) — the paper's "high storage demand" cost of long codes.
+func (s *Scanner) MemoryBytes() int { return len(s.codes) * ((s.Bits + 63) / 64) * 8 }
+
+// Search ranks all items by Hamming distance to the query's code,
+// re-ranks the rerank best by exact Euclidean distance, and returns the
+// top k ids.
+func (s *Scanner) Search(q []float32, k, rerank int) []int32 {
+	if rerank < k {
+		rerank = k
+	}
+	if rerank > s.N {
+		rerank = s.N
+	}
+	qc := s.encode(q)
+
+	// Counting sort by Hamming distance: one pass to count, one to
+	// emit — the fastest possible "sorting" the paper grants HR.
+	counts := make([]int, s.Bits+2)
+	dists := make([]uint16, s.N)
+	for i, c := range s.codes {
+		d := qc.Hamming(c)
+		dists[i] = uint16(d)
+		counts[d+1]++
+	}
+	for i := 1; i < len(counts); i++ {
+		counts[i] += counts[i-1]
+	}
+	// Emit only the first rerank ids in distance order (ties by id,
+	// since the scan is in id order).
+	cands := make([]int32, rerank)
+	next := make([]int, s.Bits+1)
+	copy(next, counts[:s.Bits+1])
+	filled := 0
+	for i := 0; i < s.N && filled < rerank; i++ {
+		pos := next[dists[i]]
+		if pos < rerank {
+			cands[pos] = int32(i)
+			filled++
+		}
+		next[dists[i]]++
+	}
+	// The above keeps only candidates whose final sorted position is
+	// within the rerank prefix.
+	type scored struct {
+		id   int32
+		dist float64
+	}
+	all := make([]scored, 0, rerank)
+	for _, id := range cands[:filled] {
+		all = append(all, scored{id, vecmath.SquaredL2(q, s.Data[int(id)*s.Dim:(int(id)+1)*s.Dim])})
+	}
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].dist != all[b].dist {
+			return all[a].dist < all[b].dist
+		}
+		return all[a].id < all[b].id
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	out := make([]int32, k)
+	for i := range out {
+		out[i] = all[i].id
+	}
+	return out
+}

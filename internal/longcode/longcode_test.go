@@ -1,0 +1,181 @@
+package longcode
+
+import (
+	"sort"
+	"testing"
+
+	"gqr/internal/dataset"
+	"gqr/internal/hash"
+)
+
+func testData(t testing.TB) *dataset.Dataset {
+	t.Helper()
+	ds := dataset.Generate(dataset.GeneratorSpec{
+		Name: "lc", N: 800, Dim: 24, Clusters: 6, LatentDim: 6, Seed: 91,
+	})
+	ds.SampleQueries(10, 92)
+	ds.ComputeGroundTruth(10)
+	return ds
+}
+
+func TestCodeBitOps(t *testing.T) {
+	var c Code
+	for _, i := range []int{0, 63, 64, 127, 200, 255} {
+		if c.Bit(i) {
+			t.Fatalf("bit %d set in zero code", i)
+		}
+		c.SetBit(i)
+		if !c.Bit(i) {
+			t.Fatalf("bit %d not set", i)
+		}
+	}
+	var d Code
+	if got := c.Hamming(d); got != 6 {
+		t.Fatalf("Hamming = %d, want 6", got)
+	}
+	if got := c.Hamming(c); got != 0 {
+		t.Fatalf("self Hamming = %d", got)
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	ds := testData(t)
+	if _, err := Build(hash.LSH{}, ds.Vectors, ds.N(), ds.Dim, 0, 1); err == nil {
+		t.Fatal("bits=0 accepted")
+	}
+	if _, err := Build(hash.LSH{}, ds.Vectors, ds.N(), ds.Dim, 257, 1); err == nil {
+		t.Fatal("bits>256 accepted")
+	}
+}
+
+func TestStackedChunks(t *testing.T) {
+	ds := testData(t)
+	s, err := Build(hash.LSH{}, ds.Vectors, ds.N(), ds.Dim, 150, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.hashers) != 3 { // 64 + 64 + 22
+		t.Fatalf("%d chunk hashers, want 3", len(s.hashers))
+	}
+	total := 0
+	for _, h := range s.hashers {
+		total += h.Bits()
+	}
+	if total != 150 {
+		t.Fatalf("chunks cover %d bits, want 150", total)
+	}
+	if s.MemoryBytes() != ds.N()*24 { // 150 bits -> 3 words
+		t.Fatalf("memory %d", s.MemoryBytes())
+	}
+}
+
+func TestSearchPrefixMatchesFullSort(t *testing.T) {
+	// The counting-sort prefix selection must produce exactly the
+	// rerank closest codes (ties by id).
+	ds := testData(t)
+	s, err := Build(hash.LSH{}, ds.Vectors, ds.N(), ds.Dim, 96, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := ds.Query(0)
+	qc := s.encode(q)
+	type pair struct {
+		d  int
+		id int32
+	}
+	all := make([]pair, s.N)
+	for i := range all {
+		all[i] = pair{qc.Hamming(s.codes[i]), int32(i)}
+	}
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].d != all[b].d {
+			return all[a].d < all[b].d
+		}
+		return all[a].id < all[b].id
+	})
+	const rerank = 50
+	// Reconstruct the candidate prefix via the internal path: run
+	// Search with k = rerank so every candidate surfaces.
+	got := s.Search(q, rerank, rerank)
+	inPrefix := make(map[int32]bool, rerank)
+	for _, p := range all[:rerank] {
+		inPrefix[p.id] = true
+	}
+	for _, id := range got {
+		if !inPrefix[id] {
+			t.Fatalf("result %d not among the %d Hamming-closest codes", id, rerank)
+		}
+	}
+}
+
+func TestSearchFindsTrueNeighborsWithLargeRerank(t *testing.T) {
+	ds := testData(t)
+	s, err := Build(hash.ITQ{Iterations: 10}, ds.Vectors, ds.N(), ds.Dim, 24, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := 0
+	for qi := 0; qi < ds.NQ(); qi++ {
+		got := s.Search(ds.Query(qi), 10, 200)
+		in := make(map[int32]bool)
+		for _, id := range got {
+			in[id] = true
+		}
+		for _, id := range ds.GroundTruth[qi] {
+			if in[id] {
+				hits++
+			}
+		}
+	}
+	if hits < ds.NQ()*10*6/10 {
+		t.Fatalf("long-code scan found only %d/%d true neighbors", hits, ds.NQ()*10)
+	}
+}
+
+func TestSearchFullRerankIsExact(t *testing.T) {
+	// rerank = N degenerates to exact search regardless of codes.
+	ds := testData(t)
+	s, err := Build(hash.LSH{}, ds.Vectors, ds.N(), ds.Dim, 64, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi := 0; qi < 5; qi++ {
+		got := s.Search(ds.Query(qi), 10, ds.N())
+		for i, id := range ds.GroundTruth[qi] {
+			if got[i] != id {
+				t.Fatalf("query %d: full rerank %v != ground truth %v", qi, got, ds.GroundTruth[qi])
+			}
+		}
+	}
+}
+
+func TestLongerCodesRankBetter(t *testing.T) {
+	// More bits -> better Hamming ordering -> more true neighbors in a
+	// fixed-size candidate prefix (Figure 4a's precision claim, long-
+	// code edition).
+	ds := testData(t)
+	recallWithBits := func(bits int) int {
+		s, err := Build(hash.ITQ{Iterations: 10}, ds.Vectors, ds.N(), ds.Dim, bits, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hits := 0
+		for qi := 0; qi < ds.NQ(); qi++ {
+			got := s.Search(ds.Query(qi), 10, 60)
+			in := make(map[int32]bool)
+			for _, id := range got {
+				in[id] = true
+			}
+			for _, id := range ds.GroundTruth[qi] {
+				if in[id] {
+					hits++
+				}
+			}
+		}
+		return hits
+	}
+	short, long := recallWithBits(8), recallWithBits(24)
+	if long < short {
+		t.Fatalf("24-bit codes found %d true neighbors, 8-bit found %d", long, short)
+	}
+}

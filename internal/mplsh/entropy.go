@@ -1,0 +1,51 @@
+package mplsh
+
+import (
+	"math/rand"
+)
+
+// Entropy LSH (Panigrahy, SODA 2006), the other LSH probing family the
+// paper's §7 names: instead of perturbing the hash tuple directly
+// (Multi-Probe), perturb the *query* — sample points at distance ~r
+// around q, hash each sample, and probe the buckets they land in. The
+// paper's criticism applies verbatim: sampled probes can repeat buckets
+// (wasted work and de-duplication) and cannot guarantee coverage.
+
+// EntropyRetrieve gathers candidates by probing the buckets of
+// perturbed copies of q: per table, q itself plus `probes` samples
+// q + r·g (g standard normal), de-duplicated across tables and probes.
+func (ix *Index) EntropyRetrieve(q []float32, budget, probes int, radius float64, seed int64) []int32 {
+	rng := rand.New(rand.NewSource(seed))
+	seen := make(map[int32]bool, budget)
+	var out []int32
+	collect := func(t int, v []float32) {
+		tbl := ix.Tables[t]
+		slots := make([]int32, ix.M)
+		tbl.slotsOf(v, nil, slots)
+		for _, id := range tbl.buckets[packSlots(slots)] {
+			if !seen[id] {
+				seen[id] = true
+				out = append(out, id)
+			}
+		}
+	}
+	perturbed := make([]float32, ix.Dim)
+	for t := range ix.Tables {
+		collect(t, q)
+		if len(out) >= budget {
+			return out
+		}
+	}
+	for p := 0; p < probes; p++ {
+		for j := range perturbed {
+			perturbed[j] = q[j] + float32(radius*rng.NormFloat64())
+		}
+		for t := range ix.Tables {
+			collect(t, perturbed)
+			if len(out) >= budget {
+				return out
+			}
+		}
+	}
+	return out
+}

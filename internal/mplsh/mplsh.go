@@ -1,0 +1,349 @@
+// Package mplsh implements Multi-Probe LSH (Lv, Josephson, Wang,
+// Charikar & Li, VLDB 2007), the querying method the paper contrasts
+// GQR against in §5.3. It is the integer-bucket ancestor of GQR's
+// generate-to-probe idea: E2LSH hash functions h_i(v) = ⌊(a_i·v+b_i)/W⌋
+// map vectors to integer tuples, and queries probe the buckets whose
+// tuples differ by ±1 in a few coordinates, ordered by a
+// query-directed perturbation score.
+//
+// The paper's three §5.3 distinctions are observable here:
+//
+//  1. the score is a sum of squared boundary distances (vs QD's L1 of
+//     exact flip costs);
+//  2. the derivation assumes Gaussian projections (vs QD's any-matrix
+//     lower bound);
+//  3. perturbation sets can be *invalid* (both +1 and −1 on the same
+//     coordinate) and must be filtered, which GQR's flipping vectors
+//     never need.
+package mplsh
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+	"sort"
+
+	"gqr/internal/vecmath"
+)
+
+// Table is one E2LSH hash table of integer-tuple buckets.
+type Table struct {
+	a [][]float64 // m hash vectors of dimension d
+	b []float64   // m offsets in [0,W)
+	w float64
+	// buckets keys are the packed string of the m int32 hash values.
+	buckets map[string][]int32
+}
+
+// Index is a Multi-Probe LSH index: L independent tables of m integer
+// hashes each.
+type Index struct {
+	Dim    int
+	N      int
+	Data   []float32
+	M      int // hashes per table
+	W      float64
+	Tables []*Table
+}
+
+// Build constructs the index over the n×d block with the given number
+// of tables, hashes per table and bucket width w.
+func Build(data []float32, n, d, tables, m int, w float64, seed int64) (*Index, error) {
+	if n <= 0 || d <= 0 || len(data) != n*d {
+		return nil, fmt.Errorf("mplsh: invalid data shape n=%d d=%d len=%d", n, d, len(data))
+	}
+	if tables <= 0 || m <= 0 || m > 32 {
+		// 2m perturbation actions must fit one uint64 mask.
+		return nil, fmt.Errorf("mplsh: invalid tables=%d m=%d (m must be 1-32)", tables, m)
+	}
+	if w <= 0 {
+		return nil, fmt.Errorf("mplsh: bucket width must be positive, got %g", w)
+	}
+	ix := &Index{Dim: d, N: n, Data: data, M: m, W: w}
+	rng := rand.New(rand.NewSource(seed))
+	for t := 0; t < tables; t++ {
+		tbl := &Table{w: w, buckets: make(map[string][]int32)}
+		for i := 0; i < m; i++ {
+			a := make([]float64, d)
+			for j := range a {
+				a[j] = rng.NormFloat64()
+			}
+			tbl.a = append(tbl.a, a)
+			tbl.b = append(tbl.b, rng.Float64()*w)
+		}
+		slots := make([]int32, m)
+		for i := 0; i < n; i++ {
+			tbl.slotsOf(data[i*d:(i+1)*d], nil, slots)
+			key := packSlots(slots)
+			tbl.buckets[key] = append(tbl.buckets[key], int32(i))
+		}
+		ix.Tables = append(ix.Tables, tbl)
+	}
+	return ix, nil
+}
+
+// slotsOf fills slots with the integer hash tuple of x; when frac is
+// non-nil it also receives the raw projections (a_i·x + b_i).
+func (t *Table) slotsOf(x []float32, frac []float64, slots []int32) {
+	for i := range t.a {
+		var s float64
+		for j, v := range t.a[i] {
+			s += v * float64(x[j])
+		}
+		s += t.b[i]
+		if frac != nil {
+			frac[i] = s
+		}
+		slots[i] = int32(floorDiv(s, t.w))
+	}
+}
+
+func floorDiv(x, w float64) float64 {
+	q := x / w
+	f := float64(int64(q))
+	if q < 0 && q != f {
+		f--
+	}
+	return f
+}
+
+// packSlots encodes the tuple as a map key.
+func packSlots(slots []int32) string {
+	b := make([]byte, 4*len(slots))
+	for i, s := range slots {
+		u := uint32(s)
+		b[4*i] = byte(u)
+		b[4*i+1] = byte(u >> 8)
+		b[4*i+2] = byte(u >> 16)
+		b[4*i+3] = byte(u >> 24)
+	}
+	return string(b)
+}
+
+// BucketCount returns the number of non-empty buckets in table t.
+func (ix *Index) BucketCount(t int) int { return len(ix.Tables[t].buckets) }
+
+// perturbation is one (coordinate, ±1) action with its boundary
+// distance.
+type perturbation struct {
+	coord int
+	delta int32
+	x     float64 // distance from the projection to the crossed boundary
+}
+
+// probeSet is a node of the Lv et al. generation heap: a set of sorted
+// perturbation indices represented as a bitmask (m ≤ 32 in practice, so
+// 2m ≤ 64 fits a uint64), plus its score.
+type probeSet struct {
+	mask  uint64
+	score float64
+}
+
+// Sequence emits buckets of one table in ascending perturbation score.
+type Sequence struct {
+	table *Table
+	base  []int32        // the query's own slot tuple
+	perts []perturbation // sorted ascending by x²
+	heap  []probeSet
+	m     int
+	first bool
+}
+
+// NewSequence prepares the multi-probe traversal of table t for q.
+func (ix *Index) NewSequence(t int, q []float32) *Sequence {
+	tbl := ix.Tables[t]
+	m := ix.M
+	frac := make([]float64, m)
+	base := make([]int32, m)
+	tbl.slotsOf(q, frac, base)
+
+	// Boundary distances: for coordinate i, x(+1) is the distance to
+	// the upper slot boundary and x(−1) to the lower one; they sum to W.
+	perts := make([]perturbation, 0, 2*m)
+	for i := 0; i < m; i++ {
+		lower := frac[i] - float64(base[i])*tbl.w // in [0,W)
+		perts = append(perts,
+			perturbation{coord: i, delta: -1, x: lower},
+			perturbation{coord: i, delta: +1, x: tbl.w - lower})
+	}
+	sort.Slice(perts, func(a, b int) bool {
+		if perts[a].x != perts[b].x {
+			return perts[a].x < perts[b].x
+		}
+		if perts[a].coord != perts[b].coord {
+			return perts[a].coord < perts[b].coord
+		}
+		return perts[a].delta < perts[b].delta
+	})
+	s := &Sequence{table: tbl, base: base, perts: perts, m: m, first: true}
+	if len(perts) > 0 {
+		s.push(probeSet{mask: 1, score: perts[0].x * perts[0].x})
+	}
+	return s
+}
+
+func (s *Sequence) push(p probeSet) {
+	s.heap = append(s.heap, p)
+	i := len(s.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if s.heap[parent].score <= s.heap[i].score {
+			break
+		}
+		s.heap[parent], s.heap[i] = s.heap[i], s.heap[parent]
+		i = parent
+	}
+}
+
+func (s *Sequence) pop() probeSet {
+	top := s.heap[0]
+	last := len(s.heap) - 1
+	s.heap[0] = s.heap[last]
+	s.heap = s.heap[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < last && s.heap[l].score < s.heap[smallest].score {
+			smallest = l
+		}
+		if r < last && s.heap[r].score < s.heap[smallest].score {
+			smallest = r
+		}
+		if smallest == i {
+			return top
+		}
+		s.heap[i], s.heap[smallest] = s.heap[smallest], s.heap[i]
+		i = smallest
+	}
+}
+
+// valid reports whether the perturbation set applies at most one delta
+// per coordinate (the paper's §5.3 "invalid buckets" of Multi-Probe
+// LSH are exactly the sets this rejects).
+func (s *Sequence) valid(mask uint64) bool {
+	var seen uint64 // coordinates already perturbed
+	for mm := mask; mm != 0; mm &= mm - 1 {
+		j := bits.TrailingZeros64(mm)
+		c := uint64(1) << uint(s.perts[j].coord)
+		if seen&c != 0 {
+			return false
+		}
+		seen |= c
+	}
+	return true
+}
+
+// Next returns the next bucket's items (possibly none when the bucket
+// is empty), its perturbation score, and ok=false when the generation
+// space is exhausted. Invalid perturbation sets are generated and then
+// skipped — the overhead the paper notes GQR avoids by construction.
+func (s *Sequence) Next() (items []int32, score float64, ok bool) {
+	if s.first {
+		s.first = false
+		return s.table.buckets[packSlots(s.base)], 0, true
+	}
+	for len(s.heap) > 0 {
+		node := s.pop()
+		// Generate successors (shift + expand on the max index).
+		j := bits.Len64(node.mask) - 1
+		if j+1 < len(s.perts) {
+			zj := s.perts[j].x * s.perts[j].x
+			zj1 := s.perts[j+1].x * s.perts[j+1].x
+			hi := uint64(1) << uint(j+1)
+			s.push(probeSet{mask: (node.mask &^ (1 << uint(j))) | hi, score: node.score - zj + zj1}) // shift
+			s.push(probeSet{mask: node.mask | hi, score: node.score + zj1})                          // expand
+		}
+		if !s.valid(node.mask) {
+			continue // invalid: both deltas on one coordinate
+		}
+		// Apply the perturbations to the base tuple.
+		slots := make([]int32, s.m)
+		copy(slots, s.base)
+		for mm := node.mask; mm != 0; mm &= mm - 1 {
+			p := s.perts[bits.TrailingZeros64(mm)]
+			slots[p.coord] += p.delta
+		}
+		return s.table.buckets[packSlots(slots)], node.score, true
+	}
+	return nil, 0, false
+}
+
+// Retrieve gathers candidate ids from every table, probing tables
+// round-robin in ascending score, until at least budget distinct
+// candidates are collected or all generated probes are spent. probes
+// bounds the number of perturbation sets per table (0 = unbounded).
+func (ix *Index) Retrieve(q []float32, budget, probes int) []int32 {
+	seqs := make([]*Sequence, len(ix.Tables))
+	type head struct {
+		items []int32
+		score float64
+		alive bool
+	}
+	heads := make([]head, len(ix.Tables))
+	counts := make([]int, len(ix.Tables))
+	for t := range seqs {
+		seqs[t] = ix.NewSequence(t, q)
+		items, score, ok := seqs[t].Next()
+		heads[t] = head{items, score, ok}
+		counts[t] = 1
+	}
+	seen := make(map[int32]bool, budget)
+	var out []int32
+	for len(out) < budget {
+		best := -1
+		for t := range heads {
+			if !heads[t].alive {
+				continue
+			}
+			if best < 0 || heads[t].score < heads[best].score {
+				best = t
+			}
+		}
+		if best < 0 {
+			break
+		}
+		for _, id := range heads[best].items {
+			if !seen[id] {
+				seen[id] = true
+				out = append(out, id)
+			}
+		}
+		if probes > 0 && counts[best] >= probes {
+			heads[best].alive = false
+			continue
+		}
+		items, score, ok := seqs[best].Next()
+		heads[best] = head{items, score, ok}
+		counts[best]++
+	}
+	return out
+}
+
+// SearchExact retrieves candidates and re-ranks them by exact Euclidean
+// distance, returning the k best ids.
+func (ix *Index) SearchExact(q []float32, k, budget, probes int) []int32 {
+	cands := ix.Retrieve(q, budget, probes)
+	type scored struct {
+		id   int32
+		dist float64
+	}
+	all := make([]scored, len(cands))
+	for i, id := range cands {
+		all[i] = scored{id, vecmath.SquaredL2(q, ix.Data[int(id)*ix.Dim:(int(id)+1)*ix.Dim])}
+	}
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].dist != all[b].dist {
+			return all[a].dist < all[b].dist
+		}
+		return all[a].id < all[b].id
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	out := make([]int32, k)
+	for i := range out {
+		out[i] = all[i].id
+	}
+	return out
+}

@@ -1,0 +1,136 @@
+// Package quantization implements the vector-quantization comparison
+// system of the paper's §6.5: product quantization (PQ), optimized
+// product quantization (OPQ, the state-of-the-art method the paper
+// compares against) and the inverted multi-index (IMI) querying
+// structure, including asymmetric-distance (ADC) evaluation.
+package quantization
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gqr/internal/cluster"
+	"gqr/internal/vecmath"
+)
+
+// PQ is a product quantizer: the d-dimensional space is split into M
+// contiguous subspaces, each with its own codebook of K centroids
+// trained by k-means. A vector is encoded as M centroid indices.
+type PQ struct {
+	M         int         // number of subspaces
+	K         int         // centroids per subspace
+	Dim       int         // total dimensionality
+	offsets   []int       // M+1 subspace boundaries
+	codebooks [][]float32 // per subspace: K×width row-major centroids
+}
+
+// TrainPQ learns a product quantizer from the n×d block.
+func TrainPQ(data []float32, n, d, m, k, iters int, seed int64) (*PQ, error) {
+	if m <= 0 || m > d {
+		return nil, fmt.Errorf("quantization: M=%d out of range [1,%d]", m, d)
+	}
+	if k <= 0 || k > n {
+		return nil, fmt.Errorf("quantization: K=%d out of range [1,%d]", k, n)
+	}
+	if len(data) != n*d {
+		return nil, fmt.Errorf("quantization: data length %d != n*d = %d", len(data), n*d)
+	}
+	pq := &PQ{M: m, K: k, Dim: d, offsets: make([]int, m+1)}
+	off := 0
+	rng := rand.New(rand.NewSource(seed))
+	for s := 0; s < m; s++ {
+		w := d / m
+		if s < d%m {
+			w++
+		}
+		pq.offsets[s] = off
+
+		sub := make([]float32, n*w)
+		for i := 0; i < n; i++ {
+			copy(sub[i*w:(i+1)*w], data[i*d+off:i*d+off+w])
+		}
+		cb, err := cluster.KMeans(sub, n, w, k, iters, rng)
+		if err != nil {
+			return nil, fmt.Errorf("quantization: subspace %d: %w", s, err)
+		}
+		pq.codebooks = append(pq.codebooks, cb)
+		off += w
+	}
+	pq.offsets[m] = off
+	return pq, nil
+}
+
+// width returns the dimensionality of subspace s.
+func (pq *PQ) width(s int) int { return pq.offsets[s+1] - pq.offsets[s] }
+
+// Encode quantizes x to its M centroid indices, appended to dst.
+func (pq *PQ) Encode(x []float32, dst []uint16) []uint16 {
+	if len(x) != pq.Dim {
+		panic(fmt.Sprintf("quantization: vector dim %d != %d", len(x), pq.Dim))
+	}
+	for s := 0; s < pq.M; s++ {
+		w := pq.width(s)
+		xs := x[pq.offsets[s] : pq.offsets[s]+w]
+		best, _ := vecmath.ArgNearest(xs, pq.codebooks[s], pq.K, w)
+		dst = append(dst, uint16(best))
+	}
+	return dst
+}
+
+// Decode reconstructs the vector represented by code into dst (length
+// Dim).
+func (pq *PQ) Decode(code []uint16, dst []float32) {
+	if len(code) != pq.M || len(dst) != pq.Dim {
+		panic("quantization: Decode shape mismatch")
+	}
+	for s := 0; s < pq.M; s++ {
+		w := pq.width(s)
+		c := int(code[s])
+		copy(dst[pq.offsets[s]:pq.offsets[s]+w], pq.codebooks[s][c*w:(c+1)*w])
+	}
+}
+
+// ADCTable precomputes, for a query, the squared distance from each
+// query subvector to every centroid of every subspace: table[s][c]. One
+// table turns each ADC distance evaluation into M float additions.
+func (pq *PQ) ADCTable(q []float32) [][]float64 {
+	if len(q) != pq.Dim {
+		panic(fmt.Sprintf("quantization: query dim %d != %d", len(q), pq.Dim))
+	}
+	table := make([][]float64, pq.M)
+	for s := 0; s < pq.M; s++ {
+		w := pq.width(s)
+		qs := q[pq.offsets[s] : pq.offsets[s]+w]
+		row := make([]float64, pq.K)
+		for c := 0; c < pq.K; c++ {
+			row[c] = vecmath.SquaredL2(qs, pq.codebooks[s][c*w:(c+1)*w])
+		}
+		table[s] = row
+	}
+	return table
+}
+
+// ADCDist returns the asymmetric squared distance between the query
+// represented by table and the encoded item.
+func (pq *PQ) ADCDist(table [][]float64, code []uint16) float64 {
+	var d float64
+	for s := 0; s < pq.M; s++ {
+		d += table[s][code[s]]
+	}
+	return d
+}
+
+// ReconstructionError returns the mean squared reconstruction error of
+// the quantizer over the block — the PQ training objective.
+func (pq *PQ) ReconstructionError(data []float32, n int) float64 {
+	buf := make([]uint16, 0, pq.M)
+	rec := make([]float32, pq.Dim)
+	var total float64
+	for i := 0; i < n; i++ {
+		row := data[i*pq.Dim : (i+1)*pq.Dim]
+		buf = pq.Encode(row, buf[:0])
+		pq.Decode(buf, rec)
+		total += vecmath.SquaredL2(row, rec)
+	}
+	return total / float64(n)
+}

@@ -1,0 +1,98 @@
+package query
+
+import (
+	"math/bits"
+	"sort"
+
+	"gqr/internal/index"
+)
+
+// GQRNaive is the ablation counterpart of GQR (abl-heap in DESIGN.md):
+// identical semantics, but the frontier of candidate flipping vectors is
+// a plain slice scanned linearly for its minimum at every step instead
+// of a min-heap. It quantifies what the paper's heap buys.
+type GQRNaive struct {
+	ix *index.Index
+}
+
+// NewGQRNaive builds the naive-frontier variant of GQR over ix.
+func NewGQRNaive(ix *index.Index) *GQRNaive { return &GQRNaive{ix: ix} }
+
+// Name implements Method.
+func (*GQRNaive) Name() string { return "gqr-naive" }
+
+// QDScores implements Method.
+func (*GQRNaive) QDScores() bool { return true }
+
+// NewSequence implements Method.
+func (g *GQRNaive) NewSequence(t int, q []float32) ProbeSequence {
+	hasher := g.ix.Tables[t].Hasher
+	m := hasher.Bits()
+	costs := make([]float64, m)
+	qcode := hasher.QueryProjection(q, costs)
+	order := make([]int, m)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if costs[order[a]] != costs[order[b]] {
+			return costs[order[a]] < costs[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	sorted := make([]float64, m)
+	origBit := make([]uint64, m)
+	for pos, bit := range order {
+		sorted[pos] = costs[bit]
+		origBit[pos] = 1 << uint(bit)
+	}
+	return &gqrNaiveSeq{qcode: qcode, m: m, sorted: sorted, origBit: origBit}
+}
+
+type gqrNaiveSeq struct {
+	qcode    uint64
+	m        int
+	sorted   []float64
+	origBit  []uint64
+	frontier []flipNode
+	started  bool
+}
+
+func (s *gqrNaiveSeq) Next() (uint64, float64, bool) {
+	if !s.started {
+		s.started = true
+		if s.m > 0 {
+			s.frontier = append(s.frontier, flipNode{mask: 1, dist: s.sorted[0]})
+		}
+		return s.qcode, 0, true
+	}
+	if len(s.frontier) == 0 {
+		return 0, 0, false
+	}
+	// Linear scan for the minimum — the cost the heap avoids.
+	best := 0
+	for i := 1; i < len(s.frontier); i++ {
+		if s.frontier[i].dist < s.frontier[best].dist {
+			best = i
+		}
+	}
+	node := s.frontier[best]
+	s.frontier[best] = s.frontier[len(s.frontier)-1]
+	s.frontier = s.frontier[:len(s.frontier)-1]
+
+	j := bits.Len64(node.mask) - 1
+	if j+1 < s.m {
+		hi := uint64(1) << uint(j+1)
+		s.frontier = append(s.frontier,
+			flipNode{mask: node.mask | hi, dist: node.dist + s.sorted[j+1]},
+			flipNode{mask: (node.mask &^ (1 << uint(j))) | hi, dist: node.dist + s.sorted[j+1] - s.sorted[j]})
+	}
+	code := s.qcode
+	mask := node.mask
+	for mask != 0 {
+		pos := bits.TrailingZeros64(mask)
+		code ^= s.origBit[pos]
+		mask &= mask - 1
+	}
+	return code, node.dist, true
+}

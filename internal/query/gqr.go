@@ -1,0 +1,188 @@
+package query
+
+import (
+	"math/bits"
+	"sort"
+
+	"gqr/internal/index"
+)
+
+// GQR is the paper's generate-to-probe QD ranking (Algorithms 2-4). Per
+// query it:
+//
+//  1. computes the projected vector once and sorts the per-bit flipping
+//     costs ascending (the sorted projected vector p̄, Definition 3,
+//     with the f mapping back to original bit positions);
+//  2. probes c(q) itself first, then maintains a min-heap of sorted
+//     flipping vectors seeded with v^r = (1,0,...,0);
+//  3. on each demand pops the minimum-QD vector, emits its bucket, and
+//     pushes its two generation-tree children, Append and Swap, whose
+//     QDs derive from the parent's in O(1) (Property 2).
+//
+// Property 1 (each flipping vector appears exactly once in the tree)
+// plus Property 2 (children QDs ≥ parent QD) make the emission order
+// exactly ascending QD, i.e. GQR is semantically identical to QR with no
+// up-front sort. The heap holds at most i nodes at step i.
+//
+// Sorted flipping vectors are packed into a uint64 whose bit j is the
+// paper's v̄_{j+1}; the "rightmost non-zero entry" is the highest set
+// bit, so Append and Swap are two bit operations each.
+type GQR struct {
+	ix *index.Index
+
+	// sharedTree enables the paper's §5.3 remark: because the
+	// generation tree is query-independent, the Append/Swap children of
+	// every node can be precomputed into an array indexed by the packed
+	// vector, replacing the bit manipulation with two loads. Only
+	// worthwhile (or affordable) for short codes; see the abl-tree
+	// ablation.
+	sharedTree *genTree
+}
+
+// NewGQR builds generate-to-probe QD ranking over ix.
+func NewGQR(ix *index.Index) *GQR { return &GQR{ix: ix} }
+
+// NewGQRSharedTree builds GQR with the precomputed generation-tree
+// array. Requires code length ≤ 24 (the array has 2^m entries).
+func NewGQRSharedTree(ix *index.Index) *GQR {
+	g := &GQR{ix: ix}
+	g.sharedTree = newGenTree(ix.Bits())
+	return g
+}
+
+// Name implements Method.
+func (g *GQR) Name() string {
+	if g.sharedTree != nil {
+		return "gqr-shared"
+	}
+	return "gqr"
+}
+
+// QDScores implements Method.
+func (*GQR) QDScores() bool { return true }
+
+// NewSequence implements Method.
+func (g *GQR) NewSequence(t int, q []float32) ProbeSequence {
+	hasher := g.ix.Tables[t].Hasher
+	m := hasher.Bits()
+	costs := make([]float64, m)
+	qcode := hasher.QueryProjection(q, costs)
+
+	// Sorted projected vector: order bit positions by ascending cost.
+	order := make([]int, m)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if costs[order[a]] != costs[order[b]] {
+			return costs[order[a]] < costs[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	sorted := make([]float64, m)
+	origBit := make([]uint64, m) // f: sorted position -> original bit mask
+	for pos, bit := range order {
+		sorted[pos] = costs[bit]
+		origBit[pos] = 1 << uint(bit)
+	}
+
+	return &gqrSeq{
+		qcode:   qcode,
+		m:       m,
+		sorted:  sorted,
+		origBit: origBit,
+		tree:    g.sharedTree,
+	}
+}
+
+type gqrSeq struct {
+	qcode   uint64
+	m       int
+	sorted  []float64 // ascending |p_i(q)| values
+	origBit []uint64  // sorted position -> original bit mask
+	heap    flipHeap
+	tree    *genTree
+	started bool
+}
+
+// bucketOf maps a sorted flipping vector to its bucket code (Algorithm
+// 3): flip the original bit of every set sorted position.
+func (s *gqrSeq) bucketOf(mask uint64) uint64 {
+	code := s.qcode
+	for mask != 0 {
+		pos := bits.TrailingZeros64(mask)
+		code ^= s.origBit[pos]
+		mask &= mask - 1
+	}
+	return code
+}
+
+func (s *gqrSeq) Next() (uint64, float64, bool) {
+	if !s.started {
+		// Algorithm 4 line 1-3: the first probe is bucket c(q) (the
+		// all-zero flipping vector), and the heap is seeded with
+		// v^r = (1,0,...,0).
+		s.started = true
+		if s.m > 0 {
+			s.heap.Push(flipNode{mask: 1, dist: s.sorted[0]})
+		}
+		return s.qcode, 0, true
+	}
+	if s.heap.Len() == 0 {
+		return 0, 0, false
+	}
+	node := s.heap.Pop()
+
+	// Generate the two children (Algorithm 4 lines 6-12).
+	if s.tree != nil {
+		ap, sw := s.tree.children(node.mask)
+		if ap != 0 {
+			j := bits.Len64(node.mask) - 1 // index of the rightmost 1
+			s.heap.Push(flipNode{mask: ap, dist: node.dist + s.sorted[j+1]})
+			s.heap.Push(flipNode{mask: sw, dist: node.dist + s.sorted[j+1] - s.sorted[j]})
+		}
+	} else {
+		j := bits.Len64(node.mask) - 1 // index of the rightmost 1
+		if j+1 < s.m {
+			hi := uint64(1) << uint(j+1)
+			// Append: add a 1 to the right of the rightmost 1.
+			s.heap.Push(flipNode{mask: node.mask | hi, dist: node.dist + s.sorted[j+1]})
+			// Swap: move the rightmost 1 one position right.
+			s.heap.Push(flipNode{mask: (node.mask &^ (1 << uint(j))) | hi, dist: node.dist + s.sorted[j+1] - s.sorted[j]})
+		}
+	}
+	return s.bucketOf(node.mask), node.dist, true
+}
+
+// genTree is the precomputed generation tree of the §5.3 remark: for
+// every packed sorted flipping vector, the Append and Swap children (0
+// when the node is a leaf). The tree depends only on the code length, so
+// one array serves all queries and tables.
+type genTree struct {
+	m       int
+	childAp []uint64
+	childSw []uint64
+}
+
+const maxSharedTreeBits = 24
+
+func newGenTree(m int) *genTree {
+	if m > maxSharedTreeBits {
+		panic("query: shared generation tree limited to 24-bit codes")
+	}
+	size := uint64(1) << uint(m)
+	t := &genTree{m: m, childAp: make([]uint64, size), childSw: make([]uint64, size)}
+	for mask := uint64(1); mask < size; mask++ {
+		j := bits.Len64(mask) - 1
+		if j+1 < m {
+			hi := uint64(1) << uint(j+1)
+			t.childAp[mask] = mask | hi
+			t.childSw[mask] = (mask &^ (1 << uint(j))) | hi
+		}
+	}
+	return t
+}
+
+func (t *genTree) children(mask uint64) (ap, sw uint64) {
+	return t.childAp[mask], t.childSw[mask]
+}

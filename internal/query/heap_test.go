@@ -1,0 +1,147 @@
+package query
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestFlipHeapOrdering(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var h flipHeap
+		n := 1 + rng.Intn(200)
+		dists := make([]float64, n)
+		for i := range dists {
+			dists[i] = rng.Float64()
+			h.Push(flipNode{mask: uint64(i), dist: dists[i]})
+		}
+		sort.Float64s(dists)
+		for i := 0; i < n; i++ {
+			if h.Pop().dist != dists[i] {
+				return false
+			}
+		}
+		return h.Len() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlipHeapReset(t *testing.T) {
+	var h flipHeap
+	h.Push(flipNode{mask: 1, dist: 1})
+	h.Reset()
+	if h.Len() != 0 {
+		t.Fatal("Reset must empty the heap")
+	}
+}
+
+func TestTopKMatchesSort(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(300)
+		k := 1 + rng.Intn(20)
+		type cand struct {
+			dist float64
+			id   int32
+		}
+		cands := make([]cand, n)
+		top := newTopK(k)
+		for i := range cands {
+			// Quantized distances to force ties.
+			cands[i] = cand{dist: float64(rng.Intn(20)), id: int32(i)}
+			top.Offer(cands[i].dist, cands[i].id)
+		}
+		sort.Slice(cands, func(a, b int) bool {
+			if cands[a].dist != cands[b].dist {
+				return cands[a].dist < cands[b].dist
+			}
+			return cands[a].id < cands[b].id
+		})
+		ids, dists := top.Sorted()
+		want := k
+		if n < k {
+			want = n
+		}
+		if len(ids) != want {
+			return false
+		}
+		for i := 0; i < want; i++ {
+			if ids[i] != cands[i].id || dists[i] != cands[i].dist {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTopKFullAndWorst(t *testing.T) {
+	top := newTopK(2)
+	if top.Full() {
+		t.Fatal("empty topK reports Full")
+	}
+	top.Offer(5, 1)
+	top.Offer(3, 2)
+	if !top.Full() || top.Worst() != 5 {
+		t.Fatalf("Full=%v Worst=%g", top.Full(), top.Worst())
+	}
+	if top.Offer(7, 3) {
+		t.Fatal("worse candidate must be rejected")
+	}
+	if !top.Offer(1, 4) {
+		t.Fatal("better candidate must be accepted")
+	}
+	if top.Worst() != 3 {
+		t.Fatalf("Worst=%g after replacement", top.Worst())
+	}
+}
+
+func TestGosperEnumeratesAllCombinations(t *testing.T) {
+	const m = 10
+	for r := 0; r <= m; r++ {
+		count := 0
+		if r == 0 {
+			count = 1 // the empty mask, handled outside Gosper
+		} else {
+			for mask := firstCombination(r); mask != 0; mask = nextCombination(mask, m) {
+				if popcount64(mask) != r {
+					t.Fatalf("mask %b has wrong popcount", mask)
+				}
+				if mask >= 1<<m {
+					t.Fatalf("mask %b exceeds %d bits", mask, m)
+				}
+				count++
+			}
+		}
+		want := binomial(m, r)
+		if count != want {
+			t.Fatalf("radius %d: %d masks, want C(%d,%d)=%d", r, count, m, r, want)
+		}
+	}
+}
+
+func popcount64(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+func binomial(n, k int) int {
+	if k < 0 || k > n {
+		return 0
+	}
+	r := 1
+	for i := 0; i < k; i++ {
+		r = r * (n - i) / (i + 1)
+	}
+	return r
+}

@@ -1,0 +1,144 @@
+package query
+
+import (
+	"math/bits"
+	"sort"
+
+	"gqr/internal/index"
+)
+
+// HR is Hamming ranking (paper §2.2): compute the Hamming distance from
+// c(q) to every non-empty bucket, sort, and probe in order. Sorting uses
+// an O(B) counting sort over the m+1 possible distances — the best case
+// the paper grants HR — yet the whole O(B) pass still happens before the
+// first bucket is probed, which is the "slow start" the generate-to-probe
+// methods remove.
+type HR struct {
+	ix    *index.Index
+	codes [][]uint64 // per-table sorted bucket code lists (precomputed)
+}
+
+// NewHR builds Hamming ranking over ix.
+func NewHR(ix *index.Index) *HR {
+	h := &HR{ix: ix, codes: make([][]uint64, len(ix.Tables))}
+	for t, tbl := range ix.Tables {
+		h.codes[t] = tbl.Codes()
+	}
+	return h
+}
+
+// Name implements Method.
+func (*HR) Name() string { return "hr" }
+
+// QDScores implements Method.
+func (*HR) QDScores() bool { return false }
+
+// NewSequence implements Method.
+func (h *HR) NewSequence(t int, q []float32) ProbeSequence {
+	qcode := h.ix.Tables[t].Hasher.Code(q)
+	m := h.ix.Tables[t].Hasher.Bits()
+	codes := h.codes[t]
+
+	// Counting sort by Hamming distance; ties resolved by the ascending
+	// code order of the precomputed list (deterministic, and the
+	// arbitrary tie-break the paper describes).
+	counts := make([]int, m+2)
+	for _, c := range codes {
+		counts[bits.OnesCount64(c^qcode)+1]++
+	}
+	for i := 1; i < len(counts); i++ {
+		counts[i] += counts[i-1]
+	}
+	ordered := make([]uint64, len(codes))
+	scores := make([]float64, len(codes))
+	next := make([]int, m+1)
+	copy(next, counts[:m+1])
+	for _, c := range codes {
+		d := bits.OnesCount64(c ^ qcode)
+		ordered[next[d]] = c
+		scores[next[d]] = float64(d)
+		next[d]++
+	}
+	return &listSeq{codes: ordered, scores: scores}
+}
+
+// listSeq replays a precomputed (code, score) list.
+type listSeq struct {
+	codes  []uint64
+	scores []float64
+	pos    int
+}
+
+func (s *listSeq) Next() (uint64, float64, bool) {
+	if s.pos >= len(s.codes) {
+		return 0, 0, false
+	}
+	c, sc := s.codes[s.pos], s.scores[s.pos]
+	s.pos++
+	return c, sc, true
+}
+
+// QR is QD ranking (Algorithm 1): compute the quantization distance from
+// q to every non-empty bucket, sort all buckets by QD, and probe in
+// order. Compared with HR the indicator is fine-grained, but the O(B·m)
+// scoring plus O(B log B) comparison sort ahead of the first probe is
+// the slow-start cost GQR eliminates.
+type QR struct {
+	ix    *index.Index
+	codes [][]uint64
+}
+
+// NewQR builds QD ranking over ix.
+func NewQR(ix *index.Index) *QR {
+	h := &QR{ix: ix, codes: make([][]uint64, len(ix.Tables))}
+	for t, tbl := range ix.Tables {
+		h.codes[t] = tbl.Codes()
+	}
+	return h
+}
+
+// Name implements Method.
+func (*QR) Name() string { return "qr" }
+
+// QDScores implements Method.
+func (*QR) QDScores() bool { return true }
+
+// NewSequence implements Method.
+func (h *QR) NewSequence(t int, q []float32) ProbeSequence {
+	hasher := h.ix.Tables[t].Hasher
+	m := hasher.Bits()
+	costs := make([]float64, m)
+	qcode := hasher.QueryProjection(q, costs)
+	codes := h.codes[t]
+
+	ordered := make([]uint64, len(codes))
+	scores := make([]float64, len(codes))
+	for i, c := range codes {
+		ordered[i] = c
+		diff := c ^ qcode
+		var qd float64
+		for diff != 0 {
+			b := bits.TrailingZeros64(diff)
+			qd += costs[b]
+			diff &= diff - 1
+		}
+		scores[i] = qd
+	}
+	perm := make([]int, len(codes))
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.Slice(perm, func(a, b int) bool {
+		if scores[perm[a]] != scores[perm[b]] {
+			return scores[perm[a]] < scores[perm[b]]
+		}
+		return ordered[perm[a]] < ordered[perm[b]]
+	})
+	sortedCodes := make([]uint64, len(codes))
+	sortedScores := make([]float64, len(codes))
+	for dst, src := range perm {
+		sortedCodes[dst] = ordered[src]
+		sortedScores[dst] = scores[src]
+	}
+	return &listSeq{codes: sortedCodes, scores: sortedScores}
+}

@@ -1,0 +1,71 @@
+// Package query implements the querying stage of learning to hash: the
+// paper's quantization-distance methods (QR, GQR) and the baselines they
+// are evaluated against (HR, GHR/hash lookup, MIH), plus the searcher
+// that executes retrieval and evaluation over a hash index.
+//
+// Terminology follows the paper:
+//
+//   - HR  — Hamming ranking: sort all non-empty buckets by Hamming
+//     distance to c(q), probe in order (§2.2).
+//   - GHR — generate-to-probe Hamming ranking, a.k.a. hash lookup:
+//     enumerate codes in ascending Hamming distance without sorting
+//     (§6.3).
+//   - QR  — QD ranking: sort all non-empty buckets by quantization
+//     distance (Algorithm 1).
+//   - GQR — generate-to-probe QD ranking: emit buckets in ascending QD
+//     on demand via the Append/Swap generation tree (Algorithms 2-4).
+//   - MIH — multi-index hashing over code substrings (appendix).
+package query
+
+import (
+	"fmt"
+
+	"gqr/internal/index"
+)
+
+// ProbeSequence emits the buckets to probe for one query on one table,
+// best first. Score is the sequence's similarity indicator for the
+// emitted bucket: quantization distance for QD methods, Hamming distance
+// for Hamming methods. Scores are non-decreasing over a sequence's
+// lifetime.
+type ProbeSequence interface {
+	Next() (code uint64, score float64, ok bool)
+}
+
+// Method creates probe sequences for queries against a fixed index. A
+// Method is bound to the index at construction so it can precompute
+// per-table structures (bucket code lists for the sorting methods,
+// substring tables for MIH).
+type Method interface {
+	// Name identifies the querying method ("gqr", "hr", ...).
+	Name() string
+	// NewSequence starts a probe sequence for query q on table t of the
+	// bound index. Sequences are single-use and not safe for concurrent
+	// use.
+	NewSequence(t int, q []float32) ProbeSequence
+	// QDScores reports whether Score values are quantization distances
+	// (enabling the Theorem 2 early-stop rule in the searcher).
+	QDScores() bool
+}
+
+// NewMethod constructs the named querying method bound to ix.
+// Recognized names: "hr", "ghr", "qr", "gqr", "mih".
+func NewMethod(name string, ix *index.Index) (Method, error) {
+	switch name {
+	case "hr":
+		return NewHR(ix), nil
+	case "ghr":
+		return NewGHR(ix), nil
+	case "qr":
+		return NewQR(ix), nil
+	case "gqr":
+		return NewGQR(ix), nil
+	case "mih":
+		return NewMIH(ix, 0), nil
+	default:
+		return nil, fmt.Errorf("query: unknown querying method %q", name)
+	}
+}
+
+// Methods lists the registered querying-method names.
+func Methods() []string { return []string{"hr", "ghr", "qr", "gqr", "mih"} }

@@ -1,0 +1,167 @@
+package query
+
+import (
+	"math/bits"
+	"sort"
+
+	"gqr/internal/index"
+)
+
+// MIH is multi-index hashing (Norouzi, Punjani & Fleet), the appendix
+// baseline: the m-bit code is chopped into Blocks substrings, each
+// indexed in its own table mapping substring -> full codes. All buckets
+// at full Hamming distance exactly r from c(q) are found by searching
+// every block within substring radius ⌊r/Blocks⌋ (pigeonhole: a code at
+// full distance r is within ⌊r/Blocks⌋ of the query in at least one
+// block), then filtering candidates by their true distance and
+// de-duplicating. The filter+dedup overhead is exactly why the paper
+// finds MIH slightly worse than plain hash lookup at bucket-index code
+// lengths where few buckets are empty.
+type MIH struct {
+	ix     *index.Index
+	blocks int
+	// per table, per block: substring -> full codes present.
+	sub [][]map[uint64][]uint64
+	// per table, per block: bit offset and width.
+	layout [][2]int
+}
+
+// NewMIH builds multi-index hashing over ix with the given number of
+// substring blocks; blocks ≤ 0 picks m/8 rounded up to at least 2
+// (8-bit substrings, the typical MIH configuration scaled to short
+// codes).
+func NewMIH(ix *index.Index, blocks int) *MIH {
+	m := ix.Bits()
+	if blocks <= 0 {
+		blocks = (m + 7) / 8
+		if blocks < 2 {
+			blocks = 2
+		}
+	}
+	if blocks > m {
+		blocks = m
+	}
+	mi := &MIH{ix: ix, blocks: blocks}
+	// Block layout: near-equal contiguous widths.
+	mi.layout = make([][2]int, blocks)
+	offset := 0
+	for b := 0; b < blocks; b++ {
+		w := m / blocks
+		if b < m%blocks {
+			w++
+		}
+		mi.layout[b] = [2]int{offset, w}
+		offset += w
+	}
+	mi.sub = make([][]map[uint64][]uint64, len(ix.Tables))
+	for t, tbl := range ix.Tables {
+		mi.sub[t] = make([]map[uint64][]uint64, blocks)
+		codes := tbl.Codes()
+		for b := 0; b < blocks; b++ {
+			mp := make(map[uint64][]uint64)
+			off, w := mi.layout[b][0], mi.layout[b][1]
+			maskW := (uint64(1) << uint(w)) - 1
+			for _, c := range codes {
+				s := (c >> uint(off)) & maskW
+				mp[s] = append(mp[s], c)
+			}
+			mi.sub[t][b] = mp
+		}
+	}
+	return mi
+}
+
+// Name implements Method.
+func (*MIH) Name() string { return "mih" }
+
+// QDScores implements Method.
+func (*MIH) QDScores() bool { return false }
+
+// NewSequence implements Method.
+func (mi *MIH) NewSequence(t int, q []float32) ProbeSequence {
+	hasher := mi.ix.Tables[t].Hasher
+	return &mihSeq{
+		mi:      mi,
+		t:       t,
+		qcode:   hasher.Code(q),
+		m:       hasher.Bits(),
+		pending: make(map[int][]uint64),
+		seen:    make(map[uint64]bool),
+		blockR:  -1,
+	}
+}
+
+type mihSeq struct {
+	mi      *MIH
+	t       int
+	qcode   uint64
+	m       int
+	radius  int              // current full-distance group being emitted
+	group   []uint64         // codes at distance == radius, sorted
+	gpos    int              // next index in group
+	pending map[int][]uint64 // full distance -> discovered codes
+	seen    map[uint64]bool
+	blockR  int // substring radius enumerated so far
+}
+
+// extend enumerates all block substrings at exact substring distance br
+// from the query in every block and pools the full codes found.
+func (s *mihSeq) extend(br int) {
+	for b := 0; b < s.mi.blocks; b++ {
+		off, w := s.mi.layout[b][0], s.mi.layout[b][1]
+		if br > w {
+			continue
+		}
+		maskW := (uint64(1) << uint(w)) - 1
+		qsub := (s.qcode >> uint(off)) & maskW
+		table := s.mi.sub[s.t][b]
+		emit := func(sub uint64) {
+			for _, full := range table[sub] {
+				if s.seen[full] {
+					continue
+				}
+				s.seen[full] = true
+				d := bits.OnesCount64(full ^ s.qcode)
+				s.pending[d] = append(s.pending[d], full)
+			}
+		}
+		if br == 0 {
+			emit(qsub)
+			continue
+		}
+		for mask := firstCombination(br); mask != 0; mask = nextCombination(mask, w) {
+			emit(qsub ^ mask)
+		}
+	}
+	s.blockR = br
+}
+
+func (s *mihSeq) Next() (uint64, float64, bool) {
+	for {
+		if s.gpos < len(s.group) {
+			c := s.group[s.gpos]
+			s.gpos++
+			return c, float64(s.radius), true
+		}
+		// Advance to the next radius group; first make sure every code
+		// at that full distance has been discovered (needs substring
+		// radius ⌊r/blocks⌋).
+		if s.group != nil {
+			s.radius++
+		}
+		if s.radius > s.m {
+			return 0, 0, false
+		}
+		need := s.radius / s.mi.blocks
+		for s.blockR < need {
+			s.extend(s.blockR + 1)
+		}
+		s.group = s.pending[s.radius]
+		delete(s.pending, s.radius)
+		if s.group == nil {
+			s.group = []uint64{} // mark the radius as processed
+		}
+		sort.Slice(s.group, func(a, b int) bool { return s.group[a] < s.group[b] })
+		s.gpos = 0
+	}
+}

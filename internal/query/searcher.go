@@ -1,0 +1,224 @@
+package query
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"gqr/internal/index"
+	"gqr/internal/vecmath"
+)
+
+// Options controls one Search call.
+type Options struct {
+	// K is the number of nearest neighbors to return.
+	K int
+	// MaxCandidates is N of Algorithms 1-2: stop once this many
+	// distinct items have been collected for evaluation. Zero means no
+	// candidate budget.
+	MaxCandidates int
+	// MaxBuckets stops after this many buckets have been generated
+	// (probed or found empty). Zero means no bucket budget.
+	MaxBuckets int
+	// EarlyStop enables the paper's §4.1 termination rule for QD
+	// methods: once the k-th candidate distance d_k satisfies
+	// µ·QD ≥ d_k for the next bucket, no unseen bucket can improve the
+	// result, so probing stops. Ignored for Hamming-score methods.
+	EarlyStop bool
+	// Mu is the Theorem 2 scale µ = 1/(σ_max(H)·√m) used by EarlyStop
+	// and Radius. Zero disables both rules.
+	Mu float64
+	// Radius, when positive, turns the search into a bounded-radius
+	// query (§4.1's first stopping criterion): only items within this
+	// Euclidean distance are returned, and for QD methods probing
+	// stops once µ·QD of the next bucket reaches the radius — no
+	// bucket beyond that point can contain an in-radius item.
+	Radius float64
+	// Profile enables per-stage timing (Stats.RetrievalTime /
+	// Stats.EvaluationTime) at the cost of two clock reads per bucket.
+	// The paper's §2.2 frames querying as retrieval + evaluation; the
+	// split shows where each method spends its budget.
+	Profile bool
+}
+
+// Stats reports the work one Search performed.
+type Stats struct {
+	// BucketsGenerated counts sequence emissions, including codes that
+	// hashed to empty buckets (GHR/GQR generate such codes; HR/QR/MIH
+	// never do).
+	BucketsGenerated int
+	// BucketsProbed counts non-empty buckets evaluated.
+	BucketsProbed int
+	// Candidates counts distinct items whose exact distance was
+	// computed (the paper's "# retrieved items", Figure 8).
+	Candidates int
+	// EarlyStopped reports whether the QD lower-bound rule fired.
+	EarlyStopped bool
+	// RetrievalTime and EvaluationTime split the query time between
+	// deciding which buckets to probe and computing exact distances.
+	// Only populated when Options.Profile is set.
+	RetrievalTime  time.Duration
+	EvaluationTime time.Duration
+}
+
+// Result is the outcome of one Search: ids and exact distances in
+// ascending distance order, plus work stats.
+type Result struct {
+	IDs   []int32
+	Dists []float64
+	Stats Stats
+}
+
+// Searcher executes queries against an index with a fixed querying
+// method. It reuses per-query scratch (the visited-epoch array), so a
+// Searcher is not safe for concurrent use; clone one per goroutine.
+type Searcher struct {
+	ix      *index.Index
+	method  Method
+	visited []uint32
+	epoch   uint32
+}
+
+// NewSearcher binds a querying method to an index.
+func NewSearcher(ix *index.Index, method Method) *Searcher {
+	return &Searcher{ix: ix, method: method, visited: make([]uint32, ix.N)}
+}
+
+// Method returns the bound querying method.
+func (s *Searcher) Method() Method { return s.method }
+
+// Search runs the full querying pipeline of §2.2 for one query:
+// retrieval (probe sequence over every table, merged best-score-first)
+// and evaluation (exact distances of candidate items, bounded max-heap
+// of size K). It returns the approximate k-nearest neighbors in
+// ascending distance order.
+func (s *Searcher) Search(q []float32, opt Options) (Result, error) {
+	if opt.K <= 0 {
+		return Result{}, fmt.Errorf("query: K must be positive, got %d", opt.K)
+	}
+	if len(q) != s.ix.Dim {
+		return Result{}, fmt.Errorf("query: query dim %d != index dim %d", len(q), s.ix.Dim)
+	}
+	s.epoch++
+	if s.epoch == 0 { // wrapped; clear and restart
+		for i := range s.visited {
+			s.visited[i] = 0
+		}
+		s.epoch = 1
+	}
+	if len(s.visited) < s.ix.N { // items were added since construction
+		grown := make([]uint32, s.ix.N)
+		copy(grown, s.visited)
+		s.visited = grown
+	}
+
+	// One probe sequence per table, merged by current score: always
+	// advance the table whose next bucket has the smallest score. With
+	// one table this is a direct pass-through.
+	type tableState struct {
+		seq   ProbeSequence
+		code  uint64
+		score float64
+		alive bool
+	}
+	var st Stats
+	var mark time.Time
+	if opt.Profile {
+		mark = time.Now()
+	}
+	states := make([]tableState, len(s.ix.Tables))
+	for t := range states {
+		states[t].seq = s.method.NewSequence(t, q)
+		states[t].code, states[t].score, states[t].alive = states[t].seq.Next()
+	}
+	if opt.Profile {
+		st.RetrievalTime += time.Since(mark)
+	}
+	top := newTopK(opt.K)
+	useEarlyStop := opt.EarlyStop && opt.Mu > 0 && s.method.QDScores()
+
+	for {
+		// Pick the live table with the smallest score (ties: lowest
+		// table id). Table counts are ≤ 30 in all experiments, so a
+		// linear scan beats a heap.
+		best := -1
+		for t := range states {
+			if !states[t].alive {
+				continue
+			}
+			if best < 0 || states[t].score < states[best].score {
+				best = t
+			}
+		}
+		if best < 0 {
+			break // every sequence exhausted: the whole space was probed
+		}
+
+		if useEarlyStop || (opt.Radius > 0 && opt.Mu > 0 && s.method.QDScores()) {
+			// µ·QD lower-bounds the true distance of every item in any
+			// bucket with this or a larger QD (Theorem 2); distances
+			// here are squared, so compare against the squared bound.
+			bound := opt.Mu * states[best].score
+			if useEarlyStop && top.Full() && bound*bound >= top.Worst() {
+				st.EarlyStopped = true
+				break
+			}
+			if opt.Radius > 0 && bound >= opt.Radius {
+				st.EarlyStopped = true
+				break
+			}
+		}
+
+		code := states[best].code
+		st.BucketsGenerated++
+		bucket := s.ix.Tables[best].Bucket(code)
+		if len(bucket) > 0 {
+			st.BucketsProbed++
+			if opt.Profile {
+				mark = time.Now()
+			}
+			for _, id := range bucket {
+				if s.visited[id] == s.epoch {
+					continue // already evaluated via another table
+				}
+				s.visited[id] = s.epoch
+				st.Candidates++
+				top.Offer(vecmath.SquaredL2(q, s.ix.Vector(id)), id)
+			}
+			if opt.Profile {
+				st.EvaluationTime += time.Since(mark)
+			}
+		}
+
+		if opt.MaxCandidates > 0 && st.Candidates >= opt.MaxCandidates {
+			break
+		}
+		if opt.MaxBuckets > 0 && st.BucketsGenerated >= opt.MaxBuckets {
+			break
+		}
+		if opt.Profile {
+			mark = time.Now()
+		}
+		states[best].code, states[best].score, states[best].alive = states[best].seq.Next()
+		if opt.Profile {
+			st.RetrievalTime += time.Since(mark)
+		}
+	}
+
+	ids, dists := top.Sorted()
+	for i := range dists {
+		dists[i] = math.Sqrt(dists[i])
+	}
+	if opt.Radius > 0 {
+		// Keep only in-radius items (the heap may hold farther ones).
+		cut := len(dists)
+		for i, d := range dists {
+			if d > opt.Radius {
+				cut = i
+				break
+			}
+		}
+		ids, dists = ids[:cut], dists[:cut]
+	}
+	return Result{IDs: ids, Dists: dists, Stats: st}, nil
+}

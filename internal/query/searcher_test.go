@@ -1,0 +1,389 @@
+package query
+
+import (
+	"math"
+	"testing"
+
+	"gqr/internal/dataset"
+	"gqr/internal/hash"
+	"gqr/internal/index"
+)
+
+// searchDataset builds a dataset with ground truth plus an index.
+func searchDataset(t testing.TB, tables int) (*index.Index, *dataset.Dataset) {
+	t.Helper()
+	ds := dataset.Generate(dataset.GeneratorSpec{
+		Name: "s", N: 600, Dim: 16, Clusters: 5, LatentDim: 4, Seed: 61,
+	})
+	ds.SampleQueries(15, 62)
+	ds.ComputeGroundTruth(10)
+	ix, err := index.Build(hash.ITQ{Iterations: 8}, ds.Vectors, ds.N(), ds.Dim, 8, tables, 63)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix, ds
+}
+
+func TestFullProbeFindsExactNeighborsAllMethods(t *testing.T) {
+	// With no budget, every method probes the entire space and must
+	// return exactly the brute-force k nearest neighbors — the
+	// "recall converges to 1" invariant.
+	ix, ds := searchDataset(t, 1)
+	for _, name := range Methods() {
+		m, err := NewMethod(name, ix)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := NewSearcher(ix, m)
+		for qi := 0; qi < ds.NQ(); qi++ {
+			res, err := s.Search(ds.Query(qi), Options{K: 10})
+			if err != nil {
+				t.Fatal(err)
+			}
+			gt := ds.GroundTruth[qi]
+			if len(res.IDs) != len(gt) {
+				t.Fatalf("%s query %d: %d results, want %d", name, qi, len(res.IDs), len(gt))
+			}
+			for i := range gt {
+				if res.IDs[i] != gt[i] {
+					t.Fatalf("%s query %d: result %v != ground truth %v", name, qi, res.IDs, gt)
+				}
+			}
+			if res.Stats.Candidates != ds.N() {
+				t.Fatalf("%s query %d: evaluated %d of %d items on a full probe", name, qi, res.Stats.Candidates, ds.N())
+			}
+		}
+	}
+}
+
+func TestDistancesSortedAndCorrect(t *testing.T) {
+	ix, ds := searchDataset(t, 1)
+	s := NewSearcher(ix, NewGQR(ix))
+	res, err := s.Search(ds.Query(0), Options{K: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.IDs {
+		want := math.Sqrt(float64(0))
+		_ = want
+		d := res.Dists[i]
+		exact := distOf(ds, 0, res.IDs[i])
+		if math.Abs(d-exact) > 1e-9 {
+			t.Fatalf("distance %g != exact %g", d, exact)
+		}
+		if i > 0 && res.Dists[i] < res.Dists[i-1] {
+			t.Fatal("distances not ascending")
+		}
+	}
+}
+
+func distOf(ds *dataset.Dataset, qi int, id int32) float64 {
+	var s float64
+	q := ds.Query(qi)
+	v := ds.Vector(int(id))
+	for j := range q {
+		d := float64(q[j]) - float64(v[j])
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+func TestCandidateBudgetRespected(t *testing.T) {
+	ix, ds := searchDataset(t, 1)
+	s := NewSearcher(ix, NewGQR(ix))
+	res, err := s.Search(ds.Query(0), Options{K: 10, MaxCandidates: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The budget is checked after each bucket, so overshoot is bounded
+	// by one bucket's worth of items.
+	if res.Stats.Candidates < 50 || res.Stats.Candidates > 50+200 {
+		t.Fatalf("candidates = %d with budget 50", res.Stats.Candidates)
+	}
+}
+
+func TestBucketBudgetRespected(t *testing.T) {
+	ix, ds := searchDataset(t, 1)
+	s := NewSearcher(ix, NewGHR(ix))
+	res, err := s.Search(ds.Query(0), Options{K: 10, MaxBuckets: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.BucketsGenerated != 7 {
+		t.Fatalf("buckets generated = %d, want 7", res.Stats.BucketsGenerated)
+	}
+}
+
+func TestGQRBeatsHRAtEqualCandidates(t *testing.T) {
+	// The paper's Figure 8 claim in miniature: at the same number of
+	// retrieved items, QD ordering finds at least as many true
+	// neighbors as Hamming ordering, summed over queries.
+	ix, ds := searchDataset(t, 1)
+	gqr := NewSearcher(ix, NewGQR(ix))
+	hr := NewSearcher(ix, NewHR(ix))
+	recall := func(s *Searcher) int {
+		found := 0
+		for qi := 0; qi < ds.NQ(); qi++ {
+			res, err := s.Search(ds.Query(qi), Options{K: 10, MaxCandidates: 60})
+			if err != nil {
+				t.Fatal(err)
+			}
+			inGT := make(map[int32]bool)
+			for _, id := range ds.GroundTruth[qi] {
+				inGT[id] = true
+			}
+			for _, id := range res.IDs {
+				if inGT[id] {
+					found++
+				}
+			}
+		}
+		return found
+	}
+	g, h := recall(gqr), recall(hr)
+	if g < h {
+		t.Fatalf("GQR found %d true neighbors, HR found %d", g, h)
+	}
+}
+
+func TestMultiTableDedup(t *testing.T) {
+	// With several tables, the same item reachable from multiple
+	// tables must be evaluated once.
+	ix, ds := searchDataset(t, 3)
+	s := NewSearcher(ix, NewGHR(ix))
+	res, err := s.Search(ds.Query(0), Options{K: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Candidates != ds.N() {
+		t.Fatalf("full probe over 3 tables evaluated %d items, want %d (dedup broken)", res.Stats.Candidates, ds.N())
+	}
+	// And the result is still exact.
+	for i, id := range ds.GroundTruth[0] {
+		if res.IDs[i] != id {
+			t.Fatalf("multi-table result differs from ground truth")
+		}
+	}
+}
+
+func TestMultiTableImprovesRecallAtBudget(t *testing.T) {
+	// §6.3.5: more tables -> better recall for the same candidate
+	// budget (usually; assert not-worse summed over queries with a
+	// margin).
+	ds := dataset.Generate(dataset.GeneratorSpec{
+		Name: "mt", N: 800, Dim: 16, Clusters: 6, LatentDim: 4, Seed: 71,
+	})
+	ds.SampleQueries(20, 72)
+	ds.ComputeGroundTruth(10)
+	recallWith := func(tables int) int {
+		ix, err := index.Build(hash.LSH{}, ds.Vectors, ds.N(), ds.Dim, 10, tables, 73)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := NewSearcher(ix, NewGHR(ix))
+		found := 0
+		for qi := 0; qi < ds.NQ(); qi++ {
+			res, err := s.Search(ds.Query(qi), Options{K: 10, MaxCandidates: 40})
+			if err != nil {
+				t.Fatal(err)
+			}
+			inGT := make(map[int32]bool)
+			for _, id := range ds.GroundTruth[qi] {
+				inGT[id] = true
+			}
+			for _, id := range res.IDs {
+				if inGT[id] {
+					found++
+				}
+			}
+		}
+		return found
+	}
+	r1, r4 := recallWith(1), recallWith(4)
+	if r4+5 < r1 {
+		t.Fatalf("4 tables found %d true neighbors, 1 table found %d", r4, r1)
+	}
+}
+
+func TestEarlyStopPreservesExactness(t *testing.T) {
+	// §4.1: stopping once µ·QD ≥ d_k must not change the result of a
+	// full probe — the bound guarantees no unseen bucket can help.
+	ix, ds := searchDataset(t, 1)
+	ph := ix.Tables[0].Hasher.(interface {
+		Bits() int
+	})
+	m := float64(ph.Bits())
+	// ITQ's H has orthonormal rows, so σ_max = 1 and µ = 1/√m.
+	mu := 1 / math.Sqrt(m)
+	s := NewSearcher(ix, NewGQR(ix))
+	stopped := 0
+	for qi := 0; qi < ds.NQ(); qi++ {
+		res, err := s.Search(ds.Query(qi), Options{K: 10, EarlyStop: true, Mu: mu})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Stats.EarlyStopped {
+			stopped++
+		}
+		for i, id := range ds.GroundTruth[qi] {
+			if res.IDs[i] != id {
+				t.Fatalf("early stop changed the exact result for query %d", qi)
+			}
+		}
+	}
+	t.Logf("early stop fired on %d/%d queries", stopped, ds.NQ())
+}
+
+func TestSearchValidation(t *testing.T) {
+	ix, ds := searchDataset(t, 1)
+	s := NewSearcher(ix, NewGQR(ix))
+	if _, err := s.Search(ds.Query(0), Options{K: 0}); err == nil {
+		t.Fatal("K=0 must be rejected")
+	}
+	if _, err := s.Search(ds.Query(0)[:3], Options{K: 1}); err == nil {
+		t.Fatal("dimension mismatch must be rejected")
+	}
+}
+
+func TestEpochWraparound(t *testing.T) {
+	ix, ds := searchDataset(t, 1)
+	s := NewSearcher(ix, NewGQR(ix))
+	s.epoch = math.MaxUint32 - 1
+	for i := 0; i < 3; i++ {
+		res, err := s.Search(ds.Query(0), Options{K: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Stats.Candidates != ds.N() {
+			t.Fatalf("wraparound broke dedup: %d candidates", res.Stats.Candidates)
+		}
+	}
+}
+
+func TestStatsBucketAccounting(t *testing.T) {
+	ix, ds := searchDataset(t, 1)
+	// HR never generates empty buckets; GHR may.
+	hr := NewSearcher(ix, NewHR(ix))
+	res, err := hr.Search(ds.Query(0), Options{K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.BucketsGenerated != res.Stats.BucketsProbed {
+		t.Fatalf("HR generated %d but probed %d", res.Stats.BucketsGenerated, res.Stats.BucketsProbed)
+	}
+	if res.Stats.BucketsProbed != ix.Tables[0].BucketCount() {
+		t.Fatalf("HR full probe visited %d buckets, table has %d", res.Stats.BucketsProbed, ix.Tables[0].BucketCount())
+	}
+	ghr := NewSearcher(ix, NewGHR(ix))
+	res2, err := ghr.Search(ds.Query(0), Options{K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Stats.BucketsGenerated != 1<<8 {
+		t.Fatalf("GHR full probe generated %d codes, want 256", res2.Stats.BucketsGenerated)
+	}
+	if res2.Stats.BucketsProbed != ix.Tables[0].BucketCount() {
+		t.Fatalf("GHR probed %d non-empty buckets, table has %d", res2.Stats.BucketsProbed, ix.Tables[0].BucketCount())
+	}
+}
+
+func TestKLargerThanN(t *testing.T) {
+	ds := dataset.Generate(dataset.GeneratorSpec{Name: "k", N: 20, Dim: 8, Seed: 81})
+	ds.SampleQueries(2, 82)
+	ix, err := index.Build(hash.PCAH{}, ds.Vectors, ds.N(), ds.Dim, 4, 1, 83)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSearcher(ix, NewGQR(ix))
+	res, err := s.Search(ds.Query(0), Options{K: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.IDs) != ds.N() {
+		t.Fatalf("K>N returned %d results, want all %d", len(res.IDs), ds.N())
+	}
+}
+
+func TestRadiusOptionPrunesAndFilters(t *testing.T) {
+	ix, ds := searchDataset(t, 1)
+	mu := 1 / math.Sqrt(float64(ix.Bits())) // ITQ: σ_max = 1
+	s := NewSearcher(ix, NewGQR(ix))
+	for qi := 0; qi < ds.NQ(); qi++ {
+		q := ds.Query(qi)
+		d2 := distOf(ds, qi, ds.GroundTruth[qi][1])
+		d3 := distOf(ds, qi, ds.GroundTruth[qi][2])
+		if d3 <= d2 {
+			continue
+		}
+		radius := (d2 + d3) / 2
+		res, err := s.Search(q, Options{K: 10, Radius: radius, Mu: mu})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.IDs) != 2 {
+			t.Fatalf("query %d: %d in-radius results, want 2", qi, len(res.IDs))
+		}
+		for i, id := range res.IDs {
+			if id != ds.GroundTruth[qi][i] {
+				t.Fatalf("query %d: radius results %v != truth prefix", qi, res.IDs)
+			}
+			if res.Dists[i] > radius {
+				t.Fatalf("query %d: result beyond radius", qi)
+			}
+		}
+		// The threshold rule must have stopped probing early.
+		if !res.Stats.EarlyStopped {
+			t.Fatalf("query %d: radius search did not trigger the threshold stop", qi)
+		}
+		if res.Stats.Candidates >= ds.N() {
+			t.Fatalf("query %d: radius search evaluated the whole dataset", qi)
+		}
+	}
+}
+
+func TestRadiusIgnoredForHammingMethods(t *testing.T) {
+	// Hamming scores are not distance bounds; the searcher must not
+	// apply the threshold rule, but must still filter the results.
+	ix, ds := searchDataset(t, 1)
+	s := NewSearcher(ix, NewGHR(ix))
+	d1 := distOf(ds, 0, ds.GroundTruth[0][0])
+	res, err := s.Search(ds.Query(0), Options{K: 10, Radius: d1 * 1.01, Mu: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.EarlyStopped {
+		t.Fatal("threshold rule fired for a Hamming method")
+	}
+	if len(res.IDs) != 1 || res.IDs[0] != ds.GroundTruth[0][0] {
+		t.Fatalf("radius filter wrong for Hamming method: %v", res.IDs)
+	}
+}
+
+func TestProfileTimingsPopulated(t *testing.T) {
+	ix, ds := searchDataset(t, 1)
+	s := NewSearcher(ix, NewGQR(ix))
+	res, err := s.Search(ds.Query(0), Options{K: 10, Profile: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.RetrievalTime <= 0 || res.Stats.EvaluationTime <= 0 {
+		t.Fatalf("profile timings not populated: %+v", res.Stats)
+	}
+	// Without Profile the fields stay zero.
+	res2, err := s.Search(ds.Query(0), Options{K: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Stats.RetrievalTime != 0 || res2.Stats.EvaluationTime != 0 {
+		t.Fatal("profile timings populated without Profile")
+	}
+	// Results identical either way.
+	if len(res.IDs) != len(res2.IDs) {
+		t.Fatal("profiling changed results")
+	}
+	for i := range res.IDs {
+		if res.IDs[i] != res2.IDs[i] {
+			t.Fatal("profiling changed results")
+		}
+	}
+}

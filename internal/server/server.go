@@ -1,0 +1,207 @@
+// Package server exposes a gqr index over HTTP with a small JSON API:
+//
+//	POST /search  {"query":[...], "k":10, "maxCandidates":1000,
+//	               "radius":0, "earlyStop":false}
+//	POST /batch   {"queries":[[...],[...]], "k":10, ...}
+//	POST /add     {"vector":[...]}
+//	GET  /stats
+//	GET  /healthz
+//
+// It is the serving substrate for cmd/gqr-server and is tested with
+// net/http/httptest.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"gqr"
+)
+
+// Handler routes the JSON API for one index.
+type Handler struct {
+	ix  *gqr.Index
+	mux *http.ServeMux
+}
+
+// New wraps an index in an http.Handler.
+func New(ix *gqr.Index) *Handler {
+	h := &Handler{ix: ix, mux: http.NewServeMux()}
+	h.mux.HandleFunc("/search", h.search)
+	h.mux.HandleFunc("/batch", h.batch)
+	h.mux.HandleFunc("/add", h.add)
+	h.mux.HandleFunc("/stats", h.stats)
+	h.mux.HandleFunc("/healthz", h.healthz)
+	return h
+}
+
+// ServeHTTP implements http.Handler.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) { h.mux.ServeHTTP(w, r) }
+
+// SearchRequest is the /search request body.
+type SearchRequest struct {
+	Query         []float32 `json:"query"`
+	K             int       `json:"k"`
+	MaxCandidates int       `json:"maxCandidates,omitempty"`
+	MaxBuckets    int       `json:"maxBuckets,omitempty"`
+	Radius        float64   `json:"radius,omitempty"`
+	EarlyStop     bool      `json:"earlyStop,omitempty"`
+}
+
+// NeighborJSON is one result entry.
+type NeighborJSON struct {
+	ID       int     `json:"id"`
+	Distance float64 `json:"distance"`
+}
+
+// SearchResponse is the /search response body.
+type SearchResponse struct {
+	Neighbors []NeighborJSON `json:"neighbors"`
+}
+
+// BatchRequest is the /batch request body.
+type BatchRequest struct {
+	Queries       [][]float32 `json:"queries"`
+	K             int         `json:"k"`
+	MaxCandidates int         `json:"maxCandidates,omitempty"`
+	MaxBuckets    int         `json:"maxBuckets,omitempty"`
+	Radius        float64     `json:"radius,omitempty"`
+	EarlyStop     bool        `json:"earlyStop,omitempty"`
+}
+
+// BatchResponse is the /batch response body.
+type BatchResponse struct {
+	Results [][]NeighborJSON `json:"results"`
+}
+
+// AddRequest is the /add request body.
+type AddRequest struct {
+	Vector []float32 `json:"vector"`
+}
+
+// AddResponse is the /add response body.
+type AddResponse struct {
+	ID int `json:"id"`
+}
+
+func (h *Handler) search(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req SearchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		return
+	}
+	nbrs, err := h.ix.Search(req.Query, req.K, optsOf(req.MaxCandidates, req.MaxBuckets, req.Radius, req.EarlyStop)...)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, SearchResponse{Neighbors: toJSON(nbrs)})
+}
+
+func (h *Handler) batch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req BatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		return
+	}
+	dim := h.ix.Stats().Dim
+	flat := make([]float32, 0, len(req.Queries)*dim)
+	for i, q := range req.Queries {
+		if len(q) != dim {
+			httpError(w, http.StatusBadRequest, "query %d has dim %d, want %d", i, len(q), dim)
+			return
+		}
+		flat = append(flat, q...)
+	}
+	lists, err := h.ix.SearchBatch(flat, req.K, optsOf(req.MaxCandidates, req.MaxBuckets, req.Radius, req.EarlyStop)...)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	resp := BatchResponse{Results: make([][]NeighborJSON, len(lists))}
+	for i, nbrs := range lists {
+		resp.Results[i] = toJSON(nbrs)
+	}
+	writeJSON(w, resp)
+}
+
+func (h *Handler) add(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req AddRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		return
+	}
+	id, err := h.ix.Add(req.Vector)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, AddResponse{ID: id})
+}
+
+func (h *Handler) stats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	writeJSON(w, h.ix.Stats())
+}
+
+func (h *Handler) healthz(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
+}
+
+func optsOf(maxCand, maxBuckets int, radius float64, earlyStop bool) []gqr.SearchOption {
+	var opts []gqr.SearchOption
+	if maxCand > 0 {
+		opts = append(opts, gqr.WithMaxCandidates(maxCand))
+	}
+	if maxBuckets > 0 {
+		opts = append(opts, gqr.WithMaxBuckets(maxBuckets))
+	}
+	if radius > 0 {
+		opts = append(opts, gqr.WithRadius(radius))
+	}
+	if earlyStop {
+		opts = append(opts, gqr.WithEarlyStop())
+	}
+	return opts
+}
+
+func toJSON(nbrs []gqr.Neighbor) []NeighborJSON {
+	out := make([]NeighborJSON, len(nbrs))
+	for i, nb := range nbrs {
+		out[i] = NeighborJSON{ID: nb.ID, Distance: nb.Distance}
+	}
+	return out
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers are already sent; nothing more to do but log-worthy
+		// in a real deployment. The connection error surfaces to the
+		// client anyway.
+		_ = err
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}

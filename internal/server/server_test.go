@@ -1,0 +1,234 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"gqr"
+	"gqr/internal/dataset"
+)
+
+func testServer(t *testing.T) (*httptest.Server, *dataset.Dataset) {
+	t.Helper()
+	ds := dataset.Generate(dataset.GeneratorSpec{
+		Name: "srv", N: 500, Dim: 12, Clusters: 4, LatentDim: 3, Seed: 81,
+	})
+	ds.SampleQueries(5, 82)
+	ds.ComputeGroundTruth(5)
+	ix, err := gqr.Build(ds.Vectors, ds.Dim, gqr.WithSeed(83))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(New(ix))
+	t.Cleanup(srv.Close)
+	return srv, ds
+}
+
+func post(t *testing.T, url string, body any, out any) *http.Response {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp
+}
+
+func TestSearchEndpointExact(t *testing.T) {
+	srv, ds := testServer(t)
+	for qi := 0; qi < ds.NQ(); qi++ {
+		var out SearchResponse
+		resp := post(t, srv.URL+"/search", SearchRequest{Query: ds.Query(qi), K: 5}, &out)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d", resp.StatusCode)
+		}
+		if len(out.Neighbors) != 5 {
+			t.Fatalf("%d neighbors", len(out.Neighbors))
+		}
+		for i, id := range ds.GroundTruth[qi] {
+			if out.Neighbors[i].ID != int(id) {
+				t.Fatalf("query %d: %v != ground truth %v", qi, out.Neighbors, ds.GroundTruth[qi])
+			}
+		}
+	}
+}
+
+func TestSearchEndpointErrors(t *testing.T) {
+	srv, ds := testServer(t)
+	// Bad JSON.
+	resp, err := http.Post(srv.URL+"/search", "application/json", bytes.NewReader([]byte("{")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad JSON gave status %d", resp.StatusCode)
+	}
+	// Wrong dim.
+	r2 := post(t, srv.URL+"/search", SearchRequest{Query: ds.Query(0)[:3], K: 5}, nil)
+	if r2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad dim gave status %d", r2.StatusCode)
+	}
+	// K = 0.
+	r3 := post(t, srv.URL+"/search", SearchRequest{Query: ds.Query(0), K: 0}, nil)
+	if r3.StatusCode != http.StatusBadRequest {
+		t.Fatalf("k=0 gave status %d", r3.StatusCode)
+	}
+	// GET not allowed.
+	r4, err := http.Get(srv.URL + "/search")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4.Body.Close()
+	if r4.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /search gave status %d", r4.StatusCode)
+	}
+}
+
+func TestBatchEndpoint(t *testing.T) {
+	srv, ds := testServer(t)
+	req := BatchRequest{K: 3, MaxCandidates: 100}
+	for qi := 0; qi < ds.NQ(); qi++ {
+		req.Queries = append(req.Queries, ds.Query(qi))
+	}
+	var out BatchResponse
+	resp := post(t, srv.URL+"/batch", req, &out)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if len(out.Results) != ds.NQ() {
+		t.Fatalf("%d result lists", len(out.Results))
+	}
+	for _, nbrs := range out.Results {
+		if len(nbrs) != 3 {
+			t.Fatalf("result list of %d", len(nbrs))
+		}
+	}
+	// Ragged batch rejected.
+	bad := BatchRequest{K: 3, Queries: [][]float32{ds.Query(0), ds.Query(1)[:4]}}
+	r2 := post(t, srv.URL+"/batch", bad, nil)
+	if r2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("ragged batch gave status %d", r2.StatusCode)
+	}
+}
+
+func TestAddEndpoint(t *testing.T) {
+	srv, ds := testServer(t)
+	var out AddResponse
+	resp := post(t, srv.URL+"/add", AddRequest{Vector: ds.Query(0)}, &out)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if out.ID != ds.N() {
+		t.Fatalf("new id %d, want %d", out.ID, ds.N())
+	}
+	// The added vector must now be the top hit for itself.
+	var sr SearchResponse
+	post(t, srv.URL+"/search", SearchRequest{Query: ds.Query(0), K: 1}, &sr)
+	if sr.Neighbors[0].ID != out.ID || sr.Neighbors[0].Distance != 0 {
+		t.Fatalf("added vector not found: %+v", sr.Neighbors)
+	}
+}
+
+func TestStatsAndHealth(t *testing.T) {
+	srv, ds := testServer(t)
+	resp, err := http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st gqr.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Items != ds.N() || st.Algorithm != gqr.ITQ {
+		t.Fatalf("stats = %+v", st)
+	}
+	h, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Body.Close()
+	if h.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", h.StatusCode)
+	}
+}
+
+func TestRadiusViaAPI(t *testing.T) {
+	srv, ds := testServer(t)
+	// Radius so tight only the nearest item qualifies.
+	var sr SearchResponse
+	q := ds.Query(0)
+	// First find the true nearest distance via an exact search.
+	var exact SearchResponse
+	post(t, srv.URL+"/search", SearchRequest{Query: q, K: 2}, &exact)
+	r := (exact.Neighbors[0].Distance + exact.Neighbors[1].Distance) / 2
+	post(t, srv.URL+"/search", SearchRequest{Query: q, K: 10, Radius: r}, &sr)
+	if len(sr.Neighbors) != 1 || sr.Neighbors[0].ID != exact.Neighbors[0].ID {
+		t.Fatalf("radius search via API wrong: %+v", sr.Neighbors)
+	}
+}
+
+func TestMethodNotAllowedEverywhere(t *testing.T) {
+	srv, _ := testServer(t)
+	for _, path := range []string{"/batch", "/add"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Fatalf("GET %s gave status %d", path, resp.StatusCode)
+		}
+	}
+	resp, err := http.Post(srv.URL+"/stats", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /stats gave status %d", resp.StatusCode)
+	}
+}
+
+func TestAddAndBatchBadJSON(t *testing.T) {
+	srv, _ := testServer(t)
+	for _, path := range []string{"/add", "/batch"} {
+		resp, err := http.Post(srv.URL+path, "application/json", bytes.NewReader([]byte("{nope")))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("bad JSON to %s gave status %d", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestAddWrongDim(t *testing.T) {
+	srv, _ := testServer(t)
+	resp := post(t, srv.URL+"/add", AddRequest{Vector: []float32{1, 2}}, nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("wrong-dim add gave status %d", resp.StatusCode)
+	}
+}
+
+func TestBatchKZeroRejected(t *testing.T) {
+	srv, ds := testServer(t)
+	resp := post(t, srv.URL+"/batch", BatchRequest{Queries: [][]float32{ds.Query(0)}, K: 0}, nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("k=0 batch gave status %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,128 @@
+package vecmath
+
+import (
+	"math"
+	"sort"
+)
+
+// EigenSym computes the full eigendecomposition of a symmetric matrix a
+// using the cyclic Jacobi method. It returns the eigenvalues in
+// descending order and the matching eigenvectors as the columns of the
+// returned matrix. a is not modified.
+//
+// Jacobi is quadratically convergent and unconditionally stable, which is
+// all the trainers need: covariance matrices here are at most a few
+// hundred square.
+func EigenSym(a *Mat) (values []float64, vectors *Mat) {
+	if a.Rows != a.Cols {
+		panic("vecmath: EigenSym requires a square matrix")
+	}
+	n := a.Rows
+	w := a.Clone()
+	v := Identity(n)
+
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		// Sum of absolute off-diagonal values: convergence test.
+		var off float64
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += math.Abs(w.At(i, j))
+			}
+		}
+		if off == 0 {
+			break
+		}
+		threshold := 0.0
+		if sweep < 3 {
+			threshold = 0.2 * off / float64(n*n)
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := w.At(p, q)
+				g := 100 * math.Abs(apq)
+				app, aqq := w.At(p, p), w.At(q, q)
+				if sweep > 3 && math.Abs(app)+g == math.Abs(app) && math.Abs(aqq)+g == math.Abs(aqq) {
+					w.Set(p, q, 0)
+					w.Set(q, p, 0)
+					continue
+				}
+				if math.Abs(apq) <= threshold {
+					continue
+				}
+				h := aqq - app
+				var t float64
+				if math.Abs(h)+g == math.Abs(h) {
+					t = apq / h
+				} else {
+					theta := 0.5 * h / apq
+					t = 1 / (math.Abs(theta) + math.Sqrt(1+theta*theta))
+					if theta < 0 {
+						t = -t
+					}
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				s := t * c
+				tau := s / (1 + c)
+				// Apply the rotation to w (rows/cols p and q).
+				w.Set(p, p, app-t*apq)
+				w.Set(q, q, aqq+t*apq)
+				w.Set(p, q, 0)
+				w.Set(q, p, 0)
+				for i := 0; i < n; i++ {
+					if i == p || i == q {
+						continue
+					}
+					aip, aiq := w.At(i, p), w.At(i, q)
+					w.Set(i, p, aip-s*(aiq+tau*aip))
+					w.Set(p, i, w.At(i, p))
+					w.Set(i, q, aiq+s*(aip-tau*aiq))
+					w.Set(q, i, w.At(i, q))
+				}
+				// Accumulate the rotation into the eigenvector matrix.
+				for i := 0; i < n; i++ {
+					vip, viq := v.At(i, p), v.At(i, q)
+					v.Set(i, p, vip-s*(viq+tau*vip))
+					v.Set(i, q, viq+s*(vip-tau*viq))
+				}
+			}
+		}
+	}
+
+	values = make([]float64, n)
+	for i := 0; i < n; i++ {
+		values[i] = w.At(i, i)
+	}
+	// Sort eigenpairs by descending eigenvalue.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool { return values[order[i]] > values[order[j]] })
+	sortedVals := make([]float64, n)
+	vectors = NewMat(n, n)
+	for dst, src := range order {
+		sortedVals[dst] = values[src]
+		for i := 0; i < n; i++ {
+			vectors.Set(i, dst, v.At(i, src))
+		}
+	}
+	return sortedVals, vectors
+}
+
+// TopEigenvectors returns the k eigenvectors of the symmetric matrix a
+// with the largest eigenvalues, as the rows of a k×n matrix (ready to use
+// as a projection).
+func TopEigenvectors(a *Mat, k int) *Mat {
+	if k > a.Rows {
+		panic("vecmath: TopEigenvectors k exceeds matrix size")
+	}
+	_, vecs := EigenSym(a)
+	out := NewMat(k, a.Rows)
+	for r := 0; r < k; r++ {
+		for c := 0; c < a.Rows; c++ {
+			out.Set(r, c, vecs.At(c, r))
+		}
+	}
+	return out
+}

@@ -1,0 +1,142 @@
+package vecmath
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomSymmetric builds a random symmetric n×n matrix.
+func randomSymmetric(rng *rand.Rand, n int) *Mat {
+	a := GaussianMat(rng, n, n)
+	s := NewMat(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			v := (a.At(i, j) + a.At(j, i)) / 2
+			s.Set(i, j, v)
+		}
+	}
+	return s
+}
+
+func TestEigenSymKnown2x2(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 3 and 1.
+	a := NewMatFrom(2, 2, []float64{2, 1, 1, 2})
+	vals, vecs := EigenSym(a)
+	if !almostEqual(vals[0], 3, 1e-12) || !almostEqual(vals[1], 1, 1e-12) {
+		t.Fatalf("eigenvalues %v, want [3 1]", vals)
+	}
+	// First eigenvector must be ±(1,1)/√2.
+	v0 := []float64{vecs.At(0, 0), vecs.At(1, 0)}
+	if !almostEqual(math.Abs(v0[0]), 1/math.Sqrt2, 1e-9) || !almostEqual(v0[0], v0[1], 1e-9) {
+		t.Fatalf("first eigenvector %v", v0)
+	}
+}
+
+func TestEigenSymDiagonal(t *testing.T) {
+	a := NewMatFrom(3, 3, []float64{5, 0, 0, 0, -2, 0, 0, 0, 9})
+	vals, _ := EigenSym(a)
+	want := []float64{9, 5, -2}
+	for i := range want {
+		if !almostEqual(vals[i], want[i], 1e-12) {
+			t.Fatalf("vals %v want %v", vals, want)
+		}
+	}
+}
+
+// Property: A·v_i = λ_i·v_i and V orthonormal, for random symmetric A.
+func TestEigenSymResidualProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(10)
+		a := randomSymmetric(rng, n)
+		vals, vecs := EigenSym(a)
+		scale := a.MaxAbs() + 1
+		// Residual per eigenpair.
+		for j := 0; j < n; j++ {
+			v := make([]float64, n)
+			for i := 0; i < n; i++ {
+				v[i] = vecs.At(i, j)
+			}
+			av := MulVec(a, v)
+			for i := 0; i < n; i++ {
+				if math.Abs(av[i]-vals[j]*v[i]) > 1e-8*scale {
+					return false
+				}
+			}
+		}
+		// Orthonormality: VᵀV = I.
+		vtv := Mul(vecs.T(), vecs)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				want := 0.0
+				if i == j {
+					want = 1
+				}
+				if math.Abs(vtv.At(i, j)-want) > 1e-9 {
+					return false
+				}
+			}
+		}
+		// Eigenvalues descending.
+		for i := 1; i < n; i++ {
+			if vals[i] > vals[i-1]+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEigenSymTraceInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := randomSymmetric(rng, 8)
+	vals, _ := EigenSym(a)
+	var trace, sum float64
+	for i := 0; i < 8; i++ {
+		trace += a.At(i, i)
+	}
+	for _, v := range vals {
+		sum += v
+	}
+	if !almostEqual(trace, sum, 1e-9) {
+		t.Fatalf("trace %g != eigenvalue sum %g", trace, sum)
+	}
+}
+
+func TestTopEigenvectorsShapeAndOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	a := randomSymmetric(rng, 6)
+	// Make it positive definite so ordering is meaningful.
+	ata := Mul(a, a.T())
+	top := TopEigenvectors(ata, 3)
+	if top.Rows != 3 || top.Cols != 6 {
+		t.Fatalf("shape %dx%d", top.Rows, top.Cols)
+	}
+	vals, _ := EigenSym(ata)
+	// Rayleigh quotient of row r must equal the r-th eigenvalue.
+	for r := 0; r < 3; r++ {
+		v := top.Row(r)
+		av := MulVec(ata, v)
+		var rq float64
+		for i := range v {
+			rq += v[i] * av[i]
+		}
+		if !almostEqual(rq, vals[r], 1e-8*(vals[0]+1)) {
+			t.Fatalf("row %d Rayleigh quotient %g want %g", r, rq, vals[r])
+		}
+	}
+}
+
+func TestEigenSymRequiresSquare(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("EigenSym must panic on non-square input")
+		}
+	}()
+	EigenSym(NewMat(2, 3))
+}

@@ -1,0 +1,89 @@
+package vecmath
+
+import "math"
+
+// SquaredL2 returns the squared Euclidean distance between a and b.
+// It is the evaluation-stage kernel; loops are unrolled four-wide, which
+// the compiler turns into reasonable scalar code without breaking
+// determinism.
+func SquaredL2(a, b []float32) float64 {
+	if len(a) != len(b) {
+		panic("vecmath: SquaredL2 length mismatch")
+	}
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		d0 := float64(a[i]) - float64(b[i])
+		d1 := float64(a[i+1]) - float64(b[i+1])
+		d2 := float64(a[i+2]) - float64(b[i+2])
+		d3 := float64(a[i+3]) - float64(b[i+3])
+		s0 += d0 * d0
+		s1 += d1 * d1
+		s2 += d2 * d2
+		s3 += d3 * d3
+	}
+	for ; i < len(a); i++ {
+		d := float64(a[i]) - float64(b[i])
+		s0 += d * d
+	}
+	return s0 + s1 + s2 + s3
+}
+
+// L2 returns the Euclidean distance between a and b.
+func L2(a, b []float32) float64 { return math.Sqrt(SquaredL2(a, b)) }
+
+// Dot returns the dot product of a and b.
+func Dot(a, b []float32) float64 {
+	if len(a) != len(b) {
+		panic("vecmath: Dot length mismatch")
+	}
+	var s float64
+	for i, v := range a {
+		s += float64(v) * float64(b[i])
+	}
+	return s
+}
+
+// Norm returns the Euclidean norm of a.
+func Norm(a []float32) float64 {
+	var s float64
+	for _, v := range a {
+		s += float64(v) * float64(v)
+	}
+	return math.Sqrt(s)
+}
+
+// Norm64 returns the Euclidean norm of a float64 vector.
+func Norm64(a []float64) float64 {
+	var s float64
+	for _, v := range a {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// ArgNearest returns the index of the row of centers (k rows of dimension
+// d, row-major) nearest to x in squared Euclidean distance, along with
+// that distance. It is the inner loop of k-means and of PQ encoding.
+func ArgNearest(x []float32, centers []float32, k, d int) (best int, bestDist float64) {
+	if len(x) != d || len(centers) != k*d {
+		panic("vecmath: ArgNearest shape mismatch")
+	}
+	bestDist = math.Inf(1)
+	for c := 0; c < k; c++ {
+		row := centers[c*d : (c+1)*d]
+		var s float64
+		for j, v := range row {
+			diff := float64(x[j]) - float64(v)
+			s += diff * diff
+			if s >= bestDist {
+				break
+			}
+		}
+		if s < bestDist {
+			bestDist = s
+			best = c
+		}
+	}
+	return best, bestDist
+}

@@ -1,0 +1,151 @@
+package vecmath
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSquaredL2Known(t *testing.T) {
+	a := []float32{0, 0, 0}
+	b := []float32{1, 2, 2}
+	if d := SquaredL2(a, b); d != 9 {
+		t.Fatalf("SquaredL2 = %g, want 9", d)
+	}
+	if d := L2(a, b); d != 3 {
+		t.Fatalf("L2 = %g, want 3", d)
+	}
+}
+
+func TestSquaredL2OddLengths(t *testing.T) {
+	// Exercise the tail loop for lengths not divisible by 4.
+	for _, n := range []int{1, 2, 3, 5, 7, 9} {
+		a := make([]float32, n)
+		b := make([]float32, n)
+		for i := range a {
+			a[i] = float32(i)
+			b[i] = float32(i + 1)
+		}
+		if d := SquaredL2(a, b); d != float64(n) {
+			t.Fatalf("n=%d SquaredL2=%g want %d", n, d, n)
+		}
+	}
+}
+
+func TestSquaredL2Properties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(32)
+		a := make([]float32, n)
+		b := make([]float32, n)
+		for i := range a {
+			a[i] = float32(rng.NormFloat64())
+			b[i] = float32(rng.NormFloat64())
+		}
+		// Symmetry, identity, non-negativity.
+		if SquaredL2(a, b) != SquaredL2(b, a) {
+			return false
+		}
+		if SquaredL2(a, a) != 0 {
+			return false
+		}
+		return SquaredL2(a, b) >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDotAndNorm(t *testing.T) {
+	a := []float32{1, 2, 3}
+	b := []float32{4, -5, 6}
+	if d := Dot(a, b); d != 12 {
+		t.Fatalf("Dot = %g, want 12", d)
+	}
+	if n := Norm([]float32{3, 4}); n != 5 {
+		t.Fatalf("Norm = %g, want 5", n)
+	}
+	if n := Norm64([]float64{3, 4}); n != 5 {
+		t.Fatalf("Norm64 = %g, want 5", n)
+	}
+}
+
+func TestArgNearestExhaustive(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	k, d := 17, 9
+	centers := make([]float32, k*d)
+	for i := range centers {
+		centers[i] = float32(rng.NormFloat64())
+	}
+	for trial := 0; trial < 50; trial++ {
+		x := make([]float32, d)
+		for i := range x {
+			x[i] = float32(rng.NormFloat64())
+		}
+		best, bestDist := ArgNearest(x, centers, k, d)
+		// Verify against a plain scan.
+		wantBest, wantDist := -1, math.Inf(1)
+		for c := 0; c < k; c++ {
+			dd := SquaredL2(x, centers[c*d:(c+1)*d])
+			if dd < wantDist {
+				wantDist = dd
+				wantBest = c
+			}
+		}
+		if best != wantBest || !almostEqual(bestDist, wantDist, 1e-12) {
+			t.Fatalf("ArgNearest=(%d,%g) want (%d,%g)", best, bestDist, wantBest, wantDist)
+		}
+	}
+}
+
+func TestKernelLengthPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"SquaredL2": func() { SquaredL2([]float32{1}, []float32{1, 2}) },
+		"Dot":       func() { Dot([]float32{1}, []float32{1, 2}) },
+		"ArgNearest": func() {
+			ArgNearest([]float32{1}, []float32{1, 2}, 1, 2)
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s must panic on length mismatch", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func BenchmarkSquaredL2Dim32(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := make([]float32, 32)
+	y := make([]float32, 32)
+	for i := range x {
+		x[i] = float32(rng.NormFloat64())
+		y[i] = float32(rng.NormFloat64())
+	}
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += SquaredL2(x, y)
+	}
+	benchSink = sink
+}
+
+func BenchmarkMulVec32Proj(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	m := GaussianMat(rng, 14, 32) // typical projection: 14 bits × 32 dims
+	x := make([]float32, 32)
+	for i := range x {
+		x[i] = float32(rng.NormFloat64())
+	}
+	dst := make([]float64, 14)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MulVec32(m, x, dst)
+	}
+}
+
+var benchSink float64

@@ -1,0 +1,209 @@
+package vecmath
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMatAtSetRow(t *testing.T) {
+	m := NewMat(2, 3)
+	m.Set(0, 0, 1)
+	m.Set(1, 2, 5)
+	if m.At(0, 0) != 1 || m.At(1, 2) != 5 {
+		t.Fatalf("At/Set roundtrip failed: %+v", m)
+	}
+	r := m.Row(1)
+	r[0] = 7
+	if m.At(1, 0) != 7 {
+		t.Fatal("Row must alias the underlying data")
+	}
+}
+
+func TestNewMatFromValidates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewMatFrom must panic on mismatched length")
+		}
+	}()
+	NewMatFrom(2, 2, []float64{1, 2, 3})
+}
+
+func TestTranspose(t *testing.T) {
+	m := NewMatFrom(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	tr := m.T()
+	if tr.Rows != 3 || tr.Cols != 2 {
+		t.Fatalf("transpose shape %dx%d", tr.Rows, tr.Cols)
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			if m.At(i, j) != tr.At(j, i) {
+				t.Fatalf("transpose mismatch at %d,%d", i, j)
+			}
+		}
+	}
+}
+
+func TestMulKnown(t *testing.T) {
+	a := NewMatFrom(2, 2, []float64{1, 2, 3, 4})
+	b := NewMatFrom(2, 2, []float64{5, 6, 7, 8})
+	c := Mul(a, b)
+	want := []float64{19, 22, 43, 50}
+	for i, v := range want {
+		if c.Data[i] != v {
+			t.Fatalf("Mul got %v want %v", c.Data, want)
+		}
+	}
+}
+
+func TestMulShapePanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Mul must panic on shape mismatch")
+		}
+	}()
+	Mul(NewMat(2, 3), NewMat(2, 3))
+}
+
+func TestMulVecMatchesMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := GaussianMat(rng, 5, 7)
+	x := make([]float64, 7)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	got := MulVec(a, x)
+	xm := NewMatFrom(7, 1, append([]float64(nil), x...))
+	want := Mul(a, xm)
+	for i := range got {
+		if !almostEqual(got[i], want.At(i, 0), 1e-12) {
+			t.Fatalf("MulVec[%d]=%g want %g", i, got[i], want.At(i, 0))
+		}
+	}
+}
+
+func TestMulVec32MatchesMulVec(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := GaussianMat(rng, 4, 6)
+	x32 := make([]float32, 6)
+	x64 := make([]float64, 6)
+	for i := range x32 {
+		x32[i] = float32(rng.NormFloat64())
+		x64[i] = float64(x32[i])
+	}
+	dst := make([]float64, 4)
+	MulVec32(a, x32, dst)
+	want := MulVec(a, x64)
+	for i := range dst {
+		if !almostEqual(dst[i], want[i], 1e-12) {
+			t.Fatalf("MulVec32[%d]=%g want %g", i, dst[i], want[i])
+		}
+	}
+}
+
+func TestIdentityMulIsNoop(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := GaussianMat(rng, 4, 4)
+	b := Mul(Identity(4), a)
+	for i := range a.Data {
+		if !almostEqual(a.Data[i], b.Data[i], 1e-15) {
+			t.Fatal("I·A != A")
+		}
+	}
+}
+
+func TestCovarianceKnown(t *testing.T) {
+	// Two dims, perfectly anti-correlated.
+	data := []float32{
+		1, -1,
+		-1, 1,
+		2, -2,
+		-2, 2,
+	}
+	cov, mean := Covariance(data, 4, 2)
+	if mean[0] != 0 || mean[1] != 0 {
+		t.Fatalf("mean = %v, want zeros", mean)
+	}
+	// Var = (1+1+4+4)/3 = 10/3, Cov01 = -10/3.
+	if !almostEqual(cov.At(0, 0), 10.0/3, 1e-9) || !almostEqual(cov.At(0, 1), -10.0/3, 1e-9) {
+		t.Fatalf("cov = %v", cov.Data)
+	}
+	if cov.At(0, 1) != cov.At(1, 0) {
+		t.Fatal("covariance must be symmetric")
+	}
+}
+
+func TestCovarianceCentersData(t *testing.T) {
+	// Shifting the data must not change the covariance.
+	rng := rand.New(rand.NewSource(4))
+	n, d := 50, 3
+	base := make([]float32, n*d)
+	shift := make([]float32, n*d)
+	for i := 0; i < n; i++ {
+		for j := 0; j < d; j++ {
+			v := float32(rng.NormFloat64())
+			base[i*d+j] = v
+			shift[i*d+j] = v + 100
+		}
+	}
+	c1, _ := Covariance(base, n, d)
+	c2, m2 := Covariance(shift, n, d)
+	for i := range c1.Data {
+		if !almostEqual(c1.Data[i], c2.Data[i], 1e-6) {
+			t.Fatalf("covariance not shift-invariant: %g vs %g", c1.Data[i], c2.Data[i])
+		}
+	}
+	for _, mv := range m2 {
+		if !almostEqual(mv, 100, 1) {
+			t.Fatalf("mean should be near 100, got %v", m2)
+		}
+	}
+}
+
+func TestFrobeniusAndMaxAbs(t *testing.T) {
+	m := NewMatFrom(2, 2, []float64{3, 0, 0, -4})
+	if !almostEqual(m.FrobeniusNorm(), 5, 1e-12) {
+		t.Fatalf("fro = %g", m.FrobeniusNorm())
+	}
+	if m.MaxAbs() != 4 {
+		t.Fatalf("maxabs = %g", m.MaxAbs())
+	}
+}
+
+func TestScaleAdd(t *testing.T) {
+	m := NewMatFrom(1, 3, []float64{1, 2, 3})
+	m.Scale(2)
+	m.Add(NewMatFrom(1, 3, []float64{1, 1, 1}))
+	want := []float64{3, 5, 7}
+	for i, v := range want {
+		if m.Data[i] != v {
+			t.Fatalf("got %v want %v", m.Data, want)
+		}
+	}
+}
+
+// Property: (A·B)ᵀ = Bᵀ·Aᵀ for random small matrices.
+func TestMulTransposeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := 1 + rng.Intn(6)
+		k := 1 + rng.Intn(6)
+		c := 1 + rng.Intn(6)
+		a := GaussianMat(rng, r, k)
+		b := GaussianMat(rng, k, c)
+		lhs := Mul(a, b).T()
+		rhs := Mul(b.T(), a.T())
+		for i := range lhs.Data {
+			if !almostEqual(lhs.Data[i], rhs.Data[i], 1e-10) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

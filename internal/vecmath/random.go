@@ -1,0 +1,59 @@
+package vecmath
+
+import (
+	"math"
+	"math/rand"
+)
+
+// GaussianMat returns an r×c matrix of independent N(0,1) samples drawn
+// from rng. Used by the LSH baseline and by randomized initializers
+// (ITQ's initial rotation).
+func GaussianMat(rng *rand.Rand, r, c int) *Mat {
+	m := NewMat(r, c)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+// RandomRotation returns a uniformly random orthogonal c×c matrix,
+// obtained by orthonormalizing a Gaussian matrix with modified
+// Gram-Schmidt.
+func RandomRotation(rng *rand.Rand, c int) *Mat {
+	for {
+		m := GaussianMat(rng, c, c)
+		if gramSchmidt(m) {
+			return m
+		}
+		// Degenerate draw (practically impossible); retry.
+	}
+}
+
+// gramSchmidt orthonormalizes the columns of m in place using modified
+// Gram-Schmidt. It reports false if a column became numerically zero.
+func gramSchmidt(m *Mat) bool {
+	n, c := m.Rows, m.Cols
+	for j := 0; j < c; j++ {
+		for k := 0; k < j; k++ {
+			var dot float64
+			for i := 0; i < n; i++ {
+				dot += m.At(i, j) * m.At(i, k)
+			}
+			for i := 0; i < n; i++ {
+				m.Set(i, j, m.At(i, j)-dot*m.At(i, k))
+			}
+		}
+		var norm float64
+		for i := 0; i < n; i++ {
+			norm += m.At(i, j) * m.At(i, j)
+		}
+		if norm < 1e-24 {
+			return false
+		}
+		inv := 1 / math.Sqrt(norm)
+		for i := 0; i < n; i++ {
+			m.Set(i, j, m.At(i, j)*inv)
+		}
+	}
+	return true
+}

@@ -1,0 +1,180 @@
+package vecmath
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSVDKnownDiagonal(t *testing.T) {
+	a := NewMatFrom(3, 2, []float64{3, 0, 0, -2, 0, 0})
+	_, sigma, _ := SVD(a)
+	if !almostEqual(sigma[0], 3, 1e-12) || !almostEqual(sigma[1], 2, 1e-12) {
+		t.Fatalf("sigma = %v, want [3 2]", sigma)
+	}
+}
+
+// Property: U·Σ·Vᵀ reconstructs A, U has orthonormal columns, V orthogonal,
+// σ descending and non-negative.
+func TestSVDReconstructionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := 1 + rng.Intn(8)
+		r := c + rng.Intn(8)
+		a := GaussianMat(rng, r, c)
+		u, sigma, v := SVD(a)
+
+		for i := 1; i < len(sigma); i++ {
+			if sigma[i] < 0 || sigma[i] > sigma[i-1]+1e-12 {
+				return false
+			}
+		}
+		// Reconstruct.
+		us := u.Clone()
+		for i := 0; i < r; i++ {
+			for j := 0; j < c; j++ {
+				us.Set(i, j, us.At(i, j)*sigma[j])
+			}
+		}
+		rec := Mul(us, v.T())
+		for i := range a.Data {
+			if math.Abs(rec.Data[i]-a.Data[i]) > 1e-8 {
+				return false
+			}
+		}
+		// UᵀU = I and VᵀV = I.
+		for _, m := range []*Mat{Mul(u.T(), u), Mul(v.T(), v)} {
+			for i := 0; i < m.Rows; i++ {
+				for j := 0; j < m.Cols; j++ {
+					want := 0.0
+					if i == j {
+						want = 1
+					}
+					if math.Abs(m.At(i, j)-want) > 1e-9 {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSVDSingularValuesMatchEigen(t *testing.T) {
+	// σ_i(A)² must equal the eigenvalues of AᵀA.
+	rng := rand.New(rand.NewSource(11))
+	a := GaussianMat(rng, 7, 4)
+	_, sigma, _ := SVD(a)
+	vals, _ := EigenSym(Mul(a.T(), a))
+	for i := range sigma {
+		if !almostEqual(sigma[i]*sigma[i], vals[i], 1e-8*(vals[0]+1)) {
+			t.Fatalf("σ²[%d]=%g, eig=%g", i, sigma[i]*sigma[i], vals[i])
+		}
+	}
+}
+
+func TestSpectralNormOrthogonalIsOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	q := RandomRotation(rng, 5)
+	if n := SpectralNorm(q); !almostEqual(n, 1, 1e-9) {
+		t.Fatalf("spectral norm of rotation = %g, want 1", n)
+	}
+}
+
+func TestSpectralNormWideMatrix(t *testing.T) {
+	// SpectralNorm must handle rows < cols by transposing internally.
+	a := NewMatFrom(1, 3, []float64{3, 4, 0})
+	if n := SpectralNorm(a); !almostEqual(n, 5, 1e-9) {
+		t.Fatalf("spectral norm = %g, want 5", n)
+	}
+}
+
+// Property: ‖A·x‖ ≤ σ_max(A)·‖x‖ (Theorem 1 of the paper).
+func TestSpectralNormBoundsProjection(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 1 + rng.Intn(6)
+		d := 1 + rng.Intn(6)
+		h := GaussianMat(rng, m, d)
+		var sn float64
+		if m >= d {
+			sn = SpectralNorm(h)
+		} else {
+			sn = SpectralNorm(h.T())
+		}
+		x := make([]float64, d)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		hx := MulVec(h, x)
+		return Norm64(hx) <= sn*Norm64(x)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProcrustesRecoversRotation(t *testing.T) {
+	// If B = A·R for a rotation R, Procrustes must recover R.
+	rng := rand.New(rand.NewSource(13))
+	a := GaussianMat(rng, 10, 4)
+	r := RandomRotation(rng, 4)
+	b := Mul(a, r)
+	got := Procrustes(a, b)
+	for i := range r.Data {
+		if math.Abs(got.Data[i]-r.Data[i]) > 1e-8 {
+			t.Fatalf("Procrustes did not recover rotation:\n got %v\nwant %v", got.Data, r.Data)
+		}
+	}
+}
+
+func TestProcrustesReturnsOrthogonal(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	a := GaussianMat(rng, 8, 3)
+	b := GaussianMat(rng, 8, 3)
+	r := Procrustes(a, b)
+	id := Mul(r.T(), r)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if math.Abs(id.At(i, j)-want) > 1e-9 {
+				t.Fatalf("RᵀR not identity: %v", id.Data)
+			}
+		}
+	}
+}
+
+func TestSVDPanicsOnWide(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SVD must panic when rows < cols")
+		}
+	}()
+	SVD(NewMat(2, 3))
+}
+
+func TestRandomRotationIsOrthogonal(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	for _, n := range []int{1, 2, 5, 16} {
+		q := RandomRotation(rng, n)
+		id := Mul(q.T(), q)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				want := 0.0
+				if i == j {
+					want = 1
+				}
+				if math.Abs(id.At(i, j)-want) > 1e-9 {
+					t.Fatalf("n=%d: QᵀQ not identity", n)
+				}
+			}
+		}
+	}
+}

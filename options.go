@@ -1,0 +1,174 @@
+package gqr
+
+import "fmt"
+
+// Algorithm selects the hash-function learner.
+type Algorithm string
+
+// Supported learning algorithms.
+const (
+	// ITQ is iterative quantization: PCA plus a learned rotation
+	// minimizing quantization error. The paper's default learner.
+	ITQ Algorithm = "itq"
+	// PCAH is PCA hashing: thresholded principal components. The
+	// cheapest learner; with GQR it approaches OPQ quality.
+	PCAH Algorithm = "pcah"
+	// SH is spectral hashing: thresholded Laplacian eigenfunctions
+	// along principal directions (a non-linear projection).
+	SH Algorithm = "sh"
+	// KMH is K-means hashing: per-subspace Voronoi quantization with
+	// binary codeword indices.
+	KMH Algorithm = "kmh"
+	// LSH is the data-oblivious sign-random-projection baseline.
+	LSH Algorithm = "lsh"
+	// SSH is semi-supervised hashing with self-generated pseudo-pairs
+	// (must-link/cannot-link constraints plus a PCA regularizer).
+	SSH Algorithm = "ssh"
+)
+
+// QueryMethod selects the bucket-probing strategy.
+type QueryMethod string
+
+// Supported querying methods.
+const (
+	// GQR is generate-to-probe quantization-distance ranking — the
+	// paper's contribution and the default.
+	GQR QueryMethod = "gqr"
+	// QR is quantization-distance ranking with up-front sorting of all
+	// buckets (Algorithm 1; suffers the slow-start problem).
+	QR QueryMethod = "qr"
+	// HR is classic Hamming ranking (sort all buckets by Hamming
+	// distance).
+	HR QueryMethod = "hr"
+	// GHR is generate-to-probe Hamming ranking, a.k.a. hash lookup.
+	GHR QueryMethod = "ghr"
+	// MIH is multi-index hashing over code substrings.
+	MIH QueryMethod = "mih"
+)
+
+// Metric selects the distance the index answers queries under.
+type Metric string
+
+// Supported metrics.
+const (
+	// Euclidean is the default: exact L2 distances.
+	Euclidean Metric = "euclidean"
+	// Angular answers cosine/angular-similarity queries by normalizing
+	// vectors onto the unit sphere, where Euclidean distance is
+	// monotone in angular distance (the adaptation the paper's §4
+	// mentions). Reported distances are chordal: cosine similarity
+	// = 1 − d²/2.
+	Angular Metric = "angular"
+)
+
+// config collects Build options.
+type config struct {
+	algorithm Algorithm
+	method    QueryMethod
+	metric    Metric
+	bits      int
+	tables    int
+	seed      int64
+	expected  int // expected items per bucket for the code-length rule
+}
+
+func defaultConfig() config {
+	return config{
+		algorithm: ITQ,
+		method:    GQR,
+		metric:    Euclidean,
+		tables:    1,
+		expected:  10,
+	}
+}
+
+func (c config) validate() error {
+	switch c.algorithm {
+	case ITQ, PCAH, SH, KMH, LSH, SSH:
+	default:
+		return fmt.Errorf("gqr: unknown algorithm %q", c.algorithm)
+	}
+	switch c.method {
+	case GQR, QR, HR, GHR, MIH:
+	default:
+		return fmt.Errorf("gqr: unknown query method %q", c.method)
+	}
+	switch c.metric {
+	case Euclidean, Angular:
+	default:
+		return fmt.Errorf("gqr: unknown metric %q", c.metric)
+	}
+	if c.bits < 0 || c.bits > 64 {
+		return fmt.Errorf("gqr: code length %d out of [0,64]", c.bits)
+	}
+	if c.tables < 1 {
+		return fmt.Errorf("gqr: table count %d < 1", c.tables)
+	}
+	return nil
+}
+
+// Option configures Build.
+type Option func(*config)
+
+// WithAlgorithm selects the hash-function learner (default ITQ).
+func WithAlgorithm(a Algorithm) Option { return func(c *config) { c.algorithm = a } }
+
+// WithQueryMethod selects the querying method (default GQR).
+func WithQueryMethod(m QueryMethod) Option { return func(c *config) { c.method = m } }
+
+// WithMetric selects the distance metric (default Euclidean). Angular
+// copies and L2-normalizes the vectors at build time and normalizes
+// every query, so the caller's block is never modified.
+func WithMetric(m Metric) Option { return func(c *config) { c.metric = m } }
+
+// WithCodeLength fixes the code length in bits (1-64). The default 0
+// applies the paper's rule m ≈ log2(n/EP) with EP=10 expected items per
+// bucket.
+func WithCodeLength(bits int) Option { return func(c *config) { c.bits = bits } }
+
+// WithExpectedBucketSize changes the EP constant of the automatic
+// code-length rule (default 10, as in the paper).
+func WithExpectedBucketSize(ep int) Option { return func(c *config) { c.expected = ep } }
+
+// WithTables builds the given number of hash tables (default 1). More
+// tables raise recall per probed bucket at a memory cost; the paper
+// shows one GQR table beats up to 30 GHR tables.
+func WithTables(n int) Option { return func(c *config) { c.tables = n } }
+
+// WithSeed fixes the training seed for reproducible indexes (default 0).
+func WithSeed(seed int64) Option { return func(c *config) { c.seed = seed } }
+
+// searchConfig collects Search options.
+type searchConfig struct {
+	maxCandidates int
+	maxBuckets    int
+	earlyStop     bool
+	radius        float64
+}
+
+// SearchOption configures one Search call.
+type SearchOption func(*searchConfig)
+
+// WithMaxCandidates bounds the number of items evaluated — the paper's
+// N parameter and the main recall/latency knob. Zero (the default)
+// means unbounded: the search degenerates to an exact (but slow) scan.
+func WithMaxCandidates(n int) SearchOption { return func(c *searchConfig) { c.maxCandidates = n } }
+
+// WithMaxBuckets bounds the number of buckets generated instead of (or
+// in addition to) the candidate bound.
+func WithMaxBuckets(n int) SearchOption { return func(c *searchConfig) { c.maxBuckets = n } }
+
+// WithEarlyStop enables the QD lower-bound termination rule (§4.1 of
+// the paper): probing stops once no unseen bucket can contain a closer
+// item than the current k-th candidate. Only effective for QD querying
+// methods (GQR, QR) on projection learners; it never changes results,
+// only prunes work.
+func WithEarlyStop() SearchOption { return func(c *searchConfig) { c.earlyStop = true } }
+
+// WithRadius turns the search into a bounded-radius query: only
+// neighbors within the given Euclidean distance are returned (still at
+// most k of them). For QD querying methods on projection learners the
+// §4.1 threshold rule additionally stops probing once no unseen bucket
+// can contain an in-radius item, making the search exact without a
+// candidate budget.
+func WithRadius(r float64) SearchOption { return func(c *searchConfig) { c.radius = r } }

@@ -1,0 +1,127 @@
+package gqr
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"gqr/internal/index"
+	"gqr/internal/query"
+)
+
+// File layout: magic, query-method string, metric string, then the
+// internal index section (hashers + buckets). Vectors are not stored —
+// they are the caller's data and are re-attached at Load.
+var pubMagic = [8]byte{'G', 'Q', 'R', 'P', 'U', 'B', '1', 0}
+
+// Save writes the trained index to w. The vector block is NOT written;
+// keep it alongside (e.g. in an fvecs file) and pass it to Load.
+func (ix *Index) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(pubMagic[:]); err != nil {
+		return err
+	}
+	for _, s := range []string{ix.method.Name(), string(ix.metric)} {
+		if err := binary.Write(bw, binary.LittleEndian, uint32(len(s))); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(s); err != nil {
+			return err
+		}
+	}
+	if err := ix.ix.Save(bw); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// SaveFile writes the index to the named file.
+func (ix *Index) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := ix.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Load restores an index saved with Save, re-attaching the vector
+// block it was built from (same vectors, same order). For an Angular
+// index pass the original (unnormalized) vectors — they are normalized
+// again on load.
+func Load(r io.Reader, vectors []float32, dim int) (*Index, error) {
+	br := bufio.NewReader(r)
+	var m [8]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("gqr: load: %w", err)
+	}
+	if m != pubMagic {
+		return nil, fmt.Errorf("gqr: load: bad magic %q", m[:])
+	}
+	readString := func() (string, error) {
+		var n uint32
+		if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+			return "", err
+		}
+		if n > 64 {
+			return "", fmt.Errorf("gqr: load: implausible header string length %d", n)
+		}
+		b := make([]byte, n)
+		if _, err := io.ReadFull(br, b); err != nil {
+			return "", err
+		}
+		return string(b), nil
+	}
+	methodName, err := readString()
+	if err != nil {
+		return nil, fmt.Errorf("gqr: load: %w", err)
+	}
+	metricName, err := readString()
+	if err != nil {
+		return nil, fmt.Errorf("gqr: load: %w", err)
+	}
+	metric := Metric(metricName)
+	switch metric {
+	case Euclidean, Angular:
+	default:
+		return nil, fmt.Errorf("gqr: load: unknown metric %q", metricName)
+	}
+	if metric == Angular {
+		if dim <= 0 || len(vectors)%dim != 0 {
+			return nil, fmt.Errorf("gqr: load: vector block length %d not a multiple of dim %d", len(vectors), dim)
+		}
+		normalized := make([]float32, len(vectors))
+		copy(normalized, vectors)
+		for i := 0; i < len(vectors)/dim; i++ {
+			normalizeRow(normalized[i*dim : (i+1)*dim])
+		}
+		vectors = normalized
+	}
+	inner, err := index.Load(br, vectors, dim)
+	if err != nil {
+		return nil, err
+	}
+	method, err := query.NewMethod(methodName, inner)
+	if err != nil {
+		return nil, err
+	}
+	out := &Index{ix: inner, method: method, metric: metric, qbuf: make([]float32, dim)}
+	out.mu = earlyStopScale(inner)
+	out.searcher = query.NewSearcher(inner, method)
+	return out, nil
+}
+
+// LoadFile restores an index from the named file.
+func LoadFile(path string, vectors []float32, dim int) (*Index, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f, vectors, dim)
+}

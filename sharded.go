@@ -1,0 +1,119 @@
+package gqr
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// ShardedIndex partitions a dataset across several independent indexes
+// and fans every query out to all of them, merging the per-shard
+// results — a single-process model of the distributed deployment the
+// paper names as future work ("extend GQR to the distributed setting").
+// Shards train their own hash functions, so each adapts to its
+// partition's distribution, and shard searches run concurrently.
+type ShardedIndex struct {
+	shards []*Index
+	// base[i] is the global id of shard i's first vector (contiguous
+	// round-robin-free partitioning keeps id mapping O(1)).
+	base []int
+	dim  int
+}
+
+// BuildSharded splits the n×dim block into the given number of
+// contiguous shards and builds one index per shard with the same
+// options. Shard training runs sequentially (training dominates memory);
+// searching fans out concurrently.
+func BuildSharded(vectors []float32, dim, shards int, opts ...Option) (*ShardedIndex, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("gqr: shard count %d < 1", shards)
+	}
+	if dim <= 0 || len(vectors) == 0 || len(vectors)%dim != 0 {
+		return nil, fmt.Errorf("gqr: vector block length %d not a positive multiple of dim %d", len(vectors), dim)
+	}
+	n := len(vectors) / dim
+	// Every learner needs at least two training points per shard.
+	if shards > n/2 {
+		shards = n / 2
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	s := &ShardedIndex{dim: dim}
+	start := 0
+	for i := 0; i < shards; i++ {
+		count := n / shards
+		if i < n%shards {
+			count++
+		}
+		block := vectors[start*dim : (start+count)*dim]
+		ix, err := Build(block, dim, opts...)
+		if err != nil {
+			return nil, fmt.Errorf("gqr: building shard %d: %w", i, err)
+		}
+		s.shards = append(s.shards, ix)
+		s.base = append(s.base, start)
+		start += count
+	}
+	return s, nil
+}
+
+// Shards returns the number of shards.
+func (s *ShardedIndex) Shards() int { return len(s.shards) }
+
+// Search fans the query out to every shard concurrently and merges the
+// per-shard top-k into a global top-k (ascending distance, ids are
+// global row indexes of the build block). Search options apply per
+// shard; a MaxCandidates budget is therefore a per-shard budget.
+func (s *ShardedIndex) Search(q []float32, k int, opts ...SearchOption) ([]Neighbor, error) {
+	if len(q) != s.dim {
+		return nil, fmt.Errorf("gqr: query dim %d != index dim %d", len(q), s.dim)
+	}
+	results := make([][]Neighbor, len(s.shards))
+	errs := make([]error, len(s.shards))
+	var wg sync.WaitGroup
+	for i := range s.shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			nbrs, err := s.shards[i].Search(q, k, opts...)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			for j := range nbrs {
+				nbrs[j].ID += s.base[i]
+			}
+			results[i] = nbrs
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	var merged []Neighbor
+	for _, r := range results {
+		merged = append(merged, r...)
+	}
+	sort.Slice(merged, func(a, b int) bool {
+		if merged[a].Distance != merged[b].Distance {
+			return merged[a].Distance < merged[b].Distance
+		}
+		return merged[a].ID < merged[b].ID
+	})
+	if len(merged) > k {
+		merged = merged[:k]
+	}
+	return merged, nil
+}
+
+// Stats returns the per-shard statistics.
+func (s *ShardedIndex) Stats() []Stats {
+	out := make([]Stats, len(s.shards))
+	for i, ix := range s.shards {
+		out[i] = ix.Stats()
+	}
+	return out
+}

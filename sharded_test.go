@@ -1,0 +1,96 @@
+package gqr
+
+import "testing"
+
+func TestShardedMatchesSingleExact(t *testing.T) {
+	ds := demoData(t)
+	sharded, err := BuildSharded(ds.Vectors, ds.Dim, 4, WithSeed(41))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sharded.Shards() != 4 {
+		t.Fatalf("shards = %d", sharded.Shards())
+	}
+	for qi := 0; qi < ds.NQ(); qi++ {
+		nbrs, err := sharded.Search(ds.Query(qi), 10) // unbudgeted: exact
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, id := range ds.GroundTruth[qi] {
+			if nbrs[i].ID != int(id) {
+				t.Fatalf("query %d: sharded results %v != ground truth %v", qi, nbrs, ds.GroundTruth[qi])
+			}
+		}
+	}
+}
+
+func TestShardedGlobalIDs(t *testing.T) {
+	ds := demoData(t)
+	sharded, err := BuildSharded(ds.Vectors, ds.Dim, 3, WithSeed(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Query with an exact copy of a vector that lives in the LAST
+	// shard: its global id must come back first.
+	target := ds.N() - 1
+	nbrs, err := sharded.Search(ds.Vector(target), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nbrs[0].ID != target || nbrs[0].Distance != 0 {
+		t.Fatalf("got %v, want id %d at distance 0", nbrs, target)
+	}
+}
+
+func TestShardedStatsAndValidation(t *testing.T) {
+	ds := demoData(t)
+	sharded, err := BuildSharded(ds.Vectors, ds.Dim, 2, WithAlgorithm(PCAH))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := sharded.Stats()
+	if len(stats) != 2 {
+		t.Fatalf("stats for %d shards", len(stats))
+	}
+	total := 0
+	for _, s := range stats {
+		if s.Algorithm != PCAH {
+			t.Fatal("shard lost its configuration")
+		}
+		total += s.Items
+	}
+	if total != ds.N() {
+		t.Fatalf("shards hold %d items, want %d", total, ds.N())
+	}
+	if _, err := BuildSharded(ds.Vectors, ds.Dim, 0); err == nil {
+		t.Fatal("zero shards must be rejected")
+	}
+	if _, err := BuildSharded(ds.Vectors, 7, 2); err == nil {
+		t.Fatal("bad dim must be rejected")
+	}
+	if _, err := sharded.Search(ds.Query(0)[:3], 5); err == nil {
+		t.Fatal("bad query dim must be rejected")
+	}
+}
+
+func TestShardedMoreShardsThanItems(t *testing.T) {
+	vecs := make([]float32, 4*8) // 4 items
+	for i := range vecs {
+		vecs[i] = float32(i)
+	}
+	sharded, err := BuildSharded(vecs, 8, 100, WithCodeLength(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sharded.Shards() != 2 {
+		t.Fatalf("shards = %d, want clamp to 2 (two items per shard)", sharded.Shards())
+	}
+	// And the clamped index still answers exactly.
+	nbrs, err := sharded.Search(vecs[8:16], 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nbrs[0].ID != 1 || nbrs[0].Distance != 0 {
+		t.Fatalf("clamped sharded search wrong: %v", nbrs)
+	}
+}
