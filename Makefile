@@ -1,0 +1,25 @@
+# Standard checks for the gqr repo. `make check` is the pre-commit
+# gate: vet + full tests + race on the concurrent packages.
+GO ?= go
+
+.PHONY: check build vet test race bench
+
+check: vet test race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The metrics registry and the HTTP layer are the concurrency-heavy
+# packages; keep them race-clean. The root package exercises the
+# batch/sharded fan-out paths.
+race:
+	$(GO) test -race . ./internal/metrics ./internal/server
+
+bench:
+	$(GO) test -bench=. -benchmem -run='^$$' .

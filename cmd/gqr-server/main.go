@@ -1,23 +1,34 @@
 // Command gqr-server serves approximate nearest-neighbor queries over
 // HTTP: it builds (or loads) a learned-hash index from an fvecs file
-// and exposes the JSON API of internal/server.
+// and exposes the JSON API of internal/server, with Prometheus metrics
+// on /metrics, a JSON snapshot on /statsz and opt-in pprof profiling.
 //
 // Usage:
 //
 //	gqr-server -base vectors.fvecs -addr :8080
-//	gqr-server -base vectors.fvecs -load index.gqr -addr :8080
+//	gqr-server -base vectors.fvecs -load index.gqr -addr :8080 -pprof
 //
 //	curl -s localhost:8080/stats
+//	curl -s localhost:8080/metrics
 //	curl -s -X POST localhost:8080/search \
-//	     -d '{"query":[...], "k":10, "maxCandidates":2000}'
+//	     -d '{"query":[...], "k":10, "maxCandidates":2000, "includeStats":true}'
+//	go tool pprof http://localhost:8080/debug/pprof/profile?seconds=10
+//
+// On SIGINT/SIGTERM the server drains in-flight requests (up to
+// -shutdown-timeout) and logs a final metrics snapshot before exiting.
 package main
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"gqr"
@@ -27,15 +38,18 @@ import (
 
 func main() {
 	var (
-		base      = flag.String("base", "", "fvecs file with base vectors (required)")
-		addr      = flag.String("addr", ":8080", "listen address")
-		algorithm = flag.String("algorithm", "itq", "learner: itq|pcah|sh|kmh|lsh|ssh")
-		method    = flag.String("method", "gqr", "querying method: gqr|qr|hr|ghr|mih")
-		metric    = flag.String("metric", "euclidean", "metric: euclidean|angular")
-		bits      = flag.Int("bits", 0, "code length (0 = log2(n/10) rule)")
-		tables    = flag.Int("tables", 1, "hash tables")
-		seed      = flag.Int64("seed", 0, "training seed")
-		loadIdx   = flag.String("load", "", "load a saved index instead of training")
+		base        = flag.String("base", "", "fvecs file with base vectors (required)")
+		addr        = flag.String("addr", ":8080", "listen address")
+		algorithm   = flag.String("algorithm", "itq", "learner: itq|pcah|sh|kmh|lsh|ssh")
+		method      = flag.String("method", "gqr", "querying method: gqr|qr|hr|ghr|mih")
+		metric      = flag.String("metric", "euclidean", "metric: euclidean|angular")
+		bits        = flag.Int("bits", 0, "code length (0 = log2(n/10) rule)")
+		tables      = flag.Int("tables", 1, "hash tables")
+		seed        = flag.Int64("seed", 0, "training seed")
+		loadIdx     = flag.String("load", "", "load a saved index instead of training")
+		pprofOn     = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+		logJSON     = flag.Bool("log-json", false, "emit JSON log lines instead of text")
+		drainWindow = flag.Duration("shutdown-timeout", 15*time.Second, "max time to drain in-flight requests on SIGINT/SIGTERM")
 	)
 	flag.Parse()
 	if *base == "" {
@@ -44,9 +58,19 @@ func main() {
 		os.Exit(2)
 	}
 
+	var handlerOpts slog.HandlerOptions
+	var logger *slog.Logger
+	if *logJSON {
+		logger = slog.New(slog.NewJSONHandler(os.Stderr, &handlerOpts))
+	} else {
+		logger = slog.New(slog.NewTextHandler(os.Stderr, &handlerOpts))
+	}
+	slog.SetDefault(logger)
+
 	vecs, dim, err := dataset.LoadFvecsFile(*base)
 	if err != nil {
-		log.Fatal("gqr-server: ", err)
+		logger.Error("loading base vectors", "error", err)
+		os.Exit(1)
 	}
 	start := time.Now()
 	var ix *gqr.Index
@@ -62,17 +86,59 @@ func main() {
 			gqr.WithSeed(*seed))
 	}
 	if err != nil {
-		log.Fatal("gqr-server: ", err)
+		logger.Error("building index", "error", err)
+		os.Exit(1)
 	}
 	st := ix.Stats()
-	log.Printf("index ready: %d items, %s/%s, %d bits, %d tables (%s)",
-		st.Items, st.Algorithm, st.Method, st.CodeLength, st.Tables,
-		time.Since(start).Round(time.Millisecond))
-	log.Printf("listening on %s", *addr)
+	logger.Info("index ready",
+		"items", st.Items, "algorithm", st.Algorithm, "method", st.Method,
+		"bits", st.CodeLength, "tables", st.Tables,
+		"elapsed", time.Since(start).Round(time.Millisecond))
+
+	opts := []server.Option{server.WithLogger(logger)}
+	if *pprofOn {
+		opts = append(opts, server.WithPprof())
+		logger.Info("pprof enabled", "path", "/debug/pprof/")
+	}
+	h := server.New(ix, opts...)
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           server.New(ix),
+		Handler:           h,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	log.Fatal(srv.ListenAndServe())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() {
+		logger.Info("listening", "addr", *addr)
+		errCh <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		// Listen failed before any signal (port in use, etc.).
+		logger.Error("server failed", "error", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+	stop()
+	logger.Info("shutting down, draining in-flight requests", "timeout", *drainWindow)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainWindow)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		logger.Error("shutdown incomplete, closing", "error", err)
+		srv.Close()
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logger.Error("server error", "error", err)
+	}
+	// The final snapshot gives operators the session totals even when
+	// nothing scraped /metrics.
+	snap, err := json.Marshal(h.Registry().Snapshot())
+	if err != nil {
+		logger.Error("final metrics snapshot failed", "error", err)
+		return
+	}
+	logger.Info("final metrics snapshot", "metrics", string(snap))
 }

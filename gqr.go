@@ -5,6 +5,8 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"gqr/internal/hash"
 	"gqr/internal/index"
@@ -18,6 +20,48 @@ import (
 type Neighbor struct {
 	ID       int
 	Distance float64
+}
+
+// SearchStats reports the work one search performed, in the paper's
+// §2.2 units: buckets generated (probe-sequence emissions, including
+// codes that hashed to empty buckets), buckets probed (non-empty
+// buckets evaluated), and candidates (distinct items whose exact
+// distance was computed — the paper's "# retrieved items", Figure 8).
+// RetrievalTime and EvaluationTime split the query between deciding
+// which buckets to probe and computing exact distances; they are only
+// populated when WithProfile is set. For a ShardedIndex the counters
+// are sums over shards and EarlyStopped reports whether any shard's
+// QD lower-bound rule fired.
+type SearchStats struct {
+	BucketsGenerated int           `json:"bucketsGenerated"`
+	BucketsProbed    int           `json:"bucketsProbed"`
+	Candidates       int           `json:"candidates"`
+	EarlyStopped     bool          `json:"earlyStopped"`
+	RetrievalTime    time.Duration `json:"retrievalTime"`
+	EvaluationTime   time.Duration `json:"evaluationTime"`
+}
+
+// merge accumulates another search's work into s (used by the sharded
+// index and by cumulative per-batch accounting).
+func (s *SearchStats) merge(o SearchStats) {
+	s.BucketsGenerated += o.BucketsGenerated
+	s.BucketsProbed += o.BucketsProbed
+	s.Candidates += o.Candidates
+	s.EarlyStopped = s.EarlyStopped || o.EarlyStopped
+	s.RetrievalTime += o.RetrievalTime
+	s.EvaluationTime += o.EvaluationTime
+}
+
+// statsOf converts the internal per-query stats to the public type.
+func statsOf(st query.Stats) SearchStats {
+	return SearchStats{
+		BucketsGenerated: st.BucketsGenerated,
+		BucketsProbed:    st.BucketsProbed,
+		Candidates:       st.Candidates,
+		EarlyStopped:     st.EarlyStopped,
+		RetrievalTime:    st.RetrievalTime,
+		EvaluationTime:   st.EvaluationTime,
+	}
 }
 
 // Index is a learned-hash ANN index over a fixed set of vectors. An
@@ -35,6 +79,13 @@ type Index struct {
 	// querying method precomputed its per-table views (HR/QR bucket
 	// lists, MIH substring tables); the next search rebuilds them.
 	methodStale bool
+
+	// Lifecycle instrumentation surfaced through Stats: how long Build
+	// took, how many vectors Add appended, and how often the querying
+	// method's precomputed views were rebuilt because of those Adds.
+	buildTime      time.Duration
+	adds           atomic.Int64
+	methodRebuilds atomic.Int64
 }
 
 // Build trains hash functions on the n×dim row-major block vectors
@@ -51,6 +102,7 @@ func Build(vectors []float32, dim int, opts ...Option) (*Index, error) {
 	if dim <= 0 || len(vectors) == 0 || len(vectors)%dim != 0 {
 		return nil, fmt.Errorf("gqr: vector block length %d not a positive multiple of dim %d", len(vectors), dim)
 	}
+	buildStart := time.Now()
 	n := len(vectors) / dim
 	if cfg.metric == Angular {
 		normalized := make([]float32, len(vectors))
@@ -82,6 +134,7 @@ func Build(vectors []float32, dim int, opts ...Option) (*Index, error) {
 	out := &Index{ix: ix, method: method, metric: cfg.metric, qbuf: make([]float32, dim)}
 	out.mu = earlyStopScale(ix)
 	out.searcher = query.NewSearcher(ix, method)
+	out.buildTime = time.Since(buildStart)
 	return out, nil
 }
 
@@ -146,6 +199,15 @@ func earlyStopScale(ix *index.Index) float64 {
 // distance order. With no options the entire index is probed (exact but
 // slow); pass WithMaxCandidates to trade recall for latency.
 func (ix *Index) Search(q []float32, k int, opts ...SearchOption) ([]Neighbor, error) {
+	nbrs, _, err := ix.SearchWithStats(q, k, opts...)
+	return nbrs, err
+}
+
+// SearchWithStats is Search plus the work stats of §2.2: how many
+// buckets the probe sequence generated and probed, how many candidate
+// items were evaluated, and whether the early-stop rule fired. Pass
+// WithProfile to also split the time between retrieval and evaluation.
+func (ix *Index) SearchWithStats(q []float32, k int, opts ...SearchOption) ([]Neighbor, SearchStats, error) {
 	var sc searchConfig
 	for _, o := range opts {
 		o(&sc)
@@ -153,7 +215,7 @@ func (ix *Index) Search(q []float32, k int, opts ...SearchOption) ([]Neighbor, e
 	ix.searchMu.Lock()
 	defer ix.searchMu.Unlock()
 	if err := ix.refreshMethodLocked(); err != nil {
-		return nil, err
+		return nil, SearchStats{}, err
 	}
 	if ix.metric == Angular && len(q) == len(ix.qbuf) {
 		copy(ix.qbuf, q)
@@ -167,15 +229,16 @@ func (ix *Index) Search(q []float32, k int, opts ...SearchOption) ([]Neighbor, e
 		EarlyStop:     sc.earlyStop,
 		Radius:        sc.radius,
 		Mu:            ix.mu,
+		Profile:       sc.profile,
 	})
 	if err != nil {
-		return nil, err
+		return nil, SearchStats{}, err
 	}
 	out := make([]Neighbor, len(res.IDs))
 	for i := range res.IDs {
 		out[i] = Neighbor{ID: int(res.IDs[i]), Distance: res.Dists[i]}
 	}
-	return out, nil
+	return out, statsOf(res.Stats), nil
 }
 
 // Add appends one vector to the index and returns its id (the next row
@@ -199,6 +262,7 @@ func (ix *Index) Add(vec []float32) (int, error) {
 		return 0, err
 	}
 	ix.methodStale = true
+	ix.adds.Add(1)
 	return int(id), nil
 }
 
@@ -215,18 +279,55 @@ func (ix *Index) refreshMethodLocked() error {
 	ix.method = method
 	ix.searcher = query.NewSearcher(ix.ix, method)
 	ix.methodStale = false
+	ix.methodRebuilds.Add(1)
 	return nil
+}
+
+// BatchQueryResult is one query's outcome inside a batch: its
+// neighbors and work stats, or the error that failed this query alone.
+// Structural problems that invalidate the whole batch (a block length
+// that is not a multiple of dim, a non-positive k) are reported by the
+// batch call itself, not per query.
+type BatchQueryResult struct {
+	Neighbors []Neighbor
+	Stats     SearchStats
+	Err       error
 }
 
 // SearchBatch answers many queries concurrently: queries is an
 // nq×dim row-major block, and the result slice has one neighbor list
 // per query. Parallelism is capped at GOMAXPROCS; each worker gets its
 // own searcher, so batch throughput scales with cores while Search's
-// single-query latency semantics stay untouched.
+// single-query latency semantics stay untouched. The first per-query
+// error, if any, fails the call; use SearchBatchWithStats to get
+// per-query errors and work stats instead.
 func (ix *Index) SearchBatch(queries []float32, k int, opts ...SearchOption) ([][]Neighbor, error) {
+	results, err := ix.SearchBatchWithStats(queries, k, opts...)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]Neighbor, len(results))
+	for i, r := range results {
+		if r.Err != nil {
+			return nil, r.Err
+		}
+		out[i] = r.Neighbors
+	}
+	return out, nil
+}
+
+// SearchBatchWithStats is SearchBatch with per-query outcomes: each
+// entry carries the query's neighbors, its §2.2 work stats, and an Err
+// set only for that query's failure. The call-level error is reserved
+// for structural problems that invalidate the whole batch (bad block
+// length, non-positive k).
+func (ix *Index) SearchBatchWithStats(queries []float32, k int, opts ...SearchOption) ([]BatchQueryResult, error) {
 	dim := ix.ix.Dim
 	if dim <= 0 || len(queries)%dim != 0 {
 		return nil, fmt.Errorf("gqr: query block length %d not a multiple of dim %d", len(queries), dim)
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("gqr: K must be positive, got %d", k)
 	}
 	var sc searchConfig
 	for _, o := range opts {
@@ -239,8 +340,7 @@ func (ix *Index) SearchBatch(queries []float32, k int, opts ...SearchOption) ([]
 	}
 	ix.searchMu.Unlock()
 	nq := len(queries) / dim
-	out := make([][]Neighbor, nq)
-	errs := make([]error, nq)
+	out := make([]BatchQueryResult, nq)
 
 	workers := runtime.GOMAXPROCS(0)
 	if workers > nq {
@@ -271,16 +371,17 @@ func (ix *Index) SearchBatch(queries []float32, k int, opts ...SearchOption) ([]
 					EarlyStop:     sc.earlyStop,
 					Radius:        sc.radius,
 					Mu:            ix.mu,
+					Profile:       sc.profile,
 				})
 				if err != nil {
-					errs[qi] = err
+					out[qi].Err = err
 					continue
 				}
 				nbrs := make([]Neighbor, len(res.IDs))
 				for i := range res.IDs {
 					nbrs[i] = Neighbor{ID: int(res.IDs[i]), Distance: res.Dists[i]}
 				}
-				out[qi] = nbrs
+				out[qi] = BatchQueryResult{Neighbors: nbrs, Stats: statsOf(res.Stats)}
 			}
 		}()
 	}
@@ -289,11 +390,6 @@ func (ix *Index) SearchBatch(queries []float32, k int, opts ...SearchOption) ([]
 	}
 	close(next)
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
 	return out, nil
 }
 
@@ -309,18 +405,29 @@ type Stats struct {
 	Algorithm Algorithm
 	Method    QueryMethod
 	Metric    Metric
+	// BuildTime is how long Build (training plus table construction)
+	// took; zero for indexes restored via Load.
+	BuildTime time.Duration
+	// Adds counts vectors appended through Add since construction.
+	Adds int64
+	// MethodRebuilds counts how often the querying method's precomputed
+	// per-table views were rebuilt because Add changed the buckets.
+	MethodRebuilds int64
 }
 
-// Stats reports size and occupancy information.
+// Stats reports size, occupancy and lifecycle information.
 func (ix *Index) Stats() Stats {
 	s := Stats{
-		Items:      ix.ix.N,
-		Dim:        ix.ix.Dim,
-		CodeLength: ix.ix.Bits(),
-		Tables:     len(ix.ix.Tables),
-		Algorithm:  Algorithm(ix.ix.Tables[0].Hasher.Name()),
-		Method:     QueryMethod(ix.method.Name()),
-		Metric:     ix.metric,
+		Items:          ix.ix.N,
+		Dim:            ix.ix.Dim,
+		CodeLength:     ix.ix.Bits(),
+		Tables:         len(ix.ix.Tables),
+		Algorithm:      Algorithm(ix.ix.Tables[0].Hasher.Name()),
+		Method:         QueryMethod(ix.method.Name()),
+		Metric:         ix.metric,
+		BuildTime:      ix.buildTime,
+		Adds:           ix.adds.Load(),
+		MethodRebuilds: ix.methodRebuilds.Load(),
 	}
 	for _, t := range ix.ix.Tables {
 		s.Buckets = append(s.Buckets, t.BucketCount())

@@ -1,0 +1,461 @@
+// Package metrics is a dependency-free process-metrics registry:
+// atomic counters, float gauges and fixed-bucket latency histograms
+// (with p50/p95/p99 estimation) that encode themselves in the
+// Prometheus text exposition format and as a JSON-friendly snapshot.
+//
+// The paper frames querying cost in work units — buckets generated,
+// buckets probed, items retrieved (§2.2, Figures 8-10) — and this
+// package is the aggregation point where per-query work stats become
+// process-wide indicators an operator can scrape.
+//
+// All metric types are safe for concurrent use; the registry hands out
+// the same metric for repeated registrations of the same name+labels,
+// so hot paths may either cache the pointer or re-look it up.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Labels is one metric's label set (e.g. {"path": "/search"}).
+type Labels map[string]string
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n (n must be non-negative to keep
+// Prometheus counter semantics; negative deltas are ignored).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomic float64 gauge.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add moves the gauge by delta (CAS loop; safe under contention).
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// DefLatencyBuckets are the default histogram bounds in seconds,
+// spanning 100µs..10s — a sensible range for ANN query serving.
+var DefLatencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Histogram is a fixed-bucket histogram with cumulative Prometheus
+// semantics. Observations are atomic; bounds are immutable after
+// construction.
+type Histogram struct {
+	bounds  []float64 // ascending finite upper bounds
+	counts  []atomic.Int64
+	inf     atomic.Int64 // +Inf overflow bucket
+	sumBits atomic.Uint64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b))}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// Bucket counts are stored per-bucket (not cumulative) so Observe
+	// touches exactly one slot; the encoder accumulates.
+	i := sort.SearchFloat64s(h.bounds, v)
+	if i < len(h.bounds) {
+		h.counts[i].Add(1)
+	} else {
+		h.inf.Add(1)
+	}
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 {
+	total := h.inf.Load()
+	for i := range h.counts {
+		total += h.counts[i].Load()
+	}
+	return total
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Quantile estimates the q-quantile (0 < q < 1) by linear
+// interpolation inside the bucket holding the target rank — the same
+// estimate Prometheus's histogram_quantile computes server-side.
+// Returns 0 with no observations; observations in the overflow bucket
+// clamp to the largest finite bound.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.Count()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum int64
+	for i := range h.counts {
+		n := h.counts[i].Load()
+		if n > 0 && float64(cum+n) >= rank {
+			lower := 0.0
+			if i > 0 {
+				lower = h.bounds[i-1]
+			}
+			frac := (rank - float64(cum)) / float64(n)
+			return lower + (h.bounds[i]-lower)*frac
+		}
+		cum += n
+	}
+	if len(h.bounds) == 0 {
+		return 0
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// kind discriminates the metric families a registry can hold.
+type kind int
+
+const (
+	counterKind kind = iota
+	gaugeKind
+	histogramKind
+)
+
+func (k kind) String() string {
+	switch k {
+	case counterKind:
+		return "counter"
+	case gaugeKind:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// entry is one (name, labels) series.
+type entry struct {
+	labels   Labels
+	labelKey string // canonical {k="v",...} suffix, "" when unlabeled
+	c        *Counter
+	g        *Gauge
+	h        *Histogram
+}
+
+// family groups every series sharing a metric name.
+type family struct {
+	name    string
+	help    string
+	kind    kind
+	bounds  []float64 // histogram families only
+	entries []*entry  // registration order (deterministic encoding)
+	byLabel map[string]*entry
+}
+
+// Registry holds named metric families and encodes them.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	byName   map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+// Counter registers (or returns) the unlabeled counter name.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.CounterWith(name, help, nil)
+}
+
+// CounterWith registers (or returns) the counter series name{labels}.
+func (r *Registry) CounterWith(name, help string, l Labels) *Counter {
+	return r.series(name, help, counterKind, l, nil).c
+}
+
+// Gauge registers (or returns) the unlabeled gauge name.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.GaugeWith(name, help, nil)
+}
+
+// GaugeWith registers (or returns) the gauge series name{labels}.
+func (r *Registry) GaugeWith(name, help string, l Labels) *Gauge {
+	return r.series(name, help, gaugeKind, l, nil).g
+}
+
+// Histogram registers (or returns) the unlabeled histogram name. A nil
+// bounds slice selects DefLatencyBuckets. Bounds are fixed by the first
+// registration of the family.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	return r.HistogramWith(name, help, bounds, nil)
+}
+
+// HistogramWith registers (or returns) the histogram series
+// name{labels}.
+func (r *Registry) HistogramWith(name, help string, bounds []float64, l Labels) *Histogram {
+	if bounds == nil {
+		bounds = DefLatencyBuckets
+	}
+	return r.series(name, help, histogramKind, l, bounds).h
+}
+
+// series finds or creates one (name, labels) series; a kind clash on an
+// existing name is a programming error and panics.
+func (r *Registry) series(name, help string, k kind, l Labels, bounds []float64) *entry {
+	key := labelKey(l)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.byName[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: k, bounds: bounds, byLabel: make(map[string]*entry)}
+		r.families = append(r.families, f)
+		r.byName[name] = f
+	}
+	if f.kind != k {
+		panic(fmt.Sprintf("metrics: %s registered as %s, requested as %s", name, f.kind, k))
+	}
+	e, ok := f.byLabel[key]
+	if !ok {
+		e = &entry{labels: cloneLabels(l), labelKey: key}
+		switch k {
+		case counterKind:
+			e.c = &Counter{}
+		case gaugeKind:
+			e.g = &Gauge{}
+		case histogramKind:
+			e.h = newHistogram(f.bounds)
+		}
+		f.entries = append(f.entries, e)
+		f.byLabel[key] = e
+	}
+	return e
+}
+
+func cloneLabels(l Labels) Labels {
+	if len(l) == 0 {
+		return nil
+	}
+	out := make(Labels, len(l))
+	for k, v := range l {
+		out[k] = v
+	}
+	return out
+}
+
+// labelKey renders labels canonically: k1="v1",k2="v2" sorted by key.
+func labelKey(l Labels) string {
+	if len(l) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(l))
+	for k := range l {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l[k]))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+// escapeLabel applies the exposition-format label-value escapes.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return v
+}
+
+// escapeHelp applies the exposition-format HELP escapes.
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// seriesName renders name plus the optional {labels} block, merging
+// extra fixed labels (used for histogram "le").
+func seriesName(name, labelKey, extra string) string {
+	switch {
+	case labelKey == "" && extra == "":
+		return name
+	case labelKey == "":
+		return name + "{" + extra + "}"
+	case extra == "":
+		return name + "{" + labelKey + "}"
+	}
+	return name + "{" + labelKey + "," + extra + "}"
+}
+
+// WritePrometheus encodes every family in the text exposition format
+// (version 0.0.4), in registration order.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	fams := make([]*family, len(r.families))
+	copy(fams, r.families)
+	r.mu.Unlock()
+	for _, f := range fams {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n",
+			f.name, escapeHelp(f.help), f.name, f.kind); err != nil {
+			return err
+		}
+		// entries is append-only; reading the slice header under the
+		// registry lock (above, via the families copy) is not enough on
+		// its own, so re-lock briefly per family.
+		r.mu.Lock()
+		entries := make([]*entry, len(f.entries))
+		copy(entries, f.entries)
+		r.mu.Unlock()
+		for _, e := range entries {
+			var err error
+			switch f.kind {
+			case counterKind:
+				_, err = fmt.Fprintf(w, "%s %d\n", seriesName(f.name, e.labelKey, ""), e.c.Value())
+			case gaugeKind:
+				_, err = fmt.Fprintf(w, "%s %s\n", seriesName(f.name, e.labelKey, ""), formatFloat(e.g.Value()))
+			case histogramKind:
+				err = writeHistogram(w, f.name, e)
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeHistogram(w io.Writer, name string, e *entry) error {
+	var cum int64
+	for i, bound := range e.h.bounds {
+		cum += e.h.counts[i].Load()
+		le := `le="` + formatFloat(bound) + `"`
+		if _, err := fmt.Fprintf(w, "%s %d\n", seriesName(name+"_bucket", e.labelKey, le), cum); err != nil {
+			return err
+		}
+	}
+	cum += e.h.inf.Load()
+	if _, err := fmt.Fprintf(w, "%s %d\n", seriesName(name+"_bucket", e.labelKey, `le="+Inf"`), cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s %s\n", seriesName(name+"_sum", e.labelKey, ""), formatFloat(e.h.Sum())); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s %d\n", seriesName(name+"_count", e.labelKey, ""), cum)
+	return err
+}
+
+// HistogramValue is a histogram's JSON-friendly summary.
+type HistogramValue struct {
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+}
+
+// MetricValue is one series in a snapshot.
+type MetricValue struct {
+	Name      string          `json:"name"`
+	Labels    Labels          `json:"labels,omitempty"`
+	Kind      string          `json:"kind"`
+	Value     float64         `json:"value,omitempty"`
+	Histogram *HistogramValue `json:"histogram,omitempty"`
+}
+
+// Snapshot returns every series' current value in registration order.
+func (r *Registry) Snapshot() []MetricValue {
+	r.mu.Lock()
+	fams := make([]*family, len(r.families))
+	copy(fams, r.families)
+	r.mu.Unlock()
+	var out []MetricValue
+	for _, f := range fams {
+		r.mu.Lock()
+		entries := make([]*entry, len(f.entries))
+		copy(entries, f.entries)
+		r.mu.Unlock()
+		for _, e := range entries {
+			mv := MetricValue{Name: f.name, Labels: e.labels, Kind: f.kind.String()}
+			switch f.kind {
+			case counterKind:
+				mv.Value = float64(e.c.Value())
+			case gaugeKind:
+				mv.Value = e.g.Value()
+			case histogramKind:
+				mv.Histogram = &HistogramValue{
+					Count: e.h.Count(),
+					Sum:   e.h.Sum(),
+					P50:   e.h.Quantile(0.50),
+					P95:   e.h.Quantile(0.95),
+					P99:   e.h.Quantile(0.99),
+				}
+			}
+			out = append(out, mv)
+		}
+	}
+	return out
+}

@@ -1,0 +1,247 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_ops_total", "ops")
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*per {
+		t.Fatalf("counter = %d, want %d", got, workers*per)
+	}
+	c.Add(-5) // negative deltas are ignored
+	if got := c.Value(); got != workers*per {
+		t.Fatalf("counter after negative Add = %d, want %d", got, workers*per)
+	}
+}
+
+func TestGaugeConcurrentAdd(t *testing.T) {
+	var g Gauge
+	const workers, per = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				g.Add(0.5)
+			}
+		}()
+	}
+	wg.Wait()
+	if got, want := g.Value(), float64(workers*per)*0.5; got != want {
+		t.Fatalf("gauge = %v, want %v", got, want)
+	}
+	g.Set(-3.25)
+	if g.Value() != -3.25 {
+		t.Fatalf("gauge after Set = %v", g.Value())
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4})
+	const workers, per = 8, 400
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(float64(w%4) + 0.5) // 0.5, 1.5, 2.5, 3.5
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := h.Count(); got != workers*per {
+		t.Fatalf("count = %d, want %d", got, workers*per)
+	}
+	want := float64(per) * 2 * (0.5 + 1.5 + 2.5 + 3.5)
+	if got := h.Sum(); math.Abs(got-want) > 1e-6 {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4, 8})
+	// 100 observations uniform in (0,1], 100 in (1,2].
+	for i := 0; i < 100; i++ {
+		h.Observe(0.5)
+		h.Observe(1.5)
+	}
+	// p50 rank = 100 lands exactly at the top of the first bucket.
+	if got := h.Quantile(0.50); math.Abs(got-1.0) > 1e-9 {
+		t.Fatalf("p50 = %v, want 1.0", got)
+	}
+	// p75 rank = 150: halfway through the (1,2] bucket → 1.5.
+	if got := h.Quantile(0.75); math.Abs(got-1.5) > 1e-9 {
+		t.Fatalf("p75 = %v, want 1.5", got)
+	}
+	// p100 clamps to the upper bound of the last occupied bucket.
+	if got := h.Quantile(1.0); math.Abs(got-2.0) > 1e-9 {
+		t.Fatalf("p100 = %v, want 2.0", got)
+	}
+}
+
+func TestHistogramQuantileEdges(t *testing.T) {
+	h := newHistogram([]float64{1, 2})
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram quantile = %v, want 0", got)
+	}
+	// Everything overflows: quantile clamps to the largest finite bound.
+	h.Observe(100)
+	h.Observe(200)
+	if got := h.Quantile(0.99); got != 2 {
+		t.Fatalf("overflow quantile = %v, want 2", got)
+	}
+}
+
+func TestRegistryReusesSeries(t *testing.T) {
+	r := NewRegistry()
+	a := r.CounterWith("reqs_total", "requests", Labels{"path": "/search"})
+	b := r.CounterWith("reqs_total", "requests", Labels{"path": "/search"})
+	if a != b {
+		t.Fatal("same name+labels returned distinct counters")
+	}
+	c := r.CounterWith("reqs_total", "requests", Labels{"path": "/batch"})
+	if a == c {
+		t.Fatal("different labels returned the same counter")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind clash did not panic")
+		}
+	}()
+	r.Gauge("reqs_total", "requests")
+}
+
+func TestPrometheusEncodingGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("gqr_search_requests_total", "Search requests served.").Add(7)
+	r.GaugeWith("gqr_index_items", "Indexed vectors.", Labels{"shard": "0"}).Set(1500)
+	h := r.Histogram("gqr_http_request_seconds", "Request latency.", []float64{0.01, 0.1, 1})
+	h.Observe(0.005)
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(2.5)
+	lab := r.CounterWith("gqr_http_requests_total", `Requests by path and code.`, Labels{"path": "/search", "code": "200"})
+	lab.Add(3)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP gqr_search_requests_total Search requests served.
+# TYPE gqr_search_requests_total counter
+gqr_search_requests_total 7
+# HELP gqr_index_items Indexed vectors.
+# TYPE gqr_index_items gauge
+gqr_index_items{shard="0"} 1500
+# HELP gqr_http_request_seconds Request latency.
+# TYPE gqr_http_request_seconds histogram
+gqr_http_request_seconds_bucket{le="0.01"} 2
+gqr_http_request_seconds_bucket{le="0.1"} 3
+gqr_http_request_seconds_bucket{le="1"} 3
+gqr_http_request_seconds_bucket{le="+Inf"} 4
+gqr_http_request_seconds_sum 2.56
+gqr_http_request_seconds_count 4
+# HELP gqr_http_requests_total Requests by path and code.
+# TYPE gqr_http_requests_total counter
+gqr_http_requests_total{code="200",path="/search"} 3
+`
+	if got := b.String(); got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.CounterWith("weird_total", "help with\nnewline and \\ backslash",
+		Labels{"q": "say \"hi\"\n\\"}).Inc()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `# HELP weird_total help with\nnewline and \\ backslash`) {
+		t.Fatalf("HELP not escaped:\n%s", out)
+	}
+	if !strings.Contains(out, `weird_total{q="say \"hi\"\n\\"} 1`) {
+		t.Fatalf("label value not escaped:\n%s", out)
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "c").Add(5)
+	r.Gauge("g", "g").Set(2.5)
+	h := r.Histogram("h_seconds", "h", []float64{1, 2, 4})
+	for i := 0; i < 100; i++ {
+		h.Observe(0.5)
+		h.Observe(1.5)
+	}
+	snap := r.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot has %d series, want 3", len(snap))
+	}
+	if snap[0].Name != "c_total" || snap[0].Kind != "counter" || snap[0].Value != 5 {
+		t.Fatalf("counter snapshot = %+v", snap[0])
+	}
+	if snap[1].Name != "g" || snap[1].Value != 2.5 {
+		t.Fatalf("gauge snapshot = %+v", snap[1])
+	}
+	hs := snap[2].Histogram
+	if hs == nil || hs.Count != 200 || math.Abs(hs.Sum-200) > 1e-6 {
+		t.Fatalf("histogram snapshot = %+v", hs)
+	}
+	if math.Abs(hs.P50-1.0) > 1e-9 || hs.P99 <= hs.P50 {
+		t.Fatalf("quantiles p50=%v p99=%v", hs.P50, hs.P99)
+	}
+}
+
+func TestRegistryConcurrentMixedUse(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				r.CounterWith("mixed_total", "m", Labels{"w": string(rune('a' + w%4))}).Inc()
+				r.Histogram("mixed_seconds", "m", nil).Observe(float64(i) / 1000)
+				if i%50 == 0 {
+					var b strings.Builder
+					if err := r.WritePrometheus(&b); err != nil {
+						t.Error(err)
+					}
+					r.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	total := int64(0)
+	for _, mv := range r.Snapshot() {
+		if mv.Name == "mixed_total" {
+			total += int64(mv.Value)
+		}
+	}
+	if total != 8*200 {
+		t.Fatalf("labeled counters sum to %d, want %d", total, 8*200)
+	}
+}

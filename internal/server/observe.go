@@ -1,0 +1,252 @@
+package server
+
+import (
+	"context"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"gqr"
+	"gqr/internal/metrics"
+)
+
+// Metric families exported by the handler. The search counters use the
+// paper's §2.2 work units so operator dashboards graph the same
+// quantities as Figures 8-10.
+const (
+	mHTTPRequests   = "gqr_http_requests_total"
+	mHTTPLatency    = "gqr_http_request_seconds"
+	mQueries        = "gqr_search_queries_total"
+	mBucketsGen     = "gqr_search_buckets_generated_total"
+	mBucketsProbed  = "gqr_search_buckets_probed_total"
+	mCandidates     = "gqr_search_candidates_total"
+	mEarlyStops     = "gqr_search_early_stops_total"
+	mQueryErrors    = "gqr_search_query_errors_total"
+	mIndexItems     = "gqr_index_items"
+	mIndexTables    = "gqr_index_tables"
+	mIndexCodeBits  = "gqr_index_code_bits"
+	mIndexBuckets   = "gqr_index_buckets"
+	mIndexBuildSecs = "gqr_index_build_seconds"
+	mIndexAdds      = "gqr_index_adds"
+	mIndexRebuilds  = "gqr_index_method_rebuilds"
+)
+
+// initMetrics registers every fixed series up front so /metrics serves
+// complete HELP/TYPE families even before traffic arrives.
+func (h *Handler) initMetrics() {
+	h.cQueries = h.reg.Counter(mQueries, "Queries answered (batch queries count individually).")
+	h.cBucketsGen = h.reg.Counter(mBucketsGen, "Probe-sequence bucket emissions, including empty buckets (paper §2.2).")
+	h.cBucketsProbed = h.reg.Counter(mBucketsProbed, "Non-empty buckets evaluated.")
+	h.cCandidates = h.reg.Counter(mCandidates, "Distinct items whose exact distance was computed (the paper's retrieved items).")
+	h.cEarlyStops = h.reg.Counter(mEarlyStops, "Queries terminated by the QD lower-bound rule (paper §4.1).")
+	h.cQueryErrors = h.reg.Counter(mQueryErrors, "Per-query failures inside /batch requests.")
+	h.gItems = h.reg.Gauge(mIndexItems, "Vectors in the index.")
+	h.gTables = h.reg.Gauge(mIndexTables, "Hash tables in the index.")
+	h.gCodeBits = h.reg.Gauge(mIndexCodeBits, "Binary code length in bits.")
+	h.gBuckets = h.reg.Gauge(mIndexBuckets, "Non-empty buckets summed over tables.")
+	h.gBuildSeconds = h.reg.Gauge(mIndexBuildSecs, "Index build (train + hash) time in seconds.")
+	h.gAdds = h.reg.Gauge(mIndexAdds, "Vectors appended via Add since construction.")
+	h.gRebuilds = h.reg.Gauge(mIndexRebuilds, "Querying-method view rebuilds triggered by Add.")
+	h.updateIndexGauges()
+}
+
+// updateIndexGauges refreshes the lifecycle gauges from the index; it
+// runs on every scrape so the gauges track Add traffic.
+func (h *Handler) updateIndexGauges() {
+	st := h.ix.Stats()
+	h.gItems.Set(float64(st.Items))
+	h.gTables.Set(float64(st.Tables))
+	h.gCodeBits.Set(float64(st.CodeLength))
+	buckets := 0
+	for _, b := range st.Buckets {
+		buckets += b
+	}
+	h.gBuckets.Set(float64(buckets))
+	h.gBuildSeconds.Set(st.BuildTime.Seconds())
+	h.gAdds.Set(float64(st.Adds))
+	h.gRebuilds.Set(float64(st.MethodRebuilds))
+}
+
+// workKey carries the per-request work accumulator through the
+// handler's context so the logging middleware can report it.
+type workKey struct{}
+
+type workCarrier struct {
+	queries int
+	stats   gqr.SearchStats
+}
+
+// recordSearchWork adds one request's query work to the cumulative
+// counters and stashes it for the request log line. n is the number of
+// queries answered (a batch records its merged stats once).
+func (h *Handler) recordSearchWork(r *http.Request, st gqr.SearchStats, n int) {
+	if n <= 0 && st == (gqr.SearchStats{}) {
+		return
+	}
+	h.cQueries.Add(int64(n))
+	h.cBucketsGen.Add(int64(st.BucketsGenerated))
+	h.cBucketsProbed.Add(int64(st.BucketsProbed))
+	h.cCandidates.Add(int64(st.Candidates))
+	if st.EarlyStopped {
+		h.cEarlyStops.Inc()
+	}
+	if wc, ok := r.Context().Value(workKey{}).(*workCarrier); ok {
+		wc.queries += n
+		wc.stats.BucketsGenerated += st.BucketsGenerated
+		wc.stats.BucketsProbed += st.BucketsProbed
+		wc.stats.Candidates += st.Candidates
+		wc.stats.EarlyStopped = wc.stats.EarlyStopped || st.EarlyStopped
+		wc.stats.RetrievalTime += st.RetrievalTime
+		wc.stats.EvaluationTime += st.EvaluationTime
+	}
+}
+
+// statusRecorder captures the response code for logging and metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (s *statusRecorder) WriteHeader(code int) {
+	s.status = code
+	s.ResponseWriter.WriteHeader(code)
+}
+
+// knownPaths bounds the path label's cardinality: arbitrary request
+// paths (scanners, typos) all fold into "other" so they cannot grow
+// the registry without bound.
+var knownPaths = map[string]bool{
+	"/search": true, "/batch": true, "/add": true, "/stats": true,
+	"/healthz": true, "/metrics": true, "/statsz": true,
+}
+
+func pathLabel(p string) string {
+	if knownPaths[p] {
+		return p
+	}
+	if strings.HasPrefix(p, "/debug/pprof") {
+		return "/debug/pprof"
+	}
+	return "other"
+}
+
+// ServeHTTP implements http.Handler: it wraps the mux with structured
+// request logging and per-request metrics recording.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+	wc := &workCarrier{}
+	r = r.WithContext(context.WithValue(r.Context(), workKey{}, wc))
+	h.mux.ServeHTTP(rec, r)
+	elapsed := time.Since(start)
+
+	path := pathLabel(r.URL.Path)
+	code := strconv.Itoa(rec.status)
+	h.reg.CounterWith(mHTTPRequests, "HTTP requests by method, path and status code.",
+		metrics.Labels{"method": r.Method, "path": path, "code": code}).Inc()
+	h.reg.HistogramWith(mHTTPLatency, "HTTP request latency in seconds.", nil,
+		metrics.Labels{"path": path}).Observe(elapsed.Seconds())
+
+	attrs := []slog.Attr{
+		slog.String("method", r.Method),
+		slog.String("path", r.URL.Path),
+		slog.Int("status", rec.status),
+		slog.Duration("duration", elapsed),
+	}
+	if wc.queries > 0 {
+		attrs = append(attrs,
+			slog.Int("queries", wc.queries),
+			slog.Int("bucketsGenerated", wc.stats.BucketsGenerated),
+			slog.Int("bucketsProbed", wc.stats.BucketsProbed),
+			slog.Int("candidates", wc.stats.Candidates),
+			slog.Bool("earlyStopped", wc.stats.EarlyStopped),
+		)
+	}
+	h.log.LogAttrs(r.Context(), slog.LevelInfo, "request", attrs...)
+}
+
+func (h *Handler) metricsHandler(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		h.httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	h.updateIndexGauges()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := h.reg.WritePrometheus(w); err != nil {
+		h.log.Error("metrics encode failed", "error", err)
+	}
+}
+
+// SearchTotals are the cumulative §2.2 work counters in /statsz.
+type SearchTotals struct {
+	Queries          int64 `json:"queries"`
+	BucketsGenerated int64 `json:"bucketsGenerated"`
+	BucketsProbed    int64 `json:"bucketsProbed"`
+	Candidates       int64 `json:"candidates"`
+	EarlyStops       int64 `json:"earlyStops"`
+	QueryErrors      int64 `json:"queryErrors"`
+}
+
+// PathStats is one endpoint's request breakdown in /statsz.
+type PathStats struct {
+	Requests int64                   `json:"requests"`
+	ByCode   map[string]int64        `json:"byCode"`
+	Latency  *metrics.HistogramValue `json:"latencySeconds,omitempty"`
+}
+
+// Statsz is the /statsz response body: a JSON snapshot of the same
+// registry /metrics exposes, plus a per-endpoint request breakdown.
+type Statsz struct {
+	UptimeSeconds float64               `json:"uptimeSeconds"`
+	Index         gqr.Stats             `json:"index"`
+	Search        SearchTotals          `json:"search"`
+	HTTP          map[string]*PathStats `json:"http"`
+	Metrics       []metrics.MetricValue `json:"metrics"`
+}
+
+func (h *Handler) statszHandler(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		h.httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	h.updateIndexGauges()
+	snap := h.reg.Snapshot()
+	out := Statsz{
+		UptimeSeconds: time.Since(h.start).Seconds(),
+		Index:         h.ix.Stats(),
+		Search: SearchTotals{
+			Queries:          h.cQueries.Value(),
+			BucketsGenerated: h.cBucketsGen.Value(),
+			BucketsProbed:    h.cBucketsProbed.Value(),
+			Candidates:       h.cCandidates.Value(),
+			EarlyStops:       h.cEarlyStops.Value(),
+			QueryErrors:      h.cQueryErrors.Value(),
+		},
+		HTTP:    make(map[string]*PathStats),
+		Metrics: snap,
+	}
+	for _, mv := range snap {
+		switch mv.Name {
+		case mHTTPRequests:
+			p := mv.Labels["path"]
+			ps := out.HTTP[p]
+			if ps == nil {
+				ps = &PathStats{ByCode: make(map[string]int64)}
+				out.HTTP[p] = ps
+			}
+			ps.Requests += int64(mv.Value)
+			ps.ByCode[mv.Labels["code"]] += int64(mv.Value)
+		case mHTTPLatency:
+			p := mv.Labels["path"]
+			ps := out.HTTP[p]
+			if ps == nil {
+				ps = &PathStats{ByCode: make(map[string]int64)}
+				out.HTTP[p] = ps
+			}
+			ps.Latency = mv.Histogram
+		}
+	}
+	h.writeJSON(w, out)
+}

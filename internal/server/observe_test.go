@@ -1,0 +1,326 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"gqr"
+	"gqr/internal/dataset"
+)
+
+// newObsServer builds a handler over a small index with the given
+// options and returns the test server plus the dataset.
+func newObsServer(t *testing.T, opts ...Option) (*httptest.Server, *dataset.Dataset) {
+	t.Helper()
+	ds := dataset.Generate(dataset.GeneratorSpec{
+		Name: "obs", N: 400, Dim: 10, Clusters: 4, LatentDim: 3, Seed: 17,
+	})
+	ds.SampleQueries(4, 18)
+	ix, err := gqr.Build(ds.Vectors, ds.Dim, gqr.WithSeed(19))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(New(ix, opts...))
+	t.Cleanup(srv.Close)
+	return srv, ds
+}
+
+// expositionLine matches one Prometheus sample line:
+// name or name{label="value",...} then a space and a value.
+var expositionLine = regexp.MustCompile(
+	`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? (NaN|[+-]?Inf|[0-9eE.+-]+)$`)
+
+// parseExposition validates the text format and returns sample values
+// keyed by the full series name (with labels).
+func parseExposition(t *testing.T, text string) map[string]float64 {
+	t.Helper()
+	samples := make(map[string]float64)
+	typed := make(map[string]bool)
+	for ln, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if strings.HasPrefix(line, "# HELP ") {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			f := strings.Fields(line)
+			if len(f) != 4 || (f[3] != "counter" && f[3] != "gauge" && f[3] != "histogram") {
+				t.Fatalf("line %d: bad TYPE line %q", ln+1, line)
+			}
+			typed[f[2]] = true
+			continue
+		}
+		if !expositionLine.MatchString(line) {
+			t.Fatalf("line %d: invalid exposition line %q", ln+1, line)
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			t.Fatalf("line %d: bad value in %q: %v", ln+1, line, err)
+		}
+		series := line[:sp]
+		name := series
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			name = name[:i]
+		}
+		base := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name, "_bucket"), "_sum"), "_count")
+		if !typed[name] && !typed[base] {
+			t.Fatalf("line %d: sample %q has no TYPE declaration", ln+1, line)
+		}
+		samples[series] = v
+	}
+	return samples
+}
+
+func TestMetricsEndpointGolden(t *testing.T) {
+	srv, ds := newObsServer(t)
+	// Drive known traffic: 3 searches and one add.
+	for qi := 0; qi < 3; qi++ {
+		post(t, srv.URL+"/search", SearchRequest{Query: ds.Query(qi), K: 5, MaxCandidates: 100}, nil)
+	}
+	post(t, srv.URL+"/add", AddRequest{Vector: ds.Query(0)}, nil)
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/metrics content-type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := parseExposition(t, string(body))
+
+	// Request counter and latency histogram for the search path.
+	if got := samples[`gqr_http_requests_total{code="200",method="POST",path="/search"}`]; got != 3 {
+		t.Fatalf("search request counter = %v, want 3", got)
+	}
+	if got := samples[`gqr_http_request_seconds_count{path="/search"}`]; got != 3 {
+		t.Fatalf("search latency histogram count = %v, want 3", got)
+	}
+	// Cumulative work counters must reflect real probing.
+	if samples["gqr_search_queries_total"] != 3 {
+		t.Fatalf("queries total = %v", samples["gqr_search_queries_total"])
+	}
+	for _, name := range []string{
+		"gqr_search_buckets_generated_total",
+		"gqr_search_buckets_probed_total",
+		"gqr_search_candidates_total",
+	} {
+		if samples[name] <= 0 {
+			t.Fatalf("%s = %v, want > 0", name, samples[name])
+		}
+	}
+	if _, ok := samples["gqr_search_early_stops_total"]; !ok {
+		t.Fatal("early-stop counter missing")
+	}
+	// Index gauges: the built corpus plus 1 added vector.
+	if want := float64(ds.N() + 1); samples["gqr_index_items"] != want {
+		t.Fatalf("gqr_index_items = %v, want %v", samples["gqr_index_items"], want)
+	}
+	if samples["gqr_index_adds"] != 1 {
+		t.Fatalf("gqr_index_adds = %v, want 1", samples["gqr_index_adds"])
+	}
+	if samples["gqr_index_tables"] != 1 || samples["gqr_index_code_bits"] <= 0 {
+		t.Fatalf("index gauges: tables=%v bits=%v",
+			samples["gqr_index_tables"], samples["gqr_index_code_bits"])
+	}
+}
+
+func TestStatszEndpoint(t *testing.T) {
+	srv, ds := newObsServer(t)
+	post(t, srv.URL+"/search", SearchRequest{Query: ds.Query(0), K: 5}, nil)
+	var batch BatchResponse
+	post(t, srv.URL+"/batch", BatchRequest{
+		Queries: [][]float32{ds.Query(1), ds.Query(2)[:3]}, K: 2, MaxCandidates: 50,
+	}, &batch)
+
+	resp, err := http.Get(srv.URL + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st Statsz
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.UptimeSeconds <= 0 {
+		t.Fatalf("uptime = %v", st.UptimeSeconds)
+	}
+	if st.Index.Items != ds.N() {
+		t.Fatalf("index items = %d, want %d", st.Index.Items, ds.N())
+	}
+	// 1 search + 1 answered batch query; 1 failed batch query.
+	if st.Search.Queries != 2 || st.Search.QueryErrors != 1 {
+		t.Fatalf("search totals = %+v", st.Search)
+	}
+	if st.Search.Candidates <= 0 || st.Search.BucketsProbed <= 0 {
+		t.Fatalf("work counters empty: %+v", st.Search)
+	}
+	ps := st.HTTP["/search"]
+	if ps == nil || ps.Requests != 1 || ps.ByCode["200"] != 1 {
+		t.Fatalf("per-path stats for /search = %+v", ps)
+	}
+	if ps.Latency == nil || ps.Latency.Count != 1 {
+		t.Fatalf("latency summary for /search = %+v", ps.Latency)
+	}
+	if len(st.Metrics) == 0 {
+		t.Fatal("metrics snapshot empty")
+	}
+}
+
+func TestRequestLoggingMiddleware(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewJSONHandler(&buf, nil))
+	srv, ds := newObsServer(t, WithLogger(logger))
+
+	post(t, srv.URL+"/search", SearchRequest{Query: ds.Query(0), K: 5, MaxCandidates: 100}, nil)
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("%d log lines, want 2:\n%s", len(lines), buf.String())
+	}
+	var search map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &search); err != nil {
+		t.Fatal(err)
+	}
+	if search["method"] != "POST" || search["path"] != "/search" || search["status"] != float64(200) {
+		t.Fatalf("search log line = %v", search)
+	}
+	if search["msg"] != "request" {
+		t.Fatalf("log msg = %v", search["msg"])
+	}
+	for _, key := range []string{"duration", "queries", "bucketsGenerated", "bucketsProbed", "candidates"} {
+		if _, ok := search[key]; !ok {
+			t.Fatalf("search log line missing %q: %v", key, search)
+		}
+	}
+	if search["candidates"].(float64) <= 0 {
+		t.Fatalf("logged candidates = %v", search["candidates"])
+	}
+	var health map[string]any
+	if err := json.Unmarshal([]byte(lines[1]), &health); err != nil {
+		t.Fatal(err)
+	}
+	if health["path"] != "/healthz" || health["status"] != float64(200) {
+		t.Fatalf("healthz log line = %v", health)
+	}
+	if _, ok := health["queries"]; ok {
+		t.Fatalf("healthz log line has work stats: %v", health)
+	}
+}
+
+func TestSearchIncludeStats(t *testing.T) {
+	srv, ds := newObsServer(t)
+	var out SearchResponse
+	resp := post(t, srv.URL+"/search",
+		SearchRequest{Query: ds.Query(0), K: 5, MaxCandidates: 100, IncludeStats: true}, &out)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if out.Stats == nil || out.Stats.Candidates <= 0 || out.Stats.BucketsProbed <= 0 {
+		t.Fatalf("stats = %+v", out.Stats)
+	}
+	// WithProfile is implied by includeStats, so the time split exists.
+	if out.Stats.RetrievalTime+out.Stats.EvaluationTime <= 0 {
+		t.Fatalf("profile times empty: %+v", out.Stats)
+	}
+	// Without includeStats the field is omitted.
+	var plain SearchResponse
+	post(t, srv.URL+"/search", SearchRequest{Query: ds.Query(0), K: 5}, &plain)
+	if plain.Stats != nil {
+		t.Fatalf("stats present without includeStats: %+v", plain.Stats)
+	}
+}
+
+func TestBatchIncludeStats(t *testing.T) {
+	srv, ds := newObsServer(t)
+	var out BatchResponse
+	post(t, srv.URL+"/batch", BatchRequest{
+		Queries: [][]float32{ds.Query(0), ds.Query(1)}, K: 3,
+		MaxCandidates: 50, IncludeStats: true,
+	}, &out)
+	for i, entry := range out.Results {
+		if entry.Stats == nil || entry.Stats.Candidates <= 0 {
+			t.Fatalf("entry %d stats = %+v", i, entry.Stats)
+		}
+	}
+}
+
+func TestPprofOptIn(t *testing.T) {
+	on, _ := newObsServer(t, WithPprof())
+	resp, err := http.Get(on.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof enabled: status %d", resp.StatusCode)
+	}
+
+	off, _ := newObsServer(t)
+	resp, err = http.Get(off.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("pprof disabled: status %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestMetricsAndStatszMethodNotAllowed(t *testing.T) {
+	srv, _ := newObsServer(t)
+	for _, path := range []string{"/metrics", "/statsz"} {
+		resp, err := http.Post(srv.URL+path, "application/json", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Fatalf("POST %s gave status %d", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestUnknownPathFoldsToOther(t *testing.T) {
+	srv, _ := newObsServer(t)
+	for i := 0; i < 3; i++ {
+		resp, err := http.Get(fmt.Sprintf("%s/no-such-%d", srv.URL, i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if strings.Contains(string(body), "no-such-") {
+		t.Fatal("unbounded path leaked into metric labels")
+	}
+	samples := parseExposition(t, string(body))
+	if got := samples[`gqr_http_requests_total{code="404",method="GET",path="other"}`]; got != 3 {
+		t.Fatalf("folded 404 counter = %v, want 3", got)
+	}
+}

@@ -1,43 +1,110 @@
 // Package server exposes a gqr index over HTTP with a small JSON API:
 //
 //	POST /search  {"query":[...], "k":10, "maxCandidates":1000,
-//	               "radius":0, "earlyStop":false}
+//	               "radius":0, "earlyStop":false, "includeStats":true}
 //	POST /batch   {"queries":[[...],[...]], "k":10, ...}
 //	POST /add     {"vector":[...]}
 //	GET  /stats
 //	GET  /healthz
+//	GET  /metrics   Prometheus text exposition
+//	GET  /statsz    JSON metrics snapshot
+//	GET  /debug/pprof/*  (only with WithPprof)
 //
-// It is the serving substrate for cmd/gqr-server and is tested with
-// net/http/httptest.
+// Every request is logged through log/slog (method, path, status,
+// latency, and the query's §2.2 work stats) and recorded into a
+// process-wide metrics registry. It is the serving substrate for
+// cmd/gqr-server and is tested with net/http/httptest.
 package server
 
 import (
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
+	"time"
 
 	"gqr"
+	"gqr/internal/metrics"
 )
 
-// Handler routes the JSON API for one index.
+// Handler routes the JSON API for one index and owns the request
+// logging middleware plus the metrics registry behind /metrics and
+// /statsz.
 type Handler struct {
-	ix  *gqr.Index
-	mux *http.ServeMux
+	ix    *gqr.Index
+	mux   *http.ServeMux
+	log   *slog.Logger
+	reg   *metrics.Registry
+	start time.Time
+	pprof bool
+
+	// Cumulative query-work counters (the paper's §2.2 units).
+	cQueries       *metrics.Counter
+	cBucketsGen    *metrics.Counter
+	cBucketsProbed *metrics.Counter
+	cCandidates    *metrics.Counter
+	cEarlyStops    *metrics.Counter
+	cQueryErrors   *metrics.Counter
+
+	// Index lifecycle gauges, refreshed on every scrape.
+	gItems        *metrics.Gauge
+	gTables       *metrics.Gauge
+	gCodeBits     *metrics.Gauge
+	gBuckets      *metrics.Gauge
+	gBuildSeconds *metrics.Gauge
+	gAdds         *metrics.Gauge
+	gRebuilds     *metrics.Gauge
 }
 
+// Option configures a Handler.
+type Option func(*Handler)
+
+// WithLogger replaces the request logger (default slog.Default()).
+func WithLogger(l *slog.Logger) Option { return func(h *Handler) { h.log = l } }
+
+// WithRegistry shares an external metrics registry (default: a fresh
+// one per Handler). Useful when one process serves several indexes.
+func WithRegistry(r *metrics.Registry) Option { return func(h *Handler) { h.reg = r } }
+
+// WithPprof mounts net/http/pprof under /debug/pprof/. Off by default:
+// profiling endpoints expose internals and cost CPU, so production
+// deployments opt in explicitly (the -pprof flag of cmd/gqr-server).
+func WithPprof() Option { return func(h *Handler) { h.pprof = true } }
+
 // New wraps an index in an http.Handler.
-func New(ix *gqr.Index) *Handler {
-	h := &Handler{ix: ix, mux: http.NewServeMux()}
+func New(ix *gqr.Index, opts ...Option) *Handler {
+	h := &Handler{ix: ix, mux: http.NewServeMux(), start: time.Now()}
+	for _, o := range opts {
+		o(h)
+	}
+	if h.log == nil {
+		h.log = slog.Default()
+	}
+	if h.reg == nil {
+		h.reg = metrics.NewRegistry()
+	}
+	h.initMetrics()
 	h.mux.HandleFunc("/search", h.search)
 	h.mux.HandleFunc("/batch", h.batch)
 	h.mux.HandleFunc("/add", h.add)
 	h.mux.HandleFunc("/stats", h.stats)
 	h.mux.HandleFunc("/healthz", h.healthz)
+	h.mux.HandleFunc("/metrics", h.metricsHandler)
+	h.mux.HandleFunc("/statsz", h.statszHandler)
+	if h.pprof {
+		h.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		h.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		h.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		h.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		h.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return h
 }
 
-// ServeHTTP implements http.Handler.
-func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) { h.mux.ServeHTTP(w, r) }
+// Registry returns the handler's metrics registry (for snapshot logging
+// at shutdown).
+func (h *Handler) Registry() *metrics.Registry { return h.reg }
 
 // SearchRequest is the /search request body.
 type SearchRequest struct {
@@ -47,6 +114,10 @@ type SearchRequest struct {
 	MaxBuckets    int       `json:"maxBuckets,omitempty"`
 	Radius        float64   `json:"radius,omitempty"`
 	EarlyStop     bool      `json:"earlyStop,omitempty"`
+	// IncludeStats echoes the query's work stats (buckets generated and
+	// probed, candidates, early-stop flag, retrieval/evaluation time) in
+	// the response.
+	IncludeStats bool `json:"includeStats,omitempty"`
 }
 
 // NeighborJSON is one result entry.
@@ -57,7 +128,8 @@ type NeighborJSON struct {
 
 // SearchResponse is the /search response body.
 type SearchResponse struct {
-	Neighbors []NeighborJSON `json:"neighbors"`
+	Neighbors []NeighborJSON   `json:"neighbors"`
+	Stats     *gqr.SearchStats `json:"stats,omitempty"`
 }
 
 // BatchRequest is the /batch request body.
@@ -68,11 +140,24 @@ type BatchRequest struct {
 	MaxBuckets    int         `json:"maxBuckets,omitempty"`
 	Radius        float64     `json:"radius,omitempty"`
 	EarlyStop     bool        `json:"earlyStop,omitempty"`
+	IncludeStats  bool        `json:"includeStats,omitempty"`
 }
 
-// BatchResponse is the /batch response body.
+// BatchEntry is one query's outcome inside a /batch response: either
+// its neighbors (and optionally stats) or the error that failed this
+// query alone.
+type BatchEntry struct {
+	Neighbors []NeighborJSON   `json:"neighbors"`
+	Stats     *gqr.SearchStats `json:"stats,omitempty"`
+	Error     string           `json:"error,omitempty"`
+}
+
+// BatchResponse is the /batch response body. Per-query failures (for
+// example one ragged query in an otherwise valid batch) appear as
+// entries with a non-empty Error; only structural problems — bad k,
+// malformed JSON — fail the whole request with a 400.
 type BatchResponse struct {
-	Results [][]NeighborJSON `json:"results"`
+	Results []BatchEntry `json:"results"`
 }
 
 // AddRequest is the /add request body.
@@ -87,77 +172,118 @@ type AddResponse struct {
 
 func (h *Handler) search(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		h.httpError(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
 	var req SearchRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		h.httpError(w, http.StatusBadRequest, "invalid JSON: %v", err)
 		return
 	}
-	nbrs, err := h.ix.Search(req.Query, req.K, optsOf(req.MaxCandidates, req.MaxBuckets, req.Radius, req.EarlyStop)...)
+	opts := optsOf(req.MaxCandidates, req.MaxBuckets, req.Radius, req.EarlyStop)
+	if req.IncludeStats {
+		opts = append(opts, gqr.WithProfile())
+	}
+	nbrs, st, err := h.ix.SearchWithStats(req.Query, req.K, opts...)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
+		h.httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	writeJSON(w, SearchResponse{Neighbors: toJSON(nbrs)})
+	h.recordSearchWork(r, st, 1)
+	resp := SearchResponse{Neighbors: toJSON(nbrs)}
+	if req.IncludeStats {
+		resp.Stats = &st
+	}
+	h.writeJSON(w, resp)
 }
 
 func (h *Handler) batch(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		h.httpError(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
 	var req BatchRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		h.httpError(w, http.StatusBadRequest, "invalid JSON: %v", err)
 		return
 	}
 	dim := h.ix.Stats().Dim
+	// Flatten only well-formed queries; ragged ones become per-entry
+	// errors instead of failing the whole batch.
+	resp := BatchResponse{Results: make([]BatchEntry, len(req.Queries))}
 	flat := make([]float32, 0, len(req.Queries)*dim)
+	backMap := make([]int, 0, len(req.Queries))
 	for i, q := range req.Queries {
 		if len(q) != dim {
-			httpError(w, http.StatusBadRequest, "query %d has dim %d, want %d", i, len(q), dim)
-			return
+			resp.Results[i].Error = fmt.Sprintf("query %d has dim %d, want %d", i, len(q), dim)
+			continue
 		}
 		flat = append(flat, q...)
+		backMap = append(backMap, i)
 	}
-	lists, err := h.ix.SearchBatch(flat, req.K, optsOf(req.MaxCandidates, req.MaxBuckets, req.Radius, req.EarlyStop)...)
+	opts := optsOf(req.MaxCandidates, req.MaxBuckets, req.Radius, req.EarlyStop)
+	if req.IncludeStats {
+		opts = append(opts, gqr.WithProfile())
+	}
+	results, err := h.ix.SearchBatchWithStats(flat, req.K, opts...)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
+		// Structural failure (bad k, bad block): the whole batch is
+		// invalid, not any single query.
+		h.httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	resp := BatchResponse{Results: make([][]NeighborJSON, len(lists))}
-	for i, nbrs := range lists {
-		resp.Results[i] = toJSON(nbrs)
+	var total gqr.SearchStats
+	var answered, failed int
+	for bi, res := range results {
+		i := backMap[bi]
+		if res.Err != nil {
+			resp.Results[i].Error = res.Err.Error()
+			failed++
+			continue
+		}
+		resp.Results[i].Neighbors = toJSON(res.Neighbors)
+		if req.IncludeStats {
+			st := res.Stats
+			resp.Results[i].Stats = &st
+		}
+		total.BucketsGenerated += res.Stats.BucketsGenerated
+		total.BucketsProbed += res.Stats.BucketsProbed
+		total.Candidates += res.Stats.Candidates
+		total.EarlyStopped = total.EarlyStopped || res.Stats.EarlyStopped
+		total.RetrievalTime += res.Stats.RetrievalTime
+		total.EvaluationTime += res.Stats.EvaluationTime
+		answered++
 	}
-	writeJSON(w, resp)
+	failed += len(req.Queries) - len(backMap)
+	h.recordSearchWork(r, total, answered)
+	h.cQueryErrors.Add(int64(failed))
+	h.writeJSON(w, resp)
 }
 
 func (h *Handler) add(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		h.httpError(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
 	var req AddRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		h.httpError(w, http.StatusBadRequest, "invalid JSON: %v", err)
 		return
 	}
 	id, err := h.ix.Add(req.Vector)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
+		h.httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	writeJSON(w, AddResponse{ID: id})
+	h.writeJSON(w, AddResponse{ID: id})
 }
 
 func (h *Handler) stats(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		httpError(w, http.StatusMethodNotAllowed, "GET required")
+		h.httpError(w, http.StatusMethodNotAllowed, "GET required")
 		return
 	}
-	writeJSON(w, h.ix.Stats())
+	h.writeJSON(w, h.ix.Stats())
 }
 
 func (h *Handler) healthz(w http.ResponseWriter, r *http.Request) {
@@ -190,18 +316,19 @@ func toJSON(nbrs []gqr.Neighbor) []NeighborJSON {
 	return out
 }
 
-func writeJSON(w http.ResponseWriter, v any) {
+func (h *Handler) writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(v); err != nil {
-		// Headers are already sent; nothing more to do but log-worthy
-		// in a real deployment. The connection error surfaces to the
-		// client anyway.
-		_ = err
+		// Headers are already sent, so the client sees a truncated body;
+		// the operator sees this line.
+		h.log.Error("response encode failed", "error", err)
 	}
 }
 
-func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+func (h *Handler) httpError(w http.ResponseWriter, code int, format string, args ...any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+	if err := json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)}); err != nil {
+		h.log.Error("error-response encode failed", "error", err)
+	}
 }

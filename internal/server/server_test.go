@@ -111,16 +111,35 @@ func TestBatchEndpoint(t *testing.T) {
 	if len(out.Results) != ds.NQ() {
 		t.Fatalf("%d result lists", len(out.Results))
 	}
-	for _, nbrs := range out.Results {
-		if len(nbrs) != 3 {
-			t.Fatalf("result list of %d", len(nbrs))
+	for _, entry := range out.Results {
+		if entry.Error != "" {
+			t.Fatalf("unexpected per-query error: %s", entry.Error)
+		}
+		if len(entry.Neighbors) != 3 {
+			t.Fatalf("result list of %d", len(entry.Neighbors))
 		}
 	}
-	// Ragged batch rejected.
-	bad := BatchRequest{K: 3, Queries: [][]float32{ds.Query(0), ds.Query(1)[:4]}}
-	r2 := post(t, srv.URL+"/batch", bad, nil)
-	if r2.StatusCode != http.StatusBadRequest {
-		t.Fatalf("ragged batch gave status %d", r2.StatusCode)
+}
+
+func TestBatchPerQueryErrors(t *testing.T) {
+	srv, ds := testServer(t)
+	// One ragged query must fail alone; the rest of the batch succeeds.
+	req := BatchRequest{K: 3, Queries: [][]float32{ds.Query(0), ds.Query(1)[:4], ds.Query(2)}}
+	var out BatchResponse
+	resp := post(t, srv.URL+"/batch", req, &out)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("mixed batch gave status %d, want 200", resp.StatusCode)
+	}
+	if len(out.Results) != 3 {
+		t.Fatalf("%d results, want 3", len(out.Results))
+	}
+	for _, i := range []int{0, 2} {
+		if out.Results[i].Error != "" || len(out.Results[i].Neighbors) != 3 {
+			t.Fatalf("valid query %d: %+v", i, out.Results[i])
+		}
+	}
+	if out.Results[1].Error == "" || len(out.Results[1].Neighbors) != 0 {
+		t.Fatalf("ragged query got no error: %+v", out.Results[1])
 	}
 }
 

@@ -144,6 +144,7 @@ type searchConfig struct {
 	maxBuckets    int
 	earlyStop     bool
 	radius        float64
+	profile       bool
 }
 
 // SearchOption configures one Search call.
@@ -172,3 +173,11 @@ func WithEarlyStop() SearchOption { return func(c *searchConfig) { c.earlyStop =
 // can contain an in-radius item, making the search exact without a
 // candidate budget.
 func WithRadius(r float64) SearchOption { return func(c *searchConfig) { c.radius = r } }
+
+// WithProfile enables per-stage timing in the stats returned by
+// SearchWithStats: SearchStats.RetrievalTime and EvaluationTime split
+// the query between deciding which buckets to probe and computing exact
+// distances (the paper's §2.2 decomposition). Costs two clock reads per
+// bucket, so it is off by default; the work counters (buckets,
+// candidates) are always populated.
+func WithProfile() SearchOption { return func(c *searchConfig) { c.profile = true } }

@@ -66,17 +66,28 @@ func (s *ShardedIndex) Shards() int { return len(s.shards) }
 // global row indexes of the build block). Search options apply per
 // shard; a MaxCandidates budget is therefore a per-shard budget.
 func (s *ShardedIndex) Search(q []float32, k int, opts ...SearchOption) ([]Neighbor, error) {
+	nbrs, _, err := s.SearchWithStats(q, k, opts...)
+	return nbrs, err
+}
+
+// SearchWithStats is Search plus merged work stats: the §2.2 counters
+// are summed over shards (the total work the query cost the process),
+// EarlyStopped reports whether any shard's QD rule fired, and with
+// WithProfile the retrieval/evaluation times are summed across shards
+// (total CPU time, not wall-clock — shards probe concurrently).
+func (s *ShardedIndex) SearchWithStats(q []float32, k int, opts ...SearchOption) ([]Neighbor, SearchStats, error) {
 	if len(q) != s.dim {
-		return nil, fmt.Errorf("gqr: query dim %d != index dim %d", len(q), s.dim)
+		return nil, SearchStats{}, fmt.Errorf("gqr: query dim %d != index dim %d", len(q), s.dim)
 	}
 	results := make([][]Neighbor, len(s.shards))
+	stats := make([]SearchStats, len(s.shards))
 	errs := make([]error, len(s.shards))
 	var wg sync.WaitGroup
 	for i := range s.shards {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			nbrs, err := s.shards[i].Search(q, k, opts...)
+			nbrs, st, err := s.shards[i].SearchWithStats(q, k, opts...)
 			if err != nil {
 				errs[i] = err
 				return
@@ -85,17 +96,20 @@ func (s *ShardedIndex) Search(q []float32, k int, opts ...SearchOption) ([]Neigh
 				nbrs[j].ID += s.base[i]
 			}
 			results[i] = nbrs
+			stats[i] = st
 		}(i)
 	}
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
-			return nil, err
+			return nil, SearchStats{}, err
 		}
 	}
 	var merged []Neighbor
-	for _, r := range results {
+	var total SearchStats
+	for i, r := range results {
 		merged = append(merged, r...)
+		total.merge(stats[i])
 	}
 	sort.Slice(merged, func(a, b int) bool {
 		if merged[a].Distance != merged[b].Distance {
@@ -106,7 +120,7 @@ func (s *ShardedIndex) Search(q []float32, k int, opts ...SearchOption) ([]Neigh
 	if len(merged) > k {
 		merged = merged[:k]
 	}
-	return merged, nil
+	return merged, total, nil
 }
 
 // Stats returns the per-shard statistics.
