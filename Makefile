@@ -15,11 +15,12 @@ vet:
 test:
 	$(GO) test ./...
 
-# The metrics registry and the HTTP layer are the concurrency-heavy
-# packages; keep them race-clean. The root package exercises the
-# batch/sharded fan-out paths.
+# The query hot path is lock-free (snapshot-based concurrent search),
+# so the whole module must stay race-clean, not just the HTTP layer:
+# the root package's Add+Search+batch stress test is the regression
+# gate for the snapshot design.
 race:
-	$(GO) test -race . ./internal/metrics ./internal/server
+	$(GO) test -race ./...
 
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .

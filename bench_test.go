@@ -96,6 +96,29 @@ func benchSearch(b *testing.B, m QueryMethod, budget int) {
 	}
 }
 
+// benchSearchParallel measures single-query Search throughput under
+// concurrent callers (b.RunParallel). Search used to serialize every
+// caller behind one mutex, so this benchmark could not scale with
+// GOMAXPROCS; it is the measurement behind the snapshot-based concurrent
+// search design (run with -cpu 1,4 to see the scaling).
+func benchSearchParallel(b *testing.B, m QueryMethod, budget int) {
+	ix, ds := apiIndex(b, m)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			q := ds.Query(i % ds.NQ())
+			i++
+			if _, err := ix.Search(q, 10, WithMaxCandidates(budget)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkSearchParallel(b *testing.B)      { benchSearchParallel(b, GQR, 1000) }
+func BenchmarkSearchParallelHR(b *testing.B)    { benchSearchParallel(b, HR, 1000) }
 func BenchmarkSearchGQRBudget1000(b *testing.B) { benchSearch(b, GQR, 1000) }
 func BenchmarkSearchGHRBudget1000(b *testing.B) { benchSearch(b, GHR, 1000) }
 func BenchmarkSearchHRBudget1000(b *testing.B)  { benchSearch(b, HR, 1000) }

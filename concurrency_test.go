@@ -1,0 +1,193 @@
+package gqr
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"gqr/internal/dataset"
+)
+
+// concurrencyData builds a small corpus for the stress tests.
+func concurrencyData(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	ds := dataset.Generate(dataset.GeneratorSpec{
+		Name: "conc", N: 2000, Dim: 16, Clusters: 8, LatentDim: 6, Seed: 97,
+	})
+	ds.SampleQueries(16, 98)
+	return ds
+}
+
+// TestConcurrentAddSearchBatch hammers Add, Search, SearchWithStats,
+// SearchBatch and Stats from many goroutines at once. Run under -race
+// this is the regression test for the snapshot design: before it,
+// SearchBatchWithStats workers read the index and method fields without
+// the search mutex while Add mutated the bucket maps under it, a
+// genuine data race (and Search serialized every caller besides).
+func TestConcurrentAddSearchBatch(t *testing.T) {
+	ds := concurrencyData(t)
+	for _, m := range []QueryMethod{GQR, HR} {
+		m := m
+		t.Run(string(m), func(t *testing.T) {
+			ix, err := Build(ds.Vectors, ds.Dim, WithQueryMethod(m), WithSeed(99))
+			if err != nil {
+				t.Fatal(err)
+			}
+			const (
+				adders    = 2
+				searchers = 4
+				batchers  = 2
+				rounds    = 50
+			)
+			var wg sync.WaitGroup
+			for a := 0; a < adders; a++ {
+				wg.Add(1)
+				go func(a int) {
+					defer wg.Done()
+					for i := 0; i < rounds; i++ {
+						if _, err := ix.Add(ds.Vector((a*rounds + i) % ds.N())); err != nil {
+							t.Error(err)
+							return
+						}
+					}
+				}(a)
+			}
+			for s := 0; s < searchers; s++ {
+				wg.Add(1)
+				go func(s int) {
+					defer wg.Done()
+					for i := 0; i < rounds; i++ {
+						q := ds.Query((s + i) % ds.NQ())
+						if s%2 == 0 {
+							if _, err := ix.Search(q, 5, WithMaxCandidates(200)); err != nil {
+								t.Error(err)
+								return
+							}
+						} else {
+							if _, _, err := ix.SearchWithStats(q, 5, WithMaxCandidates(200)); err != nil {
+								t.Error(err)
+								return
+							}
+						}
+						_ = ix.Stats()
+					}
+				}(s)
+			}
+			for bt := 0; bt < batchers; bt++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					block := make([]float32, 0, 4*ds.Dim)
+					for qi := 0; qi < 4; qi++ {
+						block = append(block, ds.Query(qi)...)
+					}
+					for i := 0; i < rounds/2; i++ {
+						results, err := ix.SearchBatchWithStats(block, 5, WithMaxCandidates(200))
+						if err != nil {
+							t.Error(err)
+							return
+						}
+						for _, r := range results {
+							if r.Err != nil {
+								t.Error(r.Err)
+								return
+							}
+						}
+					}
+				}()
+			}
+			wg.Wait()
+
+			// Every added vector must be visible to a search issued after
+			// all Adds returned (the refresh republishes the snapshot).
+			st := ix.Stats()
+			if st.Items != ds.N()+adders*rounds {
+				t.Fatalf("Items = %d, want %d", st.Items, ds.N()+adders*rounds)
+			}
+			if _, err := ix.Search(ds.Query(0), 5, WithMaxCandidates(200)); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestConcurrentShardedSearch fans concurrent queries and Stats over a
+// sharded index while shard 0 absorbs Adds.
+func TestConcurrentShardedSearch(t *testing.T) {
+	ds := concurrencyData(t)
+	sharded, err := BuildSharded(ds.Vectors, ds.Dim, 3, WithSeed(101))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for s := 0; s < 4; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				if _, err := sharded.Search(ds.Query((s+i)%ds.NQ()), 5, WithMaxCandidates(100)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(s)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 40; i++ {
+			_ = sharded.Stats()
+		}
+	}()
+	wg.Wait()
+}
+
+// TestShardedSearchErrorsJoined verifies that a fan-out failure reports
+// every failing shard, not just the first one observed.
+func TestShardedSearchErrorsJoined(t *testing.T) {
+	ds := concurrencyData(t)
+	sharded, err := BuildSharded(ds.Vectors, ds.Dim, 3, WithSeed(103))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// k <= 0 fails inside every shard's searcher.
+	_, _, err = sharded.SearchWithStats(ds.Query(0), 0)
+	if err == nil {
+		t.Fatal("k=0 must fail")
+	}
+	for _, want := range []string{"shard 0", "shard 1", "shard 2"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q does not mention %s", err, want)
+		}
+	}
+	// errors.Join wrapping: the joined error must unwrap to multiple.
+	var joined interface{ Unwrap() []error }
+	if !errors.As(err, &joined) {
+		t.Fatalf("error %T is not a joined error", err)
+	}
+	if got := len(joined.Unwrap()); got != 3 {
+		t.Fatalf("joined %d errors, want 3", got)
+	}
+}
+
+// TestAddVisibleToNextSearch pins the snapshot visibility contract: a
+// Search issued after Add returns must see the added vector.
+func TestAddVisibleToNextSearch(t *testing.T) {
+	ds := concurrencyData(t)
+	ix, err := Build(ds.Vectors, ds.Dim, WithSeed(105))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := ix.Add(ds.Query(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nbrs, err := ix.Search(ds.Query(3), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nbrs) == 0 || nbrs[0].ID != id || nbrs[0].Distance != 0 {
+		t.Fatalf("added vector not visible to next search: %v", nbrs)
+	}
+}

@@ -64,28 +64,63 @@ func statsOf(st query.Stats) SearchStats {
 	}
 }
 
-// Index is a learned-hash ANN index over a fixed set of vectors. An
-// Index is safe for concurrent Search calls.
-type Index struct {
-	ix     *index.Index
+// snapshot is one published, immutable read view of the index: the
+// bucket structure as of its publication, the querying method bound to
+// that structure, and the Theorem 2 early-stop scale. Searches load the
+// current snapshot atomically and work only on it, so they never
+// contend with each other or with Add. The per-snapshot pool hands out
+// query.Searcher scratch (visited-epoch array + angular qbuf) keyed to
+// this snapshot's generation; when a new snapshot is published the old
+// pool is simply garbage.
+type snapshot struct {
+	view   *index.Index
 	method query.Method
 	mu     float64 // Theorem 2 scale for early stop (0 when unavailable)
-	metric Metric
+	gen    uint64
+	pool   sync.Pool
+}
 
-	searchMu sync.Mutex
-	searcher *query.Searcher
-	qbuf     []float32 // normalized-query scratch (angular metric)
-	// methodStale marks that Add changed the bucket structure since the
-	// querying method precomputed its per-table views (HR/QR bucket
-	// lists, MIH substring tables); the next search rebuilds them.
-	methodStale bool
+// searcher returns pooled per-goroutine scratch bound to this snapshot.
+func (s *snapshot) searcher() *query.Searcher {
+	if v := s.pool.Get(); v != nil {
+		return v.(*query.Searcher)
+	}
+	return query.NewSearcher(s.view, s.method)
+}
+
+// release returns scratch to the snapshot's pool.
+func (s *snapshot) release(sr *query.Searcher) { s.pool.Put(sr) }
+
+// Index is a learned-hash ANN index over a set of vectors. An Index is
+// safe for concurrent use: any number of Search, SearchWithStats and
+// SearchBatch calls may run alongside Add (and each other). Readers
+// work on an immutable snapshot swapped atomically by writers, so the
+// query hot path takes no lock; see Add for the visibility contract.
+type Index struct {
+	metric     Metric
+	methodName string
+	muScale    float64 // Theorem 2 scale, derived from the immutable hashers
+
+	// snap is the published read view. Search paths load it atomically
+	// and never touch the writer-owned state below.
+	snap atomic.Pointer[snapshot]
+
+	// writeMu serializes mutators: Add, Save and snapshot publication.
+	writeMu sync.Mutex
+	// live is the writer-owned mutable index; guarded by writeMu. Its
+	// bucket maps are never read by searches (they read snap's clones).
+	live *index.Index
+	// stale marks that live has Adds not yet in the published snapshot;
+	// the next search republishes before probing.
+	stale atomic.Bool
 
 	// Lifecycle instrumentation surfaced through Stats: how long Build
-	// took, how many vectors Add appended, and how often the querying
-	// method's precomputed views were rebuilt because of those Adds.
+	// took, how many vectors Add appended, how often a new snapshot was
+	// published because of those Adds, and the generation counter.
 	buildTime      time.Duration
 	adds           atomic.Int64
 	methodRebuilds atomic.Int64
+	gen            atomic.Uint64
 }
 
 // Build trains hash functions on the n×dim row-major block vectors
@@ -127,13 +162,11 @@ func Build(vectors []float32, dim int, opts ...Option) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	method, err := query.NewMethod(string(cfg.method), ix)
-	if err != nil {
+	out := &Index{live: ix, metric: cfg.metric, methodName: string(cfg.method)}
+	out.muScale = earlyStopScale(ix)
+	if err := out.publishLocked(); err != nil {
 		return nil, err
 	}
-	out := &Index{ix: ix, method: method, metric: cfg.metric, qbuf: make([]float32, dim)}
-	out.mu = earlyStopScale(ix)
-	out.searcher = query.NewSearcher(ix, method)
 	out.buildTime = time.Since(buildStart)
 	return out, nil
 }
@@ -212,23 +245,25 @@ func (ix *Index) SearchWithStats(q []float32, k int, opts ...SearchOption) ([]Ne
 	for _, o := range opts {
 		o(&sc)
 	}
-	ix.searchMu.Lock()
-	defer ix.searchMu.Unlock()
-	if err := ix.refreshMethodLocked(); err != nil {
+	snap, err := ix.currentSnapshot()
+	if err != nil {
 		return nil, SearchStats{}, err
 	}
-	if ix.metric == Angular && len(q) == len(ix.qbuf) {
-		copy(ix.qbuf, q)
-		normalizeRow(ix.qbuf)
-		q = ix.qbuf
+	s := snap.searcher()
+	defer snap.release(s)
+	if ix.metric == Angular && len(q) == snap.view.Dim {
+		qb := s.Qbuf()
+		copy(qb, q)
+		normalizeRow(qb)
+		q = qb
 	}
-	res, err := ix.searcher.Search(q, query.Options{
+	res, err := s.Search(q, query.Options{
 		K:             k,
 		MaxCandidates: sc.maxCandidates,
 		MaxBuckets:    sc.maxBuckets,
 		EarlyStop:     sc.earlyStop,
 		Radius:        sc.radius,
-		Mu:            ix.mu,
+		Mu:            snap.mu,
 		Profile:       sc.profile,
 	})
 	if err != nil {
@@ -244,43 +279,66 @@ func (ix *Index) SearchWithStats(q []float32, k int, opts ...SearchOption) ([]Ne
 // Add appends one vector to the index and returns its id (the next row
 // index). The learned hash functions are not retrained — as with every
 // L2H system they are assumed trained on a representative sample — so
-// heavy drift calls for a rebuild. Safe for concurrent use with Search.
+// heavy drift calls for a rebuild. Safe for concurrent use with Search;
+// visibility is snapshot-based: searches already running (including
+// batch workers) keep probing the snapshot they started on, and the
+// first search issued after Add returns publishes a fresh snapshot
+// that includes the vector. Adds are serialized with each other.
 func (ix *Index) Add(vec []float32) (int, error) {
-	ix.searchMu.Lock()
-	defer ix.searchMu.Unlock()
 	if ix.metric == Angular {
-		if len(vec) != ix.ix.Dim {
-			return 0, fmt.Errorf("gqr: vector dim %d != index dim %d", len(vec), ix.ix.Dim)
+		if len(vec) != ix.live.Dim { // Dim is immutable after Build
+			return 0, fmt.Errorf("gqr: vector dim %d != index dim %d", len(vec), ix.live.Dim)
 		}
 		n := make([]float32, len(vec))
 		copy(n, vec)
 		normalizeRow(n)
 		vec = n
 	}
-	id, err := ix.ix.Add(vec)
+	ix.writeMu.Lock()
+	defer ix.writeMu.Unlock()
+	id, err := ix.live.Add(vec)
 	if err != nil {
 		return 0, err
 	}
-	ix.methodStale = true
+	ix.stale.Store(true)
 	ix.adds.Add(1)
 	return int(id), nil
 }
 
-// refreshMethodLocked rebuilds the querying method's precomputed
-// per-table views after Add calls. Caller holds searchMu.
-func (ix *Index) refreshMethodLocked() error {
-	if !ix.methodStale {
-		return nil
-	}
-	method, err := query.NewMethod(ix.method.Name(), ix.ix)
+// publishLocked snapshots the live index, rebinds the querying method
+// to the immutable view, and swaps the result in as the current read
+// snapshot. Caller holds writeMu (or, during Build/Load, has exclusive
+// access to the index).
+func (ix *Index) publishLocked() error {
+	view := ix.live.Snapshot()
+	method, err := query.NewMethod(ix.methodName, view)
 	if err != nil {
 		return err
 	}
-	ix.method = method
-	ix.searcher = query.NewSearcher(ix.ix, method)
-	ix.methodStale = false
-	ix.methodRebuilds.Add(1)
+	s := &snapshot{view: view, method: method, mu: ix.muScale, gen: ix.gen.Add(1)}
+	s.pool.New = func() any { return query.NewSearcher(view, method) }
+	ix.snap.Store(s)
+	ix.stale.Store(false)
 	return nil
+}
+
+// currentSnapshot returns the read snapshot to search, republishing
+// first when Adds made the published one stale. Republishing is the
+// only search-path operation that takes the writer lock; steady-state
+// searches load the pointer and go.
+func (ix *Index) currentSnapshot() (*snapshot, error) {
+	if ix.stale.Load() {
+		ix.writeMu.Lock()
+		if ix.stale.Load() { // re-check: another search may have republished
+			if err := ix.publishLocked(); err != nil {
+				ix.writeMu.Unlock()
+				return nil, err
+			}
+			ix.methodRebuilds.Add(1)
+		}
+		ix.writeMu.Unlock()
+	}
+	return ix.snap.Load(), nil
 }
 
 // BatchQueryResult is one query's outcome inside a batch: its
@@ -296,11 +354,13 @@ type BatchQueryResult struct {
 
 // SearchBatch answers many queries concurrently: queries is an
 // nq×dim row-major block, and the result slice has one neighbor list
-// per query. Parallelism is capped at GOMAXPROCS; each worker gets its
-// own searcher, so batch throughput scales with cores while Search's
-// single-query latency semantics stay untouched. The first per-query
-// error, if any, fails the call; use SearchBatchWithStats to get
-// per-query errors and work stats instead.
+// per query. Parallelism is capped at GOMAXPROCS; every worker searches
+// the same read snapshot (captured once at the start of the batch) with
+// its own pooled searcher, so batch throughput scales with cores and a
+// concurrent Add never affects a batch in flight — its vector appears
+// in the snapshot the next call captures. The first per-query error, if
+// any, fails the call; use SearchBatchWithStats to get per-query errors
+// and work stats instead.
 func (ix *Index) SearchBatch(queries []float32, k int, opts ...SearchOption) ([][]Neighbor, error) {
 	results, err := ix.SearchBatchWithStats(queries, k, opts...)
 	if err != nil {
@@ -322,7 +382,7 @@ func (ix *Index) SearchBatch(queries []float32, k int, opts ...SearchOption) ([]
 // for structural problems that invalidate the whole batch (bad block
 // length, non-positive k).
 func (ix *Index) SearchBatchWithStats(queries []float32, k int, opts ...SearchOption) ([]BatchQueryResult, error) {
-	dim := ix.ix.Dim
+	dim := ix.live.Dim // immutable after Build
 	if dim <= 0 || len(queries)%dim != 0 {
 		return nil, fmt.Errorf("gqr: query block length %d not a multiple of dim %d", len(queries), dim)
 	}
@@ -333,12 +393,12 @@ func (ix *Index) SearchBatchWithStats(queries []float32, k int, opts ...SearchOp
 	for _, o := range opts {
 		o(&sc)
 	}
-	ix.searchMu.Lock()
-	if err := ix.refreshMethodLocked(); err != nil {
-		ix.searchMu.Unlock()
+	// One snapshot for the whole batch: every worker probes the same
+	// consistent view, however many Adds land while the batch runs.
+	snap, err := ix.currentSnapshot()
+	if err != nil {
 		return nil, err
 	}
-	ix.searchMu.Unlock()
 	nq := len(queries) / dim
 	out := make([]BatchQueryResult, nq)
 
@@ -355,14 +415,15 @@ func (ix *Index) SearchBatchWithStats(queries []float32, k int, opts ...SearchOp
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			s := query.NewSearcher(ix.ix, ix.method)
-			qbuf := make([]float32, dim)
+			s := snap.searcher()
+			defer snap.release(s)
 			for qi := range next {
 				q := queries[qi*dim : (qi+1)*dim]
 				if ix.metric == Angular {
-					copy(qbuf, q)
-					normalizeRow(qbuf)
-					q = qbuf
+					qb := s.Qbuf()
+					copy(qb, q)
+					normalizeRow(qb)
+					q = qb
 				}
 				res, err := s.Search(q, query.Options{
 					K:             k,
@@ -370,7 +431,7 @@ func (ix *Index) SearchBatchWithStats(queries []float32, k int, opts ...SearchOp
 					MaxBuckets:    sc.maxBuckets,
 					EarlyStop:     sc.earlyStop,
 					Radius:        sc.radius,
-					Mu:            ix.mu,
+					Mu:            snap.mu,
 					Profile:       sc.profile,
 				})
 				if err != nil {
@@ -410,26 +471,36 @@ type Stats struct {
 	BuildTime time.Duration
 	// Adds counts vectors appended through Add since construction.
 	Adds int64
-	// MethodRebuilds counts how often the querying method's precomputed
-	// per-table views were rebuilt because Add changed the buckets.
+	// MethodRebuilds counts how often a fresh read snapshot (with
+	// rebuilt querying-method views) was published because Add changed
+	// the buckets.
 	MethodRebuilds int64
+	// SnapshotGeneration is the generation counter of the published
+	// read snapshot; it starts at 1 (Build) and increments on every
+	// republish.
+	SnapshotGeneration uint64
 }
 
-// Stats reports size, occupancy and lifecycle information.
+// Stats reports size, occupancy and lifecycle information. It reads
+// the live (writer-side) index, so Items reflects Adds immediately,
+// before the next search republishes the read snapshot.
 func (ix *Index) Stats() Stats {
+	ix.writeMu.Lock()
+	defer ix.writeMu.Unlock()
 	s := Stats{
-		Items:          ix.ix.N,
-		Dim:            ix.ix.Dim,
-		CodeLength:     ix.ix.Bits(),
-		Tables:         len(ix.ix.Tables),
-		Algorithm:      Algorithm(ix.ix.Tables[0].Hasher.Name()),
-		Method:         QueryMethod(ix.method.Name()),
-		Metric:         ix.metric,
-		BuildTime:      ix.buildTime,
-		Adds:           ix.adds.Load(),
-		MethodRebuilds: ix.methodRebuilds.Load(),
+		Items:              ix.live.N,
+		Dim:                ix.live.Dim,
+		CodeLength:         ix.live.Bits(),
+		Tables:             len(ix.live.Tables),
+		Algorithm:          Algorithm(ix.live.Tables[0].Hasher.Name()),
+		Method:             QueryMethod(ix.methodName),
+		Metric:             ix.metric,
+		BuildTime:          ix.buildTime,
+		Adds:               ix.adds.Load(),
+		MethodRebuilds:     ix.methodRebuilds.Load(),
+		SnapshotGeneration: ix.gen.Load(),
 	}
-	for _, t := range ix.ix.Tables {
+	for _, t := range ix.live.Tables {
 		s.Buckets = append(s.Buckets, t.BucketCount())
 	}
 	return s

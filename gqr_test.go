@@ -107,7 +107,7 @@ func TestEarlyStopSameResults(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if ix.mu == 0 {
+	if ix.muScale == 0 {
 		t.Fatal("ITQ index must expose an early-stop scale")
 	}
 	for qi := 0; qi < ds.NQ(); qi++ {

@@ -6,6 +6,7 @@ package index
 
 import (
 	"fmt"
+	"maps"
 	"sort"
 
 	"gqr/internal/hash"
@@ -121,6 +122,23 @@ func (ix *Index) Add(vec []float32) (int32, error) {
 		t.Buckets[code] = append(t.Buckets[code], id)
 	}
 	return id, nil
+}
+
+// Snapshot returns an immutable read view of the index: a new Index
+// whose bucket maps are shallow clones of the live tables'. Hashers,
+// bucket id slices and the vector block are shared with the live index
+// — safe because Add only ever appends *past* the lengths captured
+// here (bucket appends replace the slice header in the live map only,
+// and Data grows beyond the snapshot's len), so a reader of the view
+// never touches a memory location a later Add writes. Taking a
+// snapshot costs O(non-empty buckets); the caller must serialize it
+// with mutations (Add) on the live index.
+func (ix *Index) Snapshot() *Index {
+	view := &Index{Dim: ix.Dim, N: ix.N, Data: ix.Data, Tables: make([]*Table, len(ix.Tables))}
+	for i, t := range ix.Tables {
+		view.Tables[i] = &Table{Hasher: t.Hasher, Buckets: maps.Clone(t.Buckets)}
+	}
+	return view
 }
 
 // Bits returns the code length of the index's hashers.

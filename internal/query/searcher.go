@@ -70,22 +70,40 @@ type Result struct {
 }
 
 // Searcher executes queries against an index with a fixed querying
-// method. It reuses per-query scratch (the visited-epoch array), so a
-// Searcher is not safe for concurrent use; clone one per goroutine.
+// method. It reuses per-query scratch (the visited-epoch array and the
+// Qbuf preprocessing buffer), so a Searcher is not safe for concurrent
+// use; keep one per goroutine. Searchers are cheap to pool: binding one
+// to an immutable index snapshot (index.Index.Snapshot) makes every
+// search lock-free, which is how the public API runs concurrent
+// queries — a sync.Pool of Searchers per published snapshot.
 type Searcher struct {
 	ix      *index.Index
 	method  Method
 	visited []uint32
 	epoch   uint32
+	qbuf    []float32
 }
 
-// NewSearcher binds a querying method to an index.
+// NewSearcher binds a querying method to an index. The index must not
+// be mutated while the Searcher is in use; bind to a snapshot when
+// writers are live.
 func NewSearcher(ix *index.Index, method Method) *Searcher {
 	return &Searcher{ix: ix, method: method, visited: make([]uint32, ix.N)}
 }
 
 // Method returns the bound querying method.
 func (s *Searcher) Method() Method { return s.method }
+
+// Qbuf returns a dim-sized scratch buffer for query preprocessing
+// (metric normalization). It is part of the Searcher's poolable
+// per-goroutine scratch: reusing it keeps pooled searches
+// allocation-free on the hot path.
+func (s *Searcher) Qbuf() []float32 {
+	if len(s.qbuf) != s.ix.Dim {
+		s.qbuf = make([]float32, s.ix.Dim)
+	}
+	return s.qbuf
+}
 
 // Search runs the full querying pipeline of §2.2 for one query:
 // retrieval (probe sequence over every table, merged best-score-first)

@@ -31,6 +31,7 @@ const (
 	mIndexBuildSecs = "gqr_index_build_seconds"
 	mIndexAdds      = "gqr_index_adds"
 	mIndexRebuilds  = "gqr_index_method_rebuilds"
+	mIndexSnapGen   = "gqr_index_snapshot_generation"
 )
 
 // initMetrics registers every fixed series up front so /metrics serves
@@ -49,6 +50,7 @@ func (h *Handler) initMetrics() {
 	h.gBuildSeconds = h.reg.Gauge(mIndexBuildSecs, "Index build (train + hash) time in seconds.")
 	h.gAdds = h.reg.Gauge(mIndexAdds, "Vectors appended via Add since construction.")
 	h.gRebuilds = h.reg.Gauge(mIndexRebuilds, "Querying-method view rebuilds triggered by Add.")
+	h.gSnapGen = h.reg.Gauge(mIndexSnapGen, "Generation of the published read snapshot searches run on.")
 	h.updateIndexGauges()
 }
 
@@ -67,6 +69,7 @@ func (h *Handler) updateIndexGauges() {
 	h.gBuildSeconds.Set(st.BuildTime.Seconds())
 	h.gAdds.Set(float64(st.Adds))
 	h.gRebuilds.Set(float64(st.MethodRebuilds))
+	h.gSnapGen.Set(float64(st.SnapshotGeneration))
 }
 
 // workKey carries the per-request work accumulator through the

@@ -55,6 +55,7 @@ type Handler struct {
 	gBuildSeconds *metrics.Gauge
 	gAdds         *metrics.Gauge
 	gRebuilds     *metrics.Gauge
+	gSnapGen      *metrics.Gauge
 }
 
 // Option configures a Handler.

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"sync"
 	"testing"
 
 	"gqr"
@@ -250,4 +251,57 @@ func TestBatchKZeroRejected(t *testing.T) {
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("k=0 batch gave status %d", resp.StatusCode)
 	}
+}
+
+// TestConcurrentAddSearchOverHTTP hammers /add, /search, /batch and the
+// scrape endpoints from concurrent clients. With snapshot-based search
+// the handlers share no locks on the query path; under -race this is
+// the HTTP-level regression test for the Add-vs-search data race.
+func TestConcurrentAddSearchOverHTTP(t *testing.T) {
+	srv, ds := testServer(t)
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				var out SearchResponse
+				resp := post(t, srv.URL+"/search", SearchRequest{Query: ds.Query((w + i) % ds.NQ()), K: 3}, &out)
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("search status %d", resp.StatusCode)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			resp := post(t, srv.URL+"/add", AddRequest{Vector: ds.Vector(i % ds.N())}, nil)
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("add status %d", resp.StatusCode)
+				return
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			var out BatchResponse
+			resp := post(t, srv.URL+"/batch", BatchRequest{Queries: [][]float32{ds.Query(0), ds.Query(1)}, K: 3}, &out)
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("batch status %d", resp.StatusCode)
+				return
+			}
+			if r, err := http.Get(srv.URL + "/metrics"); err == nil {
+				r.Body.Close()
+			}
+			if r, err := http.Get(srv.URL + "/stats"); err == nil {
+				r.Body.Close()
+			}
+		}
+	}()
+	wg.Wait()
 }

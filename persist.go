@@ -8,7 +8,6 @@ import (
 	"os"
 
 	"gqr/internal/index"
-	"gqr/internal/query"
 )
 
 // File layout: magic, query-method string, metric string, then the
@@ -17,13 +16,18 @@ import (
 var pubMagic = [8]byte{'G', 'Q', 'R', 'P', 'U', 'B', '1', 0}
 
 // Save writes the trained index to w. The vector block is NOT written;
-// keep it alongside (e.g. in an fvecs file) and pass it to Load.
+// keep it alongside (e.g. in an fvecs file) and pass it to Load. Save
+// serializes with Add (it reads the live index), so a snapshot of the
+// vectors present when Save is called is written; concurrent searches
+// are unaffected.
 func (ix *Index) Save(w io.Writer) error {
+	ix.writeMu.Lock()
+	defer ix.writeMu.Unlock()
 	bw := bufio.NewWriter(w)
 	if _, err := bw.Write(pubMagic[:]); err != nil {
 		return err
 	}
-	for _, s := range []string{ix.method.Name(), string(ix.metric)} {
+	for _, s := range []string{ix.methodName, string(ix.metric)} {
 		if err := binary.Write(bw, binary.LittleEndian, uint32(len(s))); err != nil {
 			return err
 		}
@@ -31,7 +35,7 @@ func (ix *Index) Save(w io.Writer) error {
 			return err
 		}
 	}
-	if err := ix.ix.Save(bw); err != nil {
+	if err := ix.live.Save(bw); err != nil {
 		return err
 	}
 	return bw.Flush()
@@ -106,13 +110,11 @@ func Load(r io.Reader, vectors []float32, dim int) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	method, err := query.NewMethod(methodName, inner)
-	if err != nil {
+	out := &Index{live: inner, metric: metric, methodName: methodName}
+	out.muScale = earlyStopScale(inner)
+	if err := out.publishLocked(); err != nil {
 		return nil, err
 	}
-	out := &Index{ix: inner, method: method, metric: metric, qbuf: make([]float32, dim)}
-	out.mu = earlyStopScale(inner)
-	out.searcher = query.NewSearcher(inner, method)
 	return out, nil
 }
 

@@ -1,6 +1,7 @@
 package gqr
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -74,7 +75,11 @@ func (s *ShardedIndex) Search(q []float32, k int, opts ...SearchOption) ([]Neigh
 // are summed over shards (the total work the query cost the process),
 // EarlyStopped reports whether any shard's QD rule fired, and with
 // WithProfile the retrieval/evaluation times are summed across shards
-// (total CPU time, not wall-clock — shards probe concurrently).
+// (total CPU time, not wall-clock — shards probe concurrently). Shard
+// searches are snapshot-based and lock-free, so the fan-out genuinely
+// runs in parallel. When shards fail, every failure is reported: the
+// returned error joins all shard errors (errors.Join), each tagged
+// with its shard id.
 func (s *ShardedIndex) SearchWithStats(q []float32, k int, opts ...SearchOption) ([]Neighbor, SearchStats, error) {
 	if len(q) != s.dim {
 		return nil, SearchStats{}, fmt.Errorf("gqr: query dim %d != index dim %d", len(q), s.dim)
@@ -89,7 +94,7 @@ func (s *ShardedIndex) SearchWithStats(q []float32, k int, opts ...SearchOption)
 			defer wg.Done()
 			nbrs, st, err := s.shards[i].SearchWithStats(q, k, opts...)
 			if err != nil {
-				errs[i] = err
+				errs[i] = fmt.Errorf("gqr: shard %d: %w", i, err)
 				return
 			}
 			for j := range nbrs {
@@ -100,10 +105,8 @@ func (s *ShardedIndex) SearchWithStats(q []float32, k int, opts ...SearchOption)
 		}(i)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, SearchStats{}, err
-		}
+	if err := errors.Join(errs...); err != nil {
+		return nil, SearchStats{}, err
 	}
 	var merged []Neighbor
 	var total SearchStats

@@ -29,10 +29,11 @@ func TestSearchWithStatsMatchesInternal(t *testing.T) {
 			if err != nil {
 				t.Fatalf("%s: %v", method, err)
 			}
-			// An independent searcher over the same index must do the
+			// An independent searcher over the same snapshot must do the
 			// identical work.
-			ref := query.NewSearcher(ix.ix, ix.method)
-			res, err := ref.Search(q, query.Options{K: 5, MaxCandidates: 100, Mu: ix.mu})
+			snap := ix.snap.Load()
+			ref := query.NewSearcher(snap.view, snap.method)
+			res, err := ref.Search(q, query.Options{K: 5, MaxCandidates: 100, Mu: snap.mu})
 			if err != nil {
 				t.Fatalf("%s: %v", method, err)
 			}
@@ -94,7 +95,7 @@ func TestSearchWithStatsEarlyStop(t *testing.T) {
 			stopped = true
 			// Early stop prunes probing: strictly less than the whole
 			// bucket population must have been generated.
-			if st.BucketsGenerated >= ix.ix.Tables[0].BucketCount() {
+			if st.BucketsGenerated >= ix.live.Tables[0].BucketCount() {
 				t.Fatalf("early stop did not prune: %+v", st)
 			}
 		}
