@@ -2,9 +2,9 @@
 # gate: vet + full tests + race on the concurrent packages.
 GO ?= go
 
-.PHONY: check build vet test race bench
+.PHONY: check build vet test race bench bench-smoke
 
-check: vet test race
+check: vet test race bench-smoke
 
 build:
 	$(GO) build ./...
@@ -24,3 +24,9 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .
+
+# Compile-and-run-once smoke over every benchmark in the module, so a
+# refactor can't silently break bench code that only full `make bench`
+# runs would have compiled (benchtime=1x keeps it to seconds).
+bench-smoke:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...

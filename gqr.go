@@ -108,7 +108,8 @@ type Index struct {
 	// writeMu serializes mutators: Add, Save and snapshot publication.
 	writeMu sync.Mutex
 	// live is the writer-owned mutable index; guarded by writeMu. Its
-	// bucket maps are never read by searches (they read snap's clones).
+	// delta tails are never read by searches (they read snap's frozen
+	// views: shared CSR cores plus cloned tails).
 	live *index.Index
 	// stale marks that live has Adds not yet in the published snapshot;
 	// the next search republishes before probing.
@@ -307,8 +308,11 @@ func (ix *Index) Add(vec []float32) (int, error) {
 
 // publishLocked snapshots the live index, rebinds the querying method
 // to the immutable view, and swaps the result in as the current read
-// snapshot. Caller holds writeMu (or, during Build/Load, has exclusive
-// access to the index).
+// snapshot. Publication shares each table's frozen CSR core (O(1)
+// regardless of bucket count) and clones only the delta tail of recent
+// Adds, compacting the tail into the core once it crosses the storage
+// engine's threshold. Caller holds writeMu (or, during Build/Load, has
+// exclusive access to the index).
 func (ix *Index) publishLocked() error {
 	view := ix.live.Snapshot()
 	method, err := query.NewMethod(ix.methodName, view)
@@ -475,6 +479,9 @@ type Stats struct {
 	// rebuilt querying-method views) was published because Add changed
 	// the buckets.
 	MethodRebuilds int64
+	// Compactions counts how many table delta tails have been folded
+	// into fresh frozen CSR cores at snapshot publication.
+	Compactions int64
 	// SnapshotGeneration is the generation counter of the published
 	// read snapshot; it starts at 1 (Build) and increments on every
 	// republish.
@@ -498,6 +505,7 @@ func (ix *Index) Stats() Stats {
 		BuildTime:          ix.buildTime,
 		Adds:               ix.adds.Load(),
 		MethodRebuilds:     ix.methodRebuilds.Load(),
+		Compactions:        int64(ix.live.Compactions()),
 		SnapshotGeneration: ix.gen.Load(),
 	}
 	for _, t := range ix.live.Tables {

@@ -1,0 +1,279 @@
+package index
+
+import (
+	"slices"
+	"sort"
+)
+
+// Compact bucket storage. A table holds its posting lists in two tiers:
+//
+//   - a frozen CSR core — sorted bucket codes, prefix-sum offsets into
+//     one flat id array, and an open-addressing probe table mapping
+//     code → slot. Built once, never mutated; any number of readers may
+//     share it by pointer.
+//   - a small mutable delta tail that Add appends into. The tail keeps
+//     its own growable probe table (code → bucket position), so probing
+//     either tier is array walks only — no Go map on the query path.
+//
+// Snapshot publication shares the core (O(1)) and clones the tail
+// (O(tail)); once the tail outgrows compactThreshold it is merged into
+// a fresh core and emptied. This replaces the previous
+// map[uint64][]int32 per table, whose snapshot cost was a maps.Clone
+// over every non-empty bucket and whose probes paid Go-map hashing and
+// pointer chasing per lookup.
+
+// ProbeTable is an open-addressing hash table mapping uint64 keys to
+// dense slot numbers. It exists to make code → slot lookups two array
+// loads in the common case: Fibonacci hashing into a power-of-two
+// table, linear probing, ≤ 50% load factor. The zero value is an empty
+// table that misses every lookup.
+type ProbeTable struct {
+	keys  []uint64
+	slots []uint32 // slot+1; 0 marks an empty cell
+	mask  uint64
+}
+
+// NewProbeTable builds a probe table over the given distinct keys; key
+// i maps to slot i.
+func NewProbeTable(keys []uint64) ProbeTable {
+	if len(keys) == 0 {
+		return ProbeTable{}
+	}
+	size := 1
+	for size < 2*len(keys) {
+		size <<= 1
+	}
+	p := ProbeTable{keys: make([]uint64, size), slots: make([]uint32, size), mask: uint64(size - 1)}
+	for i, k := range keys {
+		p.insert(k, uint32(i))
+	}
+	return p
+}
+
+// mix64 is the 64-bit finalizer of MurmurHash3: full avalanche, so
+// nearby binary codes (which differ in few bits) spread over the table.
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// insert adds a key assumed absent. The ≤ 50% load factor kept by the
+// builders guarantees an empty cell exists.
+func (p *ProbeTable) insert(key uint64, slot uint32) {
+	i := mix64(key) & p.mask
+	for p.slots[i] != 0 {
+		i = (i + 1) & p.mask
+	}
+	p.keys[i] = key
+	p.slots[i] = slot + 1
+}
+
+// Lookup returns the slot stored for key.
+func (p *ProbeTable) Lookup(key uint64) (uint32, bool) {
+	if len(p.slots) == 0 {
+		return 0, false
+	}
+	i := mix64(key) & p.mask
+	for {
+		s := p.slots[i]
+		if s == 0 {
+			return 0, false
+		}
+		if p.keys[i] == key {
+			return s - 1, true
+		}
+		i = (i + 1) & p.mask
+	}
+}
+
+// clone deep-copies the cell arrays so a frozen reader is unaffected by
+// the writer's subsequent in-place inserts.
+func (p *ProbeTable) clone() ProbeTable {
+	return ProbeTable{keys: slices.Clone(p.keys), slots: slices.Clone(p.slots), mask: p.mask}
+}
+
+// memoryBytes estimates the table's storage.
+func (p *ProbeTable) memoryBytes() int { return 8*len(p.keys) + 4*len(p.slots) }
+
+// coreStore is the frozen CSR tier: codes sorted ascending, ids of
+// bucket s at ids[offsets[s]:offsets[s+1]], probe mapping code → s.
+type coreStore struct {
+	codes   []uint64
+	offsets []uint32
+	ids     []int32
+	probe   ProbeTable
+}
+
+// newCoreStore wraps already-sorted CSR arrays (codes strictly
+// ascending, offsets of length len(codes)+1).
+func newCoreStore(codes []uint64, offsets []uint32, ids []int32) *coreStore {
+	return &coreStore{codes: codes, offsets: offsets, ids: ids, probe: NewProbeTable(codes)}
+}
+
+// buildCore sorts (code, id) pairs into a coreStore. Within one code,
+// ids keep their input order (the id-ascending insertion order of the
+// previous map layout).
+func buildCore(codes []uint64, ids []int32) *coreStore {
+	if len(codes) != len(ids) {
+		panic("index: buildCore slice length mismatch")
+	}
+	order := make([]int, len(codes))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return codes[order[a]] < codes[order[b]] })
+	outCodes := make([]uint64, 0, len(codes))
+	outIDs := make([]int32, len(ids))
+	offsets := make([]uint32, 1, len(codes)+1)
+	for i, src := range order {
+		c := codes[src]
+		if len(outCodes) == 0 || outCodes[len(outCodes)-1] != c {
+			outCodes = append(outCodes, c)
+			offsets = append(offsets, uint32(i))
+		}
+		outIDs[i] = ids[src]
+		offsets[len(offsets)-1] = uint32(i + 1)
+	}
+	return newCoreStore(outCodes, offsets, outIDs)
+}
+
+// get returns the posting list stored under code (nil on a miss).
+func (c *coreStore) get(code uint64) []int32 {
+	slot, ok := c.probe.Lookup(code)
+	if !ok {
+		return nil
+	}
+	return c.ids[c.offsets[slot]:c.offsets[slot+1]]
+}
+
+// bucketAt returns slot s's posting list.
+func (c *coreStore) bucketAt(s int) []int32 { return c.ids[c.offsets[s]:c.offsets[s+1]] }
+
+// items returns the number of ids stored.
+func (c *coreStore) items() int { return len(c.ids) }
+
+func (c *coreStore) memoryBytes() int {
+	return 8*len(c.codes) + 4*len(c.offsets) + 4*len(c.ids) + c.probe.memoryBytes()
+}
+
+// merge compacts the tail into a fresh core: a linear merge of the
+// sorted core codes with the sorted tail codes, tail ids appended after
+// core ids for shared codes (tail ids are always larger — they were
+// assigned later — so per-bucket id order stays ascending).
+func (c *coreStore) merge(ts *tailStore) *coreStore {
+	if ts.items == 0 {
+		return c
+	}
+	order := make([]int, len(ts.codes))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return ts.codes[order[a]] < ts.codes[order[b]] })
+
+	codes := make([]uint64, 0, len(c.codes)+len(ts.codes))
+	ids := make([]int32, 0, len(c.ids)+ts.items)
+	offsets := make([]uint32, 1, len(c.codes)+len(ts.codes)+1)
+	emit := func(code uint64, coreSlot, tailPos int) {
+		codes = append(codes, code)
+		if coreSlot >= 0 {
+			ids = append(ids, c.bucketAt(coreSlot)...)
+		}
+		if tailPos >= 0 {
+			ids = append(ids, ts.buckets[tailPos]...)
+		}
+		offsets = append(offsets, uint32(len(ids)))
+	}
+	i, j := 0, 0
+	for i < len(c.codes) || j < len(order) {
+		switch {
+		case j >= len(order) || (i < len(c.codes) && c.codes[i] < ts.codes[order[j]]):
+			emit(c.codes[i], i, -1)
+			i++
+		case i >= len(c.codes) || ts.codes[order[j]] < c.codes[i]:
+			emit(ts.codes[order[j]], -1, order[j])
+			j++
+		default: // same code in both tiers
+			emit(c.codes[i], i, order[j])
+			i++
+			j++
+		}
+	}
+	return newCoreStore(codes, offsets, ids)
+}
+
+// tailStore is the mutable delta tier: per-bucket id slices in
+// insertion order plus a growable probe table for O(1) code → bucket
+// position. Only the writer mutates it; frozen readers work on a
+// clone.
+type tailStore struct {
+	probe   ProbeTable
+	codes   []uint64 // distinct codes, insertion order
+	buckets [][]int32
+	items   int
+}
+
+func newTailStore() *tailStore { return &tailStore{} }
+
+// add appends id under code, growing the probe table as needed.
+func (ts *tailStore) add(code uint64, id int32) {
+	if pos, ok := ts.probe.Lookup(code); ok {
+		ts.buckets[pos] = append(ts.buckets[pos], id)
+	} else {
+		ts.codes = append(ts.codes, code)
+		ts.buckets = append(ts.buckets, []int32{id})
+		if 2*(len(ts.codes)+1) > len(ts.probe.slots) {
+			ts.probe = NewProbeTable(ts.codes) // rehash into a bigger table
+		} else {
+			ts.probe.insert(code, uint32(len(ts.codes)-1))
+		}
+	}
+	ts.items++
+}
+
+// get returns the tail posting list under code (nil on a miss).
+func (ts *tailStore) get(code uint64) []int32 {
+	if ts.items == 0 {
+		return nil
+	}
+	pos, ok := ts.probe.Lookup(code)
+	if !ok {
+		return nil
+	}
+	return ts.buckets[pos]
+}
+
+// clone freezes the tail for a published snapshot. The probe cells are
+// deep-copied (the writer inserts into them in place); code and bucket
+// arrays are shallow-copied slice headers — the writer only ever
+// appends past the lengths captured here, so a reader never touches a
+// cell a later add writes.
+func (ts *tailStore) clone() *tailStore {
+	return &tailStore{
+		probe:   ts.probe.clone(),
+		codes:   slices.Clone(ts.codes),
+		buckets: slices.Clone(ts.buckets),
+		items:   ts.items,
+	}
+}
+
+func (ts *tailStore) memoryBytes() int {
+	total := ts.probe.memoryBytes() + 8*len(ts.codes) + 24*len(ts.buckets)
+	total += 4 * ts.items
+	return total
+}
+
+// compactThreshold is the tail size at which snapshot publication folds
+// the tail into the core: an eighth of the core (amortizing the O(core)
+// merge over at least that many appends) with a floor that keeps tiny
+// indexes from compacting on every publish.
+func compactThreshold(coreItems int) int {
+	t := coreItems / 8
+	if t < 256 {
+		t = 256
+	}
+	return t
+}

@@ -1,0 +1,232 @@
+package index
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"gqr/internal/dataset"
+	"gqr/internal/hash"
+)
+
+func TestProbeTableHitsAndMisses(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	keys := make([]uint64, 0, 500)
+	present := make(map[uint64]uint32)
+	for len(keys) < 500 {
+		k := rng.Uint64()
+		if _, dup := present[k]; dup {
+			continue
+		}
+		present[k] = uint32(len(keys))
+		keys = append(keys, k)
+	}
+	p := NewProbeTable(keys)
+	for k, slot := range present {
+		got, ok := p.Lookup(k)
+		if !ok || got != slot {
+			t.Fatalf("Lookup(%d) = (%d,%v), want (%d,true)", k, got, ok, slot)
+		}
+	}
+	misses := 0
+	for i := 0; i < 1000; i++ {
+		k := rng.Uint64()
+		if _, dup := present[k]; dup {
+			continue
+		}
+		if _, ok := p.Lookup(k); ok {
+			t.Fatalf("Lookup(%d) hit for an absent key", k)
+		}
+		misses++
+	}
+	if misses == 0 {
+		t.Fatal("no misses exercised")
+	}
+	// Zero value: always miss, never panic.
+	var empty ProbeTable
+	if _, ok := empty.Lookup(42); ok {
+		t.Fatal("zero-value ProbeTable returned a hit")
+	}
+}
+
+func TestProbeTableAdjacentCodes(t *testing.T) {
+	// Binary codes cluster in low bits; the table must still behave on
+	// a dense range 0..n-1 (worst case for weak hash mixing).
+	n := 4096
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = uint64(i)
+	}
+	p := NewProbeTable(keys)
+	for i := 0; i < n; i++ {
+		slot, ok := p.Lookup(uint64(i))
+		if !ok || slot != uint32(i) {
+			t.Fatalf("dense key %d -> (%d,%v)", i, slot, ok)
+		}
+	}
+	if _, ok := p.Lookup(uint64(n)); ok {
+		t.Fatal("absent dense key hit")
+	}
+}
+
+// refModel is the previous map layout, used as the behavioural oracle
+// for the CSR engine.
+type refModel map[uint64][]int32
+
+func (m refModel) add(code uint64, id int32) { m[code] = append(m[code], id) }
+
+// checkAgainstModel asserts that tbl and the oracle agree on every
+// observable: bucket count, code list, per-bucket ids (via both Bucket
+// and Probe), and occupancy stats.
+func checkAgainstModel(t *testing.T, tbl *Table, model refModel) {
+	t.Helper()
+	if got := tbl.BucketCount(); got != len(model) {
+		t.Fatalf("BucketCount = %d, want %d", got, len(model))
+	}
+	wantCodes := make([]uint64, 0, len(model))
+	for c := range model {
+		wantCodes = append(wantCodes, c)
+	}
+	sort.Slice(wantCodes, func(i, j int) bool { return wantCodes[i] < wantCodes[j] })
+	gotCodes := tbl.Codes()
+	if len(gotCodes) != len(wantCodes) {
+		t.Fatalf("Codes count %d, want %d", len(gotCodes), len(wantCodes))
+	}
+	items, maxSize := 0, 0
+	for i, c := range wantCodes {
+		if gotCodes[i] != c {
+			t.Fatalf("Codes[%d] = %d, want %d", i, gotCodes[i], c)
+		}
+		want := model[c]
+		got := tbl.Bucket(c)
+		if len(got) != len(want) {
+			t.Fatalf("bucket %b size %d, want %d", c, len(got), len(want))
+		}
+		ref := tbl.Probe(c)
+		if ref.Len() != len(want) {
+			t.Fatalf("Probe(%b).Len = %d, want %d", c, ref.Len(), len(want))
+		}
+		flat := append(append([]int32{}, ref.Core...), ref.Tail...)
+		for j := range want {
+			if got[j] != want[j] || flat[j] != want[j] {
+				t.Fatalf("bucket %b ids diverge at %d: Bucket=%d Probe=%d want %d", c, j, got[j], flat[j], want[j])
+			}
+		}
+		items += len(want)
+		if len(want) > maxSize {
+			maxSize = len(want)
+		}
+	}
+	s := tbl.Stats()
+	if s.Items != items || s.Buckets != len(model) || s.MaxBucketSize != maxSize {
+		t.Fatalf("Stats = %+v, want items=%d buckets=%d max=%d", s, items, len(model), maxSize)
+	}
+	// Probing absent codes must miss both tiers.
+	for i := 0; i < 50; i++ {
+		c := uint64(i) << 40 // far outside any short code range
+		if _, exists := model[c]; exists {
+			continue
+		}
+		if tbl.Probe(c).Len() != 0 || tbl.Bucket(c) != nil {
+			t.Fatalf("absent code %d produced a bucket", c)
+		}
+	}
+}
+
+// TestDeltaTailMatchesModelAcrossCompaction grows a table far past the
+// compaction threshold, snapshotting along the way, and checks every
+// observable against the map oracle — on the live table and on each
+// frozen view, including old views after later adds and compactions.
+func TestDeltaTailMatchesModelAcrossCompaction(t *testing.T) {
+	ds := dataset.Generate(dataset.GeneratorSpec{
+		Name: "csr", N: 1500, Dim: 8, Clusters: 6, LatentDim: 3, Seed: 71,
+	})
+	baseN := 600
+	ix, err := Build(hash.PCAH{}, ds.Vectors[:baseN*ds.Dim], baseN, ds.Dim, 7, 1, 72)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := refModel{}
+	hasher := ix.Tables[0].Hasher
+	for i := 0; i < baseN; i++ {
+		model.add(hasher.Code(ds.Vector(i)), int32(i))
+	}
+	checkAgainstModel(t, ix.Tables[0], model)
+
+	type frozen struct {
+		view  *Index
+		model refModel
+	}
+	var views []frozen
+	cloneModel := func() refModel {
+		c := refModel{}
+		for code, ids := range model {
+			c[code] = append([]int32{}, ids...)
+		}
+		return c
+	}
+	for i := baseN; i < ds.N(); i++ {
+		id, err := ix.Add(ds.Vector(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int(id) != i {
+			t.Fatalf("Add returned id %d, want %d", id, i)
+		}
+		model.add(hasher.Code(ds.Vector(i)), id)
+		if i%177 == 0 {
+			views = append(views, frozen{view: ix.Snapshot(), model: cloneModel()})
+		}
+	}
+	if ix.Compactions() == 0 {
+		t.Fatalf("no compaction after %d adds (threshold %d)", ds.N()-baseN, compactThreshold(baseN))
+	}
+	checkAgainstModel(t, ix.Tables[0], model)
+	// A final snapshot equals the live table.
+	final := ix.Snapshot()
+	checkAgainstModel(t, final.Tables[0], model)
+	// Old frozen views must still match the state they captured, not
+	// the current one.
+	for vi, f := range views {
+		if f.view.N+len(f.model) == 0 {
+			continue
+		}
+		t.Logf("view %d captured at N=%d", vi, f.view.N)
+		checkAgainstModel(t, f.view.Tables[0], f.model)
+	}
+}
+
+// TestCompactionPreservesIDOrder pins that per-bucket id order stays
+// ascending across the tail → core merge (the invariant the searcher's
+// Core-then-Tail iteration relies on).
+func TestCompactionPreservesIDOrder(t *testing.T) {
+	ds := dataset.Generate(dataset.GeneratorSpec{
+		Name: "ord", N: 900, Dim: 8, Clusters: 4, LatentDim: 3, Seed: 73,
+	})
+	baseN := 300
+	ix, err := Build(hash.PCAH{}, ds.Vectors[:baseN*ds.Dim], baseN, ds.Dim, 6, 1, 74)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := baseN; i < ds.N(); i++ {
+		if _, err := ix.Add(ds.Vector(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ix.Snapshot() // trigger compaction (600 adds > threshold)
+	if ix.Compactions() == 0 {
+		t.Fatal("expected a compaction")
+	}
+	tbl := ix.Tables[0]
+	if tbl.TailItems() != 0 {
+		t.Fatalf("tail still holds %d items after compaction", tbl.TailItems())
+	}
+	for _, code := range tbl.Codes() {
+		ids := tbl.Bucket(code)
+		for j := 1; j < len(ids); j++ {
+			if ids[j] <= ids[j-1] {
+				t.Fatalf("bucket %b ids not ascending after compaction: %v", code, ids)
+			}
+		}
+	}
+}

@@ -2,50 +2,157 @@
 // tables that map packed m-bit binary codes to buckets of item ids, with
 // multi-table support (paper §6.3.5) and occupancy statistics used by
 // the experiments (the paper reports bucket counts per dataset in §6.2).
+//
+// Buckets are stored in the two-tier layout of csr.go: a frozen CSR
+// core shared by every snapshot plus a small mutable delta tail that
+// Add feeds and snapshot publication compacts.
 package index
 
 import (
 	"fmt"
-	"maps"
 	"sort"
 
 	"gqr/internal/hash"
 )
 
-// Table is a single hash table: buckets of item ids keyed by binary code.
+// Table is a single hash table: posting lists of item ids keyed by
+// binary code, stored as a frozen CSR core plus a mutable delta tail.
 type Table struct {
-	Hasher  hash.Hasher
-	Buckets map[uint64][]int32
+	Hasher hash.Hasher
+	core   *coreStore
+	tail   *tailStore
 }
 
 // NewTable builds a hash table over the n×d data block using the given
 // hasher.
 func NewTable(h hash.Hasher, data []float32, n, d int) *Table {
-	t := &Table{Hasher: h, Buckets: make(map[uint64][]int32)}
+	codes := make([]uint64, n)
+	ids := make([]int32, n)
 	for i := 0; i < n; i++ {
-		code := h.Code(data[i*d : (i+1)*d])
-		t.Buckets[code] = append(t.Buckets[code], int32(i))
+		codes[i] = h.Code(data[i*d : (i+1)*d])
+		ids[i] = int32(i)
 	}
-	return t
+	return &Table{Hasher: h, core: buildCore(codes, ids), tail: newTailStore()}
 }
 
-// Bucket returns the item ids stored under the given code (nil when the
-// bucket is empty).
-func (t *Table) Bucket(code uint64) []int32 { return t.Buckets[code] }
-
-// BucketCount returns the number of non-empty buckets, the quantity the
-// paper reports per dataset ("3,872 ... 567,753 buckets", §6.2).
-func (t *Table) BucketCount() int { return len(t.Buckets) }
-
-// Codes returns all non-empty bucket codes in ascending order
-// (deterministic iteration for the sort-based querying methods).
-func (t *Table) Codes() []uint64 {
-	codes := make([]uint64, 0, len(t.Buckets))
-	for c := range t.Buckets {
+// NewTableFromBuckets builds a table from an explicit bucket map,
+// preserving each bucket's id order. Used by loaders and tests; the
+// querying hot path never sees the map.
+func NewTableFromBuckets(h hash.Hasher, buckets map[uint64][]int32) *Table {
+	codes := make([]uint64, 0, len(buckets))
+	for c := range buckets {
 		codes = append(codes, c)
 	}
 	sort.Slice(codes, func(i, j int) bool { return codes[i] < codes[j] })
-	return codes
+	offsets := make([]uint32, 1, len(codes)+1)
+	var ids []int32
+	for _, c := range codes {
+		ids = append(ids, buckets[c]...)
+		offsets = append(offsets, uint32(len(ids)))
+	}
+	return &Table{Hasher: h, core: newCoreStore(codes, offsets, ids), tail: newTailStore()}
+}
+
+// BucketRef is a handle to one bucket's storage: the core segment and
+// the delta-tail segment of its posting list. Iterating Core then Tail
+// visits the bucket's ids in ascending order (tail ids are assigned
+// after every core id).
+type BucketRef struct {
+	Core []int32
+	Tail []int32
+}
+
+// Len returns the number of ids the bucket holds.
+func (r BucketRef) Len() int { return len(r.Core) + len(r.Tail) }
+
+// Probe resolves a code to its bucket via the probe tables of both
+// tiers — the O(1) slot-handle lookup of the querying hot path. No Go
+// map is consulted.
+func (t *Table) Probe(code uint64) BucketRef {
+	return BucketRef{Core: t.core.get(code), Tail: t.tail.get(code)}
+}
+
+// Bucket returns the item ids stored under the given code (nil when
+// the bucket is empty). When the bucket spans both tiers the segments
+// are copied into a fresh slice; hot paths use Probe instead.
+func (t *Table) Bucket(code uint64) []int32 {
+	ref := t.Probe(code)
+	if len(ref.Tail) == 0 {
+		return ref.Core
+	}
+	if len(ref.Core) == 0 {
+		return ref.Tail
+	}
+	out := make([]int32, 0, ref.Len())
+	return append(append(out, ref.Core...), ref.Tail...)
+}
+
+// add appends id to code's posting list in the delta tail.
+func (t *Table) add(code uint64, id int32) { t.tail.add(code, id) }
+
+// freeze returns an immutable view of the table: the core shared by
+// pointer, the tail cloned. Cost O(tail).
+func (t *Table) freeze() *Table {
+	return &Table{Hasher: t.Hasher, core: t.core, tail: t.tail.clone()}
+}
+
+// compact folds the delta tail into a fresh frozen core. Snapshots
+// published earlier keep the old core; the caller must hold the
+// writer lock.
+func (t *Table) compact() {
+	t.core = t.core.merge(t.tail)
+	t.tail = newTailStore()
+}
+
+// compacted returns the table's buckets as a single CSR tier, merging
+// on the fly when the tail is non-empty (the table itself is not
+// mutated). Persistence streams this view.
+func (t *Table) compacted() *coreStore { return t.core.merge(t.tail) }
+
+// TailItems reports how many ids sit in the mutable delta tail —
+// appended by Add and not yet compacted into the core.
+func (t *Table) TailItems() int { return t.tail.items }
+
+// BucketCount returns the number of non-empty buckets, the quantity the
+// paper reports per dataset ("3,872 ... 567,753 buckets", §6.2).
+func (t *Table) BucketCount() int {
+	n := len(t.core.codes)
+	for _, c := range t.tail.codes {
+		if _, ok := t.core.probe.Lookup(c); !ok {
+			n++
+		}
+	}
+	return n
+}
+
+// Codes returns all non-empty bucket codes in ascending order
+// (deterministic iteration for the sort-based querying methods). The
+// returned slice is shared with the table when the tail is empty;
+// callers must treat it as read-only.
+func (t *Table) Codes() []uint64 {
+	if len(t.tail.codes) == 0 {
+		return t.core.codes
+	}
+	tailCodes := make([]uint64, len(t.tail.codes))
+	copy(tailCodes, t.tail.codes)
+	sort.Slice(tailCodes, func(i, j int) bool { return tailCodes[i] < tailCodes[j] })
+	merged := make([]uint64, 0, len(t.core.codes)+len(tailCodes))
+	i, j := 0, 0
+	for i < len(t.core.codes) || j < len(tailCodes) {
+		switch {
+		case j >= len(tailCodes) || (i < len(t.core.codes) && t.core.codes[i] < tailCodes[j]):
+			merged = append(merged, t.core.codes[i])
+			i++
+		case i >= len(t.core.codes) || tailCodes[j] < t.core.codes[i]:
+			merged = append(merged, tailCodes[j])
+			j++
+		default:
+			merged = append(merged, t.core.codes[i])
+			i++
+			j++
+		}
+	}
+	return merged
 }
 
 // Stats summarizes bucket occupancy.
@@ -59,11 +166,23 @@ type Stats struct {
 // Stats computes occupancy statistics for the table.
 func (t *Table) Stats() Stats {
 	var s Stats
-	s.Buckets = len(t.Buckets)
-	for _, b := range t.Buckets {
-		s.Items += len(b)
-		if len(b) > s.MaxBucketSize {
-			s.MaxBucketSize = len(b)
+	for i := range t.core.codes {
+		size := len(t.core.bucketAt(i)) + len(t.tail.get(t.core.codes[i]))
+		s.Buckets++
+		s.Items += size
+		if size > s.MaxBucketSize {
+			s.MaxBucketSize = size
+		}
+	}
+	for pos, c := range t.tail.codes {
+		if _, ok := t.core.probe.Lookup(c); ok {
+			continue // counted with its core bucket above
+		}
+		size := len(t.tail.buckets[pos])
+		s.Buckets++
+		s.Items += size
+		if size > s.MaxBucketSize {
+			s.MaxBucketSize = size
 		}
 	}
 	if s.Buckets > 0 {
@@ -79,6 +198,10 @@ type Index struct {
 	N      int
 	Data   []float32
 	Tables []*Table
+
+	// compactions counts how many table tails Snapshot folded into
+	// fresh cores (lifecycle observability).
+	compactions int
 }
 
 // Build trains one hasher per table (distinct seeds) with the given
@@ -105,11 +228,12 @@ func (ix *Index) Vector(i int32) []float32 {
 	return ix.Data[int(i)*ix.Dim : (int(i)+1)*ix.Dim]
 }
 
-// Add appends one vector to the index, hashing it into every table, and
-// returns its new id. The hash functions are NOT retrained: like any
-// L2H system, the learned functions are assumed to be trained on a
-// representative sample. Callers that precompute per-table views (the
-// sorting querying methods) must refresh them afterwards.
+// Add appends one vector to the index, hashing it into every table's
+// delta tail, and returns its new id. The hash functions are NOT
+// retrained: like any L2H system, the learned functions are assumed to
+// be trained on a representative sample. Callers that precompute
+// per-table views (the sorting querying methods) must refresh them
+// afterwards.
 func (ix *Index) Add(vec []float32) (int32, error) {
 	if len(vec) != ix.Dim {
 		return 0, fmt.Errorf("index: vector dim %d != index dim %d", len(vec), ix.Dim)
@@ -118,28 +242,34 @@ func (ix *Index) Add(vec []float32) (int32, error) {
 	ix.Data = append(ix.Data, vec...)
 	ix.N++
 	for _, t := range ix.Tables {
-		code := t.Hasher.Code(vec)
-		t.Buckets[code] = append(t.Buckets[code], id)
+		t.add(t.Hasher.Code(vec), id)
 	}
 	return id, nil
 }
 
-// Snapshot returns an immutable read view of the index: a new Index
-// whose bucket maps are shallow clones of the live tables'. Hashers,
-// bucket id slices and the vector block are shared with the live index
-// — safe because Add only ever appends *past* the lengths captured
-// here (bucket appends replace the slice header in the live map only,
-// and Data grows beyond the snapshot's len), so a reader of the view
-// never touches a memory location a later Add writes. Taking a
-// snapshot costs O(non-empty buckets); the caller must serialize it
-// with mutations (Add) on the live index.
+// Snapshot returns an immutable read view of the index. Each table's
+// frozen CSR core is shared by pointer — O(1) however many buckets it
+// holds — and its delta tail is cloned, so publication cost is O(tail),
+// not O(non-empty buckets) as with the previous map layout. When a
+// table's tail has outgrown compactThreshold it is first folded into a
+// fresh core (earlier snapshots keep the old core). The caller must
+// serialize Snapshot with mutations (Add) on the live index; readers of
+// the returned view never touch a memory location a later Add writes.
 func (ix *Index) Snapshot() *Index {
 	view := &Index{Dim: ix.Dim, N: ix.N, Data: ix.Data, Tables: make([]*Table, len(ix.Tables))}
 	for i, t := range ix.Tables {
-		view.Tables[i] = &Table{Hasher: t.Hasher, Buckets: maps.Clone(t.Buckets)}
+		if t.tail.items >= compactThreshold(t.core.items()) {
+			t.compact()
+			ix.compactions++
+		}
+		view.Tables[i] = t.freeze()
 	}
 	return view
 }
+
+// Compactions reports how many table tails have been folded into fresh
+// cores by Snapshot since construction.
+func (ix *Index) Compactions() int { return ix.compactions }
 
 // Bits returns the code length of the index's hashers.
 func (ix *Index) Bits() int { return ix.Tables[0].Hasher.Bits() }
@@ -163,17 +293,14 @@ func CodeLengthFor(n, ep int) int {
 	return m
 }
 
-// MemoryBytes estimates the index's own storage: bucket keys, id lists
-// and hasher parameters (the vectors belong to the caller). This is the
-// quantity behind the paper's §6.3.5 memory argument — every extra
-// hash table pays this again.
+// MemoryBytes estimates the index's own storage: CSR arrays, probe
+// tables, delta tails and hasher parameters (the vectors belong to the
+// caller). This is the quantity behind the paper's §6.3.5 memory
+// argument — every extra hash table pays this again.
 func (ix *Index) MemoryBytes() int {
 	total := 0
 	for _, t := range ix.Tables {
-		for _, ids := range t.Buckets {
-			total += 8 + 4*len(ids) // key + id list
-		}
-		total += hasherBytes(t.Hasher)
+		total += t.core.memoryBytes() + t.tail.memoryBytes() + hasherBytes(t.Hasher)
 	}
 	return total
 }

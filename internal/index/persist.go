@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math"
 
 	"gqr/internal/hash"
 )
@@ -12,49 +13,91 @@ import (
 // Index persistence. The file stores the trained hashers and the bucket
 // structure — everything derived from training — but not the raw
 // vectors, which the caller supplies again at load time (the index only
-// ever references them). Format, all little-endian:
+// ever references them). Two formats, all little-endian:
+//
+// GQRIDX2 (written by Save) streams each table's compacted CSR tier
+// directly — the on-disk layout IS the in-memory layout, so loading is
+// three bulk reads per table:
+//
+//	magic "GQRIDX2\x00" | dim u32 | n u32 | tables u32
+//	per table: hasher blob (u32 length + bytes)
+//	           bucket count nb u32
+//	           codes   (nb × u64, strictly ascending)
+//	           offsets ((nb+1) × u32, offsets[0]=0, offsets[nb]=n)
+//	           ids     (n × u32, grouped by bucket)
+//
+// GQRIDX1 (legacy, still loadable) interleaved per-bucket records:
 //
 //	magic "GQRIDX1\x00" | dim u32 | n u32 | tables u32
 //	per table: hasher blob (u32 length + bytes)
 //	           bucket count u32
 //	           per bucket: code u64 | id count u32 | ids (u32 each)
 
-var magic = [8]byte{'G', 'Q', 'R', 'I', 'D', 'X', '1', 0}
+var (
+	magicV1 = [8]byte{'G', 'Q', 'R', 'I', 'D', 'X', '1', 0}
+	magicV2 = [8]byte{'G', 'Q', 'R', 'I', 'D', 'X', '2', 0}
+)
 
-// Save writes the index (hashers + buckets) to w.
+// Save writes the index (hashers + buckets) to w in the GQRIDX2 format.
+// Delta tails are merged into the streamed CSR on the fly; the live
+// index is not mutated.
 func (ix *Index) Save(w io.Writer) error {
+	if ix.N < 0 || ix.N > math.MaxUint32 {
+		return fmt.Errorf("index: save: item count %d does not fit the format", ix.N)
+	}
+	if ix.Dim < 0 || ix.Dim > math.MaxUint32 {
+		return fmt.Errorf("index: save: dim %d does not fit the format", ix.Dim)
+	}
 	bw := bufio.NewWriter(w)
-	if _, err := bw.Write(magic[:]); err != nil {
+	if _, err := bw.Write(magicV2[:]); err != nil {
 		return err
 	}
-	writeU32 := func(v uint32) { binary.Write(bw, binary.LittleEndian, v) }
-	writeU32(uint32(ix.Dim))
-	writeU32(uint32(ix.N))
-	writeU32(uint32(len(ix.Tables)))
-	for _, t := range ix.Tables {
+	writeU32 := func(v uint32) error { return binary.Write(bw, binary.LittleEndian, v) }
+	if err := writeU32(uint32(ix.Dim)); err != nil {
+		return err
+	}
+	if err := writeU32(uint32(ix.N)); err != nil {
+		return err
+	}
+	if err := writeU32(uint32(len(ix.Tables))); err != nil {
+		return err
+	}
+	for ti, t := range ix.Tables {
 		blob, err := hash.Marshal(t.Hasher)
 		if err != nil {
-			return fmt.Errorf("index: save: %w", err)
+			return fmt.Errorf("index: save: table %d hasher: %w", ti, err)
 		}
-		writeU32(uint32(len(blob)))
+		if len(blob) > math.MaxUint32 {
+			return fmt.Errorf("index: save: table %d hasher blob too large", ti)
+		}
+		if err := writeU32(uint32(len(blob))); err != nil {
+			return err
+		}
 		if _, err := bw.Write(blob); err != nil {
 			return err
 		}
-		codes := t.Codes()
-		writeU32(uint32(len(codes)))
-		for _, code := range codes {
-			binary.Write(bw, binary.LittleEndian, code)
-			ids := t.Buckets[code]
-			writeU32(uint32(len(ids)))
-			for _, id := range ids {
-				writeU32(uint32(id))
-			}
+		core := t.compacted()
+		if len(core.codes) > math.MaxUint32 || len(core.ids) > math.MaxUint32 {
+			return fmt.Errorf("index: save: table %d bucket structure does not fit the format", ti)
+		}
+		if err := writeU32(uint32(len(core.codes))); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, core.codes); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, core.offsets); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, core.ids); err != nil {
+			return err
 		}
 	}
 	return bw.Flush()
 }
 
-// Load reads an index saved with Save and re-attaches the vector block
+// Load reads an index saved with Save — either the current GQRIDX2
+// format or the legacy GQRIDX1 — and re-attaches the vector block
 // (which must be the same data the index was built from: same count and
 // dimension; ids are validated against n).
 func Load(r io.Reader, data []float32, dim int) (*Index, error) {
@@ -63,7 +106,12 @@ func Load(r io.Reader, data []float32, dim int) (*Index, error) {
 	if _, err := io.ReadFull(br, m[:]); err != nil {
 		return nil, fmt.Errorf("index: load: %w", err)
 	}
-	if m != magic {
+	var v1 bool
+	switch m {
+	case magicV1:
+		v1 = true
+	case magicV2:
+	default:
 		return nil, fmt.Errorf("index: load: bad magic %q", m[:])
 	}
 	readU32 := func() (uint32, error) {
@@ -109,42 +157,111 @@ func Load(r io.Reader, data []float32, dim int) (*Index, error) {
 		if err != nil {
 			return nil, err
 		}
-		nb, err := readU32()
+		var tbl *Table
+		if v1 {
+			tbl, err = loadTableV1(br, h, n, t)
+		} else {
+			tbl, err = loadTableV2(br, h, n, t)
+		}
 		if err != nil {
 			return nil, err
-		}
-		tbl := &Table{Hasher: h, Buckets: make(map[uint64][]int32, nb)}
-		total := 0
-		for b := 0; b < int(nb); b++ {
-			var code uint64
-			if err := binary.Read(br, binary.LittleEndian, &code); err != nil {
-				return nil, fmt.Errorf("index: load: %w", err)
-			}
-			cnt, err := readU32()
-			if err != nil {
-				return nil, err
-			}
-			total += int(cnt)
-			if total > int(n) {
-				return nil, fmt.Errorf("index: load: table %d holds more ids than items", t)
-			}
-			ids := make([]int32, cnt)
-			for i := range ids {
-				v, err := readU32()
-				if err != nil {
-					return nil, err
-				}
-				if v >= n {
-					return nil, fmt.Errorf("index: load: item id %d out of range", v)
-				}
-				ids[i] = int32(v)
-			}
-			tbl.Buckets[code] = ids
-		}
-		if total != int(n) {
-			return nil, fmt.Errorf("index: load: table %d indexes %d of %d items", t, total, n)
 		}
 		ix.Tables = append(ix.Tables, tbl)
 	}
 	return ix, nil
+}
+
+// loadTableV2 reads one table's CSR arrays and validates the structural
+// invariants (ascending codes, monotone offsets spanning exactly n ids,
+// ids in range).
+func loadTableV2(br *bufio.Reader, h hash.Hasher, n uint32, t int) (*Table, error) {
+	var nb uint32
+	if err := binary.Read(br, binary.LittleEndian, &nb); err != nil {
+		return nil, fmt.Errorf("index: load: %w", err)
+	}
+	if uint64(nb) > uint64(n) {
+		return nil, fmt.Errorf("index: load: table %d has %d buckets for %d items", t, nb, n)
+	}
+	codes := make([]uint64, nb)
+	if err := binary.Read(br, binary.LittleEndian, codes); err != nil {
+		return nil, fmt.Errorf("index: load: %w", err)
+	}
+	for i := 1; i < len(codes); i++ {
+		if codes[i] <= codes[i-1] {
+			return nil, fmt.Errorf("index: load: table %d bucket codes not ascending", t)
+		}
+	}
+	offsets := make([]uint32, nb+1)
+	if err := binary.Read(br, binary.LittleEndian, offsets); err != nil {
+		return nil, fmt.Errorf("index: load: %w", err)
+	}
+	if offsets[0] != 0 || offsets[nb] != n {
+		return nil, fmt.Errorf("index: load: table %d offsets span [%d,%d], want [0,%d]", t, offsets[0], offsets[nb], n)
+	}
+	for i := 1; i < len(offsets); i++ {
+		if offsets[i] < offsets[i-1] {
+			return nil, fmt.Errorf("index: load: table %d offsets not monotone", t)
+		}
+		if offsets[i] == offsets[i-1] {
+			return nil, fmt.Errorf("index: load: table %d stores an empty bucket", t)
+		}
+	}
+	ids := make([]int32, n)
+	if err := binary.Read(br, binary.LittleEndian, ids); err != nil {
+		return nil, fmt.Errorf("index: load: %w", err)
+	}
+	for _, id := range ids {
+		if id < 0 || uint32(id) >= n {
+			return nil, fmt.Errorf("index: load: item id %d out of range", id)
+		}
+	}
+	return &Table{Hasher: h, core: newCoreStore(codes, offsets, ids), tail: newTailStore()}, nil
+}
+
+// loadTableV1 reads one table in the legacy per-bucket record format
+// and assembles the CSR tier from it. V1 writers emitted buckets in
+// ascending code order, which is verified rather than assumed.
+func loadTableV1(br *bufio.Reader, h hash.Hasher, n uint32, t int) (*Table, error) {
+	var nb uint32
+	if err := binary.Read(br, binary.LittleEndian, &nb); err != nil {
+		return nil, fmt.Errorf("index: load: %w", err)
+	}
+	if uint64(nb) > uint64(n) {
+		return nil, fmt.Errorf("index: load: table %d has %d buckets for %d items", t, nb, n)
+	}
+	codes := make([]uint64, 0, nb)
+	offsets := make([]uint32, 1, nb+1)
+	ids := make([]int32, 0, n)
+	for b := 0; b < int(nb); b++ {
+		var code uint64
+		if err := binary.Read(br, binary.LittleEndian, &code); err != nil {
+			return nil, fmt.Errorf("index: load: %w", err)
+		}
+		if len(codes) > 0 && code <= codes[len(codes)-1] {
+			return nil, fmt.Errorf("index: load: table %d bucket codes not ascending", t)
+		}
+		var cnt uint32
+		if err := binary.Read(br, binary.LittleEndian, &cnt); err != nil {
+			return nil, fmt.Errorf("index: load: %w", err)
+		}
+		if uint64(len(ids))+uint64(cnt) > uint64(n) {
+			return nil, fmt.Errorf("index: load: table %d holds more ids than items", t)
+		}
+		for i := 0; i < int(cnt); i++ {
+			var v uint32
+			if err := binary.Read(br, binary.LittleEndian, &v); err != nil {
+				return nil, fmt.Errorf("index: load: %w", err)
+			}
+			if v >= n {
+				return nil, fmt.Errorf("index: load: item id %d out of range", v)
+			}
+			ids = append(ids, int32(v))
+		}
+		codes = append(codes, code)
+		offsets = append(offsets, uint32(len(ids)))
+	}
+	if len(ids) != int(n) {
+		return nil, fmt.Errorf("index: load: table %d indexes %d of %d items", t, len(ids), n)
+	}
+	return &Table{Hasher: h, core: newCoreStore(codes, offsets, ids), tail: newTailStore()}, nil
 }

@@ -2,11 +2,53 @@ package index
 
 import (
 	"bytes"
+	"encoding/binary"
+	"flag"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"gqr/internal/dataset"
 	"gqr/internal/hash"
 )
+
+var updateGolden = flag.Bool("update", false, "regenerate golden persistence fixtures")
+
+// sameTables fails the test unless both indexes hold identical bucket
+// structures (codes, per-bucket ids) and hashers that agree on codes.
+func sameTables(t *testing.T, label string, a, b *Index, probes []float32, dim int) {
+	t.Helper()
+	if a.N != b.N || a.Dim != b.Dim || len(a.Tables) != len(b.Tables) {
+		t.Fatalf("%s: shape lost", label)
+	}
+	for ti := range a.Tables {
+		ta, tb := a.Tables[ti], b.Tables[ti]
+		codes := ta.Codes()
+		if got := tb.Codes(); len(got) != len(codes) {
+			t.Fatalf("%s: table %d has %d codes, want %d", label, ti, len(got), len(codes))
+		}
+		for _, code := range codes {
+			ids, got := ta.Bucket(code), tb.Bucket(code)
+			if len(got) != len(ids) {
+				t.Fatalf("%s: bucket %b size changed", label, code)
+			}
+			for i := range ids {
+				if got[i] != ids[i] {
+					t.Fatalf("%s: bucket %b ids changed", label, code)
+				}
+			}
+		}
+		// Hashers must agree on fresh codes.
+		for i := 0; i+dim <= len(probes); i += dim {
+			v := probes[i : i+dim]
+			if ta.Hasher.Code(v) != tb.Hasher.Code(v) {
+				t.Fatalf("%s: hasher changed after round trip", label)
+			}
+		}
+	}
+}
 
 func TestIndexSaveLoadRoundTrip(t *testing.T) {
 	ds := dataset.Generate(dataset.GeneratorSpec{
@@ -21,37 +63,52 @@ func TestIndexSaveLoadRoundTrip(t *testing.T) {
 		if err := ix.Save(&buf); err != nil {
 			t.Fatalf("%s: save: %v", l.Name(), err)
 		}
+		if !bytes.HasPrefix(buf.Bytes(), magicV2[:]) {
+			t.Fatalf("%s: save did not emit the GQRIDX2 magic", l.Name())
+		}
 		ix2, err := Load(&buf, ds.Vectors, ds.Dim)
 		if err != nil {
 			t.Fatalf("%s: load: %v", l.Name(), err)
 		}
-		if ix2.N != ix.N || ix2.Dim != ix.Dim || len(ix2.Tables) != len(ix.Tables) {
-			t.Fatalf("%s: shape lost", l.Name())
-		}
-		for ti := range ix.Tables {
-			a, b := ix.Tables[ti], ix2.Tables[ti]
-			if a.BucketCount() != b.BucketCount() {
-				t.Fatalf("%s: table %d bucket count %d != %d", l.Name(), ti, a.BucketCount(), b.BucketCount())
-			}
-			for code, ids := range a.Buckets {
-				got := b.Buckets[code]
-				if len(got) != len(ids) {
-					t.Fatalf("%s: bucket %b size changed", l.Name(), code)
-				}
-				for i := range ids {
-					if got[i] != ids[i] {
-						t.Fatalf("%s: bucket %b ids changed", l.Name(), code)
-					}
-				}
-			}
-			// Hashers must agree on fresh codes.
-			for i := 0; i < 30; i++ {
-				if a.Hasher.Code(ds.Vector(i)) != b.Hasher.Code(ds.Vector(i)) {
-					t.Fatalf("%s: hasher changed after round trip", l.Name())
-				}
-			}
+		sameTables(t, l.Name(), ix, ix2, ds.Vectors[:30*ds.Dim], ds.Dim)
+	}
+}
+
+// TestSaveIncludesDeltaTail pins that vectors sitting in the mutable
+// delta tail at Save time are streamed with the compacted core.
+func TestSaveIncludesDeltaTail(t *testing.T) {
+	ds := dataset.Generate(dataset.GeneratorSpec{
+		Name: "pt", N: 300, Dim: 8, Clusters: 3, LatentDim: 2, Seed: 47,
+	})
+	half := 200
+	ix, err := Build(hash.PCAH{}, ds.Vectors[:half*ds.Dim], half, ds.Dim, 6, 1, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := half; i < ds.N(); i++ {
+		if _, err := ix.Add(ds.Vector(i)); err != nil {
+			t.Fatal(err)
 		}
 	}
+	if ix.Tables[0].TailItems() == 0 {
+		t.Fatal("adds did not land in the delta tail")
+	}
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Save must not have compacted the live index as a side effect.
+	if ix.Tables[0].TailItems() == 0 {
+		t.Fatal("Save compacted the live index")
+	}
+	ix2, err := Load(&buf, ix.Data, ds.Dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix2.N != ds.N() {
+		t.Fatalf("loaded %d items, want %d", ix2.N, ds.N())
+	}
+	sameTables(t, "tail", ix, ix2, ds.Vectors[:20*ds.Dim], ds.Dim)
 }
 
 func TestIndexLoadValidation(t *testing.T) {
@@ -87,4 +144,142 @@ func TestIndexLoadValidation(t *testing.T) {
 			t.Fatalf("truncation at %d accepted", cut)
 		}
 	}
+}
+
+// ---- GQRIDX1 backward compatibility ----------------------------------
+
+// saveV1 emits the legacy GQRIDX1 per-bucket record format, exactly as
+// the pre-CSR Save wrote it. Kept test-side only: it regenerates the
+// golden fixture under -update and pins the byte layout v1 readers
+// must keep accepting.
+func saveV1(w io.Writer, ix *Index) error {
+	if _, err := w.Write(magicV1[:]); err != nil {
+		return err
+	}
+	writeU32 := func(v uint32) error { return binary.Write(w, binary.LittleEndian, v) }
+	if err := writeU32(uint32(ix.Dim)); err != nil {
+		return err
+	}
+	if err := writeU32(uint32(ix.N)); err != nil {
+		return err
+	}
+	if err := writeU32(uint32(len(ix.Tables))); err != nil {
+		return err
+	}
+	for _, t := range ix.Tables {
+		blob, err := hash.Marshal(t.Hasher)
+		if err != nil {
+			return err
+		}
+		if err := writeU32(uint32(len(blob))); err != nil {
+			return err
+		}
+		if _, err := w.Write(blob); err != nil {
+			return err
+		}
+		codes := t.Codes()
+		if err := writeU32(uint32(len(codes))); err != nil {
+			return err
+		}
+		for _, code := range codes {
+			if err := binary.Write(w, binary.LittleEndian, code); err != nil {
+				return err
+			}
+			ids := t.Bucket(code)
+			if err := writeU32(uint32(len(ids))); err != nil {
+				return err
+			}
+			for _, id := range ids {
+				if err := writeU32(uint32(id)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+const (
+	goldenN   = 120
+	goldenDim = 6
+)
+
+// goldenVectors reproduces the fixture's vector block: a fixed-seed
+// stream independent of any generator that might change.
+func goldenVectors() []float32 {
+	rng := rand.New(rand.NewSource(20240805))
+	v := make([]float32, goldenN*goldenDim)
+	for i := range v {
+		v[i] = float32(rng.NormFloat64())
+	}
+	return v
+}
+
+func goldenPath() string { return filepath.Join("testdata", "golden_v1.gqridx") }
+
+// TestLoadGoldenV1 is the backward-compatibility gate: the committed
+// GQRIDX1 fixture must keep loading byte-for-byte, and re-saving it
+// must emit a GQRIDX2 stream that round-trips to the same index.
+func TestLoadGoldenV1(t *testing.T) {
+	vecs := goldenVectors()
+	if *updateGolden {
+		ix, err := Build(hash.LSH{}, vecs, goldenN, goldenDim, 8, 2, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := saveV1(&buf, ix); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath(), buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	raw, err := os.ReadFile(goldenPath())
+	if err != nil {
+		t.Fatalf("missing golden fixture (regenerate with -update): %v", err)
+	}
+	if !bytes.HasPrefix(raw, magicV1[:]) {
+		t.Fatal("fixture is not a GQRIDX1 file")
+	}
+	ix, err := Load(bytes.NewReader(raw), vecs, goldenDim)
+	if err != nil {
+		t.Fatalf("loading GQRIDX1 fixture: %v", err)
+	}
+	if ix.N != goldenN || ix.Dim != goldenDim || len(ix.Tables) != 2 {
+		t.Fatalf("fixture shape: N=%d Dim=%d tables=%d", ix.N, ix.Dim, len(ix.Tables))
+	}
+	// Every item must be findable under its own code via the loaded
+	// hashers — the structure survived the format, not just the bytes.
+	for _, tbl := range ix.Tables {
+		for i := 0; i < goldenN; i++ {
+			code := tbl.Hasher.Code(vecs[i*goldenDim : (i+1)*goldenDim])
+			found := false
+			for _, id := range tbl.Bucket(code) {
+				if id == int32(i) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("item %d missing from its own bucket after v1 load", i)
+			}
+		}
+	}
+	// Re-save: must emit GQRIDX2 and round-trip identically.
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(buf.Bytes(), magicV2[:]) {
+		t.Fatal("re-save of a v1 index did not emit GQRIDX2")
+	}
+	ix2, err := Load(&buf, vecs, goldenDim)
+	if err != nil {
+		t.Fatalf("loading re-saved GQRIDX2: %v", err)
+	}
+	sameTables(t, "golden", ix, ix2, vecs[:20*goldenDim], goldenDim)
 }

@@ -20,10 +20,57 @@ import (
 type MIH struct {
 	ix     *index.Index
 	blocks int
-	// per table, per block: substring -> full codes present.
-	sub [][]map[uint64][]uint64
+	// per table, per block: substring -> full codes present, stored CSR
+	// (sorted substring keys, prefix offsets, flat full-code array) and
+	// probed through an open-addressing table, mirroring the bucket
+	// storage engine.
+	sub [][]mihBlock
 	// per table, per block: bit offset and width.
 	layout [][2]int
+}
+
+// mihBlock is one substring index in CSR form: the full codes whose
+// substring equals keys[s] sit at fulls[offsets[s]:offsets[s+1]].
+type mihBlock struct {
+	offsets []uint32
+	fulls   []uint64
+	probe   index.ProbeTable
+}
+
+// buildMIHBlock groups the table's full codes by their substring in
+// this block. Codes arrive ascending (Table.Codes order), and the
+// stable grouping keeps each substring's full-code list ascending too —
+// the same per-substring order the previous map layout produced.
+func buildMIHBlock(codes []uint64, off, w int) mihBlock {
+	maskW := (uint64(1) << uint(w)) - 1
+	order := make([]int, len(codes))
+	for i := range order {
+		order[i] = i
+	}
+	sub := func(c uint64) uint64 { return (c >> uint(off)) & maskW }
+	sort.SliceStable(order, func(a, b int) bool { return sub(codes[order[a]]) < sub(codes[order[b]]) })
+	var keys []uint64
+	offsets := make([]uint32, 1)
+	fulls := make([]uint64, len(codes))
+	for i, src := range order {
+		s := sub(codes[src])
+		if len(keys) == 0 || keys[len(keys)-1] != s {
+			keys = append(keys, s)
+			offsets = append(offsets, uint32(i))
+		}
+		fulls[i] = codes[src]
+		offsets[len(offsets)-1] = uint32(i + 1)
+	}
+	return mihBlock{offsets: offsets, fulls: fulls, probe: index.NewProbeTable(keys)}
+}
+
+// lookup returns the full codes sharing the given substring.
+func (b *mihBlock) lookup(sub uint64) []uint64 {
+	s, ok := b.probe.Lookup(sub)
+	if !ok {
+		return nil
+	}
+	return b.fulls[b.offsets[s]:b.offsets[s+1]]
 }
 
 // NewMIH builds multi-index hashing over ix with the given number of
@@ -53,19 +100,12 @@ func NewMIH(ix *index.Index, blocks int) *MIH {
 		mi.layout[b] = [2]int{offset, w}
 		offset += w
 	}
-	mi.sub = make([][]map[uint64][]uint64, len(ix.Tables))
+	mi.sub = make([][]mihBlock, len(ix.Tables))
 	for t, tbl := range ix.Tables {
-		mi.sub[t] = make([]map[uint64][]uint64, blocks)
+		mi.sub[t] = make([]mihBlock, blocks)
 		codes := tbl.Codes()
 		for b := 0; b < blocks; b++ {
-			mp := make(map[uint64][]uint64)
-			off, w := mi.layout[b][0], mi.layout[b][1]
-			maskW := (uint64(1) << uint(w)) - 1
-			for _, c := range codes {
-				s := (c >> uint(off)) & maskW
-				mp[s] = append(mp[s], c)
-			}
-			mi.sub[t][b] = mp
+			mi.sub[t][b] = buildMIHBlock(codes, mi.layout[b][0], mi.layout[b][1])
 		}
 	}
 	return mi
@@ -114,9 +154,9 @@ func (s *mihSeq) extend(br int) {
 		}
 		maskW := (uint64(1) << uint(w)) - 1
 		qsub := (s.qcode >> uint(off)) & maskW
-		table := s.mi.sub[s.t][b]
+		block := &s.mi.sub[s.t][b]
 		emit := func(sub uint64) {
-			for _, full := range table[sub] {
+			for _, full := range block.lookup(sub) {
 				if s.seen[full] {
 					continue
 				}

@@ -37,7 +37,7 @@ func stubIndex(bits int, code uint64, costs []float64) *index.Index {
 		Dim:    2,
 		N:      2,
 		Data:   data,
-		Tables: []*index.Table{{Hasher: h, Buckets: map[uint64][]int32{code: {0, 1}}}},
+		Tables: []*index.Table{index.NewTableFromBuckets(h, map[uint64][]int32{code: {0, 1}})},
 	}
 }
 

@@ -189,19 +189,24 @@ func (s *Searcher) Search(q []float32, opt Options) (Result, error) {
 
 		code := states[best].code
 		st.BucketsGenerated++
-		bucket := s.ix.Tables[best].Bucket(code)
-		if len(bucket) > 0 {
+		// Slot-handle probe into the CSR storage: the bucket arrives as
+		// its frozen-core segment plus its delta-tail segment, both flat
+		// id arrays — no map lookup on this path.
+		ref := s.ix.Tables[best].Probe(code)
+		if ref.Len() > 0 {
 			st.BucketsProbed++
 			if opt.Profile {
 				mark = time.Now()
 			}
-			for _, id := range bucket {
-				if s.visited[id] == s.epoch {
-					continue // already evaluated via another table
+			for _, seg := range [2][]int32{ref.Core, ref.Tail} {
+				for _, id := range seg {
+					if s.visited[id] == s.epoch {
+						continue // already evaluated via another table
+					}
+					s.visited[id] = s.epoch
+					st.Candidates++
+					top.Offer(vecmath.SquaredL2(q, s.ix.Vector(id)), id)
 				}
-				s.visited[id] = s.epoch
-				st.Candidates++
-				top.Offer(vecmath.SquaredL2(q, s.ix.Vector(id)), id)
 			}
 			if opt.Profile {
 				st.EvaluationTime += time.Since(mark)

@@ -12,7 +12,11 @@ import (
 
 // File layout: magic, query-method string, metric string, then the
 // internal index section (hashers + buckets). Vectors are not stored —
-// they are the caller's data and are re-attached at Load.
+// they are the caller's data and are re-attached at Load. The index
+// section is self-versioned: Save emits the CSR-streaming GQRIDX2
+// format (delta tails are merged in on the fly), and Load accepts both
+// GQRIDX2 and the legacy GQRIDX1 per-bucket records, so files written
+// by earlier releases keep loading.
 var pubMagic = [8]byte{'G', 'Q', 'R', 'P', 'U', 'B', '1', 0}
 
 // Save writes the trained index to w. The vector block is NOT written;

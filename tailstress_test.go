@@ -1,0 +1,173 @@
+package gqr
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"testing"
+
+	"gqr/internal/dataset"
+	"gqr/internal/vecmath"
+)
+
+// TestDeltaTailStressAcrossCompaction is the -race gate for the CSR
+// storage engine: two adders push 800 vectors (far past the 256-item
+// compaction floor) while searchers and batch searchers run against the
+// published snapshots. Along the way every goroutine checks that the
+// snapshot generation it observes never goes backwards; afterwards the
+// index must have compacted at least once and full-probe searches must
+// return the same neighbors as a freshly built index over the same
+// vectors and as exact brute force.
+func TestDeltaTailStressAcrossCompaction(t *testing.T) {
+	ds := dataset.Generate(dataset.GeneratorSpec{
+		Name: "tail", N: 2000, Dim: 12, Clusters: 8, LatentDim: 5, Seed: 107,
+	})
+	ds.SampleQueries(8, 108)
+	const (
+		base      = 1200
+		adders    = 2
+		searchers = 3
+		batchers  = 2
+		rounds    = 60
+	)
+	// ~792 adds in total: far past the 256-item compaction floor.
+	perAdder := (ds.N() - base) / adders
+	ix, err := Build(ds.Vectors[:base*ds.Dim], ds.Dim, WithQueryMethod(GQR), WithSeed(109))
+	if err != nil {
+		t.Fatal(err)
+	}
+	startGen := ix.Stats().SnapshotGeneration
+
+	var wg sync.WaitGroup
+	for a := 0; a < adders; a++ {
+		wg.Add(1)
+		go func(a int) {
+			defer wg.Done()
+			for i := 0; i < perAdder; i++ {
+				if _, err := ix.Add(ds.Vector(base + a*perAdder + i)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(a)
+	}
+	for s := 0; s < searchers; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			prev := uint64(0)
+			for i := 0; i < rounds; i++ {
+				if _, _, err := ix.SearchWithStats(ds.Query((s+i)%ds.NQ()), 5, WithMaxCandidates(300)); err != nil {
+					t.Error(err)
+					return
+				}
+				// Generation must be monotone as observed by any single
+				// goroutine: republishing only ever moves forward.
+				if gen := ix.Stats().SnapshotGeneration; gen < prev {
+					t.Errorf("snapshot generation went backwards: %d after %d", gen, prev)
+					return
+				} else {
+					prev = gen
+				}
+			}
+		}(s)
+	}
+	for b := 0; b < batchers; b++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			block := make([]float32, 0, 4*ds.Dim)
+			for qi := 0; qi < 4; qi++ {
+				block = append(block, ds.Query(qi)...)
+			}
+			for i := 0; i < rounds/2; i++ {
+				results, err := ix.SearchBatchWithStats(block, 5, WithMaxCandidates(300))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for _, r := range results {
+					if r.Err != nil {
+						t.Error(r.Err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// One search after all Adds returned republishes the final snapshot;
+	// with 800 tail items accumulated (or already folded mid-run) the
+	// engine must have compacted by now.
+	if _, err := ix.Search(ds.Query(0), 1, WithMaxCandidates(50)); err != nil {
+		t.Fatal(err)
+	}
+	total := base + adders*perAdder
+	st := ix.Stats()
+	if st.Items != total {
+		t.Fatalf("Items = %d, want %d", st.Items, total)
+	}
+	if st.Compactions < 1 {
+		t.Fatalf("no compaction after %d adds", adders*perAdder)
+	}
+	if st.SnapshotGeneration <= startGen {
+		t.Fatalf("generation did not advance: %d -> %d", startGen, st.SnapshotGeneration)
+	}
+
+	// A freshly built index over the identical base block, absorbing the
+	// same 800 vectors sequentially. Item ids for the added vectors can
+	// differ (concurrent add order is nondeterministic), so equality is
+	// judged on distances, which identify the vectors themselves.
+	fresh, err := Build(ds.Vectors[:base*ds.Dim], ds.Dim, WithQueryMethod(GQR), WithSeed(109))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := base; i < total; i++ {
+		if _, err := fresh.Add(ds.Vector(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const k = 10
+	for qi := 0; qi < ds.NQ(); qi++ {
+		q := ds.Query(qi)
+		got, err := ix.Search(q, k) // no budget: full probe, exact
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := fresh.Search(q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact := bruteForceDistances(ds, q, total, k)
+		if len(got) != k || len(want) != k {
+			t.Fatalf("query %d: got %d/%d neighbors, want %d", qi, len(got), len(want), k)
+		}
+		for i := 0; i < k; i++ {
+			if d := math.Abs(got[i].Distance - want[i].Distance); d > 1e-9 {
+				t.Fatalf("query %d rank %d: stressed index %.12f vs fresh %.12f", qi, i, got[i].Distance, want[i].Distance)
+			}
+			if d := math.Abs(got[i].Distance - exact[i]); d > 1e-9 {
+				t.Fatalf("query %d rank %d: full probe %.12f vs brute force %.12f", qi, i, got[i].Distance, exact[i])
+			}
+		}
+	}
+}
+
+// bruteForceDistances returns the k smallest exact Euclidean distances
+// from q to the first n vectors of ds.
+func bruteForceDistances(ds *dataset.Dataset, q []float32, n, k int) []float64 {
+	dists := make([]float64, n)
+	for i := range dists {
+		dists[i] = vecmath.SquaredL2(q, ds.Vector(i))
+	}
+	// Partial selection is overkill at this size; sort all.
+	for i := range dists {
+		dists[i] = math.Sqrt(dists[i])
+	}
+	sort.Float64s(dists)
+	return dists[:k]
+}
