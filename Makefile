@@ -2,7 +2,7 @@
 # gate: vet + full tests + race on the concurrent packages.
 GO ?= go
 
-.PHONY: check build vet test race bench bench-smoke
+.PHONY: check build vet test race bench bench-smoke bench-json
 
 check: vet test race bench-smoke
 
@@ -30,3 +30,11 @@ bench:
 # runs would have compiled (benchtime=1x keeps it to seconds).
 bench-smoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+# Machine-readable ns/op + allocs/op for the evaluation-stage hot path
+# (per-method Search at budget 1000) and the vecmath kernels, written
+# as JSON for cross-commit perf diffing. BENCH_PR4.json in the repo
+# root is the committed snapshot from the evaluation-kernel overhaul.
+bench-json:
+	$(GO) run ./cmd/gqr-bench -json BENCH_PR4.json
+	@cat BENCH_PR4.json

@@ -7,6 +7,7 @@
 //	gqr-bench -experiment fig7                 # one experiment
 //	gqr-bench -experiment all -scale 0.25      # everything, quarter-size corpora
 //	gqr-bench -list                            # list experiment ids
+//	gqr-bench -json BENCH.json                 # machine-readable micro-benchmarks
 //
 // Corpus sizes scale linearly with -scale; -nq and -k control the query
 // workload (paper defaults: 1000 queries scaled to 100, k=20).
@@ -32,8 +33,25 @@ func main() {
 		k          = flag.Int("k", 20, "number of target nearest neighbors")
 		seed       = flag.Int64("seed", 0, "training seed offset")
 		out        = flag.String("o", "", "write output to this file instead of stdout")
+		jsonOut    = flag.String("json", "", "run the evaluation-stage micro-benchmarks and write JSON results to this file ('-' for stdout)")
 	)
 	flag.Parse()
+
+	if *jsonOut != "" {
+		var w io.Writer = os.Stdout
+		if *jsonOut != "-" {
+			f, err := os.Create(*jsonOut)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := bench.RunMicro(w); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	if *list {
 		for _, e := range bench.Experiments() {

@@ -33,12 +33,18 @@ type Neighbor struct {
 // are sums over shards and EarlyStopped reports whether any shard's
 // QD lower-bound rule fired.
 type SearchStats struct {
-	BucketsGenerated int           `json:"bucketsGenerated"`
-	BucketsProbed    int           `json:"bucketsProbed"`
-	Candidates       int           `json:"candidates"`
-	EarlyStopped     bool          `json:"earlyStopped"`
-	RetrievalTime    time.Duration `json:"retrievalTime"`
-	EvaluationTime   time.Duration `json:"evaluationTime"`
+	BucketsGenerated int `json:"bucketsGenerated"`
+	BucketsProbed    int `json:"bucketsProbed"`
+	Candidates       int `json:"candidates"`
+	// EarlyAbandoned counts candidates whose exact-distance computation
+	// was cut short by the bounded evaluation kernel because a partial
+	// sum already exceeded the current k-th-best distance. Those items
+	// are included in Candidates; the counter shows how much evaluation
+	// work early abandonment saved.
+	EarlyAbandoned int           `json:"earlyAbandoned"`
+	EarlyStopped   bool          `json:"earlyStopped"`
+	RetrievalTime  time.Duration `json:"retrievalTime"`
+	EvaluationTime time.Duration `json:"evaluationTime"`
 }
 
 // merge accumulates another search's work into s (used by the sharded
@@ -47,6 +53,7 @@ func (s *SearchStats) merge(o SearchStats) {
 	s.BucketsGenerated += o.BucketsGenerated
 	s.BucketsProbed += o.BucketsProbed
 	s.Candidates += o.Candidates
+	s.EarlyAbandoned += o.EarlyAbandoned
 	s.EarlyStopped = s.EarlyStopped || o.EarlyStopped
 	s.RetrievalTime += o.RetrievalTime
 	s.EvaluationTime += o.EvaluationTime
@@ -58,6 +65,7 @@ func statsOf(st query.Stats) SearchStats {
 		BucketsGenerated: st.BucketsGenerated,
 		BucketsProbed:    st.BucketsProbed,
 		Candidates:       st.Candidates,
+		EarlyAbandoned:   st.EarlyAbandoned,
 		EarlyStopped:     st.EarlyStopped,
 		RetrievalTime:    st.RetrievalTime,
 		EvaluationTime:   st.EvaluationTime,
@@ -69,9 +77,11 @@ func statsOf(st query.Stats) SearchStats {
 // that structure, and the Theorem 2 early-stop scale. Searches load the
 // current snapshot atomically and work only on it, so they never
 // contend with each other or with Add. The per-snapshot pool hands out
-// query.Searcher scratch (visited-epoch array + angular qbuf) keyed to
-// this snapshot's generation; when a new snapshot is published the old
-// pool is simply garbage.
+// query.Searcher scratch — visited-epoch array, angular qbuf, per-table
+// probe-sequence buffers, top-k heap and the evaluation-stage gather
+// buffer — keyed to this snapshot's generation, so a warmed pooled
+// search allocates nothing beyond its result slices; when a new
+// snapshot is published the old pool is simply garbage.
 type snapshot struct {
 	view   *index.Index
 	method query.Method

@@ -1,0 +1,124 @@
+package bench
+
+// Micro-benchmark suite behind `gqr-bench -json`: machine-readable
+// ns/op and allocs/op for the evaluation-stage hot path (per-method
+// Search at the paper's budget-1000 operating point) and the vecmath
+// distance kernels. The driver uses testing.Benchmark directly so the
+// numbers are produced by the same machinery as `go test -bench`, but
+// land in a JSON file that perf-regression tooling can diff across
+// commits.
+//
+// This package must not import the root gqr package (the root's
+// in-package benchmarks import this package), so the suite drives
+// internal/query.Searcher directly — which is also the layer the
+// overhaul changed.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"testing"
+
+	"gqr/internal/dataset"
+	"gqr/internal/hash"
+	"gqr/internal/index"
+	"gqr/internal/query"
+	"gqr/internal/vecmath"
+)
+
+// MicroResult is one measurement in the JSON output of
+// `gqr-bench -json`.
+type MicroResult struct {
+	Benchmark string `json:"benchmark"`
+	NsOp      int64  `json:"ns_op"`
+	AllocsOp  int64  `json:"allocs_op"`
+	BytesOp   int64  `json:"bytes_op"`
+}
+
+func toMicro(name string, r testing.BenchmarkResult) MicroResult {
+	return MicroResult{
+		Benchmark: name,
+		NsOp:      r.NsPerOp(),
+		AllocsOp:  r.AllocsPerOp(),
+		BytesOp:   r.AllocedBytesPerOp(),
+	}
+}
+
+// RunMicro executes the suite and writes the results as an indented
+// JSON array to w. The corpus mirrors the root package's
+// BenchmarkSearch*Budget1000 (20k×32 clustered synthetic, ITQ codes,
+// K=10, candidate budget 1000).
+func RunMicro(w io.Writer) error {
+	ds := dataset.Generate(dataset.GeneratorSpec{
+		Name: "micro", N: 20000, Dim: 32, Clusters: 16, LatentDim: 8, Seed: 17,
+	})
+	ds.SampleQueries(64, 18)
+	bits := index.CodeLengthFor(ds.N(), 10)
+	ix, err := index.Build(hash.ITQ{Iterations: 30}, ds.Vectors, ds.N(), ds.Dim, bits, 1, 19)
+	if err != nil {
+		return fmt.Errorf("bench: micro corpus: %w", err)
+	}
+
+	var results []MicroResult
+	opt := query.Options{K: 10, MaxCandidates: 1000}
+	for _, name := range query.Methods() {
+		m, err := query.NewMethod(name, ix)
+		if err != nil {
+			return err
+		}
+		s := query.NewSearcher(ix, m)
+		if _, err := s.Search(ds.Query(0), opt); err != nil { // warm the scratch
+			return err
+		}
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Search(ds.Query(i%ds.NQ()), opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		results = append(results, toMicro("Search/"+name+"/budget1000", r))
+	}
+
+	// Kernel benchmarks: the complete (bound never hit) and abandoning
+	// (bound hit in the first block) regimes of the bounded kernel,
+	// bracketed by the unbounded kernels it must not slow down.
+	rng := rand.New(rand.NewSource(23))
+	const dim = 128
+	a := make([]float32, dim)
+	c := make([]float32, dim)
+	for i := range a {
+		a[i] = float32(rng.NormFloat64())
+		c[i] = float32(rng.NormFloat64())
+	}
+	exact := vecmath.SquaredL2(a, c)
+	sink := 0.0
+	kernels := []struct {
+		name string
+		fn   func() float64
+	}{
+		{"SquaredL2/dim128", func() float64 { return vecmath.SquaredL2(a, c) }},
+		{"SquaredL2Bounded/dim128/complete", func() float64 { return vecmath.SquaredL2Bounded(a, c, math.Inf(1)) }},
+		{"SquaredL2Bounded/dim128/abandon", func() float64 { return vecmath.SquaredL2Bounded(a, c, exact/64) }},
+		{"Dot/dim128", func() float64 { return vecmath.Dot(a, c) }},
+		{"Norm/dim128", func() float64 { return vecmath.Norm(a) }},
+	}
+	for _, k := range kernels {
+		fn := k.fn
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sink += fn()
+			}
+		})
+		results = append(results, toMicro(k.name, r))
+	}
+	if sink == math.Inf(1) { // keep the kernel calls observable
+		return fmt.Errorf("bench: kernel sink overflow")
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(results)
+}

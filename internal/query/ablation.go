@@ -2,7 +2,6 @@ package query
 
 import (
 	"math/bits"
-	"sort"
 
 	"gqr/internal/index"
 )
@@ -26,32 +25,42 @@ func (*GQRNaive) QDScores() bool { return true }
 
 // NewSequence implements Method.
 func (g *GQRNaive) NewSequence(t int, q []float32) ProbeSequence {
+	return g.NewSequenceReuse(t, q, nil)
+}
+
+// NewSequenceReuse implements Method, recycling the same buffers as the
+// heap-based GQR plus the naive frontier slice.
+func (g *GQRNaive) NewSequenceReuse(t int, q []float32, reuse ProbeSequence) ProbeSequence {
 	hasher := g.ix.Tables[t].Hasher
 	m := hasher.Bits()
-	costs := make([]float64, m)
-	qcode := hasher.QueryProjection(q, costs)
-	order := make([]int, m)
-	for i := range order {
-		order[i] = i
+	s, ok := reuse.(*gqrNaiveSeq)
+	if !ok || s == nil {
+		s = &gqrNaiveSeq{}
 	}
-	sort.Slice(order, func(a, b int) bool {
-		if costs[order[a]] != costs[order[b]] {
-			return costs[order[a]] < costs[order[b]]
-		}
-		return order[a] < order[b]
-	})
-	sorted := make([]float64, m)
-	origBit := make([]uint64, m)
-	for pos, bit := range order {
-		sorted[pos] = costs[bit]
-		origBit[pos] = 1 << uint(bit)
+	s.costs = grown(s.costs, m)
+	s.order = grown(s.order, m)
+	s.sorted = grown(s.sorted, m)
+	s.origBit = grown(s.origBit, m)
+	s.qcode = hasher.QueryProjection(q, s.costs)
+	s.m = m
+	s.frontier = s.frontier[:0]
+	s.started = false
+	for i := range s.order {
+		s.order[i] = i
 	}
-	return &gqrNaiveSeq{qcode: qcode, m: m, sorted: sorted, origBit: origBit}
+	sortIdxByCost(s.order, s.costs)
+	for pos, bit := range s.order {
+		s.sorted[pos] = s.costs[bit]
+		s.origBit[pos] = 1 << uint(bit)
+	}
+	return s
 }
 
 type gqrNaiveSeq struct {
 	qcode    uint64
 	m        int
+	costs    []float64
+	order    []int
 	sorted   []float64
 	origBit  []uint64
 	frontier []flipNode

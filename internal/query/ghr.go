@@ -24,11 +24,19 @@ func (*GHR) QDScores() bool { return false }
 
 // NewSequence implements Method.
 func (g *GHR) NewSequence(t int, q []float32) ProbeSequence {
+	return g.NewSequenceReuse(t, q, nil)
+}
+
+// NewSequenceReuse implements Method. ghrSeq holds no buffers, so reuse
+// just resets the enumeration state in place.
+func (g *GHR) NewSequenceReuse(t int, q []float32, reuse ProbeSequence) ProbeSequence {
 	hasher := g.ix.Tables[t].Hasher
-	return &ghrSeq{
-		qcode: hasher.Code(q),
-		m:     hasher.Bits(),
+	s, ok := reuse.(*ghrSeq)
+	if !ok || s == nil {
+		s = &ghrSeq{}
 	}
+	*s = ghrSeq{qcode: hasher.Code(q), m: hasher.Bits()}
+	return s
 }
 
 type ghrSeq struct {

@@ -2,7 +2,6 @@ package query
 
 import (
 	"math/bits"
-	"sort"
 
 	"gqr/internal/index"
 )
@@ -63,41 +62,47 @@ func (*GQR) QDScores() bool { return true }
 
 // NewSequence implements Method.
 func (g *GQR) NewSequence(t int, q []float32) ProbeSequence {
+	return g.NewSequenceReuse(t, q, nil)
+}
+
+// NewSequenceReuse implements Method. A recycled *gqrSeq keeps its
+// costs/order/sorted/origBit buffers and its frontier heap's node array
+// (via flipHeap.Reset), so a warmed sequence restarts without touching
+// the allocator.
+func (g *GQR) NewSequenceReuse(t int, q []float32, reuse ProbeSequence) ProbeSequence {
 	hasher := g.ix.Tables[t].Hasher
 	m := hasher.Bits()
-	costs := make([]float64, m)
-	qcode := hasher.QueryProjection(q, costs)
+	s, ok := reuse.(*gqrSeq)
+	if !ok || s == nil {
+		s = &gqrSeq{}
+	}
+	s.costs = grown(s.costs, m)
+	s.order = grown(s.order, m)
+	s.sorted = grown(s.sorted, m)
+	s.origBit = grown(s.origBit, m)
+	s.qcode = hasher.QueryProjection(q, s.costs)
+	s.m = m
+	s.tree = g.sharedTree
+	s.heap.Reset()
+	s.started = false
 
 	// Sorted projected vector: order bit positions by ascending cost.
-	order := make([]int, m)
-	for i := range order {
-		order[i] = i
+	for i := range s.order {
+		s.order[i] = i
 	}
-	sort.Slice(order, func(a, b int) bool {
-		if costs[order[a]] != costs[order[b]] {
-			return costs[order[a]] < costs[order[b]]
-		}
-		return order[a] < order[b]
-	})
-	sorted := make([]float64, m)
-	origBit := make([]uint64, m) // f: sorted position -> original bit mask
-	for pos, bit := range order {
-		sorted[pos] = costs[bit]
-		origBit[pos] = 1 << uint(bit)
+	sortIdxByCost(s.order, s.costs)
+	for pos, bit := range s.order {
+		s.sorted[pos] = s.costs[bit]
+		s.origBit[pos] = 1 << uint(bit) // f: sorted position -> original bit mask
 	}
-
-	return &gqrSeq{
-		qcode:   qcode,
-		m:       m,
-		sorted:  sorted,
-		origBit: origBit,
-		tree:    g.sharedTree,
-	}
+	return s
 }
 
 type gqrSeq struct {
 	qcode   uint64
 	m       int
+	costs   []float64 // per-original-bit flipping costs (setup scratch)
+	order   []int     // sort scratch: bit index per sorted position
 	sorted  []float64 // ascending |p_i(q)| values
 	origBit []uint64  // sorted position -> original bit mask
 	heap    flipHeap

@@ -70,6 +70,20 @@ func newTopK(k int) *topK {
 	return &topK{k: k, dists: make([]float64, 0, k), ids: make([]int32, 0, k)}
 }
 
+// Reset empties the heap and rebinds it to a new k, retaining the entry
+// arrays when their capacity suffices — the Searcher-scratch path that
+// keeps steady-state searches allocation-free.
+func (t *topK) Reset(k int) {
+	t.k = k
+	if cap(t.dists) < k {
+		t.dists = make([]float64, 0, k)
+		t.ids = make([]int32, 0, k)
+		return
+	}
+	t.dists = t.dists[:0]
+	t.ids = t.ids[:0]
+}
+
 // worse reports whether entry i is "worse" than entry j in max-heap
 // order (greater distance, or equal distance with greater id).
 func (t *topK) worse(i, j int) bool {

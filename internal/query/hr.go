@@ -35,31 +35,46 @@ func (*HR) QDScores() bool { return false }
 
 // NewSequence implements Method.
 func (h *HR) NewSequence(t int, q []float32) ProbeSequence {
+	return h.NewSequenceReuse(t, q, nil)
+}
+
+// NewSequenceReuse implements Method. A recycled *hrSeq keeps its
+// ordered/score lists and counting-sort scratch, so restarting costs
+// one O(B) counting-sort pass and no allocations.
+func (h *HR) NewSequenceReuse(t int, q []float32, reuse ProbeSequence) ProbeSequence {
 	qcode := h.ix.Tables[t].Hasher.Code(q)
 	m := h.ix.Tables[t].Hasher.Bits()
 	codes := h.codes[t]
+	s, ok := reuse.(*hrSeq)
+	if !ok || s == nil {
+		s = &hrSeq{}
+	}
+	s.codes = grown(s.codes, len(codes))
+	s.scores = grown(s.scores, len(codes))
+	s.counts = grown(s.counts, m+2)
+	s.next = grown(s.next, m+1)
+	s.pos = 0
 
 	// Counting sort by Hamming distance; ties resolved by the ascending
 	// code order of the precomputed list (deterministic, and the
 	// arbitrary tie-break the paper describes).
-	counts := make([]int, m+2)
+	for i := range s.counts {
+		s.counts[i] = 0
+	}
 	for _, c := range codes {
-		counts[bits.OnesCount64(c^qcode)+1]++
+		s.counts[bits.OnesCount64(c^qcode)+1]++
 	}
-	for i := 1; i < len(counts); i++ {
-		counts[i] += counts[i-1]
+	for i := 1; i < len(s.counts); i++ {
+		s.counts[i] += s.counts[i-1]
 	}
-	ordered := make([]uint64, len(codes))
-	scores := make([]float64, len(codes))
-	next := make([]int, m+1)
-	copy(next, counts[:m+1])
+	copy(s.next, s.counts[:m+1])
 	for _, c := range codes {
 		d := bits.OnesCount64(c ^ qcode)
-		ordered[next[d]] = c
-		scores[next[d]] = float64(d)
-		next[d]++
+		s.codes[s.next[d]] = c
+		s.scores[s.next[d]] = float64(d)
+		s.next[d]++
 	}
-	return &listSeq{codes: ordered, scores: scores}
+	return s
 }
 
 // listSeq replays a precomputed (code, score) list.
@@ -76,6 +91,14 @@ func (s *listSeq) Next() (uint64, float64, bool) {
 	c, sc := s.codes[s.pos], s.scores[s.pos]
 	s.pos++
 	return c, sc, true
+}
+
+// hrSeq is HR's reusable sequence: the replayed list plus the
+// counting-sort scratch that fills it.
+type hrSeq struct {
+	listSeq
+	counts []int
+	next   []int
 }
 
 // QR is QD ranking (Algorithm 1): compute the quantization distance from
@@ -105,40 +128,63 @@ func (*QR) QDScores() bool { return true }
 
 // NewSequence implements Method.
 func (h *QR) NewSequence(t int, q []float32) ProbeSequence {
+	return h.NewSequenceReuse(t, q, nil)
+}
+
+// NewSequenceReuse implements Method. A recycled *qrSeq keeps the
+// (code, score) pair arrays and sorts them in place through its own
+// sort.Interface — no permutation slice and no sort.Slice closure, so
+// restarting allocates nothing.
+func (h *QR) NewSequenceReuse(t int, q []float32, reuse ProbeSequence) ProbeSequence {
 	hasher := h.ix.Tables[t].Hasher
 	m := hasher.Bits()
-	costs := make([]float64, m)
-	qcode := hasher.QueryProjection(q, costs)
 	codes := h.codes[t]
+	s, ok := reuse.(*qrSeq)
+	if !ok || s == nil {
+		s = &qrSeq{}
+	}
+	s.costs = grown(s.costs, m)
+	s.codes = grown(s.codes, len(codes))
+	s.scores = grown(s.scores, len(codes))
+	s.pos = 0
+	qcode := hasher.QueryProjection(q, s.costs)
 
-	ordered := make([]uint64, len(codes))
-	scores := make([]float64, len(codes))
 	for i, c := range codes {
-		ordered[i] = c
+		s.codes[i] = c
 		diff := c ^ qcode
 		var qd float64
 		for diff != 0 {
 			b := bits.TrailingZeros64(diff)
-			qd += costs[b]
+			qd += s.costs[b]
 			diff &= diff - 1
 		}
-		scores[i] = qd
+		s.scores[i] = qd
 	}
-	perm := make([]int, len(codes))
-	for i := range perm {
-		perm[i] = i
+	// (score, code) is a strict total order — codes are unique — so the
+	// in-place unstable sort lands on the same bucket order as the old
+	// permutation sort.
+	sort.Sort(s)
+	return s
+}
+
+// qrSeq is QR's reusable sequence: the sorted (code, score) pairs plus
+// the per-bit cost scratch. It implements sort.Interface over the pairs
+// so restarting never builds a closure or permutation.
+type qrSeq struct {
+	listSeq
+	costs []float64
+}
+
+func (s *qrSeq) Len() int { return len(s.codes) }
+
+func (s *qrSeq) Less(i, j int) bool {
+	if s.scores[i] != s.scores[j] {
+		return s.scores[i] < s.scores[j]
 	}
-	sort.Slice(perm, func(a, b int) bool {
-		if scores[perm[a]] != scores[perm[b]] {
-			return scores[perm[a]] < scores[perm[b]]
-		}
-		return ordered[perm[a]] < ordered[perm[b]]
-	})
-	sortedCodes := make([]uint64, len(codes))
-	sortedScores := make([]float64, len(codes))
-	for dst, src := range perm {
-		sortedCodes[dst] = ordered[src]
-		sortedScores[dst] = scores[src]
-	}
-	return &listSeq{codes: sortedCodes, scores: sortedScores}
+	return s.codes[i] < s.codes[j]
+}
+
+func (s *qrSeq) Swap(i, j int) {
+	s.codes[i], s.codes[j] = s.codes[j], s.codes[i]
+	s.scores[i], s.scores[j] = s.scores[j], s.scores[i]
 }

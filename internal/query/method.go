@@ -35,7 +35,10 @@ type ProbeSequence interface {
 // Method creates probe sequences for queries against a fixed index. A
 // Method is bound to the index at construction so it can precompute
 // per-table structures (bucket code lists for the sorting methods,
-// substring tables for MIH).
+// substring tables for MIH). Methods hold no per-query state, so one
+// Method instance serves any number of concurrent Searchers; all
+// per-query scratch lives in the sequences themselves, which the
+// Searcher owns and recycles through NewSequenceReuse.
 type Method interface {
 	// Name identifies the querying method ("gqr", "hr", ...).
 	Name() string
@@ -43,9 +46,45 @@ type Method interface {
 	// bound index. Sequences are single-use and not safe for concurrent
 	// use.
 	NewSequence(t int, q []float32) ProbeSequence
+	// NewSequenceReuse is NewSequence with scratch recycling: when reuse
+	// is a sequence previously returned by this method, its buffers
+	// (cost/order arrays, sort scratch, frontier heaps, discovery maps)
+	// are reused instead of reallocated, making the steady-state query
+	// path allocation-free. Passing nil — or a sequence from another
+	// method — falls back to a fresh allocation, so callers can thread
+	// whatever they last got back in without type inspection.
+	NewSequenceReuse(t int, q []float32, reuse ProbeSequence) ProbeSequence
 	// QDScores reports whether Score values are quantization distances
 	// (enabling the Theorem 2 early-stop rule in the searcher).
 	QDScores() bool
+}
+
+// grown returns s resized to length n, reallocating only when the
+// capacity is insufficient — the common helper behind every sequence's
+// scratch reuse. Contents are unspecified; callers overwrite.
+func grown[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
+// sortIdxByCost sorts order — a permutation of bit indices — by
+// ascending costs[order[i]], breaking ties toward the smaller index.
+// Code lengths are ≤ 64, so an insertion sort beats sort.Slice and
+// allocates nothing; the comparator is a strict total order (indices
+// are distinct), so the result is the unique sorted permutation — the
+// same one the previous sort.Slice closure produced.
+func sortIdxByCost(order []int, costs []float64) {
+	for i := 1; i < len(order); i++ {
+		v := order[i]
+		j := i - 1
+		for j >= 0 && (costs[order[j]] > costs[v] || (costs[order[j]] == costs[v] && order[j] > v)) {
+			order[j+1] = order[j]
+			j--
+		}
+		order[j+1] = v
+	}
 }
 
 // NewMethod constructs the named querying method bound to ix.

@@ -2,6 +2,7 @@ package query
 
 import (
 	"math/bits"
+	"slices"
 	"sort"
 
 	"gqr/internal/index"
@@ -119,27 +120,47 @@ func (*MIH) QDScores() bool { return false }
 
 // NewSequence implements Method.
 func (mi *MIH) NewSequence(t int, q []float32) ProbeSequence {
+	return mi.NewSequenceReuse(t, q, nil)
+}
+
+// NewSequenceReuse implements Method. A recycled *mihSeq keeps the
+// per-distance discovery lists (truncated, capacity retained) and the
+// seen set (cleared, buckets retained), so a warmed sequence restarts
+// without allocating.
+func (mi *MIH) NewSequenceReuse(t int, q []float32, reuse ProbeSequence) ProbeSequence {
 	hasher := mi.ix.Tables[t].Hasher
-	return &mihSeq{
-		mi:      mi,
-		t:       t,
-		qcode:   hasher.Code(q),
-		m:       hasher.Bits(),
-		pending: make(map[int][]uint64),
-		seen:    make(map[uint64]bool),
-		blockR:  -1,
+	m := hasher.Bits()
+	s, ok := reuse.(*mihSeq)
+	if !ok || s == nil {
+		s = &mihSeq{seen: make(map[uint64]bool)}
 	}
+	s.mi = mi
+	s.t = t
+	s.qcode = hasher.Code(q)
+	s.m = m
+	s.radius = -1
+	s.group = nil
+	s.gpos = 0
+	s.pending = grown(s.pending, m+1)
+	for i := range s.pending {
+		s.pending[i] = s.pending[i][:0]
+	}
+	clear(s.seen)
+	s.blockR = -1
+	return s
 }
 
 type mihSeq struct {
-	mi      *MIH
-	t       int
-	qcode   uint64
-	m       int
-	radius  int              // current full-distance group being emitted
-	group   []uint64         // codes at distance == radius, sorted
-	gpos    int              // next index in group
-	pending map[int][]uint64 // full distance -> discovered codes
+	mi     *MIH
+	t      int
+	qcode  uint64
+	m      int
+	radius int      // current full-distance group being emitted; -1 before the first
+	group  []uint64 // codes at distance == radius, sorted
+	gpos   int      // next index in group
+	// pending[d] collects the discovered codes at full distance d;
+	// slices are truncated and reused across queries.
+	pending [][]uint64
 	seen    map[uint64]bool
 	blockR  int // substring radius enumerated so far
 }
@@ -186,9 +207,7 @@ func (s *mihSeq) Next() (uint64, float64, bool) {
 		// Advance to the next radius group; first make sure every code
 		// at that full distance has been discovered (needs substring
 		// radius ⌊r/blocks⌋).
-		if s.group != nil {
-			s.radius++
-		}
+		s.radius++
 		if s.radius > s.m {
 			return 0, 0, false
 		}
@@ -196,12 +215,10 @@ func (s *mihSeq) Next() (uint64, float64, bool) {
 		for s.blockR < need {
 			s.extend(s.blockR + 1)
 		}
+		// Codes are unique, so the in-place sort is deterministic and
+		// allocation-free (the group aliases the reusable pending slice).
 		s.group = s.pending[s.radius]
-		delete(s.pending, s.radius)
-		if s.group == nil {
-			s.group = []uint64{} // mark the radius as processed
-		}
-		sort.Slice(s.group, func(a, b int) bool { return s.group[a] < s.group[b] })
+		slices.Sort(s.group)
 		s.gpos = 0
 	}
 }

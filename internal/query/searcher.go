@@ -49,9 +49,16 @@ type Stats struct {
 	BucketsGenerated int
 	// BucketsProbed counts non-empty buckets evaluated.
 	BucketsProbed int
-	// Candidates counts distinct items whose exact distance was
-	// computed (the paper's "# retrieved items", Figure 8).
+	// Candidates counts distinct items evaluated (the paper's
+	// "# retrieved items", Figure 8). An item counts as evaluated even
+	// when the early-abandon kernel cut its distance computation short —
+	// the retrieval work that surfaced it was spent either way.
 	Candidates int
+	// EarlyAbandoned counts candidates whose distance computation was
+	// cut short because a partial sum already exceeded the k-th-best
+	// distance. These items can never enter the result; the counter
+	// shows how much evaluation work the bounded kernel saved.
+	EarlyAbandoned int
 	// EarlyStopped reports whether the QD lower-bound rule fired.
 	EarlyStopped bool
 	// RetrievalTime and EvaluationTime split the query time between
@@ -70,18 +77,39 @@ type Result struct {
 }
 
 // Searcher executes queries against an index with a fixed querying
-// method. It reuses per-query scratch (the visited-epoch array and the
-// Qbuf preprocessing buffer), so a Searcher is not safe for concurrent
-// use; keep one per goroutine. Searchers are cheap to pool: binding one
-// to an immutable index snapshot (index.Index.Snapshot) makes every
-// search lock-free, which is how the public API runs concurrent
-// queries — a sync.Pool of Searchers per published snapshot.
+// method. It owns all per-query scratch — the visited-epoch array, the
+// Qbuf preprocessing buffer, the per-table sequence states (whose
+// sequences the methods recycle via NewSequenceReuse), the top-k heap
+// and the candidate gather buffer — so a steady-state Search allocates
+// nothing beyond the two returned result slices. The flip side: a
+// Searcher is not safe for concurrent use; keep one per goroutine.
+// Searchers are cheap to pool: binding one to an immutable index
+// snapshot (index.Index.Snapshot) makes every search lock-free, which
+// is how the public API runs concurrent queries — a sync.Pool of
+// Searchers per published snapshot.
 type Searcher struct {
 	ix      *index.Index
 	method  Method
 	visited []uint32
 	epoch   uint32
 	qbuf    []float32
+
+	// Reusable per-query scratch (sized on first use, recycled after):
+	// the merged probe-sequence states, the bounded top-k heap, and the
+	// gather buffer of the batched evaluation stage.
+	states []tableState
+	top    topK
+	cand   []int32
+}
+
+// tableState is one table's position in the merged best-score-first
+// probe. The sequence pointer persists across queries so the method can
+// recycle its buffers (NewSequenceReuse).
+type tableState struct {
+	seq   ProbeSequence
+	code  uint64
+	score float64
+	alive bool
 }
 
 // NewSearcher binds a querying method to an index. The index must not
@@ -132,27 +160,27 @@ func (s *Searcher) Search(q []float32, opt Options) (Result, error) {
 
 	// One probe sequence per table, merged by current score: always
 	// advance the table whose next bucket has the smallest score. With
-	// one table this is a direct pass-through.
-	type tableState struct {
-		seq   ProbeSequence
-		code  uint64
-		score float64
-		alive bool
-	}
+	// one table this is a direct pass-through. States and sequences are
+	// Searcher scratch: slot t always holds table t's sequence, so the
+	// method recycles the right buffers.
 	var st Stats
 	var mark time.Time
 	if opt.Profile {
 		mark = time.Now()
 	}
-	states := make([]tableState, len(s.ix.Tables))
+	if len(s.states) != len(s.ix.Tables) {
+		s.states = make([]tableState, len(s.ix.Tables))
+	}
+	states := s.states
 	for t := range states {
-		states[t].seq = s.method.NewSequence(t, q)
+		states[t].seq = s.method.NewSequenceReuse(t, q, states[t].seq)
 		states[t].code, states[t].score, states[t].alive = states[t].seq.Next()
 	}
 	if opt.Profile {
 		st.RetrievalTime += time.Since(mark)
 	}
-	top := newTopK(opt.K)
+	top := &s.top
+	top.Reset(opt.K)
 	useEarlyStop := opt.EarlyStop && opt.Mu > 0 && s.method.QDScores()
 
 	for {
@@ -198,16 +226,27 @@ func (s *Searcher) Search(q []float32, opt Options) (Result, error) {
 			if opt.Profile {
 				mark = time.Now()
 			}
-			for _, seg := range [2][]int32{ref.Core, ref.Tail} {
-				for _, id := range seg {
-					if s.visited[id] == s.epoch {
-						continue // already evaluated via another table
-					}
+			// Gather-then-evaluate: first filter both segments against
+			// the visited epochs into the scratch buffer, then run the
+			// distance kernel over the batch. Separating the phases keeps
+			// the visited bookkeeping out of the evaluation loop, which
+			// then streams candidate rows from the contiguous data slab.
+			cand := s.cand[:0]
+			for _, id := range ref.Core {
+				if s.visited[id] != s.epoch {
 					s.visited[id] = s.epoch
-					st.Candidates++
-					top.Offer(vecmath.SquaredL2(q, s.ix.Vector(id)), id)
+					cand = append(cand, id)
 				}
 			}
+			for _, id := range ref.Tail {
+				if s.visited[id] != s.epoch {
+					s.visited[id] = s.epoch
+					cand = append(cand, id)
+				}
+			}
+			s.cand = cand
+			st.Candidates += len(cand)
+			s.evaluateBatch(q, cand, &st)
 			if opt.Profile {
 				st.EvaluationTime += time.Since(mark)
 			}
@@ -232,6 +271,8 @@ func (s *Searcher) Search(q []float32, opt Options) (Result, error) {
 	for i := range dists {
 		dists[i] = math.Sqrt(dists[i])
 	}
+	// (ids and dists are the only per-search allocations on the warmed
+	// path; everything else above is Searcher scratch.)
 	if opt.Radius > 0 {
 		// Keep only in-radius items (the heap may hold farther ones).
 		cut := len(dists)
@@ -244,4 +285,69 @@ func (s *Searcher) Search(q []float32, opt Options) (Result, error) {
 		ids, dists = ids[:cut], dists[:cut]
 	}
 	return Result{IDs: ids, Dists: dists, Stats: st}, nil
+}
+
+// evaluateBatch runs the evaluation stage over one gathered candidate
+// batch: exact squared distances against the top-k heap, four candidate
+// rows per step over the contiguous data slab. The live k-th-best
+// distance is threaded into the bounded kernel as the abandon bound, so
+// once the heap is full most candidates stop after one or two 16-dim
+// blocks instead of finishing their distance.
+//
+// Early abandonment cannot change the result: the kernel only reports
+// a value above the bound when the true distance provably exceeds the
+// current k-th best (see vecmath.SquaredL2Bounded), and such a
+// candidate could never enter the heap — an exact tie with the k-th
+// best runs to completion and is still decided by the heap's id
+// tie-break.
+func (s *Searcher) evaluateBatch(q []float32, ids []int32, st *Stats) {
+	data, dim := s.ix.Data, s.ix.Dim
+	top := &s.top
+	bound := math.Inf(1)
+	if top.Full() {
+		bound = top.Worst()
+	}
+	i := 0
+	for ; i+4 <= len(ids); i += 4 {
+		// Resolve the four rows up front: the id indirections issue
+		// early and the distance loops then stream from four known
+		// offsets of one slab.
+		r0 := int(ids[i]) * dim
+		r1 := int(ids[i+1]) * dim
+		r2 := int(ids[i+2]) * dim
+		r3 := int(ids[i+3]) * dim
+		v0 := data[r0 : r0+dim : r0+dim]
+		v1 := data[r1 : r1+dim : r1+dim]
+		v2 := data[r2 : r2+dim : r2+dim]
+		v3 := data[r3 : r3+dim : r3+dim]
+		if d := vecmath.SquaredL2Bounded(q, v0, bound); d > bound {
+			st.EarlyAbandoned++
+		} else if top.Offer(d, ids[i]) && top.Full() {
+			bound = top.Worst()
+		}
+		if d := vecmath.SquaredL2Bounded(q, v1, bound); d > bound {
+			st.EarlyAbandoned++
+		} else if top.Offer(d, ids[i+1]) && top.Full() {
+			bound = top.Worst()
+		}
+		if d := vecmath.SquaredL2Bounded(q, v2, bound); d > bound {
+			st.EarlyAbandoned++
+		} else if top.Offer(d, ids[i+2]) && top.Full() {
+			bound = top.Worst()
+		}
+		if d := vecmath.SquaredL2Bounded(q, v3, bound); d > bound {
+			st.EarlyAbandoned++
+		} else if top.Offer(d, ids[i+3]) && top.Full() {
+			bound = top.Worst()
+		}
+	}
+	for ; i < len(ids); i++ {
+		r := int(ids[i]) * dim
+		v := data[r : r+dim : r+dim]
+		if d := vecmath.SquaredL2Bounded(q, v, bound); d > bound {
+			st.EarlyAbandoned++
+		} else if top.Offer(d, ids[i]) && top.Full() {
+			bound = top.Worst()
+		}
+	}
 }

@@ -22,6 +22,7 @@ const (
 	mBucketsGen     = "gqr_search_buckets_generated_total"
 	mBucketsProbed  = "gqr_search_buckets_probed_total"
 	mCandidates     = "gqr_search_candidates_total"
+	mAbandoned      = "gqr_search_early_abandoned_total"
 	mEarlyStops     = "gqr_search_early_stops_total"
 	mQueryErrors    = "gqr_search_query_errors_total"
 	mIndexItems     = "gqr_index_items"
@@ -41,6 +42,7 @@ func (h *Handler) initMetrics() {
 	h.cBucketsGen = h.reg.Counter(mBucketsGen, "Probe-sequence bucket emissions, including empty buckets (paper §2.2).")
 	h.cBucketsProbed = h.reg.Counter(mBucketsProbed, "Non-empty buckets evaluated.")
 	h.cCandidates = h.reg.Counter(mCandidates, "Distinct items whose exact distance was computed (the paper's retrieved items).")
+	h.cAbandoned = h.reg.Counter(mAbandoned, "Candidates whose distance computation was cut short by the early-abandon bound (subset of candidates).")
 	h.cEarlyStops = h.reg.Counter(mEarlyStops, "Queries terminated by the QD lower-bound rule (paper §4.1).")
 	h.cQueryErrors = h.reg.Counter(mQueryErrors, "Per-query failures inside /batch requests.")
 	h.gItems = h.reg.Gauge(mIndexItems, "Vectors in the index.")
@@ -92,6 +94,7 @@ func (h *Handler) recordSearchWork(r *http.Request, st gqr.SearchStats, n int) {
 	h.cBucketsGen.Add(int64(st.BucketsGenerated))
 	h.cBucketsProbed.Add(int64(st.BucketsProbed))
 	h.cCandidates.Add(int64(st.Candidates))
+	h.cAbandoned.Add(int64(st.EarlyAbandoned))
 	if st.EarlyStopped {
 		h.cEarlyStops.Inc()
 	}
@@ -100,6 +103,7 @@ func (h *Handler) recordSearchWork(r *http.Request, st gqr.SearchStats, n int) {
 		wc.stats.BucketsGenerated += st.BucketsGenerated
 		wc.stats.BucketsProbed += st.BucketsProbed
 		wc.stats.Candidates += st.Candidates
+		wc.stats.EarlyAbandoned += st.EarlyAbandoned
 		wc.stats.EarlyStopped = wc.stats.EarlyStopped || st.EarlyStopped
 		wc.stats.RetrievalTime += st.RetrievalTime
 		wc.stats.EvaluationTime += st.EvaluationTime
@@ -188,6 +192,7 @@ type SearchTotals struct {
 	BucketsGenerated int64 `json:"bucketsGenerated"`
 	BucketsProbed    int64 `json:"bucketsProbed"`
 	Candidates       int64 `json:"candidates"`
+	EarlyAbandoned   int64 `json:"earlyAbandoned"`
 	EarlyStops       int64 `json:"earlyStops"`
 	QueryErrors      int64 `json:"queryErrors"`
 }
@@ -224,6 +229,7 @@ func (h *Handler) statszHandler(w http.ResponseWriter, r *http.Request) {
 			BucketsGenerated: h.cBucketsGen.Value(),
 			BucketsProbed:    h.cBucketsProbed.Value(),
 			Candidates:       h.cCandidates.Value(),
+			EarlyAbandoned:   h.cAbandoned.Value(),
 			EarlyStops:       h.cEarlyStops.Value(),
 			QueryErrors:      h.cQueryErrors.Value(),
 		},

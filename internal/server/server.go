@@ -44,6 +44,7 @@ type Handler struct {
 	cBucketsGen    *metrics.Counter
 	cBucketsProbed *metrics.Counter
 	cCandidates    *metrics.Counter
+	cAbandoned     *metrics.Counter
 	cEarlyStops    *metrics.Counter
 	cQueryErrors   *metrics.Counter
 

@@ -32,25 +32,104 @@ func SquaredL2(a, b []float32) float64 {
 // L2 returns the Euclidean distance between a and b.
 func L2(a, b []float32) float64 { return math.Sqrt(SquaredL2(a, b)) }
 
-// Dot returns the dot product of a and b.
+// boundedBlock is how many dimensions SquaredL2Bounded accumulates
+// between partial-sum checks: four 4-wide steps. Checking every
+// iteration would serialize the four accumulator chains behind a
+// compare; once per 16 dims keeps the ILP of SquaredL2 while still
+// abandoning hopeless candidates after at most one block of extra work.
+const boundedBlock = 16
+
+// SquaredL2Bounded is SquaredL2 with early abandonment: whenever the
+// partial sum crosses a block boundary and already exceeds bound, the
+// remaining dimensions are skipped and the partial sum is returned.
+//
+// The contract callers rely on (the evaluation stage's early-abandon
+// invariant):
+//
+//   - if the returned value r ≤ bound, r is the exact squared distance
+//     (bit-for-bit what SquaredL2 returns — the accumulation order is
+//     identical, and a completed run never depends on bound);
+//   - if r > bound, r is a partial sum, hence a lower bound: the exact
+//     squared distance is ≥ r > bound. The candidate can be discarded
+//     without affecting any result whose acceptance test is "≤ bound".
+//
+// With bound = +Inf no check ever fires and the result equals
+// SquaredL2(a, b) exactly.
+func SquaredL2Bounded(a, b []float32, bound float64) float64 {
+	if len(a) != len(b) {
+		panic("vecmath: SquaredL2Bounded length mismatch")
+	}
+	b = b[:len(a)] // bounds-check hint
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+boundedBlock <= len(a); i += boundedBlock {
+		for j := i; j < i+boundedBlock; j += 4 {
+			d0 := float64(a[j]) - float64(b[j])
+			d1 := float64(a[j+1]) - float64(b[j+1])
+			d2 := float64(a[j+2]) - float64(b[j+2])
+			d3 := float64(a[j+3]) - float64(b[j+3])
+			s0 += d0 * d0
+			s1 += d1 * d1
+			s2 += d2 * d2
+			s3 += d3 * d3
+		}
+		if s0+s1+s2+s3 > bound {
+			return s0 + s1 + s2 + s3
+		}
+	}
+	for ; i+4 <= len(a); i += 4 {
+		d0 := float64(a[i]) - float64(b[i])
+		d1 := float64(a[i+1]) - float64(b[i+1])
+		d2 := float64(a[i+2]) - float64(b[i+2])
+		d3 := float64(a[i+3]) - float64(b[i+3])
+		s0 += d0 * d0
+		s1 += d1 * d1
+		s2 += d2 * d2
+		s3 += d3 * d3
+	}
+	for ; i < len(a); i++ {
+		d := float64(a[i]) - float64(b[i])
+		s0 += d * d
+	}
+	return s0 + s1 + s2 + s3
+}
+
+// Dot returns the dot product of a and b. Unrolled four-wide like
+// SquaredL2 (it sits on the QueryProjection retrieval path).
 func Dot(a, b []float32) float64 {
 	if len(a) != len(b) {
 		panic("vecmath: Dot length mismatch")
 	}
-	var s float64
-	for i, v := range a {
-		s += float64(v) * float64(b[i])
+	b = b[:len(a)]
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		s0 += float64(a[i]) * float64(b[i])
+		s1 += float64(a[i+1]) * float64(b[i+1])
+		s2 += float64(a[i+2]) * float64(b[i+2])
+		s3 += float64(a[i+3]) * float64(b[i+3])
 	}
-	return s
+	for ; i < len(a); i++ {
+		s0 += float64(a[i]) * float64(b[i])
+	}
+	return s0 + s1 + s2 + s3
 }
 
-// Norm returns the Euclidean norm of a.
+// Norm returns the Euclidean norm of a. Unrolled four-wide like
+// SquaredL2.
 func Norm(a []float32) float64 {
-	var s float64
-	for _, v := range a {
-		s += float64(v) * float64(v)
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		s0 += float64(a[i]) * float64(a[i])
+		s1 += float64(a[i+1]) * float64(a[i+1])
+		s2 += float64(a[i+2]) * float64(a[i+2])
+		s3 += float64(a[i+3]) * float64(a[i+3])
 	}
-	return math.Sqrt(s)
+	for ; i < len(a); i++ {
+		s0 += float64(a[i]) * float64(a[i])
+	}
+	return math.Sqrt(s0 + s1 + s2 + s3)
 }
 
 // Norm64 returns the Euclidean norm of a float64 vector.

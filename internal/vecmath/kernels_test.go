@@ -71,6 +71,161 @@ func TestDotAndNorm(t *testing.T) {
 	}
 }
 
+// referenceDot/referenceNorm are the pre-unroll single-accumulator
+// kernels; the unrolled versions must agree to float64 rounding.
+func referenceDot(a, b []float32) float64 {
+	var s float64
+	for i, v := range a {
+		s += float64(v) * float64(b[i])
+	}
+	return s
+}
+
+func TestDotNormUnrolledMatchReference(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(70) // crosses several unroll boundaries
+		a := make([]float32, n)
+		b := make([]float32, n)
+		var ref float64
+		for i := range a {
+			a[i] = float32(rng.NormFloat64())
+			b[i] = float32(rng.NormFloat64())
+		}
+		ref = referenceDot(a, b)
+		scale := math.Abs(ref) + 1
+		if math.Abs(Dot(a, b)-ref) > 1e-12*scale {
+			return false
+		}
+		nref := math.Sqrt(referenceDot(a, a))
+		return math.Abs(Norm(a)-nref) <= 1e-12*(nref+1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSquaredL2BoundedInfMatchesExact(t *testing.T) {
+	// With bound = +Inf the bounded kernel must be bit-for-bit identical
+	// to SquaredL2 — the accumulation order is the same, so not even a
+	// rounding difference is tolerated.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(100)
+		a := make([]float32, n)
+		b := make([]float32, n)
+		for i := range a {
+			a[i] = float32(rng.NormFloat64())
+			b[i] = float32(rng.NormFloat64())
+		}
+		return SquaredL2Bounded(a, b, math.Inf(1)) == SquaredL2(a, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// checkBoundedContract asserts the early-abandon invariant for one
+// (a, b, bound) triple: r ≤ bound ⇒ r is the exact distance; r > bound ⇒
+// the exact distance is ≥ r (so the candidate provably fails the bound).
+func checkBoundedContract(t *testing.T, a, b []float32, bound float64) {
+	t.Helper()
+	exact := SquaredL2(a, b)
+	r := SquaredL2Bounded(a, b, bound)
+	if r <= bound {
+		if r != exact {
+			t.Fatalf("bound=%g: returned %g ≤ bound but exact is %g", bound, r, exact)
+		}
+	} else {
+		if exact < r {
+			t.Fatalf("bound=%g: abandoned with partial %g > exact %g (not a lower bound)", bound, r, exact)
+		}
+	}
+}
+
+func TestSquaredL2BoundedContractRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 2000; trial++ {
+		n := 1 + rng.Intn(96)
+		a := make([]float32, n)
+		b := make([]float32, n)
+		for i := range a {
+			a[i] = float32(rng.NormFloat64())
+			b[i] = float32(rng.NormFloat64())
+		}
+		exact := SquaredL2(a, b)
+		// Bounds around the exact distance, including 0 and fractions of
+		// it, exercise both completion and abandonment.
+		for _, bound := range []float64{0, exact * 0.1, exact * 0.5, exact * 0.99, exact, exact * 1.01, math.Inf(1)} {
+			checkBoundedContract(t, a, b, bound)
+		}
+	}
+}
+
+func TestSquaredL2BoundedAdversarialNearBound(t *testing.T) {
+	// Adversarial case: the partial sum sits exactly at the bound on a
+	// block boundary and the remaining dims contribute nothing. The
+	// kernel must NOT abandon (check is strict >), because an exact tie
+	// decides heap admission by id and the caller needs the true value.
+	a := make([]float32, 32)
+	b := make([]float32, 32)
+	for i := 0; i < 16; i++ {
+		a[i], b[i] = 1, 0 // first block sums to exactly 16
+	}
+	exact := SquaredL2(a, b)
+	if exact != 16 {
+		t.Fatalf("setup: exact = %g", exact)
+	}
+	if r := SquaredL2Bounded(a, b, 16); r != 16 {
+		t.Fatalf("partial == bound must complete exactly: got %g", r)
+	}
+	// One ulp below: now the first block already exceeds the bound and
+	// the kernel abandons with a partial ≥ the true distance floor.
+	below := math.Nextafter(16, 0)
+	if r := SquaredL2Bounded(a, b, below); r <= below {
+		t.Fatalf("bound %g: got %g, want abandonment with r > bound", below, r)
+	}
+	// Mass after the boundary: bound met at block 1 but distance keeps
+	// growing; abandonment must still lower-bound the true distance.
+	b[20] = 5
+	checkBoundedContract(t, a, b, 16)
+	if r := SquaredL2Bounded(a, b, 16); r > SquaredL2(a, b) {
+		t.Fatalf("partial %g exceeds exact %g", r, SquaredL2(a, b))
+	}
+}
+
+func FuzzSquaredL2Bounded(f *testing.F) {
+	f.Add(uint8(8), int64(1), float64(0.5))
+	f.Add(uint8(33), int64(9), float64(0))
+	f.Add(uint8(64), int64(3), math.Inf(1))
+	f.Fuzz(func(t *testing.T, n uint8, seed int64, bound float64) {
+		if n == 0 {
+			n = 1
+		}
+		rng := rand.New(rand.NewSource(seed))
+		a := make([]float32, n)
+		b := make([]float32, n)
+		for i := range a {
+			a[i] = float32(rng.NormFloat64())
+			b[i] = float32(rng.NormFloat64())
+		}
+		if math.IsNaN(bound) {
+			bound = 0
+		}
+		exact := SquaredL2(a, b)
+		if got := SquaredL2Bounded(a, b, math.Inf(1)); got != exact {
+			t.Fatalf("inf bound: %g != %g", got, exact)
+		}
+		r := SquaredL2Bounded(a, b, bound)
+		if r <= bound && r != exact {
+			t.Fatalf("bound %g: completed with %g != exact %g", bound, r, exact)
+		}
+		if r > bound && exact < r {
+			t.Fatalf("bound %g: partial %g not a lower bound of %g", bound, r, exact)
+		}
+	})
+}
+
 func TestArgNearestExhaustive(t *testing.T) {
 	rng := rand.New(rand.NewSource(21))
 	k, d := 17, 9
@@ -126,10 +281,73 @@ func BenchmarkSquaredL2Dim32(b *testing.B) {
 		x[i] = float32(rng.NormFloat64())
 		y[i] = float32(rng.NormFloat64())
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	var sink float64
 	for i := 0; i < b.N; i++ {
 		sink += SquaredL2(x, y)
+	}
+	benchSink = sink
+}
+
+// benchKernelVecs builds a deterministic pair of dim-n vectors.
+func benchKernelVecs(n int, seed int64) (x, y []float32) {
+	rng := rand.New(rand.NewSource(seed))
+	x = make([]float32, n)
+	y = make([]float32, n)
+	for i := range x {
+		x[i] = float32(rng.NormFloat64())
+		y[i] = float32(rng.NormFloat64())
+	}
+	return x, y
+}
+
+func BenchmarkSquaredL2BoundedDim128Complete(b *testing.B) {
+	// Bound above the distance: the kernel always runs to completion, so
+	// this measures the pure overhead of the blockwise checks.
+	x, y := benchKernelVecs(128, 3)
+	bound := SquaredL2(x, y) + 1
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += SquaredL2Bounded(x, y, bound)
+	}
+	benchSink = sink
+}
+
+func BenchmarkSquaredL2BoundedDim128Abandon(b *testing.B) {
+	// Tight bound: the kernel abandons after the first block — the
+	// steady-state case once the top-k heap is full of near neighbors.
+	x, y := benchKernelVecs(128, 4)
+	bound := SquaredL2(x[:16], y[:16]) / 2
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += SquaredL2Bounded(x, y, bound)
+	}
+	benchSink = sink
+}
+
+func BenchmarkDotDim32(b *testing.B) {
+	x, y := benchKernelVecs(32, 5)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += Dot(x, y)
+	}
+	benchSink = sink
+}
+
+func BenchmarkNormDim32(b *testing.B) {
+	x, _ := benchKernelVecs(32, 6)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += Norm(x)
 	}
 	benchSink = sink
 }
