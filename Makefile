@@ -32,9 +32,12 @@ bench-smoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
 
 # Machine-readable ns/op + allocs/op for the evaluation-stage hot path
-# (per-method Search at budget 1000) and the vecmath kernels, written
-# as JSON for cross-commit perf diffing. BENCH_PR4.json in the repo
-# root is the committed snapshot from the evaluation-kernel overhaul.
+# (per-method Search at budget 1000), the vecmath kernels and the build
+# pipeline (whole-build plus train/code/freeze stages per learner, at
+# p=1 and p=GOMAXPROCS), written as JSON for cross-commit perf diffing.
+# BENCH_PR5.json in the repo root is the committed snapshot from the
+# parallel-build overhaul (BENCH_PR4.json is the prior evaluation-kernel
+# snapshot).
 bench-json:
-	$(GO) run ./cmd/gqr-bench -json BENCH_PR4.json
-	@cat BENCH_PR4.json
+	$(GO) run ./cmd/gqr-bench -json BENCH_PR5.json
+	@cat BENCH_PR5.json

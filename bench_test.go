@@ -8,6 +8,7 @@ package gqr
 // reflects a full regeneration of the table or figure.
 
 import (
+	"fmt"
 	"io"
 	"testing"
 
@@ -134,6 +135,33 @@ func BenchmarkBuildITQ20k(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := Build(ds.Vectors, ds.Dim, WithSeed(int64(i))); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBuild sweeps the build pipeline over learner × worker bound
+// on the 20k×32 corpus. The index is bit-for-bit identical at every p
+// (TestParallelBuildIsBitForBitIdentical), so the sub-benchmarks
+// measure pure build latency; on a multi-core host the p=8 rows should
+// approach the core count's speedup over p=1, while on a single-core
+// host all rows converge (run with -cpu to pin GOMAXPROCS).
+func BenchmarkBuild(b *testing.B) {
+	ds := dataset.Generate(dataset.GeneratorSpec{
+		Name: "build", N: 20000, Dim: 32, Clusters: 16, LatentDim: 8, Seed: 21,
+	})
+	for _, algo := range []Algorithm{ITQ, PCAH, KMH} {
+		for _, p := range []int{1, 2, 8} {
+			b.Run(fmt.Sprintf("%s/p%d", algo, p), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := Build(ds.Vectors, ds.Dim,
+						WithAlgorithm(algo),
+						WithSeed(21),
+						WithBuildParallelism(p)); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
 		}
 	}
 }

@@ -1,0 +1,154 @@
+package gqr
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"gqr/internal/dataset"
+)
+
+// parallelOracleData is the corpus of the serial-vs-parallel build
+// oracle: big enough that every parallel kernel (covariance, mat-mul,
+// k-means, chunked coding) actually fans out, small enough that all six
+// learners train in test time.
+func parallelOracleData(t testing.TB) *dataset.Dataset {
+	t.Helper()
+	ds := dataset.Generate(dataset.GeneratorSpec{
+		Name: "par", N: 3000, Dim: 16, Clusters: 8, LatentDim: 6, Seed: 41,
+	})
+	ds.SampleQueries(8, 42)
+	return ds
+}
+
+// buildAt builds the oracle index at one worker bound. Two tables so
+// the concurrent per-table training path runs; fixed 8-bit codes so
+// every learner (KMH needs the subspace multiple, SSH needs bits ≤ dim)
+// accepts the configuration.
+func buildAt(t *testing.T, ds *dataset.Dataset, algo Algorithm, procs int) *Index {
+	t.Helper()
+	ix, err := Build(ds.Vectors, ds.Dim,
+		WithAlgorithm(algo),
+		WithCodeLength(8),
+		WithTables(2),
+		WithSeed(42),
+		WithBuildParallelism(procs))
+	if err != nil {
+		t.Fatalf("%s p=%d: %v", algo, procs, err)
+	}
+	return ix
+}
+
+// TestParallelBuildIsBitForBitIdentical is the PR's hard invariant:
+// for every learner, a parallel build must produce the exact same
+// index as the serial one — same persisted bytes (hasher parameters,
+// codes, bucket layout) and same search results — at any worker count.
+func TestParallelBuildIsBitForBitIdentical(t *testing.T) {
+	ds := parallelOracleData(t)
+	algos := []Algorithm{ITQ, PCAH, SH, KMH, LSH, SSH}
+	for _, algo := range algos {
+		t.Run(string(algo), func(t *testing.T) {
+			serial := buildAt(t, ds, algo, 1)
+			var want bytes.Buffer
+			if err := serial.Save(&want); err != nil {
+				t.Fatal(err)
+			}
+			wantRes := searchAll(t, serial, ds)
+
+			for _, p := range []int{2, 8} {
+				par := buildAt(t, ds, algo, p)
+				var got bytes.Buffer
+				if err := par.Save(&got); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(want.Bytes(), got.Bytes()) {
+					t.Fatalf("%s: persisted index at p=%d differs from serial build (%d vs %d bytes)",
+						algo, p, got.Len(), want.Len())
+				}
+				gotRes := searchAll(t, par, ds)
+				if wantRes != gotRes {
+					t.Fatalf("%s: search results at p=%d differ from serial build:\n%s\nvs\n%s",
+						algo, p, gotRes, wantRes)
+				}
+			}
+		})
+	}
+}
+
+// searchAll runs every sampled query and flattens ids+distances into a
+// comparable string (exact equality — the invariant is bit-for-bit,
+// not approximate).
+func searchAll(t *testing.T, ix *Index, ds *dataset.Dataset) string {
+	t.Helper()
+	var b bytes.Buffer
+	for qi := 0; qi < ds.NQ(); qi++ {
+		nbrs, err := ix.Search(ds.Query(qi), 5, WithMaxCandidates(500))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, nb := range nbrs {
+			fmt.Fprintf(&b, "%d:%x ", nb.ID, nb.Distance)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TestParallelBuildStatsReportStages checks that a parallel build
+// surfaces its stage timings and resolved worker bound through Stats.
+func TestParallelBuildStatsReportStages(t *testing.T) {
+	ds := parallelOracleData(t)
+	ix := buildAt(t, ds, ITQ, 4)
+	st := ix.Stats()
+	if st.BuildParallelism != 4 {
+		t.Fatalf("BuildParallelism = %d, want 4", st.BuildParallelism)
+	}
+	if st.TrainTime <= 0 || st.CodeTime <= 0 || st.FreezeTime <= 0 {
+		t.Fatalf("stage timings not populated: train=%v code=%v freeze=%v",
+			st.TrainTime, st.CodeTime, st.FreezeTime)
+	}
+	if st.BuildTime < st.TrainTime {
+		t.Fatalf("BuildTime %v < TrainTime %v", st.BuildTime, st.TrainTime)
+	}
+}
+
+// TestParallelBuildStress drives several builds at different worker
+// bounds concurrently and searches each result, so `go test -race`
+// patrols the fan-out paths (panel workers, chunked coding, concurrent
+// table training) for data races.
+func TestParallelBuildStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	ds := parallelOracleData(t)
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for _, p := range []int{1, 2, 3, 8} {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			ix, err := Build(ds.Vectors, ds.Dim,
+				WithAlgorithm(ITQ),
+				WithCodeLength(8),
+				WithTables(2),
+				WithSeed(42),
+				WithBuildParallelism(p))
+			if err != nil {
+				errs <- err
+				return
+			}
+			for qi := 0; qi < ds.NQ(); qi++ {
+				if _, err := ix.Search(ds.Query(qi), 5, WithMaxCandidates(200)); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

@@ -34,6 +34,7 @@ func main() {
 		seed       = flag.Int64("seed", 0, "training seed offset")
 		out        = flag.String("o", "", "write output to this file instead of stdout")
 		jsonOut    = flag.String("json", "", "run the evaluation-stage micro-benchmarks and write JSON results to this file ('-' for stdout)")
+		buildProcs = flag.Int("build-procs", 0, "index-build worker bound (0 = GOMAXPROCS); indexes are identical at any setting")
 	)
 	flag.Parse()
 
@@ -47,7 +48,7 @@ func main() {
 			defer f.Close()
 			w = f
 		}
-		if err := bench.RunMicro(w); err != nil {
+		if err := bench.RunMicro(w, *buildProcs); err != nil {
 			fatal(err)
 		}
 		return
@@ -75,7 +76,7 @@ func main() {
 		w = io.MultiWriter(os.Stdout, f)
 	}
 
-	opt := bench.RunOptions{Scale: *scale, NQ: *nq, K: *k, Seed: *seed}
+	opt := bench.RunOptions{Scale: *scale, NQ: *nq, K: *k, Seed: *seed, BuildProcs: *buildProcs}
 	var exps []bench.Experiment
 	if *experiment == "all" {
 		exps = bench.Experiments()

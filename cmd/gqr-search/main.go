@@ -21,19 +21,20 @@ import (
 
 func main() {
 	var (
-		base      = flag.String("base", "", "fvecs file with base vectors (required)")
-		queryFile = flag.String("query", "", "fvecs file with query vectors (required)")
-		gt        = flag.String("gt", "", "ivecs file with ground-truth neighbor ids (optional)")
-		algorithm = flag.String("algorithm", "itq", "learner: itq|pcah|sh|kmh|lsh|ssh")
-		method    = flag.String("method", "gqr", "querying method: gqr|qr|hr|ghr|mih")
-		k         = flag.Int("k", 10, "neighbors per query")
-		budget    = flag.Int("budget", 0, "max candidates per query (0 = unbounded)")
-		bits      = flag.Int("bits", 0, "code length (0 = log2(n/10) rule)")
-		tables    = flag.Int("tables", 1, "hash tables")
-		seed      = flag.Int64("seed", 0, "training seed")
-		verbose   = flag.Bool("v", false, "print every query's neighbor list")
-		saveIdx   = flag.String("save", "", "after building, save the index to this file")
-		loadIdx   = flag.String("load", "", "load a previously saved index instead of training")
+		base       = flag.String("base", "", "fvecs file with base vectors (required)")
+		queryFile  = flag.String("query", "", "fvecs file with query vectors (required)")
+		gt         = flag.String("gt", "", "ivecs file with ground-truth neighbor ids (optional)")
+		algorithm  = flag.String("algorithm", "itq", "learner: itq|pcah|sh|kmh|lsh|ssh")
+		method     = flag.String("method", "gqr", "querying method: gqr|qr|hr|ghr|mih")
+		k          = flag.Int("k", 10, "neighbors per query")
+		budget     = flag.Int("budget", 0, "max candidates per query (0 = unbounded)")
+		bits       = flag.Int("bits", 0, "code length (0 = log2(n/10) rule)")
+		tables     = flag.Int("tables", 1, "hash tables")
+		seed       = flag.Int64("seed", 0, "training seed")
+		buildProcs = flag.Int("build-procs", 0, "build worker bound (0 = GOMAXPROCS); the index is identical at any setting")
+		verbose    = flag.Bool("v", false, "print every query's neighbor list")
+		saveIdx    = flag.String("save", "", "after building, save the index to this file")
+		loadIdx    = flag.String("load", "", "load a previously saved index instead of training")
 	)
 	flag.Parse()
 	if *base == "" || *queryFile == "" {
@@ -80,7 +81,8 @@ func main() {
 			gqr.WithQueryMethod(gqr.QueryMethod(*method)),
 			gqr.WithCodeLength(*bits),
 			gqr.WithTables(*tables),
-			gqr.WithSeed(*seed))
+			gqr.WithSeed(*seed),
+			gqr.WithBuildParallelism(*buildProcs))
 		if err != nil {
 			fatal(err)
 		}

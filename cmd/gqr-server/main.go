@@ -46,6 +46,7 @@ func main() {
 		bits        = flag.Int("bits", 0, "code length (0 = log2(n/10) rule)")
 		tables      = flag.Int("tables", 1, "hash tables")
 		seed        = flag.Int64("seed", 0, "training seed")
+		buildProcs  = flag.Int("build-procs", 0, "build worker bound (0 = GOMAXPROCS); the index is identical at any setting")
 		loadIdx     = flag.String("load", "", "load a saved index instead of training")
 		pprofOn     = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 		logJSON     = flag.Bool("log-json", false, "emit JSON log lines instead of text")
@@ -83,7 +84,8 @@ func main() {
 			gqr.WithMetric(gqr.Metric(*metric)),
 			gqr.WithCodeLength(*bits),
 			gqr.WithTables(*tables),
-			gqr.WithSeed(*seed))
+			gqr.WithSeed(*seed),
+			gqr.WithBuildParallelism(*buildProcs))
 	}
 	if err != nil {
 		logger.Error("building index", "error", err)

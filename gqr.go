@@ -169,7 +169,7 @@ func Build(vectors []float32, dim int, opts ...Option) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	ix, err := index.Build(learner, vectors, n, dim, bits, cfg.tables, cfg.seed)
+	ix, err := index.BuildP(learner, vectors, n, dim, bits, cfg.tables, cfg.seed, cfg.procs)
 	if err != nil {
 		return nil, err
 	}
@@ -483,6 +483,15 @@ type Stats struct {
 	// BuildTime is how long Build (training plus table construction)
 	// took; zero for indexes restored via Load.
 	BuildTime time.Duration
+	// BuildParallelism is the resolved worker bound Build ran with
+	// (WithBuildParallelism, defaulting to GOMAXPROCS); zero for
+	// indexes restored via Load. TrainTime, CodeTime and FreezeTime
+	// split BuildTime between hasher training, item coding, and CSR
+	// core construction.
+	BuildParallelism int
+	TrainTime        time.Duration
+	CodeTime         time.Duration
+	FreezeTime       time.Duration
 	// Adds counts vectors appended through Add since construction.
 	Adds int64
 	// MethodRebuilds counts how often a fresh read snapshot (with
@@ -513,6 +522,10 @@ func (ix *Index) Stats() Stats {
 		Method:             QueryMethod(ix.methodName),
 		Metric:             ix.metric,
 		BuildTime:          ix.buildTime,
+		BuildParallelism:   ix.live.Timings.Procs,
+		TrainTime:          ix.live.Timings.Train,
+		CodeTime:           ix.live.Timings.Code,
+		FreezeTime:         ix.live.Timings.Freeze,
 		Adds:               ix.adds.Load(),
 		MethodRebuilds:     ix.methodRebuilds.Load(),
 		Compactions:        int64(ix.live.Compactions()),

@@ -27,6 +27,10 @@ type RunOptions struct {
 	Budgets []float64
 	// Seed offsets all training seeds, for variance checks.
 	Seed int64
+	// BuildProcs bounds the index-build workers (<= 0 means
+	// GOMAXPROCS). Builds are bit-for-bit identical at any setting, so
+	// it never changes a measured curve — only how fast indexes train.
+	BuildProcs int
 }
 
 func (o RunOptions) normalize() RunOptions {
@@ -172,7 +176,7 @@ func buildIndex(ds *dataset.Dataset, opt RunOptions, corpusName, learnerName str
 	if err != nil {
 		return nil, err
 	}
-	ix, err := index.Build(l, ds.Vectors, ds.N(), ds.Dim, bits, tables, 1000+opt.Seed)
+	ix, err := index.BuildP(l, ds.Vectors, ds.N(), ds.Dim, bits, tables, 1000+opt.Seed, opt.BuildProcs)
 	if err != nil {
 		return nil, fmt.Errorf("bench: building %s/%s index: %w", corpusName, learnerName, err)
 	}

@@ -20,6 +20,7 @@ import (
 	"math"
 	"math/rand"
 	"testing"
+	"time"
 
 	"gqr/internal/dataset"
 	"gqr/internal/hash"
@@ -49,8 +50,10 @@ func toMicro(name string, r testing.BenchmarkResult) MicroResult {
 // RunMicro executes the suite and writes the results as an indented
 // JSON array to w. The corpus mirrors the root package's
 // BenchmarkSearch*Budget1000 (20k×32 clustered synthetic, ITQ codes,
-// K=10, candidate budget 1000).
-func RunMicro(w io.Writer) error {
+// K=10, candidate budget 1000). buildProcs bounds the workers of the
+// parallel build benchmarks (<= 0 means GOMAXPROCS); the serial p=1
+// baseline always runs too, so the JSON records the speedup.
+func RunMicro(w io.Writer, buildProcs int) error {
 	ds := dataset.Generate(dataset.GeneratorSpec{
 		Name: "micro", N: 20000, Dim: 32, Clusters: 16, LatentDim: 8, Seed: 17,
 	})
@@ -118,7 +121,76 @@ func RunMicro(w io.Writer) error {
 		return fmt.Errorf("bench: kernel sink overflow")
 	}
 
+	build, err := runBuildMicro(ds, bits, buildProcs)
+	if err != nil {
+		return err
+	}
+	results = append(results, build...)
+
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(results)
+}
+
+// runBuildMicro measures the build pipeline per learner at p=1 and at
+// the requested bound, emitting one entry for the whole build plus one
+// per stage (train/code/freeze, from index.BuildTimings averaged over
+// the benchmark iterations). Learners use the same trimmed settings as
+// the experiment driver (learnerFor).
+func runBuildMicro(ds *dataset.Dataset, bits, buildProcs int) ([]MicroResult, error) {
+	procs := vecmath.Procs(buildProcs)
+	plist := []int{1}
+	if procs > 1 {
+		plist = append(plist, procs)
+	}
+	learners := []struct {
+		name string
+		l    hash.Learner
+	}{
+		{"itq", hash.ITQ{Iterations: 30}},
+		{"pcah", hash.PCAH{}},
+		{"kmh", hash.KMH{SubspaceBits: 2, Iterations: 15}},
+	}
+	kmhBits := bits
+	if kmhBits%2 != 0 {
+		kmhBits++
+	}
+	var results []MicroResult
+	for _, lrn := range learners {
+		b := bits
+		if lrn.name == "kmh" {
+			b = kmhBits
+		}
+		for _, p := range plist {
+			var tTrain, tCode, tFreeze time.Duration
+			var iters int
+			var buildErr error
+			r := testing.Benchmark(func(bb *testing.B) {
+				for i := 0; i < bb.N; i++ {
+					ix, err := index.BuildP(lrn.l, ds.Vectors, ds.N(), ds.Dim, b, 1, 19, p)
+					if err != nil {
+						buildErr = err
+						bb.Fatal(err)
+					}
+					tTrain += ix.Timings.Train
+					tCode += ix.Timings.Code
+					tFreeze += ix.Timings.Freeze
+					iters++
+				}
+			})
+			if buildErr != nil {
+				return nil, fmt.Errorf("bench: build micro %s/p%d: %w", lrn.name, p, buildErr)
+			}
+			suffix := fmt.Sprintf("/%s/p%d", lrn.name, p)
+			results = append(results, toMicro("Build"+suffix, r))
+			if iters > 0 {
+				results = append(results,
+					MicroResult{Benchmark: "BuildTrain" + suffix, NsOp: tTrain.Nanoseconds() / int64(iters)},
+					MicroResult{Benchmark: "BuildCode" + suffix, NsOp: tCode.Nanoseconds() / int64(iters)},
+					MicroResult{Benchmark: "BuildFreeze" + suffix, NsOp: tFreeze.Nanoseconds() / int64(iters)},
+				)
+			}
+		}
+	}
+	return results, nil
 }

@@ -1,0 +1,78 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestKMeansPMatchesKMeansBitwise is the clustering half of the build
+// determinism invariant: at any worker bound, KMeansP must return the
+// exact centroids of the serial KMeans — same seeding draws (the rng
+// consumption is identical), same assignments, same float64
+// accumulation order in the update step.
+func TestKMeansPMatchesKMeansBitwise(t *testing.T) {
+	const n, dims, k, iters = 2000, 6, 16, 12
+	rng := rand.New(rand.NewSource(8))
+	data := make([]float32, n*dims)
+	for i := range data {
+		data[i] = float32(rng.NormFloat64())
+	}
+	want, err := KMeans(data, n, dims, k, iters, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []int{1, 2, 7, 16} {
+		got, err := KMeansP(data, n, dims, k, iters, rand.New(rand.NewSource(5)), p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("p=%d: centroid value [%d] = %v, want %v", p, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestAccumulateByCentroidMatchesSerial checks the shared accumulation
+// kernel (also used by KMH's affinity refinement) against the obvious
+// serial loop, bitwise.
+func TestAccumulateByCentroidMatchesSerial(t *testing.T) {
+	const n, dims, k = 1500, 5, 9
+	rng := rand.New(rand.NewSource(12))
+	data := make([]float32, n*dims)
+	for i := range data {
+		data[i] = float32(rng.NormFloat64())
+	}
+	assign := make([]int, n)
+	for i := range assign {
+		assign[i] = rng.Intn(k)
+	}
+
+	wantCounts := make([]int, k)
+	wantSums := make([]float64, k*dims)
+	for i := 0; i < n; i++ {
+		c := assign[i]
+		wantCounts[c]++
+		dst := wantSums[c*dims : (c+1)*dims]
+		for j, v := range data[i*dims : (i+1)*dims] {
+			dst[j] += float64(v)
+		}
+	}
+
+	counts := make([]int, k)
+	sums := make([]float64, k*dims)
+	for _, p := range []int{1, 2, 4, 32} {
+		AccumulateByCentroid(data, n, dims, assign, counts, sums, k, p)
+		for c := range wantCounts {
+			if counts[c] != wantCounts[c] {
+				t.Fatalf("p=%d: counts[%d] = %d, want %d", p, c, counts[c], wantCounts[c])
+			}
+		}
+		for i := range wantSums {
+			if sums[i] != wantSums[i] {
+				t.Fatalf("p=%d: sums[%d] = %v, want %v", p, i, sums[i], wantSums[i])
+			}
+		}
+	}
+}

@@ -15,6 +15,10 @@ type ITQ struct {
 	// Iterations is the number of alternating updates; the original
 	// paper uses 50. Zero means 50.
 	Iterations int
+	// Procs bounds the worker count of the training kernels
+	// (covariance, batch projection, Procrustes products); <= 0 means
+	// GOMAXPROCS. Results are bit-for-bit identical at any setting.
+	Procs int
 }
 
 // Name implements Learner.
@@ -32,28 +36,17 @@ func (t ITQ) Train(data []float32, n, d, bits int, seed int64) (Hasher, error) {
 	if iters <= 0 {
 		iters = 50
 	}
+	procs := t.Procs
 
-	cov, mean := vecmath.Covariance(data, n, d)
+	cov, mean := vecmath.CovarianceP(data, n, d, procs)
 	e := vecmath.TopEigenvectors(cov, bits) // bits×d
 
 	// Project the (centered) training data: V = Xc·Eᵀ, n×bits.
-	v := vecmath.NewMat(n, bits)
-	for i := 0; i < n; i++ {
-		row := data[i*d : (i+1)*d]
-		dst := v.Row(i)
-		for b := 0; b < bits; b++ {
-			er := e.Row(b)
-			var s float64
-			for j, ev := range er {
-				s += ev * (float64(row[j]) - mean[j])
-			}
-			dst[b] = s
-		}
-	}
+	v := vecmath.MulBatch32(data, n, d, e, mean, procs)
 
 	rng := rand.New(rand.NewSource(seed))
 	r := vecmath.RandomRotation(rng, bits)
-	vr := vecmath.Mul(v, r)
+	vr := vecmath.MulP(v, r, procs)
 	b := vecmath.NewMat(n, bits)
 	for it := 0; it < iters; it++ {
 		// B = sign(V·R).
@@ -61,8 +54,8 @@ func (t ITQ) Train(data []float32, n, d, bits int, seed int64) (Hasher, error) {
 			b.Data[i] = signOf(vr.Data[i])
 		}
 		// R = argmin ‖B − V·R‖ over orthogonal R (Procrustes).
-		r = vecmath.Procrustes(v, b)
-		vr = vecmath.Mul(v, r)
+		r = vecmath.ProcrustesP(v, b, procs)
+		vr = vecmath.MulP(v, r, procs)
 	}
 
 	// Fold the rotation into the hashing matrix: p(x) = Rᵀ·E·(x−mean),

@@ -37,6 +37,11 @@ type KMH struct {
 	// AffinitySweeps is the number of refinement alternations. Zero
 	// means 10.
 	AffinitySweeps int
+	// Procs bounds the worker count of the per-subspace k-means and
+	// affinity refinement (assignment scans fan out over points, sum
+	// accumulation over centroids); <= 0 means GOMAXPROCS. Results are
+	// bit-for-bit identical at any setting.
+	Procs int
 }
 
 // Name implements Learner.
@@ -107,7 +112,7 @@ func (t KMH) Train(data []float32, n, d, bits int, seed int64) (Hasher, error) {
 		for i := 0; i < n; i++ {
 			copy(sub[i*dims:(i+1)*dims], data[i*d+subs[s].offset:i*d+subs[s].offset+dims])
 		}
-		centroids, err := cluster.KMeans(sub, n, dims, k, iters, rng)
+		centroids, err := cluster.KMeansP(sub, n, dims, k, iters, rng, t.Procs)
 		if err != nil {
 			return nil, fmt.Errorf("hash: kmh subspace %d: %w", s, err)
 		}
@@ -120,7 +125,7 @@ func (t KMH) Train(data []float32, n, d, bits int, seed int64) (Hasher, error) {
 			sweeps = 10
 		}
 		if lambda > 0 {
-			refineAffinity(sub, n, dims, centroids, k, lambda, sweeps)
+			refineAffinity(sub, n, dims, centroids, k, lambda, sweeps, t.Procs)
 		}
 		subs[s].centroids = centroids
 	}

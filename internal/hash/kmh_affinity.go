@@ -3,6 +3,7 @@ package hash
 import (
 	"math"
 
+	"gqr/internal/cluster"
 	"gqr/internal/vecmath"
 )
 
@@ -77,8 +78,11 @@ func affinityScale(centroids []float32, k, dims int, counts []int) float64 {
 // refineAffinity runs the affinity-preserving alternation on one
 // subspace codebook, in place. data is the n×dims subspace block;
 // lambda weighs E_aff (per-pair, normalized below by n² so the two
-// objective terms are comparable at any dataset size).
-func refineAffinity(data []float32, n, dims int, centroids []float32, k int, lambda float64, sweeps int) {
+// objective terms are comparable at any dataset size). The assignment
+// scan fans out over points and the sum accumulation over centroids
+// (cluster.AccumulateByCentroid), so the refinement is bit-for-bit
+// identical at any procs.
+func refineAffinity(data []float32, n, dims int, centroids []float32, k int, lambda float64, sweeps, procs int) {
 	if lambda <= 0 || sweeps <= 0 {
 		return
 	}
@@ -92,22 +96,13 @@ func refineAffinity(data []float32, n, dims int, centroids []float32, k int, lam
 
 	for sweep := 0; sweep < sweeps; sweep++ {
 		// Assignment step (standard nearest-centroid).
-		for i := range counts {
-			counts[i] = 0
-		}
-		for i := range sums {
-			sums[i] = 0
-		}
-		for i := 0; i < n; i++ {
-			best, _ := vecmath.ArgNearest(data[i*dims:(i+1)*dims], centroids, k, dims)
-			assign[i] = best
-			counts[best]++
-			row := data[i*dims : (i+1)*dims]
-			dst := sums[best*dims : (best+1)*dims]
-			for c, v := range row {
-				dst[c] += float64(v)
+		vecmath.ParallelRanges(n, procs, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				best, _ := vecmath.ArgNearest(data[i*dims:(i+1)*dims], centroids, k, dims)
+				assign[i] = best
 			}
-		}
+		})
+		cluster.AccumulateByCentroid(data, n, dims, assign, counts, sums, k, procs)
 		s := affinityScale(centroids, k, dims, counts)
 
 		// Per-centroid fixed-point update.

@@ -45,7 +45,7 @@ func TestRefineAffinityReducesAffinityError(t *testing.T) {
 
 	refined := make([]float32, len(plain))
 	copy(refined, plain)
-	refineAffinity(data, n, dims, refined, k, 10, 10)
+	refineAffinity(data, n, dims, refined, k, 10, 10, 1)
 	counts2 := assignCounts(data, n, dims, refined, k)
 	after := affinityError(refined, k, dims, counts2, affinityScale(refined, k, dims, counts2))
 
@@ -83,8 +83,8 @@ func TestRefineAffinityNoopOnZeroLambda(t *testing.T) {
 	}
 	orig := make([]float32, len(cents))
 	copy(orig, cents)
-	refineAffinity(data, n, dims, cents, k, 0, 10)
-	refineAffinity(data, n, dims, cents, k, 10, 0)
+	refineAffinity(data, n, dims, cents, k, 0, 10, 1)
+	refineAffinity(data, n, dims, cents, k, 10, 0, 1)
 	for i := range cents {
 		if cents[i] != orig[i] {
 			t.Fatal("refineAffinity modified centroids with lambda/sweeps = 0")

@@ -10,7 +10,13 @@ import (
 // for Euclidean data). Each hash vector is an independent N(0,1) draw;
 // the data is centered at its mean so bits are roughly balanced. The
 // paper contrasts L2H against this family (Section 1).
-type LSH struct{}
+type LSH struct {
+	// Procs is accepted for uniformity with the other learners but
+	// unused: LSH training only estimates the data mean (O(n·d), rng-
+	// driven projection draws are serial), which is too cheap to fan
+	// out.
+	Procs int
+}
 
 // Name implements Learner.
 func (LSH) Name() string { return "lsh" }

@@ -11,20 +11,25 @@ import (
 // the centered projections. It is the cheapest learner in the paper's
 // lineup (Table 2) and the one GQR boosts to OPQ-level quality
 // (Figure 17).
-type PCAH struct{}
+type PCAH struct {
+	// Procs bounds the worker count of the covariance kernel; <= 0
+	// means GOMAXPROCS. Results are bit-for-bit identical at any
+	// setting.
+	Procs int
+}
 
 // Name implements Learner.
 func (PCAH) Name() string { return "pcah" }
 
 // Train implements Learner. The seed is unused: PCAH is deterministic.
-func (PCAH) Train(data []float32, n, d, bits int, seed int64) (Hasher, error) {
+func (t PCAH) Train(data []float32, n, d, bits int, seed int64) (Hasher, error) {
 	if err := validateTrain(data, n, d, bits); err != nil {
 		return nil, err
 	}
 	if bits > d {
 		return nil, fmt.Errorf("hash: pcah needs bits (%d) <= dim (%d)", bits, d)
 	}
-	cov, mean := vecmath.Covariance(data, n, d)
+	cov, mean := vecmath.CovarianceP(data, n, d, t.Procs)
 	h := vecmath.TopEigenvectors(cov, bits)
 	return newProjHasher("pcah", h, mean), nil
 }

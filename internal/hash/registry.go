@@ -25,3 +25,32 @@ func ByName(name string) (Learner, error) {
 
 // Algorithms lists the registered learner names.
 func Algorithms() []string { return []string{"lsh", "pcah", "itq", "sh", "kmh", "ssh"} }
+
+// WithProcs returns a copy of the learner with its worker bound set.
+// Every registered learner trains bit-for-bit identically at any procs,
+// so this only changes training speed. Unknown learner types are
+// returned unchanged.
+func WithProcs(l Learner, procs int) Learner {
+	switch t := l.(type) {
+	case LSH:
+		t.Procs = procs
+		return t
+	case PCAH:
+		t.Procs = procs
+		return t
+	case ITQ:
+		t.Procs = procs
+		return t
+	case SH:
+		t.Procs = procs
+		return t
+	case KMH:
+		t.Procs = procs
+		return t
+	case SSH:
+		t.Procs = procs
+		return t
+	default:
+		return l
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"gqr/internal/vecmath"
 )
@@ -16,7 +17,13 @@ import (
 // become the bits. Unlike PCAH/ITQ the projection is non-linear, which
 // exercises the generality of QD: the flipping cost of bit i is simply
 // |Φ_i(y)|.
-type SH struct{}
+type SH struct {
+	// Procs bounds the worker count of the covariance kernel and the
+	// projected-range scan; <= 0 means GOMAXPROCS. The per-direction
+	// min/max merge is exact, so results are bit-for-bit identical at
+	// any setting.
+	Procs int
+}
 
 // Name implements Learner.
 func (SH) Name() string { return "sh" }
@@ -42,7 +49,7 @@ type shHasher struct {
 }
 
 // Train implements Learner. The seed is unused: SH is deterministic.
-func (SH) Train(data []float32, n, d, bits int, seed int64) (Hasher, error) {
+func (t SH) Train(data []float32, n, d, bits int, seed int64) (Hasher, error) {
 	if err := validateTrain(data, n, d, bits); err != nil {
 		return nil, err
 	}
@@ -50,32 +57,54 @@ func (SH) Train(data []float32, n, d, bits int, seed int64) (Hasher, error) {
 	if pcaDims > d {
 		pcaDims = d
 	}
-	cov, mean := vecmath.Covariance(data, n, d)
+	cov, mean := vecmath.CovarianceP(data, n, d, t.Procs)
 	e := vecmath.TopEigenvectors(cov, pcaDims)
 
-	// Range of the projected data per principal direction.
+	// Range of the projected data per principal direction, scanned by
+	// chunks of points with per-worker extrema merged afterwards — min
+	// and max are exact lattice operations, so the merged result does
+	// not depend on the partition.
 	lo := make([]float64, pcaDims)
 	hi := make([]float64, pcaDims)
 	for j := range lo {
 		lo[j] = math.Inf(1)
 		hi[j] = math.Inf(-1)
 	}
-	for i := 0; i < n; i++ {
-		row := data[i*d : (i+1)*d]
-		for j := 0; j < pcaDims; j++ {
-			er := e.Row(j)
-			var s float64
-			for c, ev := range er {
-				s += ev * (float64(row[c]) - mean[c])
-			}
-			if s < lo[j] {
-				lo[j] = s
-			}
-			if s > hi[j] {
-				hi[j] = s
+	var mu sync.Mutex
+	vecmath.ParallelRanges(n, t.Procs, func(iLo, iHi int) {
+		wlo := make([]float64, pcaDims)
+		whi := make([]float64, pcaDims)
+		for j := range wlo {
+			wlo[j] = math.Inf(1)
+			whi[j] = math.Inf(-1)
+		}
+		for i := iLo; i < iHi; i++ {
+			row := data[i*d : (i+1)*d]
+			for j := 0; j < pcaDims; j++ {
+				er := e.Row(j)
+				var s float64
+				for c, ev := range er {
+					s += ev * (float64(row[c]) - mean[c])
+				}
+				if s < wlo[j] {
+					wlo[j] = s
+				}
+				if s > whi[j] {
+					whi[j] = s
+				}
 			}
 		}
-	}
+		mu.Lock()
+		for j := range wlo {
+			if wlo[j] < lo[j] {
+				lo[j] = wlo[j]
+			}
+			if whi[j] > hi[j] {
+				hi[j] = whi[j]
+			}
+		}
+		mu.Unlock()
+	})
 
 	// Enumerate candidate eigenfunctions and keep the bits smallest
 	// eigenvalues. Modes per direction capped at bits (enough to fill).

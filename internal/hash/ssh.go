@@ -30,6 +30,10 @@ type SSH struct {
 	Candidates int
 	// Eta weighs the unsupervised regularizer (default 1).
 	Eta float64
+	// Procs bounds the worker count of the covariance kernel; <= 0
+	// means GOMAXPROCS. The rng-driven pseudo-pair loop stays serial so
+	// results are bit-for-bit identical at any setting.
+	Procs int
 }
 
 // Name implements Learner.
@@ -120,7 +124,7 @@ func (t SSH) Train(data []float32, n, d, bits int, seed int64) (Hasher, error) {
 	}
 
 	// Unsupervised regularizer: η·covariance.
-	cov, _ := vecmath.Covariance(data, n, d)
+	cov, _ := vecmath.CovarianceP(data, n, d, t.Procs)
 	cov.Scale(eta)
 	sup.Add(cov)
 

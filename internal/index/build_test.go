@@ -1,0 +1,92 @@
+package index
+
+import (
+	"math/rand"
+	"testing"
+
+	"gqr/internal/hash"
+)
+
+func buildBlock(n, d int, seed int64) []float32 {
+	rng := rand.New(rand.NewSource(seed))
+	data := make([]float32, n*d)
+	for i := range data {
+		data[i] = float32(rng.NormFloat64())
+	}
+	return data
+}
+
+// TestBuildPMatchesBuild checks the storage layer's half of the
+// determinism invariant: at any worker bound, BuildP produces the same
+// bucket structure as the serial Build — same codes, same posting
+// lists in the same order, per table.
+func TestBuildPMatchesBuild(t *testing.T) {
+	const n, d, bits, tables = 2500, 12, 7, 3
+	data := buildBlock(n, d, 3)
+	want, err := Build(hash.ITQ{Iterations: 10}, data, n, d, bits, tables, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []int{2, 5, 16} {
+		got, err := BuildP(hash.ITQ{Iterations: 10}, data, n, d, bits, tables, 99, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Tables) != len(want.Tables) {
+			t.Fatalf("p=%d: %d tables, want %d", p, len(got.Tables), len(want.Tables))
+		}
+		for ti := range want.Tables {
+			wc := want.Tables[ti].Codes()
+			gc := got.Tables[ti].Codes()
+			if len(wc) != len(gc) {
+				t.Fatalf("p=%d table %d: %d codes, want %d", p, ti, len(gc), len(wc))
+			}
+			for ci, code := range wc {
+				if gc[ci] != code {
+					t.Fatalf("p=%d table %d: code[%d] = %d, want %d", p, ti, ci, gc[ci], code)
+				}
+				wb := want.Tables[ti].Bucket(code)
+				gb := got.Tables[ti].Bucket(code)
+				if len(wb) != len(gb) {
+					t.Fatalf("p=%d table %d code %d: bucket len %d, want %d", p, ti, code, len(gb), len(wb))
+				}
+				for i := range wb {
+					if wb[i] != gb[i] {
+						t.Fatalf("p=%d table %d code %d: id[%d] = %d, want %d", p, ti, code, i, gb[i], wb[i])
+					}
+				}
+			}
+		}
+		if got.Timings.Procs != p {
+			t.Fatalf("Timings.Procs = %d, want %d", got.Timings.Procs, p)
+		}
+		if got.Timings.Train <= 0 || got.Timings.Code <= 0 || got.Timings.Freeze <= 0 {
+			t.Fatalf("p=%d: stage timings not populated: %+v", p, got.Timings)
+		}
+	}
+}
+
+// TestCodeItemsChunking checks the chunked coder against the plain
+// loop across chunk-boundary sizes (below one chunk, exact multiples,
+// stragglers).
+func TestCodeItemsChunking(t *testing.T) {
+	const d = 8
+	train := buildBlock(500, d, 77)
+	h, err := hash.LSH{}.Train(train, 500, d, 6, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{1, codeChunk - 1, codeChunk, codeChunk + 1, 3*codeChunk + 17} {
+		data := buildBlock(n, d, int64(n))
+		wantCodes, wantIDs := codeItems(h, data, n, d, 1)
+		for _, p := range []int{2, 4, 9} {
+			gotCodes, gotIDs := codeItems(h, data, n, d, p)
+			for i := range wantCodes {
+				if gotCodes[i] != wantCodes[i] || gotIDs[i] != wantIDs[i] {
+					t.Fatalf("n=%d p=%d item %d: (%d,%d) want (%d,%d)",
+						n, p, i, gotCodes[i], gotIDs[i], wantCodes[i], wantIDs[i])
+				}
+			}
+		}
+	}
+}

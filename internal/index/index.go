@@ -26,12 +26,7 @@ type Table struct {
 // NewTable builds a hash table over the n×d data block using the given
 // hasher.
 func NewTable(h hash.Hasher, data []float32, n, d int) *Table {
-	codes := make([]uint64, n)
-	ids := make([]int32, n)
-	for i := 0; i < n; i++ {
-		codes[i] = h.Code(data[i*d : (i+1)*d])
-		ids[i] = int32(i)
-	}
+	codes, ids := codeItems(h, data, n, d, 1)
 	return &Table{Hasher: h, core: buildCore(codes, ids), tail: newTailStore()}
 }
 
@@ -199,6 +194,10 @@ type Index struct {
 	Data   []float32
 	Tables []*Table
 
+	// Timings records how long each build stage took (zero for indexes
+	// assembled by loaders rather than Build/BuildP).
+	Timings BuildTimings
+
 	// compactions counts how many table tails Snapshot folded into
 	// fresh cores (lifecycle observability).
 	compactions int
@@ -207,20 +206,10 @@ type Index struct {
 // Build trains one hasher per table (distinct seeds) with the given
 // learner and constructs the tables. This is the paper's multi-hash-
 // table strategy: more tables raise recall per probed bucket at the
-// cost of memory (§6.3.5).
+// cost of memory (§6.3.5). It is the serial reference of BuildP, which
+// produces a bit-for-bit identical index at any worker count.
 func Build(l hash.Learner, data []float32, n, d, bits, tables int, seed int64) (*Index, error) {
-	if tables <= 0 {
-		return nil, fmt.Errorf("index: need at least one table, got %d", tables)
-	}
-	idx := &Index{Dim: d, N: n, Data: data}
-	for t := 0; t < tables; t++ {
-		h, err := l.Train(data, n, d, bits, seed+int64(t)*7919)
-		if err != nil {
-			return nil, fmt.Errorf("index: training table %d: %w", t, err)
-		}
-		idx.Tables = append(idx.Tables, NewTable(h, data, n, d))
-	}
-	return idx, nil
+	return BuildP(l, data, n, d, bits, tables, seed, 1)
 }
 
 // Vector returns item i's vector.

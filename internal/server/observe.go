@@ -16,23 +16,27 @@ import (
 // paper's §2.2 work units so operator dashboards graph the same
 // quantities as Figures 8-10.
 const (
-	mHTTPRequests   = "gqr_http_requests_total"
-	mHTTPLatency    = "gqr_http_request_seconds"
-	mQueries        = "gqr_search_queries_total"
-	mBucketsGen     = "gqr_search_buckets_generated_total"
-	mBucketsProbed  = "gqr_search_buckets_probed_total"
-	mCandidates     = "gqr_search_candidates_total"
-	mAbandoned      = "gqr_search_early_abandoned_total"
-	mEarlyStops     = "gqr_search_early_stops_total"
-	mQueryErrors    = "gqr_search_query_errors_total"
-	mIndexItems     = "gqr_index_items"
-	mIndexTables    = "gqr_index_tables"
-	mIndexCodeBits  = "gqr_index_code_bits"
-	mIndexBuckets   = "gqr_index_buckets"
-	mIndexBuildSecs = "gqr_index_build_seconds"
-	mIndexAdds      = "gqr_index_adds"
-	mIndexRebuilds  = "gqr_index_method_rebuilds"
-	mIndexSnapGen   = "gqr_index_snapshot_generation"
+	mHTTPRequests    = "gqr_http_requests_total"
+	mHTTPLatency     = "gqr_http_request_seconds"
+	mQueries         = "gqr_search_queries_total"
+	mBucketsGen      = "gqr_search_buckets_generated_total"
+	mBucketsProbed   = "gqr_search_buckets_probed_total"
+	mCandidates      = "gqr_search_candidates_total"
+	mAbandoned       = "gqr_search_early_abandoned_total"
+	mEarlyStops      = "gqr_search_early_stops_total"
+	mQueryErrors     = "gqr_search_query_errors_total"
+	mIndexItems      = "gqr_index_items"
+	mIndexTables     = "gqr_index_tables"
+	mIndexCodeBits   = "gqr_index_code_bits"
+	mIndexBuckets    = "gqr_index_buckets"
+	mIndexBuildSecs  = "gqr_index_build_seconds"
+	mIndexTrainSecs  = "gqr_index_build_train_seconds"
+	mIndexCodeSecs   = "gqr_index_build_code_seconds"
+	mIndexFreezeSecs = "gqr_index_build_freeze_seconds"
+	mIndexBuildProcs = "gqr_index_build_parallelism"
+	mIndexAdds       = "gqr_index_adds"
+	mIndexRebuilds   = "gqr_index_method_rebuilds"
+	mIndexSnapGen    = "gqr_index_snapshot_generation"
 )
 
 // initMetrics registers every fixed series up front so /metrics serves
@@ -50,6 +54,10 @@ func (h *Handler) initMetrics() {
 	h.gCodeBits = h.reg.Gauge(mIndexCodeBits, "Binary code length in bits.")
 	h.gBuckets = h.reg.Gauge(mIndexBuckets, "Non-empty buckets summed over tables.")
 	h.gBuildSeconds = h.reg.Gauge(mIndexBuildSecs, "Index build (train + hash) time in seconds.")
+	h.gTrainSecs = h.reg.Gauge(mIndexTrainSecs, "Build stage: hasher training time in seconds.")
+	h.gCodeSecs = h.reg.Gauge(mIndexCodeSecs, "Build stage: item coding time in seconds.")
+	h.gFreezeSecs = h.reg.Gauge(mIndexFreezeSecs, "Build stage: CSR core construction (freeze) time in seconds.")
+	h.gBuildProcs = h.reg.Gauge(mIndexBuildProcs, "Resolved worker bound the index build ran with (0 when loaded from disk).")
 	h.gAdds = h.reg.Gauge(mIndexAdds, "Vectors appended via Add since construction.")
 	h.gRebuilds = h.reg.Gauge(mIndexRebuilds, "Querying-method view rebuilds triggered by Add.")
 	h.gSnapGen = h.reg.Gauge(mIndexSnapGen, "Generation of the published read snapshot searches run on.")
@@ -69,6 +77,10 @@ func (h *Handler) updateIndexGauges() {
 	}
 	h.gBuckets.Set(float64(buckets))
 	h.gBuildSeconds.Set(st.BuildTime.Seconds())
+	h.gTrainSecs.Set(st.TrainTime.Seconds())
+	h.gCodeSecs.Set(st.CodeTime.Seconds())
+	h.gFreezeSecs.Set(st.FreezeTime.Seconds())
+	h.gBuildProcs.Set(float64(st.BuildParallelism))
 	h.gAdds.Set(float64(st.Adds))
 	h.gRebuilds.Set(float64(st.MethodRebuilds))
 	h.gSnapGen.Set(float64(st.SnapshotGeneration))

@@ -54,6 +54,10 @@ type Handler struct {
 	gCodeBits     *metrics.Gauge
 	gBuckets      *metrics.Gauge
 	gBuildSeconds *metrics.Gauge
+	gTrainSecs    *metrics.Gauge
+	gCodeSecs     *metrics.Gauge
+	gFreezeSecs   *metrics.Gauge
+	gBuildProcs   *metrics.Gauge
 	gAdds         *metrics.Gauge
 	gRebuilds     *metrics.Gauge
 	gSnapGen      *metrics.Gauge

@@ -63,26 +63,13 @@ func (m *Mat) T() *Mat {
 	return out
 }
 
-// Mul returns the matrix product a·b.
+// Mul returns the matrix product a·b (the single-worker path of MulP).
 func Mul(a, b *Mat) *Mat {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("vecmath: Mul shape mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	out := NewMat(a.Rows, b.Cols)
-	// ikj order: stream through b rows for cache friendliness.
-	for i := 0; i < a.Rows; i++ {
-		ar := a.Row(i)
-		or := out.Row(i)
-		for k, av := range ar {
-			if av == 0 {
-				continue
-			}
-			br := b.Row(k)
-			for j, bv := range br {
-				or[j] += av * bv
-			}
-		}
-	}
+	mulRows(a, b, out, 0, a.Rows)
 	return out
 }
 
@@ -168,49 +155,8 @@ func (m *Mat) MaxAbs() float64 {
 
 // Covariance returns the d×d sample covariance of the n×d float32 data
 // block (row-major rows of dimension d), after subtracting the column
-// means. The returned mean slice has length d.
+// means. The returned mean slice has length d. It is the single-worker
+// path of CovarianceP.
 func Covariance(data []float32, n, d int) (cov *Mat, mean []float64) {
-	if len(data) != n*d {
-		panic(fmt.Sprintf("vecmath: Covariance data length %d != %d*%d", len(data), n, d))
-	}
-	if n < 2 {
-		panic("vecmath: Covariance needs at least 2 rows")
-	}
-	mean = make([]float64, d)
-	for i := 0; i < n; i++ {
-		row := data[i*d : (i+1)*d]
-		for j, v := range row {
-			mean[j] += float64(v)
-		}
-	}
-	for j := range mean {
-		mean[j] /= float64(n)
-	}
-	cov = NewMat(d, d)
-	centered := make([]float64, d)
-	for i := 0; i < n; i++ {
-		row := data[i*d : (i+1)*d]
-		for j, v := range row {
-			centered[j] = float64(v) - mean[j]
-		}
-		for a := 0; a < d; a++ {
-			ca := centered[a]
-			if ca == 0 {
-				continue
-			}
-			cr := cov.Row(a)
-			for b := a; b < d; b++ {
-				cr[b] += ca * centered[b]
-			}
-		}
-	}
-	inv := 1 / float64(n-1)
-	for a := 0; a < d; a++ {
-		for b := a; b < d; b++ {
-			v := cov.At(a, b) * inv
-			cov.Set(a, b, v)
-			cov.Set(b, a, v)
-		}
-	}
-	return cov, mean
+	return CovarianceP(data, n, d, 1)
 }

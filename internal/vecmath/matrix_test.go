@@ -207,3 +207,36 @@ func TestMulTransposeProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// BenchmarkMul measures the dense serial product across input regimes.
+// The branchless inner loop (mulRows) traded the old `av == 0` skip for
+// straight-line multiply-adds: "dense" is the projection-matrix regime
+// the build pipeline runs (where the branch only mispredicted), and
+// "zeroheavy" is the regime the skip was supposedly for — compare the
+// two to see what the branch drop costs when half the entries really
+// are zero.
+func BenchmarkMul(b *testing.B) {
+	rng := rand.New(rand.NewSource(31))
+	dense := GaussianMat(rng, 64, 64)
+	zeroheavy := GaussianMat(rng, 64, 64)
+	for i := range zeroheavy.Data {
+		if i%2 == 0 {
+			zeroheavy.Data[i] = 0
+		}
+	}
+	rhs := GaussianMat(rng, 64, 64)
+	for _, bc := range []struct {
+		name string
+		a    *Mat
+	}{{"dense64", dense}, {"zeroheavy64", zeroheavy}} {
+		b.Run(bc.name, func(b *testing.B) {
+			var sink float64
+			for i := 0; i < b.N; i++ {
+				sink += Mul(bc.a, rhs).At(0, 0)
+			}
+			if math.IsNaN(sink) {
+				b.Fatal("sink NaN")
+			}
+		})
+	}
+}

@@ -1,0 +1,224 @@
+package vecmath
+
+import (
+	"math"
+	"math/rand"
+	"strconv"
+	"testing"
+)
+
+// The contract every parallel kernel must keep: bit-for-bit equality
+// with its serial counterpart at every worker count. The tests compare
+// with == (not a tolerance) on purpose — the build pipeline's
+// determinism guarantee rests on exact equality.
+
+func randMat(rng *rand.Rand, r, c int) *Mat {
+	m := NewMat(r, c)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func matsEqual(t *testing.T, name string, want, got *Mat) {
+	t.Helper()
+	if want.Rows != got.Rows || want.Cols != got.Cols {
+		t.Fatalf("%s: shape %dx%d != %dx%d", name, got.Rows, got.Cols, want.Rows, want.Cols)
+	}
+	for i, v := range want.Data {
+		if got.Data[i] != v {
+			t.Fatalf("%s: element %d differs: %v != %v", name, i, got.Data[i], v)
+		}
+	}
+}
+
+func TestMulPMatchesMulBitwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	shapes := []struct{ r, k, c int }{
+		{1, 1, 1}, {3, 5, 2}, {17, 33, 9}, {128, 64, 32}, {14, 900, 14}, {301, 7, 41},
+	}
+	for _, s := range shapes {
+		a := randMat(rng, s.r, s.k)
+		b := randMat(rng, s.k, s.c)
+		// Plant explicit zeros so the branchless inner loop is exercised
+		// against the reference on the rows the old kernel skipped.
+		for i := 0; i < len(a.Data); i += 3 {
+			a.Data[i] = 0
+		}
+		want := Mul(a, b)
+		for _, p := range []int{1, 2, 3, 8, 16} {
+			matsEqual(t, "MulP", want, MulP(a, b, p))
+		}
+	}
+}
+
+func TestMulMatchesNaiveTripleLoop(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := randMat(rng, 13, 21)
+	b := randMat(rng, 21, 8)
+	want := NewMat(13, 8)
+	for i := 0; i < 13; i++ {
+		for j := 0; j < 8; j++ {
+			var s float64
+			for k := 0; k < 21; k++ {
+				s += a.At(i, k) * b.At(k, j)
+			}
+			want.Set(i, j, s)
+		}
+	}
+	got := Mul(a, b)
+	for i := range want.Data {
+		if math.Abs(got.Data[i]-want.Data[i]) > 1e-12 {
+			t.Fatalf("Mul element %d: %v != %v", i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+func TestCovariancePMatchesSerialBitwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, shape := range []struct{ n, d int }{{2, 1}, {50, 7}, {400, 33}, {1200, 64}} {
+		data := make([]float32, shape.n*shape.d)
+		for i := range data {
+			data[i] = float32(rng.NormFloat64())
+		}
+		// Exact zeros after centering exercise the ca==0 skip: make one
+		// column constant.
+		for i := 0; i < shape.n; i++ {
+			data[i*shape.d] = 1.5
+		}
+		wantCov, wantMean := Covariance(data, shape.n, shape.d)
+		for _, p := range []int{1, 2, 5, 8, 32} {
+			gotCov, gotMean := CovarianceP(data, shape.n, shape.d, p)
+			matsEqual(t, "CovarianceP", wantCov, gotCov)
+			for j, v := range wantMean {
+				if gotMean[j] != v {
+					t.Fatalf("CovarianceP mean[%d] at p=%d: %v != %v", j, p, gotMean[j], v)
+				}
+			}
+		}
+	}
+}
+
+func TestMulBatch32MatchesSerialProjection(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	const n, d, m = 300, 24, 12
+	data := make([]float32, n*d)
+	for i := range data {
+		data[i] = float32(rng.NormFloat64())
+	}
+	h := randMat(rng, m, d)
+	mean := make([]float64, d)
+	for j := range mean {
+		mean[j] = rng.NormFloat64()
+	}
+	for _, withMean := range []bool{false, true} {
+		mu := mean
+		if !withMean {
+			mu = nil
+		}
+		want := NewMat(n, m)
+		for i := 0; i < n; i++ {
+			row := data[i*d : (i+1)*d]
+			for r := 0; r < m; r++ {
+				hr := h.Row(r)
+				var s float64
+				for j, hv := range hr {
+					x := float64(row[j])
+					if withMean {
+						x -= mu[j]
+					}
+					s += hv * x
+				}
+				want.Set(i, r, s)
+			}
+		}
+		for _, p := range []int{1, 2, 7, 16} {
+			matsEqual(t, "MulBatch32", want, MulBatch32(data, n, d, h, mu, p))
+		}
+	}
+}
+
+func TestProcrustesPMatchesProcrustes(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := randMat(rng, 120, 10)
+	b := randMat(rng, 120, 10)
+	want := Procrustes(a, b)
+	for _, p := range []int{1, 2, 8} {
+		matsEqual(t, "ProcrustesP", want, ProcrustesP(a, b, p))
+	}
+}
+
+func TestParallelRangesCoverage(t *testing.T) {
+	for _, total := range []int{0, 1, 2, 7, 64, 1000} {
+		for _, p := range []int{1, 2, 3, 8, 100} {
+			seen := make([]int, total)
+			var mu chan struct{} = make(chan struct{}, 1)
+			mu <- struct{}{}
+			ParallelRanges(total, p, func(lo, hi int) {
+				<-mu
+				for i := lo; i < hi; i++ {
+					seen[i]++
+				}
+				mu <- struct{}{}
+			})
+			for i, c := range seen {
+				if c != 1 {
+					t.Fatalf("total=%d p=%d: element %d covered %d times", total, p, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestParallelWeightedCoverage(t *testing.T) {
+	for _, total := range []int{1, 5, 33, 128} {
+		for _, p := range []int{1, 2, 8} {
+			var mu chan struct{} = make(chan struct{}, 1)
+			mu <- struct{}{}
+			seen := make([]int, total)
+			ParallelWeighted(total, p, func(i int) float64 { return float64(total - i) }, func(lo, hi int) {
+				<-mu
+				for i := lo; i < hi; i++ {
+					seen[i]++
+				}
+				mu <- struct{}{}
+			})
+			for i, c := range seen {
+				if c != 1 {
+					t.Fatalf("total=%d p=%d: element %d covered %d times", total, p, i, c)
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkMulP(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	a := randMat(rng, 2000, 64)
+	m := randMat(rng, 64, 64)
+	for _, p := range []int{1, 2, 4, 8} {
+		b.Run(benchName("p", p), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				MulP(a, m, p)
+			}
+		})
+	}
+}
+
+func BenchmarkCovarianceP(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	const n, d = 5000, 64
+	data := make([]float32, n*d)
+	for i := range data {
+		data[i] = float32(rng.NormFloat64())
+	}
+	for _, p := range []int{1, 2, 4, 8} {
+		b.Run(benchName("p", p), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				CovarianceP(data, n, d, p)
+			}
+		})
+	}
+}
+
+func benchName(prefix string, p int) string { return prefix + strconv.Itoa(p) }

@@ -70,6 +70,7 @@ type config struct {
 	tables    int
 	seed      int64
 	expected  int // expected items per bucket for the code-length rule
+	procs     int // build worker bound; 0 means GOMAXPROCS
 }
 
 func defaultConfig() config {
@@ -104,6 +105,9 @@ func (c config) validate() error {
 	if c.tables < 1 {
 		return fmt.Errorf("gqr: table count %d < 1", c.tables)
 	}
+	if c.procs < 0 {
+		return fmt.Errorf("gqr: build parallelism %d < 0", c.procs)
+	}
 	return nil
 }
 
@@ -137,6 +141,15 @@ func WithTables(n int) Option { return func(c *config) { c.tables = n } }
 
 // WithSeed fixes the training seed for reproducible indexes (default 0).
 func WithSeed(seed int64) Option { return func(c *config) { c.seed = seed } }
+
+// WithBuildParallelism bounds the number of workers Build uses across
+// every stage — training mat-mul/k-means kernels, concurrent per-table
+// hasher training, and chunked item coding. Zero (the default) means
+// runtime.GOMAXPROCS(0). The built index is bit-for-bit identical at
+// any setting — same hash codes, same persisted bytes, same search
+// results — so this only trades build latency against CPU; results
+// never depend on it.
+func WithBuildParallelism(p int) Option { return func(c *config) { c.procs = p } }
 
 // searchConfig collects Search options.
 type searchConfig struct {
