@@ -1,10 +1,11 @@
 # Standard checks for the gqr repo. `make check` is the pre-commit
-# gate: vet + full tests + race on the concurrent packages.
+# gate: vet + full tests + race on the concurrent packages + the
+# flight-recorder race stress.
 GO ?= go
 
-.PHONY: check build vet test race bench bench-smoke bench-json
+.PHONY: check build vet test race trace-stress bench bench-smoke bench-json
 
-check: vet test race bench-smoke
+check: vet test race trace-stress bench-smoke
 
 build:
 	$(GO) build ./...
@@ -22,6 +23,13 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Flight-recorder stress under the race detector: concurrent traced
+# searches and ring-buffer captures racing against /debug/querytrace
+# readers and Chrome exports. The ring is lock-free (atomic pointer
+# publication), so this is the regression gate for that design.
+trace-stress:
+	$(GO) test -race -run 'TraceStress' . ./internal/trace ./internal/server
+
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .
 
@@ -35,9 +43,11 @@ bench-smoke:
 # (per-method Search at budget 1000), the vecmath kernels and the build
 # pipeline (whole-build plus train/code/freeze stages per learner, at
 # p=1 and p=GOMAXPROCS), written as JSON for cross-commit perf diffing.
-# BENCH_PR5.json in the repo root is the committed snapshot from the
-# parallel-build overhaul (BENCH_PR4.json is the prior evaluation-kernel
-# snapshot).
+# The document embeds host/run metadata (Go version, GOMAXPROCS, CPU
+# count, commit) so snapshots are comparable across machines.
+# BENCH_PR6.json in the repo root is the committed snapshot from the
+# flight-recorder PR (BENCH_PR5.json: parallel-build overhaul,
+# BENCH_PR4.json: evaluation-kernel snapshot).
 bench-json:
-	$(GO) run ./cmd/gqr-bench -json BENCH_PR5.json
-	@cat BENCH_PR5.json
+	$(GO) run ./cmd/gqr-bench -json BENCH_PR6.json
+	@cat BENCH_PR6.json

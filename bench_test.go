@@ -126,6 +126,35 @@ func BenchmarkSearchHRBudget1000(b *testing.B)  { benchSearch(b, HR, 1000) }
 func BenchmarkSearchQRBudget1000(b *testing.B)  { benchSearch(b, QR, 1000) }
 func BenchmarkSearchMIHBudget1000(b *testing.B) { benchSearch(b, MIH, 1000) }
 
+// benchSearchTraced measures the flight recorder's enabled cost: every
+// query records per-stage spans and is captured into the ring. The
+// delta against BenchmarkSearchGQRBudget1000 is the price of tracing a
+// query; the disabled path (no tracing options) is the plain benchmark
+// above and must not move when instrumentation changes.
+func benchSearchTraced(b *testing.B, sampleEvery int) {
+	ds := dataset.Generate(dataset.GeneratorSpec{
+		Name: "bench", N: 20000, Dim: 32, Clusters: 16, LatentDim: 8, Seed: 17,
+	})
+	ds.SampleQueries(64, 18)
+	ix, err := Build(ds.Vectors, ds.Dim, WithSeed(19), WithTracing(sampleEvery))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := ds.Query(i % ds.NQ())
+		if _, err := ix.Search(q, 10, WithMaxCandidates(1000)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSearchGQRBudget1000TracedEvery(b *testing.B) { benchSearchTraced(b, 1) }
+func BenchmarkSearchGQRBudget1000Traced1In100(b *testing.B) {
+	benchSearchTraced(b, 100)
+}
+
 func BenchmarkBuildITQ20k(b *testing.B) {
 	ds := dataset.Generate(dataset.GeneratorSpec{
 		Name: "build", N: 20000, Dim: 32, Clusters: 16, LatentDim: 8, Seed: 21,

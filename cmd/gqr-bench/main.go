@@ -8,9 +8,13 @@
 //	gqr-bench -experiment all -scale 0.25      # everything, quarter-size corpora
 //	gqr-bench -list                            # list experiment ids
 //	gqr-bench -json BENCH.json                 # machine-readable micro-benchmarks
+//	gqr-bench -trace-out trace.json            # Chrome trace of a traced query run
 //
 // Corpus sizes scale linearly with -scale; -nq and -k control the query
 // workload (paper defaults: 1000 queries scaled to 100, k=20).
+// -trace-out runs the budget-1000 workload with the flight recorder on
+// (-trace-sample / -slow-query-ms tune the capture policies) and writes
+// the captured traces as Chrome trace_event JSON for Perfetto.
 package main
 
 import (
@@ -21,22 +25,35 @@ import (
 	"strings"
 	"time"
 
+	"gqr"
 	"gqr/internal/bench"
+	"gqr/internal/dataset"
+	"gqr/internal/trace"
 )
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "", "experiment id (e.g. fig7), comma-separated list, or 'all'")
-		list       = flag.Bool("list", false, "list available experiments and exit")
-		scale      = flag.Float64("scale", 1.0, "corpus scale factor in (0,1]")
-		nq         = flag.Int("nq", 100, "number of sampled queries")
-		k          = flag.Int("k", 20, "number of target nearest neighbors")
-		seed       = flag.Int64("seed", 0, "training seed offset")
-		out        = flag.String("o", "", "write output to this file instead of stdout")
-		jsonOut    = flag.String("json", "", "run the evaluation-stage micro-benchmarks and write JSON results to this file ('-' for stdout)")
-		buildProcs = flag.Int("build-procs", 0, "index-build worker bound (0 = GOMAXPROCS); indexes are identical at any setting")
+		experiment  = flag.String("experiment", "", "experiment id (e.g. fig7), comma-separated list, or 'all'")
+		list        = flag.Bool("list", false, "list available experiments and exit")
+		scale       = flag.Float64("scale", 1.0, "corpus scale factor in (0,1]")
+		nq          = flag.Int("nq", 100, "number of sampled queries")
+		k           = flag.Int("k", 20, "number of target nearest neighbors")
+		seed        = flag.Int64("seed", 0, "training seed offset")
+		out         = flag.String("o", "", "write output to this file instead of stdout")
+		jsonOut     = flag.String("json", "", "run the evaluation-stage micro-benchmarks and write JSON results to this file ('-' for stdout)")
+		buildProcs  = flag.Int("build-procs", 0, "index-build worker bound (0 = GOMAXPROCS); indexes are identical at any setting")
+		traceOut    = flag.String("trace-out", "", "run a traced query workload and write the flight recorder's captures as Chrome trace_event JSON to this file ('-' for stdout)")
+		traceSample = flag.Int("trace-sample", 1, "with -trace-out: capture every n-th query")
+		slowQueryMS = flag.Float64("slow-query-ms", 0, "with -trace-out: also capture queries at or above this latency in milliseconds")
 	)
 	flag.Parse()
+
+	if *traceOut != "" {
+		if err := runTraceCapture(*traceOut, *nq, *k, *seed, *buildProcs, *traceSample, *slowQueryMS); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	if *jsonOut != "" {
 		var w io.Writer = os.Stdout
@@ -97,6 +114,55 @@ func main() {
 		}
 		fmt.Fprintf(w, "[%s completed in %s]\n", e.ID, time.Since(start).Round(time.Millisecond))
 	}
+}
+
+// runTraceCapture builds the micro-benchmark corpus with the flight
+// recorder enabled, runs the budget-1000 query workload, and writes
+// every captured trace as Chrome trace_event JSON — a self-contained
+// way to eyeball the per-stage latency breakdown in Perfetto without
+// standing up the HTTP server.
+func runTraceCapture(path string, nq, k int, seed int64, buildProcs, sampleEvery int, slowMS float64) error {
+	ds := dataset.Generate(dataset.GeneratorSpec{
+		Name: "traceout", N: 20000, Dim: 32, Clusters: 16, LatentDim: 8, Seed: 17 + seed,
+	})
+	if nq < 1 {
+		nq = 1
+	}
+	ds.SampleQueries(nq, 18+seed)
+	// The ring must hold the whole workload: every captured query lands
+	// in the output file.
+	ix, err := gqr.Build(ds.Vectors, ds.Dim,
+		gqr.WithSeed(19+seed),
+		gqr.WithBuildParallelism(buildProcs),
+		gqr.WithTracing(sampleEvery),
+		gqr.WithSlowQueryThreshold(time.Duration(slowMS*float64(time.Millisecond))),
+		gqr.WithTraceBuffer(nq))
+	if err != nil {
+		return err
+	}
+	for qi := 0; qi < nq; qi++ {
+		if _, err := ix.Search(ds.Query(qi), k, gqr.WithMaxCandidates(1000)); err != nil {
+			return err
+		}
+	}
+	rec := ix.TraceRecorder()
+	traces := rec.Traces()
+	var w io.Writer = os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := trace.WriteChrome(w, traces...); err != nil {
+		return err
+	}
+	st := rec.Stats()
+	fmt.Fprintf(os.Stderr, "gqr-bench: traced %d/%d queries, captured %d traces to %s\n",
+		st.Traced, st.Queries, len(traces), path)
+	return nil
 }
 
 func fatal(err error) {

@@ -7,9 +7,12 @@
 //
 //	gqr-server -base vectors.fvecs -addr :8080
 //	gqr-server -base vectors.fvecs -load index.gqr -addr :8080 -pprof
+//	gqr-server -base vectors.fvecs -trace-sample 100 -slow-query-ms 5
 //
 //	curl -s localhost:8080/stats
 //	curl -s localhost:8080/metrics
+//	curl -s localhost:8080/debug/querytrace
+//	curl -s "localhost:8080/debug/querytrace?format=chrome" > trace.json  # open in Perfetto
 //	curl -s -X POST localhost:8080/search \
 //	     -d '{"query":[...], "k":10, "maxCandidates":2000, "includeStats":true}'
 //	go tool pprof http://localhost:8080/debug/pprof/profile?seconds=10
@@ -51,6 +54,9 @@ func main() {
 		pprofOn     = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 		logJSON     = flag.Bool("log-json", false, "emit JSON log lines instead of text")
 		drainWindow = flag.Duration("shutdown-timeout", 15*time.Second, "max time to drain in-flight requests on SIGINT/SIGTERM")
+		traceSample = flag.Int("trace-sample", 0, "capture every n-th query into the flight recorder on /debug/querytrace (0 = off)")
+		slowQueryMS = flag.Float64("slow-query-ms", 0, "always capture queries at or above this latency in milliseconds (0 = off)")
+		traceBuf    = flag.Int("trace-buffer", 0, "flight-recorder ring capacity in traces (0 = default 64)")
 	)
 	flag.Parse()
 	if *base == "" {
@@ -74,18 +80,24 @@ func main() {
 		os.Exit(1)
 	}
 	start := time.Now()
+	traceOpts := []gqr.Option{
+		gqr.WithTracing(*traceSample),
+		gqr.WithSlowQueryThreshold(time.Duration(*slowQueryMS * float64(time.Millisecond))),
+		gqr.WithTraceBuffer(*traceBuf),
+	}
 	var ix *gqr.Index
 	if *loadIdx != "" {
-		ix, err = gqr.LoadFile(*loadIdx, vecs, dim)
+		ix, err = gqr.LoadFile(*loadIdx, vecs, dim, traceOpts...)
 	} else {
-		ix, err = gqr.Build(vecs, dim,
+		buildOpts := append([]gqr.Option{
 			gqr.WithAlgorithm(gqr.Algorithm(*algorithm)),
 			gqr.WithQueryMethod(gqr.QueryMethod(*method)),
 			gqr.WithMetric(gqr.Metric(*metric)),
 			gqr.WithCodeLength(*bits),
 			gqr.WithTables(*tables),
 			gqr.WithSeed(*seed),
-			gqr.WithBuildParallelism(*buildProcs))
+			gqr.WithBuildParallelism(*buildProcs)}, traceOpts...)
+		ix, err = gqr.Build(vecs, dim, buildOpts...)
 	}
 	if err != nil {
 		logger.Error("building index", "error", err)
@@ -96,6 +108,11 @@ func main() {
 		"items", st.Items, "algorithm", st.Algorithm, "method", st.Method,
 		"bits", st.CodeLength, "tables", st.Tables,
 		"elapsed", time.Since(start).Round(time.Millisecond))
+	if ix.TraceRecorder() != nil {
+		logger.Info("query tracing enabled",
+			"sampleEvery", *traceSample, "slowQueryMs", *slowQueryMS,
+			"path", "/debug/querytrace")
+	}
 
 	opts := []server.Option{server.WithLogger(logger)}
 	if *pprofOn {

@@ -11,6 +11,7 @@ import (
 	"gqr/internal/hash"
 	"gqr/internal/index"
 	"gqr/internal/query"
+	"gqr/internal/trace"
 	"gqr/internal/vecmath"
 )
 
@@ -45,6 +46,15 @@ type SearchStats struct {
 	EarlyStopped   bool          `json:"earlyStopped"`
 	RetrievalTime  time.Duration `json:"retrievalTime"`
 	EvaluationTime time.Duration `json:"evaluationTime"`
+	// ShardCount, SlowestShard and SlowestShardTime attribute sharded
+	// fan-out latency: on a ShardedIndex query they report how many
+	// shards answered, which shard's leg took longest, and that leg's
+	// wall time (the fan-out's critical path). All zero on a
+	// single-index search; see ShardedIndex.SearchWithShardStats for
+	// the full per-shard breakdown.
+	ShardCount       int           `json:"shardCount,omitempty"`
+	SlowestShard     int           `json:"slowestShard,omitempty"`
+	SlowestShardTime time.Duration `json:"slowestShardTime,omitempty"`
 }
 
 // merge accumulates another search's work into s (used by the sharded
@@ -132,7 +142,30 @@ type Index struct {
 	adds           atomic.Int64
 	methodRebuilds atomic.Int64
 	gen            atomic.Uint64
+
+	// rec is the query flight recorder; nil unless tracing was enabled
+	// at construction (WithTracing / WithSlowQueryThreshold). Immutable
+	// after construction, so the hot path reads it without atomics.
+	rec *trace.Recorder
 }
+
+// recorderOf builds the flight recorder an index configuration asks
+// for, or nil when tracing is off.
+func recorderOf(cfg config) *trace.Recorder {
+	if cfg.traceSample <= 0 && cfg.slowQuery <= 0 {
+		return nil
+	}
+	return trace.NewRecorder(trace.Config{
+		SampleEvery: cfg.traceSample,
+		SlowQuery:   cfg.slowQuery,
+		Capacity:    cfg.traceCapacity,
+	})
+}
+
+// TraceRecorder returns the index's flight recorder, or nil when
+// tracing was not enabled at construction. The recorder is safe for
+// concurrent use alongside searches.
+func (ix *Index) TraceRecorder() *trace.Recorder { return ix.rec }
 
 // Build trains hash functions on the n×dim row-major block vectors
 // (n = len(vectors)/dim) and indexes every row. The block is retained
@@ -173,7 +206,7 @@ func Build(vectors []float32, dim int, opts ...Option) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := &Index{live: ix, metric: cfg.metric, methodName: string(cfg.method)}
+	out := &Index{live: ix, metric: cfg.metric, methodName: string(cfg.method), rec: recorderOf(cfg)}
 	out.muScale = earlyStopScale(ix)
 	if err := out.publishLocked(); err != nil {
 		return nil, err
@@ -256,10 +289,45 @@ func (ix *Index) SearchWithStats(q []float32, k int, opts ...SearchOption) ([]Ne
 	for _, o := range opts {
 		o(&sc)
 	}
+	var tr *trace.Trace
+	if ix.rec != nil {
+		tr = ix.rec.Begin(ix.methodName)
+	}
+	nbrs, st, err := ix.searchTraced(q, k, sc, tr)
+	if tr != nil {
+		if err != nil {
+			ix.rec.Recycle(tr)
+		} else {
+			tr.SetTotals(totalsOf(k, sc, st))
+			ix.rec.Finish(tr, time.Since(tr.Begin))
+		}
+	}
+	return nbrs, st, err
+}
+
+// totalsOf copies a search's final counters into trace totals so a
+// captured trace is self-contained.
+func totalsOf(k int, sc searchConfig, st SearchStats) trace.Totals {
+	return trace.Totals{
+		K:                k,
+		Budget:           sc.maxCandidates,
+		BucketsGenerated: st.BucketsGenerated,
+		BucketsProbed:    st.BucketsProbed,
+		Candidates:       st.Candidates,
+		EarlyAbandoned:   st.EarlyAbandoned,
+		EarlyStopped:     st.EarlyStopped,
+	}
+}
+
+// searchTraced runs one search, recording pipeline-stage spans into tr
+// when non-nil (every trace.Trace method is nil-safe, so the untraced
+// path pays only the nil checks).
+func (ix *Index) searchTraced(q []float32, k int, sc searchConfig, tr *trace.Trace) ([]Neighbor, SearchStats, error) {
 	snap, err := ix.currentSnapshot()
 	if err != nil {
 		return nil, SearchStats{}, err
 	}
+	tr.Mark(trace.StageSnapshot, -1)
 	s := snap.searcher()
 	defer snap.release(s)
 	if ix.metric == Angular && len(q) == snap.view.Dim {
@@ -268,6 +336,7 @@ func (ix *Index) SearchWithStats(q []float32, k int, opts ...SearchOption) ([]Ne
 		normalizeRow(qb)
 		q = qb
 	}
+	tr.Mark(trace.StagePreprocess, -1)
 	res, err := s.Search(q, query.Options{
 		K:             k,
 		MaxCandidates: sc.maxCandidates,
@@ -276,6 +345,7 @@ func (ix *Index) SearchWithStats(q []float32, k int, opts ...SearchOption) ([]Ne
 		Radius:        sc.radius,
 		Mu:            snap.mu,
 		Profile:       sc.profile,
+		Trace:         tr,
 	})
 	if err != nil {
 		return nil, SearchStats{}, err
@@ -433,12 +503,20 @@ func (ix *Index) SearchBatchWithStats(queries []float32, k int, opts ...SearchOp
 			defer snap.release(s)
 			for qi := range next {
 				q := queries[qi*dim : (qi+1)*dim]
+				// Per-query tracing: each batch query is its own flight
+				// record (the snapshot-acquire stage is absent — the
+				// snapshot was captured once for the whole batch).
+				var tr *trace.Trace
+				if ix.rec != nil {
+					tr = ix.rec.Begin(ix.methodName)
+				}
 				if ix.metric == Angular {
 					qb := s.Qbuf()
 					copy(qb, q)
 					normalizeRow(qb)
 					q = qb
 				}
+				tr.Mark(trace.StagePreprocess, -1)
 				res, err := s.Search(q, query.Options{
 					K:             k,
 					MaxCandidates: sc.maxCandidates,
@@ -447,8 +525,12 @@ func (ix *Index) SearchBatchWithStats(queries []float32, k int, opts ...SearchOp
 					Radius:        sc.radius,
 					Mu:            snap.mu,
 					Profile:       sc.profile,
+					Trace:         tr,
 				})
 				if err != nil {
+					if tr != nil {
+						ix.rec.Recycle(tr)
+					}
 					out[qi].Err = err
 					continue
 				}
@@ -457,6 +539,10 @@ func (ix *Index) SearchBatchWithStats(queries []float32, k int, opts ...SearchOp
 					nbrs[i] = Neighbor{ID: int(res.IDs[i]), Distance: res.Dists[i]}
 				}
 				out[qi] = BatchQueryResult{Neighbors: nbrs, Stats: statsOf(res.Stats)}
+				if tr != nil {
+					tr.SetTotals(totalsOf(k, sc, out[qi].Stats))
+					ix.rec.Finish(tr, time.Since(tr.Begin))
+				}
 			}
 		}()
 	}

@@ -19,6 +19,8 @@ import (
 	"io"
 	"math"
 	"math/rand"
+	"runtime"
+	"runtime/debug"
 	"testing"
 	"time"
 
@@ -38,6 +40,51 @@ type MicroResult struct {
 	BytesOp   int64  `json:"bytes_op"`
 }
 
+// RunMeta identifies the host and toolchain of one micro-benchmark
+// run, so committed BENCH_*.json files are comparable across machines:
+// an ns/op regression means nothing without knowing whether the
+// baseline ran on the same Go version and core count.
+type RunMeta struct {
+	GoVersion  string `json:"goVersion"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"numCpu"`
+	// Commit is the VCS revision the binary was built from (empty when
+	// built outside a checkout or without VCS stamping).
+	Commit string `json:"commit,omitempty"`
+	Dirty  bool   `json:"dirty,omitempty"`
+	Time   string `json:"time"`
+}
+
+// MicroReport is the full JSON document `gqr-bench -json` emits.
+type MicroReport struct {
+	Meta    RunMeta       `json:"meta"`
+	Results []MicroResult `json:"results"`
+}
+
+func runMeta() RunMeta {
+	m := RunMeta{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Time:       time.Now().UTC().Format(time.RFC3339),
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				m.Commit = s.Value
+			case "vcs.modified":
+				m.Dirty = s.Value == "true"
+			}
+		}
+	}
+	return m
+}
+
 func toMicro(name string, r testing.BenchmarkResult) MicroResult {
 	return MicroResult{
 		Benchmark: name,
@@ -47,12 +94,13 @@ func toMicro(name string, r testing.BenchmarkResult) MicroResult {
 	}
 }
 
-// RunMicro executes the suite and writes the results as an indented
-// JSON array to w. The corpus mirrors the root package's
-// BenchmarkSearch*Budget1000 (20k×32 clustered synthetic, ITQ codes,
-// K=10, candidate budget 1000). buildProcs bounds the workers of the
-// parallel build benchmarks (<= 0 means GOMAXPROCS); the serial p=1
-// baseline always runs too, so the JSON records the speedup.
+// RunMicro executes the suite and writes a MicroReport (host/run
+// metadata plus the measurements) as indented JSON to w. The corpus
+// mirrors the root package's BenchmarkSearch*Budget1000 (20k×32
+// clustered synthetic, ITQ codes, K=10, candidate budget 1000).
+// buildProcs bounds the workers of the parallel build benchmarks (<= 0
+// means GOMAXPROCS); the serial p=1 baseline always runs too, so the
+// JSON records the speedup.
 func RunMicro(w io.Writer, buildProcs int) error {
 	ds := dataset.Generate(dataset.GeneratorSpec{
 		Name: "micro", N: 20000, Dim: 32, Clusters: 16, LatentDim: 8, Seed: 17,
@@ -129,7 +177,7 @@ func RunMicro(w io.Writer, buildProcs int) error {
 
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(results)
+	return enc.Encode(MicroReport{Meta: runMeta(), Results: results})
 }
 
 // runBuildMicro measures the build pipeline per learner at p=1 and at

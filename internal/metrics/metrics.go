@@ -75,6 +75,15 @@ var DefLatencyBuckets = []float64{
 	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
 }
 
+// DefStageBuckets are histogram bounds in seconds for individual
+// pipeline stages, which run one to four orders of magnitude faster
+// than whole queries: 1µs..1s.
+var DefStageBuckets = []float64{
+	0.000001, 0.0000025, 0.000005, 0.00001, 0.000025, 0.00005,
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1,
+}
+
 // Histogram is a fixed-bucket histogram with cumulative Prometheus
 // semantics. Observations are atomic; bounds are immutable after
 // construction.

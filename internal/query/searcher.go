@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"gqr/internal/index"
+	"gqr/internal/trace"
 	"gqr/internal/vecmath"
 )
 
@@ -35,10 +36,18 @@ type Options struct {
 	// bucket beyond that point can contain an in-radius item.
 	Radius float64
 	// Profile enables per-stage timing (Stats.RetrievalTime /
-	// Stats.EvaluationTime) at the cost of two clock reads per bucket.
-	// The paper's §2.2 frames querying as retrieval + evaluation; the
-	// split shows where each method spends its budget.
+	// Stats.EvaluationTime) at the cost of a few clock reads per
+	// probed bucket. The paper's §2.2 frames querying as retrieval +
+	// evaluation; the split shows where each method spends its budget.
 	Profile bool
+	// Trace, when non-nil, records one span per stage occurrence into
+	// the flight-recorder trace (probe-sequence generation, per-table
+	// probing, candidate gather, batched evaluation, heap finalize),
+	// annotated with per-span work counters. A non-nil Trace implies
+	// the Profile clock discipline: both views are derived from the
+	// same stage boundaries, so SearchStats timing and trace spans
+	// always tell one story.
+	Trace *trace.Trace
 }
 
 // Stats reports the work one Search performed.
@@ -63,7 +72,12 @@ type Stats struct {
 	EarlyStopped bool
 	// RetrievalTime and EvaluationTime split the query time between
 	// deciding which buckets to probe and computing exact distances.
-	// Only populated when Options.Profile is set.
+	// Both are derived from the same stage clock the flight recorder
+	// uses: RetrievalTime = sequence init + probing (sequence
+	// advances, merged best-first scan, bucket lookups, empty
+	// buckets), EvaluationTime = candidate gather + batched
+	// evaluation. Populated when Options.Profile is set or a Trace is
+	// attached.
 	RetrievalTime  time.Duration
 	EvaluationTime time.Duration
 }
@@ -95,11 +109,47 @@ type Searcher struct {
 	qbuf    []float32
 
 	// Reusable per-query scratch (sized on first use, recycled after):
-	// the merged probe-sequence states, the bounded top-k heap, and the
-	// gather buffer of the batched evaluation stage.
+	// the merged probe-sequence states, the bounded top-k heap, the
+	// gather buffer of the batched evaluation stage, and the stage
+	// clock shared by profiling and flight-recorder tracing.
 	states []tableState
 	top    topK
 	cand   []int32
+	clock  stageClock
+}
+
+// stageClock is the single timing discipline of the pipeline: each
+// tick reads the clock once, closing the interval since the previous
+// tick as one stage span. Profiling (Stats.RetrievalTime /
+// EvaluationTime) and flight-recorder traces both consume its
+// boundaries, so there is no second timing codepath. When off, the
+// pipeline pays one predictable branch per boundary and no clock
+// reads; call sites must guard `if clk.on` so the Work annotations are
+// not even computed on the disabled path.
+type stageClock struct {
+	on   bool
+	tr   *trace.Trace // nil when only profiling
+	mark time.Time
+	dur  [trace.NumStages]time.Duration
+}
+
+// reset re-arms the clock for one search.
+func (c *stageClock) reset(tr *trace.Trace, on bool) {
+	c.tr = tr
+	c.on = on
+	c.dur = [trace.NumStages]time.Duration{}
+	if on {
+		c.mark = time.Now()
+	}
+}
+
+// tick closes the interval since the previous tick as one span of the
+// given stage. Callers must check c.on first.
+func (c *stageClock) tick(stage trace.Stage, table int32, w trace.Work) {
+	now := time.Now()
+	c.dur[stage] += now.Sub(c.mark)
+	c.tr.Record(stage, table, c.mark, now, w) // nil-safe
+	c.mark = now
 }
 
 // tableState is one table's position in the merged best-score-first
@@ -164,10 +214,8 @@ func (s *Searcher) Search(q []float32, opt Options) (Result, error) {
 	// Searcher scratch: slot t always holds table t's sequence, so the
 	// method recycles the right buffers.
 	var st Stats
-	var mark time.Time
-	if opt.Profile {
-		mark = time.Now()
-	}
+	clk := &s.clock
+	clk.reset(opt.Trace, opt.Profile || opt.Trace != nil)
 	if len(s.states) != len(s.ix.Tables) {
 		s.states = make([]tableState, len(s.ix.Tables))
 	}
@@ -176,12 +224,14 @@ func (s *Searcher) Search(q []float32, opt Options) (Result, error) {
 		states[t].seq = s.method.NewSequenceReuse(t, q, states[t].seq)
 		states[t].code, states[t].score, states[t].alive = states[t].seq.Next()
 	}
-	if opt.Profile {
-		st.RetrievalTime += time.Since(mark)
+	if clk.on {
+		clk.tick(trace.StageSequence, -1, trace.Work{})
 	}
 	top := &s.top
 	top.Reset(opt.K)
 	useEarlyStop := opt.EarlyStop && opt.Mu > 0 && s.method.QDScores()
+	// Work deltas since the last probe/evaluate span (traced path only).
+	lastGen, lastAband := 0, 0
 
 	for {
 		// Pick the live table with the smallest score (ties: lowest
@@ -223,8 +273,14 @@ func (s *Searcher) Search(q []float32, opt Options) (Result, error) {
 		ref := s.ix.Tables[best].Probe(code)
 		if ref.Len() > 0 {
 			st.BucketsProbed++
-			if opt.Profile {
-				mark = time.Now()
+			if clk.on {
+				// The probe span covers everything since the previous
+				// boundary: sequence advances, the merged best-first
+				// scan, empty-bucket emissions and this bucket lookup.
+				clk.tick(trace.StageProbe, int32(best), trace.Work{
+					Buckets: int32(st.BucketsGenerated - lastGen), Probed: 1,
+				})
+				lastGen = st.BucketsGenerated
 			}
 			// Gather-then-evaluate: first filter both segments against
 			// the visited epochs into the scratch buffer, then run the
@@ -246,9 +302,17 @@ func (s *Searcher) Search(q []float32, opt Options) (Result, error) {
 			}
 			s.cand = cand
 			st.Candidates += len(cand)
+			if clk.on {
+				clk.tick(trace.StageGather, int32(best), trace.Work{
+					Candidates: int32(len(cand)),
+				})
+			}
 			s.evaluateBatch(q, cand, &st)
-			if opt.Profile {
-				st.EvaluationTime += time.Since(mark)
+			if clk.on {
+				clk.tick(trace.StageEvaluate, int32(best), trace.Work{
+					Abandoned: int32(st.EarlyAbandoned - lastAband),
+				})
+				lastAband = st.EarlyAbandoned
 			}
 		}
 
@@ -258,13 +322,14 @@ func (s *Searcher) Search(q []float32, opt Options) (Result, error) {
 		if opt.MaxBuckets > 0 && st.BucketsGenerated >= opt.MaxBuckets {
 			break
 		}
-		if opt.Profile {
-			mark = time.Now()
-		}
 		states[best].code, states[best].score, states[best].alive = states[best].seq.Next()
-		if opt.Profile {
-			st.RetrievalTime += time.Since(mark)
-		}
+	}
+	if clk.on {
+		// Loop-exit remainder: trailing sequence advances, scans and
+		// empty buckets since the last boundary belong to probing.
+		clk.tick(trace.StageProbe, -1, trace.Work{
+			Buckets: int32(st.BucketsGenerated - lastGen),
+		})
 	}
 
 	ids, dists := top.Sorted()
@@ -283,6 +348,11 @@ func (s *Searcher) Search(q []float32, opt Options) (Result, error) {
 			}
 		}
 		ids, dists = ids[:cut], dists[:cut]
+	}
+	if clk.on {
+		clk.tick(trace.StageFinalize, -1, trace.Work{})
+		st.RetrievalTime = clk.dur[trace.StageSequence] + clk.dur[trace.StageProbe]
+		st.EvaluationTime = clk.dur[trace.StageGather] + clk.dur[trace.StageEvaluate]
 	}
 	return Result{IDs: ids, Dists: dists, Stats: st}, nil
 }

@@ -139,6 +139,7 @@ func (s *statusRecorder) WriteHeader(code int) {
 var knownPaths = map[string]bool{
 	"/search": true, "/batch": true, "/add": true, "/stats": true,
 	"/healthz": true, "/metrics": true, "/statsz": true,
+	"/debug/querytrace": true,
 }
 
 func pathLabel(p string) string {

@@ -1,0 +1,104 @@
+package server
+
+import (
+	"net/http"
+	"strconv"
+
+	"gqr/internal/metrics"
+	"gqr/internal/trace"
+)
+
+// mStageSeconds is the per-stage latency family: one histogram series
+// per pipeline stage (µs-scale buckets), fed by the flight recorder's
+// observer from every traced query.
+const mStageSeconds = "gqr_search_stage_seconds"
+
+// initTracing registers the per-stage latency histograms and, when the
+// index carries a flight recorder, installs the observer that feeds
+// them. The histogram families are registered even with tracing off so
+// /metrics always serves complete HELP/TYPE blocks; they simply stay
+// empty.
+func (h *Handler) initTracing() {
+	for i := 0; i < trace.NumStages; i++ {
+		h.hStage[i] = h.reg.HistogramWith(mStageSeconds,
+			"Per-query pipeline stage time in seconds (from traced queries; see /debug/querytrace).",
+			metrics.DefStageBuckets, metrics.Labels{"stage": trace.Stage(i).String()})
+	}
+	rec := h.ix.TraceRecorder()
+	if rec == nil {
+		return
+	}
+	rec.SetObserver(func(tr *trace.Trace) {
+		for i := 0; i < trace.NumStages; i++ {
+			if tr.StageCount[i] > 0 {
+				h.hStage[i].Observe(tr.StageDur[i].Seconds())
+			}
+		}
+	})
+}
+
+// QueryTraceList is the /debug/querytrace response body: the
+// recorder's lifetime counters plus the captured traces, newest first,
+// as span-free summaries (fetch ?id=N for one trace's span timeline).
+type QueryTraceList struct {
+	Recorder trace.Stats     `json:"recorder"`
+	Traces   []trace.Summary `json:"traces"`
+}
+
+// querytrace serves the flight recorder:
+//
+//	GET /debug/querytrace                   summaries, newest first
+//	GET /debug/querytrace?id=N              one trace with its spans
+//	GET /debug/querytrace?format=chrome     all captured traces as
+//	                                        Chrome trace_event JSON
+//	GET /debug/querytrace?id=N&format=chrome
+//
+// 404 when tracing was not enabled at index construction.
+func (h *Handler) querytrace(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		h.httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	rec := h.ix.TraceRecorder()
+	if rec == nil {
+		h.httpError(w, http.StatusNotFound, "tracing disabled; start the index with tracing enabled (-trace-sample / -slow-query-ms)")
+		return
+	}
+	q := r.URL.Query()
+	chrome := q.Get("format") == "chrome"
+	if idStr := q.Get("id"); idStr != "" {
+		id, err := strconv.ParseUint(idStr, 10, 64)
+		if err != nil {
+			h.httpError(w, http.StatusBadRequest, "invalid trace id %q", idStr)
+			return
+		}
+		tr := rec.Trace(id)
+		if tr == nil {
+			h.httpError(w, http.StatusNotFound, "trace %d not captured (evicted or never existed)", id)
+			return
+		}
+		if chrome {
+			h.writeChrome(w, tr)
+			return
+		}
+		h.writeJSON(w, tr.Detail())
+		return
+	}
+	traces := rec.Traces()
+	if chrome {
+		h.writeChrome(w, traces...)
+		return
+	}
+	out := QueryTraceList{Recorder: rec.Stats(), Traces: make([]trace.Summary, len(traces))}
+	for i, tr := range traces {
+		out.Traces[i] = tr.Summary()
+	}
+	h.writeJSON(w, out)
+}
+
+func (h *Handler) writeChrome(w http.ResponseWriter, traces ...*trace.Trace) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := trace.WriteChrome(w, traces...); err != nil {
+		h.log.Error("chrome trace encode failed", "error", err)
+	}
+}

@@ -1,0 +1,283 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"gqr"
+	"gqr/internal/dataset"
+	"gqr/internal/trace"
+)
+
+// tracedServer builds an index with tracing on every query and serves
+// it over httptest.
+func tracedServer(t *testing.T) (*httptest.Server, *dataset.Dataset, *gqr.Index) {
+	t.Helper()
+	ds := dataset.Generate(dataset.GeneratorSpec{
+		Name: "trc", N: 600, Dim: 12, Clusters: 4, LatentDim: 3, Seed: 91,
+	})
+	ds.SampleQueries(6, 92)
+	ix, err := gqr.Build(ds.Vectors, ds.Dim, gqr.WithSeed(93), gqr.WithTracing(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(New(ix))
+	t.Cleanup(srv.Close)
+	return srv, ds, ix
+}
+
+func get(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, body
+}
+
+func TestQueryTraceDisabled404(t *testing.T) {
+	srv, _ := testServer(t) // no tracing options
+	resp, _ := get(t, srv.URL+"/debug/querytrace")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("tracing disabled: status %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestQueryTraceListAndDetail(t *testing.T) {
+	srv, ds, _ := tracedServer(t)
+	for qi := 0; qi < ds.NQ(); qi++ {
+		var out SearchResponse
+		post(t, srv.URL+"/search", SearchRequest{Query: ds.Query(qi), K: 5, MaxCandidates: 200}, &out)
+	}
+	resp, body := get(t, srv.URL+"/debug/querytrace")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var list QueryTraceList
+	if err := json.Unmarshal(body, &list); err != nil {
+		t.Fatalf("list decode: %v", err)
+	}
+	if list.Recorder.Queries != uint64(ds.NQ()) || list.Recorder.Captured != uint64(ds.NQ()) {
+		t.Fatalf("recorder stats %+v, want %d queries all captured", list.Recorder, ds.NQ())
+	}
+	if len(list.Traces) != ds.NQ() {
+		t.Fatalf("%d traces listed, want %d", len(list.Traces), ds.NQ())
+	}
+	for i, s := range list.Traces {
+		if i > 0 && list.Traces[i-1].ID <= s.ID {
+			t.Fatalf("traces not newest-first: %d then %d", list.Traces[i-1].ID, s.ID)
+		}
+		if s.Totals.Candidates == 0 || s.Total <= 0 {
+			t.Fatalf("trace %d: empty totals %+v", s.ID, s)
+		}
+	}
+	// Detail view of the newest trace must carry the span timeline.
+	id := list.Traces[0].ID
+	resp, body = get(t, fmt.Sprintf("%s/debug/querytrace?id=%d", srv.URL, id))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("detail status %d", resp.StatusCode)
+	}
+	var det trace.Detail
+	if err := json.Unmarshal(body, &det); err != nil {
+		t.Fatalf("detail decode: %v", err)
+	}
+	if det.ID != id || len(det.SpanList) == 0 {
+		t.Fatalf("detail %d: %d spans", det.ID, len(det.SpanList))
+	}
+	// Unknown id is a 404, not an empty object.
+	resp, _ = get(t, srv.URL+"/debug/querytrace?id=999999")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown id: status %d", resp.StatusCode)
+	}
+	resp, _ = get(t, srv.URL+"/debug/querytrace?id=bogus")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad id: status %d", resp.StatusCode)
+	}
+}
+
+// chromeDoc mirrors the trace_event JSON object format.
+type chromeDoc struct {
+	TraceEvents []struct {
+		Name string         `json:"name"`
+		Ph   string         `json:"ph"`
+		Ts   float64        `json:"ts"`
+		Dur  float64        `json:"dur"`
+		Pid  uint64         `json:"pid"`
+		Tid  int64          `json:"tid"`
+		Args map[string]any `json:"args"`
+	} `json:"traceEvents"`
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+}
+
+// TestQueryTraceChromeExport is the golden-shape test for the Chrome
+// trace_event export: valid JSON, complete events for at least six
+// distinct pipeline stages, and non-negative timestamps/durations.
+func TestQueryTraceChromeExport(t *testing.T) {
+	srv, ds, _ := tracedServer(t)
+	for qi := 0; qi < ds.NQ(); qi++ {
+		var out SearchResponse
+		post(t, srv.URL+"/search", SearchRequest{Query: ds.Query(qi), K: 5, MaxCandidates: 200}, &out)
+	}
+	resp, body := get(t, srv.URL+"/debug/querytrace?format=chrome")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type %q", ct)
+	}
+	var doc chromeDoc
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatalf("chrome export is not valid JSON: %v", err)
+	}
+	stages := map[string]bool{}
+	pids := map[uint64]bool{}
+	var complete int
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			complete++
+			stages[ev.Name] = true
+			pids[ev.Pid] = true
+			if ev.Ts < 0 || ev.Dur < 0 {
+				t.Fatalf("negative ts/dur in %+v", ev)
+			}
+		case "M":
+		default:
+			t.Fatalf("unexpected event phase %q", ev.Ph)
+		}
+	}
+	if complete == 0 {
+		t.Fatal("no complete (ph=X) events in chrome export")
+	}
+	// The single-index pipeline has at least these six distinct stages.
+	for _, want := range []string{"snapshot", "preprocess", "sequence", "probe", "gather", "evaluate", "finalize"} {
+		if !stages[want] {
+			t.Fatalf("stage %q missing from chrome export; got %v", want, stages)
+		}
+	}
+	if len(pids) != ds.NQ() {
+		t.Fatalf("%d processes (traces) in export, want %d", len(pids), ds.NQ())
+	}
+	// Single-trace export filters to that trace only.
+	var list QueryTraceList
+	_, body2 := get(t, srv.URL+"/debug/querytrace")
+	if err := json.Unmarshal(body2, &list); err != nil {
+		t.Fatal(err)
+	}
+	id := list.Traces[0].ID
+	_, body3 := get(t, fmt.Sprintf("%s/debug/querytrace?id=%d&format=chrome", srv.URL, id))
+	var one chromeDoc
+	if err := json.Unmarshal(body3, &one); err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range one.TraceEvents {
+		if ev.Pid != id {
+			t.Fatalf("single-trace export contains pid %d, want only %d", ev.Pid, id)
+		}
+	}
+}
+
+func TestStageHistogramsFedByObserver(t *testing.T) {
+	srv, ds, _ := tracedServer(t)
+	for qi := 0; qi < ds.NQ(); qi++ {
+		var out SearchResponse
+		post(t, srv.URL+"/search", SearchRequest{Query: ds.Query(qi), K: 5, MaxCandidates: 200}, &out)
+	}
+	resp, body := get(t, srv.URL+"/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	text := string(body)
+	for _, stage := range []string{"snapshot", "probe", "evaluate", "finalize"} {
+		series := fmt.Sprintf(`gqr_search_stage_seconds_count{stage="%s"} %d`, stage, ds.NQ())
+		if !contains(text, series) {
+			t.Fatalf("metrics missing %q:\n%s", series, text)
+		}
+	}
+}
+
+func contains(haystack, needle string) bool {
+	for i := 0; i+len(needle) <= len(haystack); i++ {
+		if haystack[i:i+len(needle)] == needle {
+			return true
+		}
+	}
+	return false
+}
+
+// TestTraceStressServer hammers a traced server from concurrent
+// searchers while other goroutines read the flight recorder and the
+// chrome export — the -race exercise for the lock-free ring buffer
+// behind live traffic.
+func TestTraceStressServer(t *testing.T) {
+	ds := dataset.Generate(dataset.GeneratorSpec{
+		Name: "trcstress", N: 400, Dim: 10, Clusters: 3, LatentDim: 3, Seed: 95,
+	})
+	ds.SampleQueries(4, 96)
+	ix, err := gqr.Build(ds.Vectors, ds.Dim, gqr.WithSeed(97),
+		gqr.WithTracing(2), gqr.WithSlowQueryThreshold(1), gqr.WithTraceBuffer(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(New(ix))
+	defer srv.Close()
+
+	const writers, perWriter, readers = 4, 50, 3
+	var writeWG, readWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writeWG.Add(1)
+		go func(w int) {
+			defer writeWG.Done()
+			for i := 0; i < perWriter; i++ {
+				var out SearchResponse
+				post(t, srv.URL+"/search", SearchRequest{
+					Query: ds.Query((w + i) % ds.NQ()), K: 3, MaxCandidates: 100,
+				}, &out)
+			}
+		}(w)
+	}
+	stop := make(chan struct{})
+	for rd := 0; rd < readers; rd++ {
+		readWG.Add(1)
+		go func() {
+			defer readWG.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := http.Get(srv.URL + "/debug/querytrace")
+				if err == nil {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+				resp, err = http.Get(srv.URL + "/debug/querytrace?format=chrome")
+				if err == nil {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+			}
+		}()
+	}
+	writeWG.Wait()
+	close(stop)
+	readWG.Wait()
+	st := ix.TraceRecorder().Stats()
+	if st.Queries != writers*perWriter {
+		t.Fatalf("recorder saw %d queries, want %d", st.Queries, writers*perWriter)
+	}
+	if st.Captured == 0 {
+		t.Fatal("stress run captured no traces")
+	}
+}

@@ -8,6 +8,9 @@
 //	GET  /healthz
 //	GET  /metrics   Prometheus text exposition
 //	GET  /statsz    JSON metrics snapshot
+//	GET  /debug/querytrace  flight-recorder traces (JSON, or Chrome
+//	                        trace_event with ?format=chrome; 404 when
+//	                        the index was built without tracing)
 //	GET  /debug/pprof/*  (only with WithPprof)
 //
 // Every request is logged through log/slog (method, path, status,
@@ -26,6 +29,7 @@ import (
 
 	"gqr"
 	"gqr/internal/metrics"
+	"gqr/internal/trace"
 )
 
 // Handler routes the JSON API for one index and owns the request
@@ -61,6 +65,10 @@ type Handler struct {
 	gAdds         *metrics.Gauge
 	gRebuilds     *metrics.Gauge
 	gSnapGen      *metrics.Gauge
+
+	// Per-stage latency histograms, indexed by trace.Stage and fed by
+	// the flight recorder's observer (empty when tracing is off).
+	hStage [trace.NumStages]*metrics.Histogram
 }
 
 // Option configures a Handler.
@@ -91,6 +99,7 @@ func New(ix *gqr.Index, opts ...Option) *Handler {
 		h.reg = metrics.NewRegistry()
 	}
 	h.initMetrics()
+	h.initTracing()
 	h.mux.HandleFunc("/search", h.search)
 	h.mux.HandleFunc("/batch", h.batch)
 	h.mux.HandleFunc("/add", h.add)
@@ -98,6 +107,7 @@ func New(ix *gqr.Index, opts ...Option) *Handler {
 	h.mux.HandleFunc("/healthz", h.healthz)
 	h.mux.HandleFunc("/metrics", h.metricsHandler)
 	h.mux.HandleFunc("/statsz", h.statszHandler)
+	h.mux.HandleFunc("/debug/querytrace", h.querytrace)
 	if h.pprof {
 		h.mux.HandleFunc("/debug/pprof/", pprof.Index)
 		h.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -1,6 +1,9 @@
 package gqr
 
-import "fmt"
+import (
+	"fmt"
+	"time"
+)
 
 // Algorithm selects the hash-function learner.
 type Algorithm string
@@ -71,6 +74,12 @@ type config struct {
 	seed      int64
 	expected  int // expected items per bucket for the code-length rule
 	procs     int // build worker bound; 0 means GOMAXPROCS
+
+	// Flight-recorder settings; tracing is enabled when either policy
+	// is set (see WithTracing / WithSlowQueryThreshold).
+	traceSample   int
+	slowQuery     time.Duration
+	traceCapacity int
 }
 
 func defaultConfig() config {
@@ -107,6 +116,15 @@ func (c config) validate() error {
 	}
 	if c.procs < 0 {
 		return fmt.Errorf("gqr: build parallelism %d < 0", c.procs)
+	}
+	if c.traceSample < 0 {
+		return fmt.Errorf("gqr: trace sample rate %d < 0", c.traceSample)
+	}
+	if c.slowQuery < 0 {
+		return fmt.Errorf("gqr: slow-query threshold %v < 0", c.slowQuery)
+	}
+	if c.traceCapacity < 0 {
+		return fmt.Errorf("gqr: trace buffer capacity %d < 0", c.traceCapacity)
 	}
 	return nil
 }
@@ -150,6 +168,42 @@ func WithSeed(seed int64) Option { return func(c *config) { c.seed = seed } }
 // results — so this only trades build latency against CPU; results
 // never depend on it.
 func WithBuildParallelism(p int) Option { return func(c *config) { c.procs = p } }
+
+// WithTracing enables the query flight recorder with uniform 1-in-n
+// sampling: every n-th query (1 = every query) records per-stage spans
+// and is captured into the recorder's ring buffer, retrievable through
+// Index.TraceRecorder (and /debug/querytrace on the HTTP server).
+// Tracing a query costs a few clock reads per probed bucket plus
+// pooled span storage; non-sampled queries — and every query when
+// tracing is off — pay only a nil check. n <= 0 leaves uniform
+// sampling off.
+func WithTracing(sampleEvery int) Option {
+	return func(c *config) { c.traceSample = sampleEvery }
+}
+
+// WithSlowQueryThreshold enables threshold-triggered slow-query
+// capture: every query records a trace (the per-stage breakdown must
+// already exist by the time a query turns out slow), and queries whose
+// total latency reaches d are always retained in the flight recorder,
+// regardless of sampling. Combine with WithTracing to also keep a
+// uniform sample of ordinary queries.
+func WithSlowQueryThreshold(d time.Duration) Option {
+	return func(c *config) { c.slowQuery = d }
+}
+
+// WithTraceBuffer sets the flight recorder's ring-buffer capacity in
+// traces (default 64). New captures overwrite the oldest.
+func WithTraceBuffer(capacity int) Option {
+	return func(c *config) { c.traceCapacity = capacity }
+}
+
+// withoutTracing disables the flight recorder regardless of earlier
+// options. BuildSharded appends it to per-shard builds: the sharded
+// index owns one recorder at the fan-out level, so shards must not
+// each run their own.
+func withoutTracing() Option {
+	return func(c *config) { c.traceSample, c.slowQuery = 0, 0 }
+}
 
 // searchConfig collects Search options.
 type searchConfig struct {

@@ -61,8 +61,11 @@ func (ix *Index) SaveFile(path string) error {
 // Load restores an index saved with Save, re-attaching the vector
 // block it was built from (same vectors, same order). For an Angular
 // index pass the original (unnormalized) vectors — they are normalized
-// again on load.
-func Load(r io.Reader, vectors []float32, dim int) (*Index, error) {
+// again on load. Runtime-only options (WithTracing,
+// WithSlowQueryThreshold, WithTraceBuffer) may be passed to equip the
+// restored index; structural options (algorithm, method, metric, code
+// length) come from the file and are ignored here.
+func Load(r io.Reader, vectors []float32, dim int, opts ...Option) (*Index, error) {
 	br := bufio.NewReader(r)
 	var m [8]byte
 	if _, err := io.ReadFull(br, m[:]); err != nil {
@@ -114,7 +117,14 @@ func Load(r io.Reader, vectors []float32, dim int) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := &Index{live: inner, metric: metric, methodName: methodName}
+	cfg := defaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	out := &Index{live: inner, metric: metric, methodName: methodName, rec: recorderOf(cfg)}
 	out.muScale = earlyStopScale(inner)
 	if err := out.publishLocked(); err != nil {
 		return nil, err
@@ -123,11 +133,11 @@ func Load(r io.Reader, vectors []float32, dim int) (*Index, error) {
 }
 
 // LoadFile restores an index from the named file.
-func LoadFile(path string, vectors []float32, dim int) (*Index, error) {
+func LoadFile(path string, vectors []float32, dim int, opts ...Option) (*Index, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	return Load(f, vectors, dim)
+	return Load(f, vectors, dim, opts...)
 }

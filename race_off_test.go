@@ -1,0 +1,8 @@
+//go:build !race
+
+package gqr
+
+// raceEnabled reports whether the race detector is compiled in; alloc
+// gates skip under -race because the race runtime randomly drops
+// sync.Pool puts, making AllocsPerRun nondeterministic.
+const raceEnabled = false

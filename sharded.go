@@ -5,6 +5,9 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
+
+	"gqr/internal/trace"
 )
 
 // ShardedIndex partitions a dataset across several independent indexes
@@ -19,18 +22,35 @@ type ShardedIndex struct {
 	// round-robin-free partitioning keeps id mapping O(1)).
 	base []int
 	dim  int
+
+	methodName string
+	// rec is the flight recorder for the whole fan-out; shards carry no
+	// recorders of their own (BuildSharded strips tracing options from
+	// shard builds), so a traced query yields one trace with per-shard
+	// legs rather than uncorrelated per-shard traces.
+	rec *trace.Recorder
 }
 
 // BuildSharded splits the n×dim block into the given number of
 // contiguous shards and builds one index per shard with the same
 // options. Shard training runs sequentially (training dominates memory);
-// searching fans out concurrently.
+// searching fans out concurrently. Tracing options apply to the sharded
+// index as a whole: one recorder observes fan-out queries, and each
+// captured trace carries per-shard spans attributing latency to the
+// slow shard.
 func BuildSharded(vectors []float32, dim, shards int, opts ...Option) (*ShardedIndex, error) {
 	if shards < 1 {
 		return nil, fmt.Errorf("gqr: shard count %d < 1", shards)
 	}
 	if dim <= 0 || len(vectors) == 0 || len(vectors)%dim != 0 {
 		return nil, fmt.Errorf("gqr: vector block length %d not a positive multiple of dim %d", len(vectors), dim)
+	}
+	cfg := defaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
 	}
 	n := len(vectors) / dim
 	// Every learner needs at least two training points per shard.
@@ -40,7 +60,8 @@ func BuildSharded(vectors []float32, dim, shards int, opts ...Option) (*ShardedI
 	if shards < 1 {
 		shards = 1
 	}
-	s := &ShardedIndex{dim: dim}
+	s := &ShardedIndex{dim: dim, methodName: string(cfg.method), rec: recorderOf(cfg)}
+	shardOpts := append(append([]Option{}, opts...), withoutTracing())
 	start := 0
 	for i := 0; i < shards; i++ {
 		count := n / shards
@@ -48,7 +69,7 @@ func BuildSharded(vectors []float32, dim, shards int, opts ...Option) (*ShardedI
 			count++
 		}
 		block := vectors[start*dim : (start+count)*dim]
-		ix, err := Build(block, dim, opts...)
+		ix, err := Build(block, dim, shardOpts...)
 		if err != nil {
 			return nil, fmt.Errorf("gqr: building shard %d: %w", i, err)
 		}
@@ -61,6 +82,10 @@ func BuildSharded(vectors []float32, dim, shards int, opts ...Option) (*ShardedI
 
 // Shards returns the number of shards.
 func (s *ShardedIndex) Shards() int { return len(s.shards) }
+
+// TraceRecorder returns the sharded index's flight recorder, or nil
+// when tracing was not enabled at construction.
+func (s *ShardedIndex) TraceRecorder() *trace.Recorder { return s.rec }
 
 // Search fans the query out to every shard concurrently and merges the
 // per-shard top-k into a global top-k (ascending distance, ids are
@@ -75,45 +100,129 @@ func (s *ShardedIndex) Search(q []float32, k int, opts ...SearchOption) ([]Neigh
 // are summed over shards (the total work the query cost the process),
 // EarlyStopped reports whether any shard's QD rule fired, and with
 // WithProfile the retrieval/evaluation times are summed across shards
-// (total CPU time, not wall-clock — shards probe concurrently). Shard
-// searches are snapshot-based and lock-free, so the fan-out genuinely
-// runs in parallel. When shards fail, every failure is reported: the
-// returned error joins all shard errors (errors.Join), each tagged
-// with its shard id.
+// (total CPU time, not wall-clock — shards probe concurrently). The
+// merged stats always attribute fan-out latency: ShardCount,
+// SlowestShard and SlowestShardTime report the critical path of the
+// fan-out (shard wall times are measured on every query, traced or
+// not). Shard searches are snapshot-based and lock-free, so the
+// fan-out genuinely runs in parallel. When shards fail, every failure
+// is reported: the returned error joins all shard errors (errors.Join),
+// each tagged with its shard id.
 func (s *ShardedIndex) SearchWithStats(q []float32, k int, opts ...SearchOption) ([]Neighbor, SearchStats, error) {
-	if len(q) != s.dim {
-		return nil, SearchStats{}, fmt.Errorf("gqr: query dim %d != index dim %d", len(q), s.dim)
+	nbrs, st, _, err := s.searchFanout(q, k, opts)
+	return nbrs, st, err
+}
+
+// ShardSearchStats is one shard's leg of a fan-out query: its wall
+// time, its §2.2 work stats, and its failure (empty when the shard
+// succeeded).
+type ShardSearchStats struct {
+	Shard    int           `json:"shard"`
+	Duration time.Duration `json:"durationNs"`
+	Stats    SearchStats   `json:"stats"`
+	Err      string        `json:"err,omitempty"`
+}
+
+// SearchWithShardStats is SearchWithStats plus the full per-shard
+// breakdown: one entry per shard with that leg's wall time and work
+// counters. The breakdown is returned even when the call fails, so a
+// partial fan-out failure still shows which shards answered and how
+// long each took.
+func (s *ShardedIndex) SearchWithShardStats(q []float32, k int, opts ...SearchOption) ([]Neighbor, SearchStats, []ShardSearchStats, error) {
+	nbrs, st, outs, err := s.searchFanout(q, k, opts)
+	per := make([]ShardSearchStats, len(outs))
+	for i := range outs {
+		per[i] = ShardSearchStats{Shard: i, Duration: outs[i].dur, Stats: outs[i].st}
+		if outs[i].err != nil {
+			per[i].Err = outs[i].err.Error()
+		}
 	}
-	results := make([][]Neighbor, len(s.shards))
-	stats := make([]SearchStats, len(s.shards))
-	errs := make([]error, len(s.shards))
+	return nbrs, st, per, err
+}
+
+// shardOutcome is one shard's leg of a fan-out: results, stats, wall
+// time and error, plus the shard's child trace while it awaits merging.
+type shardOutcome struct {
+	nbrs []Neighbor
+	st   SearchStats
+	dur  time.Duration
+	err  error
+	tr   *trace.Trace
+}
+
+// searchFanout runs the fan-out: begin a trace if the recorder asks for
+// one, search every shard concurrently (each leg individually timed and,
+// when tracing, recorded into a child trace), merge child traces into
+// the parent, then merge results and attribute the slowest leg.
+func (s *ShardedIndex) searchFanout(q []float32, k int, opts []SearchOption) ([]Neighbor, SearchStats, []shardOutcome, error) {
+	if len(q) != s.dim {
+		return nil, SearchStats{}, nil, fmt.Errorf("gqr: query dim %d != index dim %d", len(q), s.dim)
+	}
+	var sc searchConfig
+	for _, o := range opts {
+		o(&sc)
+	}
+	var tr *trace.Trace
+	if s.rec != nil {
+		tr = s.rec.Begin(s.methodName)
+	}
+	outs := make([]shardOutcome, len(s.shards))
 	var wg sync.WaitGroup
 	for i := range s.shards {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			nbrs, st, err := s.shards[i].SearchWithStats(q, k, opts...)
+			o := &outs[i]
+			var child *trace.Trace
+			if tr != nil {
+				child = s.rec.Child(s.methodName)
+			}
+			start := time.Now()
+			nbrs, st, err := s.shards[i].searchTraced(q, k, sc, child)
+			o.dur = time.Since(start)
+			o.tr = child
 			if err != nil {
-				errs[i] = fmt.Errorf("gqr: shard %d: %w", i, err)
+				o.err = fmt.Errorf("gqr: shard %d: %w", i, err)
 				return
 			}
 			for j := range nbrs {
 				nbrs[j].ID += s.base[i]
 			}
-			results[i] = nbrs
-			stats[i] = st
+			o.nbrs, o.st = nbrs, st
 		}(i)
 	}
 	wg.Wait()
+	if tr != nil {
+		for i := range outs {
+			outs[i].tr.SetTotals(totalsOf(k, sc, outs[i].st))
+			tr.MergeChild(outs[i].tr, int32(i), outs[i].dur)
+			s.rec.Recycle(outs[i].tr)
+			outs[i].tr = nil
+		}
+	}
+	var errs []error
+	for i := range outs {
+		if outs[i].err != nil {
+			errs = append(errs, outs[i].err)
+		}
+	}
 	if err := errors.Join(errs...); err != nil {
-		return nil, SearchStats{}, err
+		if tr != nil {
+			s.rec.Recycle(tr)
+		}
+		return nil, SearchStats{}, outs, err
 	}
 	var merged []Neighbor
 	var total SearchStats
-	for i, r := range results {
-		merged = append(merged, r...)
-		total.merge(stats[i])
+	for i := range outs {
+		merged = append(merged, outs[i].nbrs...)
+		total.merge(outs[i].st)
+		if outs[i].dur > total.SlowestShardTime {
+			total.SlowestShard = i
+			total.SlowestShardTime = outs[i].dur
+		}
 	}
+	total.ShardCount = len(s.shards)
 	sort.Slice(merged, func(a, b int) bool {
 		if merged[a].Distance != merged[b].Distance {
 			return merged[a].Distance < merged[b].Distance
@@ -123,7 +232,11 @@ func (s *ShardedIndex) SearchWithStats(q []float32, k int, opts ...SearchOption)
 	if len(merged) > k {
 		merged = merged[:k]
 	}
-	return merged, total, nil
+	if tr != nil {
+		tr.SetTotals(totalsOf(k, sc, total))
+		s.rec.Finish(tr, time.Since(tr.Begin))
+	}
+	return merged, total, outs, nil
 }
 
 // Stats returns the per-shard statistics.

@@ -6,10 +6,12 @@ import (
 	"gqr/internal/query"
 )
 
-// workOf strips the timing fields so work counters can be compared
-// exactly (clock reads differ run to run).
+// workOf strips the timing and shard-attribution fields so work
+// counters can be compared exactly (clock reads differ run to run, and
+// shard attribution exists only on the merged fan-out stats).
 func workOf(s SearchStats) SearchStats {
 	s.RetrievalTime, s.EvaluationTime = 0, 0
+	s.ShardCount, s.SlowestShard, s.SlowestShardTime = 0, 0, 0
 	return s
 }
 

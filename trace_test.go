@@ -1,0 +1,357 @@
+package gqr
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"time"
+
+	"gqr/internal/trace"
+)
+
+// TestTraceStatsAcrossMethods verifies, for every querying method,
+// that a traced query's flight record reconciles with its SearchStats:
+// stage durations are non-negative and sum to (at most) the total, the
+// span work counters add up to the §2.2 counters, and the profile
+// times are derived from the very same stage clock.
+func TestTraceStatsAcrossMethods(t *testing.T) {
+	ds := demoData(t)
+	for _, method := range []QueryMethod{HR, QR, GHR, GQR, MIH} {
+		ix, err := Build(ds.Vectors, ds.Dim,
+			WithQueryMethod(method), WithSeed(31), WithTracing(1))
+		if err != nil {
+			t.Fatalf("%s: %v", method, err)
+		}
+		rec := ix.TraceRecorder()
+		if rec == nil {
+			t.Fatalf("%s: tracing enabled but no recorder", method)
+		}
+		for qi := 0; qi < ds.NQ(); qi++ {
+			_, st, err := ix.SearchWithStats(ds.Query(qi), 5, WithMaxCandidates(100), WithProfile())
+			if err != nil {
+				t.Fatalf("%s: %v", method, err)
+			}
+			traces := rec.Traces()
+			if len(traces) == 0 {
+				t.Fatalf("%s: no trace captured", method)
+			}
+			tr := traces[0] // newest first
+			if tr.Method != string(method) {
+				t.Fatalf("trace method %q, want %q", tr.Method, method)
+			}
+			if tr.Total <= 0 {
+				t.Fatalf("%s: total %v", method, tr.Total)
+			}
+			for i := 0; i < trace.NumStages; i++ {
+				if tr.StageDur[i] < 0 {
+					t.Fatalf("%s: stage %s duration %v < 0", method, trace.Stage(i), tr.StageDur[i])
+				}
+			}
+			if sum := tr.StageSum(); sum <= 0 || sum > tr.Total {
+				t.Fatalf("%s: stage sum %v outside (0, total %v]", method, sum, tr.Total)
+			}
+			// Span work counters reconcile with the search's stats.
+			if got := int(tr.StageWork[trace.StageProbe].Buckets); got != st.BucketsGenerated {
+				t.Fatalf("%s: probe-span buckets %d != generated %d", method, got, st.BucketsGenerated)
+			}
+			if got := int(tr.StageWork[trace.StageProbe].Probed); got != st.BucketsProbed {
+				t.Fatalf("%s: probe-span probed %d != %d", method, got, st.BucketsProbed)
+			}
+			if got := int(tr.StageWork[trace.StageGather].Candidates); got != st.Candidates {
+				t.Fatalf("%s: gather-span candidates %d != %d", method, got, st.Candidates)
+			}
+			if got := int(tr.StageWork[trace.StageEvaluate].Abandoned); got != st.EarlyAbandoned {
+				t.Fatalf("%s: evaluate-span abandoned %d != %d", method, got, st.EarlyAbandoned)
+			}
+			// Totals copied from the final stats.
+			want := trace.Totals{
+				K: 5, Budget: 100,
+				BucketsGenerated: st.BucketsGenerated,
+				BucketsProbed:    st.BucketsProbed,
+				Candidates:       st.Candidates,
+				EarlyAbandoned:   st.EarlyAbandoned,
+				EarlyStopped:     st.EarlyStopped,
+			}
+			if tr.Totals != want {
+				t.Fatalf("%s: trace totals %+v != %+v", method, tr.Totals, want)
+			}
+			// Satellite: Profile times come from the same stage clock.
+			if st.RetrievalTime != tr.StageDur[trace.StageSequence]+tr.StageDur[trace.StageProbe] {
+				t.Fatalf("%s: retrieval %v != sequence+probe %v", method,
+					st.RetrievalTime, tr.StageDur[trace.StageSequence]+tr.StageDur[trace.StageProbe])
+			}
+			if st.EvaluationTime != tr.StageDur[trace.StageGather]+tr.StageDur[trace.StageEvaluate] {
+				t.Fatalf("%s: evaluation %v != gather+evaluate %v", method,
+					st.EvaluationTime, tr.StageDur[trace.StageGather]+tr.StageDur[trace.StageEvaluate])
+			}
+			// Single-index pipeline spans: snapshot and preprocess marks
+			// exist, and no shard spans do.
+			if tr.StageCount[trace.StageSnapshot] != 1 || tr.StageCount[trace.StagePreprocess] != 1 {
+				t.Fatalf("%s: snapshot/preprocess counts %d/%d", method,
+					tr.StageCount[trace.StageSnapshot], tr.StageCount[trace.StagePreprocess])
+			}
+			if tr.StageCount[trace.StageShard] != 0 {
+				t.Fatalf("%s: unsharded trace has shard spans", method)
+			}
+		}
+		st := rec.Stats()
+		if st.Queries != uint64(ds.NQ()) || st.Captured != uint64(ds.NQ()) {
+			t.Fatalf("%s: recorder %+v, want %d queries all captured", method, st, ds.NQ())
+		}
+	}
+}
+
+// TestTraceBatchAndChromeExport checks that batch searches trace each
+// query individually and the captured set exports as Chrome JSON.
+func TestTraceBatchAndChromeExport(t *testing.T) {
+	ds := demoData(t)
+	ix, err := Build(ds.Vectors, ds.Dim, WithSeed(32), WithTracing(1), WithTraceBuffer(128))
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat := make([]float32, 0, ds.NQ()*ds.Dim)
+	for qi := 0; qi < ds.NQ(); qi++ {
+		flat = append(flat, ds.Query(qi)...)
+	}
+	results, err := ix.SearchBatchWithStats(flat, 4, WithMaxCandidates(80))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi, r := range results {
+		if r.Err != nil {
+			t.Fatalf("query %d: %v", qi, r.Err)
+		}
+	}
+	rec := ix.TraceRecorder()
+	if got := rec.Stats().Captured; got != uint64(ds.NQ()) {
+		t.Fatalf("captured %d traces, want one per batch query (%d)", got, ds.NQ())
+	}
+	var buf bytes.Buffer
+	if err := trace.WriteChrome(&buf, rec.Traces()...); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 || buf.Bytes()[0] != '{' {
+		t.Fatalf("chrome export looks wrong: %q", buf.String()[:min(buf.Len(), 40)])
+	}
+}
+
+// TestShardedTraceAttribution checks the fan-out attribution surface:
+// merged stats name the slowest shard, SearchWithShardStats returns the
+// per-shard breakdown, and a captured trace carries one shard span per
+// leg plus the legs' re-based pipeline spans.
+func TestShardedTraceAttribution(t *testing.T) {
+	ds := demoData(t)
+	const shards = 3
+	sharded, err := BuildSharded(ds.Vectors, ds.Dim, shards, WithSeed(33), WithTracing(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shard := range sharded.shards {
+		if shard.TraceRecorder() != nil {
+			t.Fatal("shard carries its own recorder; the fan-out must own the only one")
+		}
+	}
+	rec := sharded.TraceRecorder()
+	if rec == nil {
+		t.Fatal("sharded recorder missing")
+	}
+	for qi := 0; qi < ds.NQ(); qi++ {
+		q := ds.Query(qi)
+		nbrs, st, per, err := sharded.SearchWithShardStats(q, 5, WithMaxCandidates(60))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(nbrs) == 0 {
+			t.Fatalf("query %d: no neighbors", qi)
+		}
+		if st.ShardCount != shards {
+			t.Fatalf("query %d: ShardCount %d, want %d", qi, st.ShardCount, shards)
+		}
+		if st.SlowestShardTime <= 0 || st.SlowestShard < 0 || st.SlowestShard >= shards {
+			t.Fatalf("query %d: slowest shard %d/%v", qi, st.SlowestShard, st.SlowestShardTime)
+		}
+		if len(per) != shards {
+			t.Fatalf("query %d: %d shard stats", qi, len(per))
+		}
+		var sum SearchStats
+		var slowest time.Duration
+		for i, ps := range per {
+			if ps.Shard != i || ps.Err != "" {
+				t.Fatalf("query %d: shard stat %+v", qi, ps)
+			}
+			if ps.Duration <= 0 {
+				t.Fatalf("query %d: shard %d duration %v", qi, i, ps.Duration)
+			}
+			sum.merge(ps.Stats)
+			if ps.Duration > slowest {
+				slowest = ps.Duration
+			}
+		}
+		if workOf(st) != workOf(sum) {
+			t.Fatalf("query %d: merged %+v != shard sum %+v", qi, workOf(st), workOf(sum))
+		}
+		if st.SlowestShardTime != slowest {
+			t.Fatalf("query %d: slowest %v != max leg %v", qi, st.SlowestShardTime, slowest)
+		}
+		// SearchWithShardStats and SearchWithStats trace alike; the
+		// newest capture covers the call above.
+		tr := rec.Traces()[0]
+		if got := int(tr.StageCount[trace.StageShard]); got != shards {
+			t.Fatalf("query %d: %d shard spans, want %d", qi, got, shards)
+		}
+		// Shard-tagged pipeline spans were re-based into the parent.
+		tagged := map[int32]bool{}
+		for _, sp := range tr.Spans {
+			if sp.Start < 0 {
+				t.Fatalf("query %d: span starts before parent begin: %+v", qi, sp)
+			}
+			if sp.Shard >= 0 && sp.Stage != trace.StageShard {
+				tagged[sp.Shard] = true
+			}
+		}
+		if len(tagged) != shards {
+			t.Fatalf("query %d: pipeline spans tagged for %d shards, want %d", qi, len(tagged), shards)
+		}
+		if tr.Totals.Candidates != st.Candidates {
+			t.Fatalf("query %d: trace totals %d candidates, stats %d", qi, tr.Totals.Candidates, st.Candidates)
+		}
+	}
+}
+
+// TestLoadWithTracingOptions checks that a restored index can be
+// equipped with a flight recorder at load time.
+func TestLoadWithTracingOptions(t *testing.T) {
+	ds := demoData(t)
+	ix, err := Build(ds.Vectors, ds.Dim, WithSeed(34))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf, ds.Vectors, ds.Dim, WithTracing(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.TraceRecorder() == nil {
+		t.Fatal("loaded index has no recorder despite WithTracing")
+	}
+	if _, _, err := loaded.SearchWithStats(ds.Query(0), 5, WithMaxCandidates(50)); err != nil {
+		t.Fatal(err)
+	}
+	if got := loaded.TraceRecorder().Stats().Captured; got != 1 {
+		t.Fatalf("captured %d traces after one query", got)
+	}
+}
+
+// TestPublicSearchAllocs is the disabled-path allocation gate at the
+// public API: with tracing off, a warmed SearchWithStats allocates only
+// its result slices (the trace plumbing must stay allocation-free).
+func TestPublicSearchAllocs(t *testing.T) {
+	if raceEnabled {
+		// The race runtime randomly drops sync.Pool puts (to surface
+		// reuse races), so the pooled searcher scratch re-allocates
+		// nondeterministically and AllocsPerRun is meaningless here.
+		t.Skip("allocation counts are nondeterministic under -race")
+	}
+	ds := demoData(t)
+	ix, err := Build(ds.Vectors, ds.Dim, WithSeed(35))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := ds.Query(0)
+	// Warm the snapshot pool's searcher scratch.
+	for i := 0; i < 3; i++ {
+		if _, _, err := ix.SearchWithStats(q, 10, WithMaxCandidates(1000)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, _, err := ix.SearchWithStats(q, 10, WithMaxCandidates(1000)); err != nil {
+			t.Fatal(err)
+		}
+	})
+	const budget = 4
+	if allocs > budget {
+		t.Fatalf("SearchWithStats allocs/op = %.1f, budget %d", allocs, budget)
+	}
+}
+
+// TestTraceStressRoot races traced searches, Adds and recorder readers
+// on both the single and the sharded index — the root-level -race
+// exercise behind `make trace-stress`.
+func TestTraceStressRoot(t *testing.T) {
+	ds := demoData(t)
+	ix, err := Build(ds.Vectors, ds.Dim, WithSeed(36),
+		WithTracing(2), WithSlowQueryThreshold(time.Nanosecond), WithTraceBuffer(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := BuildSharded(ds.Vectors, ds.Dim, 3, WithSeed(37), WithTracing(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers, perWorker = 4, 100
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				q := ds.Query((w + i) % ds.NQ())
+				if _, _, err := ix.SearchWithStats(q, 3, WithMaxCandidates(60)); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, _, err := sharded.SearchWithStats(q, 3, WithMaxCandidates(40)); err != nil {
+					t.Error(err)
+					return
+				}
+				if i%10 == 0 {
+					if _, err := ix.Add(q); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var sink bytes.Buffer
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, tr := range ix.TraceRecorder().Traces() {
+				_ = tr.Summary()
+			}
+			sink.Reset()
+			_ = trace.WriteChrome(&sink, sharded.TraceRecorder().Traces()...)
+		}
+	}()
+	// Writers finish, then the reader is told to stop.
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for {
+		st := ix.TraceRecorder().Stats()
+		if st.Queries >= workers*perWorker {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(stop)
+	<-done
+	st := ix.TraceRecorder().Stats()
+	if st.Queries != workers*perWorker || st.Captured == 0 {
+		t.Fatalf("recorder %+v after stress", st)
+	}
+	if sst := sharded.TraceRecorder().Stats(); sst.Queries != workers*perWorker {
+		t.Fatalf("sharded recorder %+v after stress", sst)
+	}
+}
