@@ -3,9 +3,9 @@
 # flight-recorder race stress.
 GO ?= go
 
-.PHONY: check build vet test race trace-stress bench bench-smoke bench-json
+.PHONY: check build vet test race trace-stress durability fuzz-smoke bench bench-smoke bench-json
 
-check: vet test race trace-stress bench-smoke
+check: vet test race trace-stress durability bench-smoke
 
 build:
 	$(GO) build ./...
@@ -29,6 +29,21 @@ race:
 # publication), so this is the regression gate for that design.
 trace-stress:
 	$(GO) test -race -run 'TraceStress' . ./internal/trace ./internal/server
+
+# Crash-recovery suite under the race detector: WAL round-trips and
+# torn tails at every byte offset, segment-file corruption, and the
+# graceful/crash recover paths. This is the regression gate for the
+# Add durability contract (acknowledged Adds are never silently lost).
+durability:
+	$(GO) test -race -run 'WAL|Durable|Durability|SaveFileAtomic|LoadRejects' . ./internal/wal
+
+# Short fuzz runs over the two untrusted-input parsers: the GQRPUB1
+# index loader and the WAL replayer. Ten seconds each — enough to
+# catch a panic or an unbounded allocation from a hostile length
+# field without stalling CI.
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzLoad -fuzztime=10s -run '^$$' .
+	$(GO) test -fuzz=FuzzReplay -fuzztime=10s -run '^$$' ./internal/wal
 
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .

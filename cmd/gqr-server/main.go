@@ -31,6 +31,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -51,6 +52,8 @@ func main() {
 		seed        = flag.Int64("seed", 0, "training seed")
 		buildProcs  = flag.Int("build-procs", 0, "build worker bound (0 = GOMAXPROCS); the index is identical at any setting")
 		loadIdx     = flag.String("load", "", "load a saved index instead of training")
+		dataDir     = flag.String("data-dir", "", "durable data directory: Adds are crash-safe, and the server recovers from it on restart")
+		walOn       = flag.Bool("wal", true, "with -data-dir, fsync a write-ahead log record before acknowledging each Add (disable for segment-only durability)")
 		pprofOn     = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 		logJSON     = flag.Bool("log-json", false, "emit JSON log lines instead of text")
 		drainWindow = flag.Duration("shutdown-timeout", 15*time.Second, "max time to drain in-flight requests on SIGINT/SIGTERM")
@@ -85,23 +88,45 @@ func main() {
 		gqr.WithSlowQueryThreshold(time.Duration(*slowQueryMS * float64(time.Millisecond))),
 		gqr.WithTraceBuffer(*traceBuf),
 	}
+	durOpts := traceOpts
+	if !*walOn {
+		durOpts = append(append([]gqr.Option{}, durOpts...), gqr.WithoutAddWAL())
+	}
 	var ix *gqr.Index
-	if *loadIdx != "" {
-		ix, err = gqr.LoadFile(*loadIdx, vecs, dim, traceOpts...)
-	} else {
-		buildOpts := append([]gqr.Option{
-			gqr.WithAlgorithm(gqr.Algorithm(*algorithm)),
-			gqr.WithQueryMethod(gqr.QueryMethod(*method)),
-			gqr.WithMetric(gqr.Metric(*metric)),
-			gqr.WithCodeLength(*bits),
-			gqr.WithTables(*tables),
-			gqr.WithSeed(*seed),
-			gqr.WithBuildParallelism(*buildProcs)}, traceOpts...)
-		ix, err = gqr.Build(vecs, dim, buildOpts...)
+	recovered := false
+	if *dataDir != "" {
+		if _, statErr := os.Stat(filepath.Join(*dataDir, "base.gqridx")); statErr == nil {
+			ix, err = gqr.Recover(*dataDir, vecs, dim, durOpts...)
+			recovered = err == nil
+		}
+	}
+	if ix == nil && err == nil {
+		if *loadIdx != "" {
+			ix, err = gqr.LoadFile(*loadIdx, vecs, dim, traceOpts...)
+		} else {
+			buildOpts := append([]gqr.Option{
+				gqr.WithAlgorithm(gqr.Algorithm(*algorithm)),
+				gqr.WithQueryMethod(gqr.QueryMethod(*method)),
+				gqr.WithMetric(gqr.Metric(*metric)),
+				gqr.WithCodeLength(*bits),
+				gqr.WithTables(*tables),
+				gqr.WithSeed(*seed),
+				gqr.WithBuildParallelism(*buildProcs)}, traceOpts...)
+			ix, err = gqr.Build(vecs, dim, buildOpts...)
+		}
 	}
 	if err != nil {
 		logger.Error("building index", "error", err)
 		os.Exit(1)
+	}
+	if *dataDir != "" && !recovered {
+		if err := ix.EnableDurability(*dataDir, durOpts...); err != nil {
+			logger.Error("enabling durability", "error", err)
+			os.Exit(1)
+		}
+	}
+	if *dataDir != "" {
+		logger.Info("durability enabled", "dataDir", *dataDir, "wal", *walOn, "recovered", recovered)
 	}
 	st := ix.Stats()
 	logger.Info("index ready",
@@ -151,6 +176,12 @@ func main() {
 	}
 	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		logger.Error("server error", "error", err)
+	}
+	// Close after the HTTP drain: no more Adds can arrive, so the final
+	// memtable seals into a durable segment and the WAL hands off cleanly
+	// (the next start replays nothing).
+	if err := ix.Close(); err != nil {
+		logger.Error("closing index", "error", err)
 	}
 	// The final snapshot gives operators the session totals even when
 	// nothing scraped /metrics.

@@ -1,0 +1,348 @@
+package gqr
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"gqr/internal/index"
+	"gqr/internal/wal"
+)
+
+// Crash-safe ingest. A durable index owns a data directory with three
+// kinds of files, every one written atomically (temp + fsync + rename):
+//
+//	base.gqridx       the index as of EnableDurability (GQRPUB1; the
+//	                  caller keeps the matching vector block, e.g. an
+//	                  fvecs file — base vectors are never duplicated)
+//	seg-<seq>.gqrseg  one frozen segment: its vectors plus per-table
+//	                  buckets (GQRSEG1), written when the memtable
+//	                  seals and when segments merge
+//	wal-<n>.log       the write-ahead log of Adds since the last seal,
+//	                  first id n; appended and fsynced before each Add
+//	                  returns, rotated at every seal, deleted once the
+//	                  covering segment file is durable
+//
+// The durability contract of Add: when Add returns nil with the WAL on,
+// the vector is on stable storage and Recover reconstructs it
+// bit-identically. With WithoutAddWAL only sealed segments are durable.
+const baseFileName = "base.gqridx"
+
+// durability is the index's durable-storage state. Mutable fields are
+// guarded by the index's writeMu; dir/walOn are immutable.
+type durability struct {
+	dir   string
+	walOn bool
+	w     *wal.Writer
+	// walSizes tracks every live log file's size (current writer
+	// included) for the gqr_index_wal_bytes gauge. It has its own lock:
+	// background segment persists retire entries (dropWAL) without the
+	// index's writer lock, concurrently with Add updating the current
+	// writer's entry under it.
+	szMu     sync.Mutex
+	walSizes map[string]int64
+}
+
+func (d *durability) walPath(firstID int) string {
+	return filepath.Join(d.dir, fmt.Sprintf("wal-%016d.log", firstID))
+}
+
+func (d *durability) segPath(seq uint64) string {
+	return filepath.Join(d.dir, fmt.Sprintf("seg-%016x.gqrseg", seq))
+}
+
+// append logs one Add; when it returns nil the record is synced.
+func (d *durability) append(id uint64, vec []float32) error {
+	if d.w == nil {
+		return fmt.Errorf("wal unavailable (a previous rotation failed)")
+	}
+	if err := d.w.Append(id, vec); err != nil {
+		return err
+	}
+	d.szMu.Lock()
+	d.walSizes[d.w.Path()] = d.w.Bytes()
+	d.szMu.Unlock()
+	return nil
+}
+
+// rotate closes the current log (returning its path, "" when none) and
+// opens a fresh one whose first record will be item nextID.
+func (d *durability) rotate(nextID int) (old string, err error) {
+	if !d.walOn {
+		return "", nil
+	}
+	if d.w != nil {
+		old = d.w.Path()
+		d.szMu.Lock()
+		d.walSizes[old] = d.w.Bytes()
+		d.szMu.Unlock()
+		if cerr := d.w.Close(); cerr != nil {
+			return "", cerr
+		}
+		d.w = nil
+	}
+	w, err := wal.Create(d.walPath(nextID))
+	if err != nil {
+		return "", err
+	}
+	d.w = w
+	d.szMu.Lock()
+	d.walSizes[w.Path()] = 0
+	d.szMu.Unlock()
+	return old, nil
+}
+
+// dropWAL deletes a retired log file (its Adds are now covered by a
+// durable segment file).
+func (d *durability) dropWAL(path string) {
+	os.Remove(path)
+	d.szMu.Lock()
+	delete(d.walSizes, path)
+	d.szMu.Unlock()
+}
+
+// writeSegment persists one frozen segment atomically and returns its
+// path.
+func (d *durability) writeSegment(seg *index.Segment, vecs []float32, dim int) (string, error) {
+	path := d.segPath(seg.Seq())
+	err := atomicWriteFile(path, func(w io.Writer) error {
+		return index.WriteSegment(w, seg, vecs, dim)
+	})
+	if err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+func (d *durability) walBytes() int64 {
+	d.szMu.Lock()
+	defer d.szMu.Unlock()
+	var n int64
+	for _, b := range d.walSizes {
+		n += b
+	}
+	return n
+}
+
+func (d *durability) close() error {
+	if d.w == nil {
+		return nil
+	}
+	err := d.w.Close()
+	d.w = nil
+	return err
+}
+
+// EnableDurability attaches a data directory to the index: the current
+// state is written to base.gqridx, and from then on every Add is
+// WAL-logged before it is acknowledged (unless WithoutAddWAL) and every
+// sealed or merged segment gets its own file. Only the durability
+// options of opts are consulted (WithoutAddWAL); everything else is
+// fixed at Build. Restart with Recover, passing the same vector block
+// the index holds now.
+func (ix *Index) EnableDurability(dir string, opts ...Option) error {
+	cfg := defaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	ix.writeMu.Lock()
+	defer ix.writeMu.Unlock()
+	if ix.closed {
+		return fmt.Errorf("gqr: index is closed")
+	}
+	if ix.dur != nil {
+		return fmt.Errorf("gqr: durability already enabled")
+	}
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return fmt.Errorf("gqr: enable durability: %w", err)
+	}
+	// Seal first: base.gqridx then covers every current item, so the
+	// pre-base segments never need files of their own (they sit below
+	// the merge barrier and are never merged with post-base segments).
+	ix.live.SealMemtable()
+	if err := atomicWriteFile(filepath.Join(dir, baseFileName), ix.saveLocked); err != nil {
+		return fmt.Errorf("gqr: enable durability: %w", err)
+	}
+	d := &durability{dir: dir, walOn: !cfg.walOff, walSizes: make(map[string]int64)}
+	if d.walOn {
+		if _, err := d.rotate(ix.live.N); err != nil {
+			return fmt.Errorf("gqr: enable durability: %w", err)
+		}
+	}
+	ix.mergeBarrier = ix.live.N
+	ix.dur = d
+	return nil
+}
+
+// Recover restores a durable index from its data directory: the base
+// file is loaded (vectors is the base vector block, exactly what was
+// passed to Build/Load before EnableDurability), segment files are
+// re-attached, and the write-ahead logs are replayed — every
+// acknowledged Add comes back bit-identically. Recovery ends with a
+// checkpoint: recovered WAL records are sealed into a durable segment
+// file and the old logs are deleted, so a crash during the next run
+// replays only its own Adds.
+//
+// Anything inconsistent — a truncated or corrupted segment file, a gap
+// in id coverage — is an error naming the file: recovery never loads
+// silently-wrong data. A torn WAL tail is not an error (it is the
+// unacknowledged record of a crash mid-append) and is discarded.
+func Recover(dir string, vectors []float32, dim int, opts ...Option) (*Index, error) {
+	cfg := defaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	basePath := filepath.Join(dir, baseFileName)
+	f, err := os.Open(basePath)
+	if err != nil {
+		return nil, fmt.Errorf("gqr: recover: %w", err)
+	}
+	ix, err := loadUnpublished(f, vectors, dim, cfg)
+	f.Close()
+	if err != nil {
+		return nil, fmt.Errorf("gqr: recover: base index: %w", err)
+	}
+	baseID := ix.live.N
+
+	// Leftover temp files are dead weight from interrupted atomic
+	// writes; their final-named targets never existed.
+	if tmps, _ := filepath.Glob(filepath.Join(dir, "*.tmp*")); len(tmps) > 0 {
+		for _, t := range tmps {
+			os.Remove(t)
+		}
+	}
+
+	if err := ix.recoverSegments(dir, dim); err != nil {
+		return nil, err
+	}
+	replayed, err := ix.recoverWALs(dir, dim)
+	if err != nil {
+		return nil, err
+	}
+
+	// Checkpoint: everything recovered becomes segment-durable, then
+	// the replayed logs are retired and a fresh one opened.
+	d := &durability{dir: dir, walOn: !cfg.walOff, walSizes: make(map[string]int64)}
+	ix.dur = d
+	ix.mergeBarrier = baseID
+	if seg := ix.live.SealMemtable(); seg != nil {
+		vecs := ix.live.Data[seg.MinID()*dim : (seg.MinID()+seg.Items())*dim]
+		path, err := d.writeSegment(seg, vecs, dim)
+		if err != nil {
+			return nil, fmt.Errorf("gqr: recover: checkpoint: %w", err)
+		}
+		seg.SetOnZero(func() { os.Remove(path) })
+	}
+	if walFiles, _ := filepath.Glob(filepath.Join(dir, "wal-*.log")); len(walFiles) > 0 {
+		for _, wf := range walFiles {
+			os.Remove(wf)
+		}
+	}
+	if d.walOn {
+		if _, err := d.rotate(ix.live.N); err != nil {
+			return nil, fmt.Errorf("gqr: recover: %w", err)
+		}
+	}
+	ix.adds.Add(int64(replayed))
+	if err := ix.publishLocked(); err != nil {
+		return nil, err
+	}
+	return ix, nil
+}
+
+// recoverSegments re-attaches the directory's segment files in id
+// order. Files fully covered by what is already loaded (stale inputs
+// of a merge that completed before the crash) are deleted; a file that
+// neither extends coverage exactly nor is fully covered means the
+// directory is inconsistent, and recovery fails naming it.
+func (ix *Index) recoverSegments(dir string, dim int) error {
+	paths, err := filepath.Glob(filepath.Join(dir, "seg-*.gqrseg"))
+	if err != nil {
+		return fmt.Errorf("gqr: recover: %w", err)
+	}
+	type segFile struct {
+		path string
+		seg  *index.Segment
+		vecs []float32
+	}
+	files := make([]segFile, 0, len(paths))
+	for _, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			return fmt.Errorf("gqr: recover: %w", err)
+		}
+		seg, vecs, rerr := index.ReadSegment(f, dim, len(ix.live.Tables))
+		f.Close()
+		if rerr != nil {
+			return fmt.Errorf("gqr: recover: segment %s: %w", filepath.Base(p), rerr)
+		}
+		files = append(files, segFile{path: p, seg: seg, vecs: vecs})
+	}
+	// Ascending start; at equal start the widest file first, so a
+	// merged segment supersedes the inputs it covers.
+	sort.Slice(files, func(i, j int) bool {
+		if files[i].seg.MinID() != files[j].seg.MinID() {
+			return files[i].seg.MinID() < files[j].seg.MinID()
+		}
+		return files[i].seg.Items() > files[j].seg.Items()
+	})
+	for _, sf := range files {
+		end := sf.seg.MinID() + sf.seg.Items()
+		switch {
+		case end <= ix.live.N:
+			// Fully covered (by the base or by a wider merged file):
+			// a stale leftover whose deletion the crash interrupted.
+			os.Remove(sf.path)
+		case sf.seg.MinID() == ix.live.N:
+			if err := ix.live.AppendSegment(sf.seg, sf.vecs); err != nil {
+				return fmt.Errorf("gqr: recover: segment %s: %w", filepath.Base(sf.path), err)
+			}
+			path := sf.path
+			sf.seg.SetOnZero(func() { os.Remove(path) })
+		default:
+			return fmt.Errorf("gqr: recover: segment %s covers [%d,%d) but coverage ends at %d (gap or partial overlap)",
+				filepath.Base(sf.path), sf.seg.MinID(), end, ix.live.N)
+		}
+	}
+	return nil
+}
+
+// recoverWALs replays the directory's logs in id order onto the live
+// index. Records already covered by a segment file are skipped; a
+// record that would leave an id gap is an error (a missing or deleted
+// log); a torn tail ends its log cleanly.
+func (ix *Index) recoverWALs(dir string, dim int) (int, error) {
+	walFiles, err := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	if err != nil {
+		return 0, fmt.Errorf("gqr: recover: %w", err)
+	}
+	sort.Strings(walFiles) // wal-%016d: lexicographic == numeric
+	replayed := 0
+	for _, wf := range walFiles {
+		_, err := wal.Replay(wf, dim, func(id uint64, vec []float32) error {
+			switch {
+			case id < uint64(ix.live.N):
+				return nil // already durable in a segment file
+			case id > uint64(ix.live.N):
+				return fmt.Errorf("record id %d leaves a gap at %d", id, ix.live.N)
+			}
+			// The logged vector is post-normalization; applying it
+			// directly (no re-normalize) keeps recovery bit-identical.
+			if _, err := ix.live.Add(vec); err != nil {
+				return err
+			}
+			replayed++
+			return nil
+		})
+		if err != nil {
+			return 0, fmt.Errorf("gqr: recover: wal %s: %w", filepath.Base(wf), err)
+		}
+	}
+	return replayed, nil
+}

@@ -1,0 +1,457 @@
+package gqr
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func durVecs(n, dim int, seed int64) []float32 {
+	rng := rand.New(rand.NewSource(seed))
+	v := make([]float32, n*dim)
+	for i := range v {
+		v[i] = float32(rng.NormFloat64())
+	}
+	return v
+}
+
+func saveBytes(t *testing.T, ix *Index) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// copyDir clones a data directory so crash scenarios can mutilate a
+// copy while the original stays intact.
+func copyDir(t *testing.T, src, dst string) {
+	t.Helper()
+	if err := os.MkdirAll(dst, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		raw, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestDurableRecoverAfterGracefulClose is the clean-handoff contract:
+// build, ingest across several seals and merges, Close, Recover — the
+// recovered index is structurally identical (same persisted bytes) and
+// nothing needed WAL replay.
+func TestDurableRecoverAfterGracefulClose(t *testing.T) {
+	const dim, baseN, addN = 8, 300, 200
+	base := durVecs(baseN, dim, 1)
+	adds := durVecs(addN, dim, 2)
+	dir := t.TempDir()
+
+	ix, err := Build(base, dim, WithSeed(11), WithMemtableSize(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.EnableDurability(dir); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < addN; i++ {
+		if _, err := ix.Add(adds[i*dim : (i+1)*dim]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := ix.Stats()
+	if st.Seals == 0 {
+		t.Fatalf("no seals after %d adds at memtable 32", addN)
+	}
+	if st.WALBytes == 0 {
+		t.Fatal("WAL bytes gauge reads zero mid-ingest")
+	}
+	want := saveBytes(t, ix)
+	if err := ix.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ix.Add(adds[:dim]); err == nil {
+		t.Fatal("Add after Close must fail")
+	}
+
+	rec, err := Recover(dir, base, dim, WithMemtableSize(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	if got := rec.Stats().Items; got != baseN+addN {
+		t.Fatalf("recovered %d items, want %d", got, baseN+addN)
+	}
+	if rec.Stats().Adds != 0 {
+		t.Fatalf("graceful close still left %d WAL records to replay", rec.Stats().Adds)
+	}
+	if got := saveBytes(t, rec); !bytes.Equal(got, want) {
+		t.Fatal("recovered index is not bit-identical to the pre-close index")
+	}
+	// The recovered index keeps ingesting durably.
+	if _, err := rec.Add(adds[:dim]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDurableRecoverAfterCrash abandons the index without Close — the
+// process-crash model. Every acknowledged Add must come back
+// bit-identically from segment files plus the WAL.
+func TestDurableRecoverAfterCrash(t *testing.T) {
+	for _, metric := range []Metric{Euclidean, Angular} {
+		t.Run(string(metric), func(t *testing.T) {
+			const dim, baseN, addN = 8, 200, 90
+			base := durVecs(baseN, dim, 3)
+			adds := durVecs(addN, dim, 4)
+			dir := t.TempDir()
+
+			ix, err := Build(base, dim, WithSeed(12), WithMetric(metric), WithMemtableSize(16))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := ix.EnableDurability(dir); err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < addN; i++ {
+				if _, err := ix.Add(adds[i*dim : (i+1)*dim]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// Quiesce background persists so the directory is stable, then
+			// "crash": no Close, the WAL is simply abandoned mid-life.
+			if err := ix.Compact(); err != nil {
+				t.Fatal(err)
+			}
+			want := saveBytes(t, ix)
+
+			rec, err := Recover(dir, base, dim, WithMetric(metric), WithMemtableSize(16))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer rec.Close()
+			if got := rec.Stats().Items; got != baseN+addN {
+				t.Fatalf("recovered %d items, want %d", got, baseN+addN)
+			}
+			if got := saveBytes(t, rec); !bytes.Equal(got, want) {
+				t.Fatal("crash recovery is not bit-identical")
+			}
+			// Unbudgeted search is exact: every recovered add must be its
+			// own nearest neighbor at distance 0 (bit-identical vectors).
+			for _, i := range []int{0, addN / 2, addN - 1} {
+				nbrs, err := rec.Search(adds[i*dim:(i+1)*dim], 1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(nbrs) != 1 || nbrs[0].ID != baseN+i || nbrs[0].Distance != 0 {
+					t.Fatalf("add %d not recovered exactly: %+v", i, nbrs)
+				}
+			}
+		})
+	}
+}
+
+// TestDurableWALTruncationRecoversPrefix is the issue's crash harness:
+// the WAL cut at every frame-straddling offset must recover exactly the
+// records whose frames survived — a prefix of the acknowledged Adds,
+// each bit-identical — and never error, never resurrect a torn record.
+func TestDurableWALTruncationRecoversPrefix(t *testing.T) {
+	const dim, baseN, addN = 6, 100, 20
+	base := durVecs(baseN, dim, 5)
+	adds := durVecs(addN, dim, 6)
+	dir := t.TempDir()
+	src := filepath.Join(dir, "src")
+
+	ix, err := Build(base, dim, WithSeed(13)) // default memtable: no seal, all Adds in one WAL
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.EnableDurability(src); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < addN; i++ {
+		if _, err := ix.Add(adds[i*dim : (i+1)*dim]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wals, err := filepath.Glob(filepath.Join(src, "wal-*.log"))
+	if err != nil || len(wals) != 1 {
+		t.Fatalf("expected one WAL file, found %v (%v)", wals, err)
+	}
+	walName := filepath.Base(wals[0])
+	raw, err := os.ReadFile(wals[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := 16 + 4*dim
+	if len(raw) != addN*frame {
+		t.Fatalf("WAL is %d bytes, want %d", len(raw), addN*frame)
+	}
+
+	cuts := []int{0, 1, frame - 1, frame, frame + 7, 5*frame + 3, 10 * frame, len(raw) - 1, len(raw)}
+	for _, cut := range cuts {
+		t.Run(fmt.Sprintf("cut=%d", cut), func(t *testing.T) {
+			cdir := filepath.Join(dir, fmt.Sprintf("cut-%d", cut))
+			copyDir(t, src, cdir)
+			if err := os.WriteFile(filepath.Join(cdir, walName), raw[:cut], 0o644); err != nil {
+				t.Fatal(err)
+			}
+			rec, err := Recover(cdir, base, dim)
+			if err != nil {
+				t.Fatalf("torn WAL tail must recover cleanly, got: %v", err)
+			}
+			defer rec.Close()
+			survived := cut / frame
+			if got := rec.Stats().Items; got != baseN+survived {
+				t.Fatalf("recovered %d items, want %d (%d surviving frames)", got, baseN+survived, survived)
+			}
+			for _, i := range []int{0, survived - 1} {
+				if i < 0 || i >= survived {
+					continue
+				}
+				nbrs, err := rec.Search(adds[i*dim:(i+1)*dim], 1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if nbrs[0].ID != baseN+i || nbrs[0].Distance != 0 {
+					t.Fatalf("surviving add %d not recovered exactly: %+v", i, nbrs[0])
+				}
+			}
+		})
+	}
+}
+
+// TestDurableSegmentCorruptionFailsCleanly pins the other half of the
+// contract: a damaged segment file means acknowledged data cannot be
+// reconstructed, so recovery must fail naming the file — loading
+// silently-wrong buckets is never an option.
+func TestDurableSegmentCorruptionFailsCleanly(t *testing.T) {
+	const dim, baseN, addN = 6, 80, 24
+	base := durVecs(baseN, dim, 7)
+	adds := durVecs(addN, dim, 8)
+	dir := t.TempDir()
+	src := filepath.Join(dir, "src")
+
+	ix, err := Build(base, dim, WithSeed(14), WithMemtableSize(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.EnableDurability(src); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < addN; i++ {
+		if _, err := ix.Add(adds[i*dim : (i+1)*dim]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ix.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := filepath.Glob(filepath.Join(src, "seg-*.gqrseg"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("expected segment files, found %v (%v)", segs, err)
+	}
+	segName := filepath.Base(segs[0])
+	raw, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	corrupt := func(name string, mutate func([]byte) []byte) {
+		cdir := filepath.Join(dir, name)
+		copyDir(t, src, cdir)
+		if err := os.WriteFile(filepath.Join(cdir, segName), mutate(append([]byte{}, raw...)), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, err := Recover(cdir, base, dim)
+		if err == nil {
+			t.Fatalf("%s: corrupted segment accepted", name)
+		}
+		if !strings.Contains(err.Error(), segName) {
+			t.Fatalf("%s: error does not name the damaged file: %v", name, err)
+		}
+	}
+	corrupt("truncated", func(b []byte) []byte { return b[:len(b)/2] })
+	corrupt("truncated-header", func(b []byte) []byte { return b[:11] })
+	corrupt("trailing-garbage", func(b []byte) []byte { return append(b, 0xde, 0xad) })
+
+	// A deleted middle segment leaves an id gap the next file exposes.
+	if len(segs) >= 2 {
+		cdir := filepath.Join(dir, "gap")
+		copyDir(t, src, cdir)
+		if err := os.Remove(filepath.Join(cdir, filepath.Base(segs[0]))); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Recover(cdir, base, dim); err == nil {
+			t.Fatal("missing segment file accepted despite the id gap")
+		} else if !strings.Contains(err.Error(), "gap") {
+			t.Fatalf("gap error unclear: %v", err)
+		}
+	}
+}
+
+// TestDurableWithoutAddWAL checks the relaxed mode: unsealed Adds are
+// not durable (documented), sealed ones are, and no WAL files exist.
+func TestDurableWithoutAddWAL(t *testing.T) {
+	const dim, baseN = 6, 60
+	base := durVecs(baseN, dim, 9)
+	adds := durVecs(20, dim, 10)
+	dir := t.TempDir()
+
+	ix, err := Build(base, dim, WithSeed(15), WithMemtableSize(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.EnableDurability(dir, WithoutAddWAL()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if _, err := ix.Add(adds[i*dim : (i+1)*dim]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ix.Compact(); err != nil { // quiesce background persists
+		t.Fatal(err)
+	}
+	if ix.Stats().WALBytes != 0 {
+		t.Fatal("WithoutAddWAL still accumulated WAL bytes")
+	}
+	if wals, _ := filepath.Glob(filepath.Join(dir, "wal-*.log")); len(wals) != 0 {
+		t.Fatalf("WithoutAddWAL wrote WAL files: %v", wals)
+	}
+	// Crash without Close: everything was sealed by Compact, so all 20
+	// come back even without a WAL.
+	rec, err := Recover(dir, base, dim, WithoutAddWAL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	if got := rec.Stats().Items; got != baseN+20 {
+		t.Fatalf("recovered %d items, want %d", got, baseN+20)
+	}
+}
+
+// TestSaveFileAtomic pins the atomic-replace contract: a failed write
+// leaves the previous file byte-identical and no temp litter behind.
+func TestSaveFileAtomic(t *testing.T) {
+	const dim = 6
+	vecs := durVecs(50, dim, 16)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "index.gqr")
+
+	ix, err := Build(vecs, dim, WithSeed(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A write that fails mid-stream must not touch the existing file.
+	if err := atomicWriteFile(path, func(io.Writer) error { return fmt.Errorf("disk on fire") }); err == nil {
+		t.Fatal("failing writer must surface its error")
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("failed atomic write damaged the existing file")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Fatalf("temp file left behind: %s", e.Name())
+		}
+	}
+	// Overwriting with new content still works.
+	vecs2 := durVecs(70, dim, 18)
+	ix2, err := Build(vecs2, dim, WithSeed(19))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix2.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	re, err := LoadFile(path, vecs2, dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Stats().Items != 70 {
+		t.Fatalf("replaced file holds %d items, want 70", re.Stats().Items)
+	}
+}
+
+// TestLoadRejectsBadVectorBlockBothMetrics pins the satellite fix: the
+// vector-block length check fires for Euclidean and Angular alike, with
+// an error that says what is wrong.
+func TestLoadRejectsBadVectorBlockBothMetrics(t *testing.T) {
+	const dim = 6
+	vecs := durVecs(40, dim, 20)
+	for _, metric := range []Metric{Euclidean, Angular} {
+		ix, err := Build(vecs, dim, WithSeed(21), WithMetric(metric))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := ix.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		_, err = Load(bytes.NewReader(buf.Bytes()), vecs[:len(vecs)-3], dim)
+		if err == nil {
+			t.Fatalf("%s: ragged vector block accepted", metric)
+		}
+		if !strings.Contains(err.Error(), "not a multiple of dim") {
+			t.Fatalf("%s: unclear vector-block error: %v", metric, err)
+		}
+	}
+}
+
+// TestDurabilityStateErrors covers the lifecycle guard rails.
+func TestDurabilityStateErrors(t *testing.T) {
+	const dim = 6
+	vecs := durVecs(30, dim, 22)
+	ix, err := Build(vecs, dim, WithSeed(23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := ix.EnableDurability(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.EnableDurability(dir); err == nil {
+		t.Fatal("double EnableDurability must fail")
+	}
+	if err := ix.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Close(); err != nil {
+		t.Fatalf("Close must be idempotent: %v", err)
+	}
+	if err := ix.Compact(); err == nil {
+		t.Fatal("Compact after Close must fail")
+	}
+	if _, err := Recover(t.TempDir(), vecs, dim); err == nil {
+		t.Fatal("Recover from an empty directory must fail")
+	}
+}

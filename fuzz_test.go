@@ -1,0 +1,45 @@
+package gqr
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzLoad feeds arbitrary bytes to the GQRPUB1 loader. Load consumes
+// untrusted files (the durability layer replays base files off disk
+// after a crash), so whatever the bytes, it must return an error or a
+// consistent index — never panic, never allocate unboundedly from a
+// length field, never accept a structure that disagrees with the
+// vector block.
+func FuzzLoad(f *testing.F) {
+	const dim = 4
+	vecs := durVecs(30, dim, 30)
+	ix, err := Build(vecs, dim, WithSeed(31))
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add(valid[:9])
+	f.Add([]byte("GQRPUB1\x00"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		out, err := Load(bytes.NewReader(data), vecs, dim)
+		if err != nil {
+			return
+		}
+		// Anything that loads must be internally consistent and usable.
+		st := out.Stats()
+		if st.Items != len(vecs)/dim {
+			t.Fatalf("loaded index claims %d items over a %d-vector block", st.Items, len(vecs)/dim)
+		}
+		if _, err := out.Search(vecs[:dim], 3); err != nil {
+			t.Fatalf("loaded index cannot search: %v", err)
+		}
+	})
+}

@@ -3,6 +3,7 @@ package gqr
 import (
 	"fmt"
 	"math"
+	"os"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -135,6 +136,30 @@ type Index struct {
 	// the next search republishes before probing.
 	stale atomic.Bool
 
+	// sealEvery is the memtable size at which Add seals it into a new
+	// frozen segment (O(sealEvery) inline, amortized O(1) per Add).
+	sealEvery int
+	// mergeBarrier is the id below which segments are never merged: the
+	// durability layer's base file covers [0, mergeBarrier), so those
+	// segments need no files of their own. Guarded by writeMu.
+	mergeBarrier int
+	// dur is the durability state (WAL writer, data dir); nil until
+	// EnableDurability/Recover. Guarded by writeMu.
+	dur *durability
+	// persistErr records the first background persistence failure; it is
+	// surfaced by Close and Compact. Guarded by writeMu.
+	persistErr error
+	// closed stops new background work; bg waits for in-flight work
+	// (segment persists, merges). merging/bgN guarded by writeMu.
+	closed  bool
+	merging bool
+	bgN     int
+	bg      sync.WaitGroup
+	// compactObs, when set, observes every applied merge (the metrics
+	// layer feeds a merge-duration histogram from it). Guarded by
+	// writeMu for writes; invoked outside the lock.
+	compactObs func(CompactionInfo)
+
 	// Lifecycle instrumentation surfaced through Stats: how long Build
 	// took, how many vectors Add appended, how often a new snapshot was
 	// published because of those Adds, and the generation counter.
@@ -206,7 +231,7 @@ func Build(vectors []float32, dim int, opts ...Option) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := &Index{live: ix, metric: cfg.metric, methodName: string(cfg.method), rec: recorderOf(cfg)}
+	out := &Index{live: ix, metric: cfg.metric, methodName: string(cfg.method), rec: recorderOf(cfg), sealEvery: cfg.memtable}
 	out.muScale = earlyStopScale(ix)
 	if err := out.publishLocked(); err != nil {
 		return nil, err
@@ -377,32 +402,311 @@ func (ix *Index) Add(vec []float32) (int, error) {
 	}
 	ix.writeMu.Lock()
 	defer ix.writeMu.Unlock()
+	if ix.closed {
+		return 0, fmt.Errorf("gqr: index is closed")
+	}
+	if len(vec) != ix.live.Dim {
+		return 0, fmt.Errorf("gqr: vector dim %d != index dim %d", len(vec), ix.live.Dim)
+	}
+	// Durability point: the record is on stable storage before the Add
+	// is acknowledged. The vector is logged post-normalization so replay
+	// reconstructs the stored bytes exactly (bit-identical recovery).
+	if ix.dur != nil && ix.dur.walOn {
+		if err := ix.dur.append(uint64(ix.live.N), vec); err != nil {
+			return 0, fmt.Errorf("gqr: wal append: %w", err)
+		}
+	}
 	id, err := ix.live.Add(vec)
 	if err != nil {
 		return 0, err
 	}
 	ix.stale.Store(true)
 	ix.adds.Add(1)
+	if ix.live.MemtableItems() >= ix.sealEvery {
+		ix.sealLocked(false)
+		ix.maybeMergeLocked()
+	}
 	return int(id), nil
+}
+
+// CompactionInfo describes one applied segment merge, delivered to the
+// observer installed by SetCompactionObserver.
+type CompactionInfo struct {
+	// Duration is the background merge's wall time (fold + optional
+	// segment-file write).
+	Duration time.Duration
+	// SegmentsIn is how many segments were folded into one.
+	SegmentsIn int
+	// Items is the merged segment's item count.
+	Items int
+}
+
+// SetCompactionObserver installs a hook invoked after every applied
+// background or inline merge. Pass nil to remove it. The hook runs
+// outside the writer lock and must be safe for concurrent use.
+func (ix *Index) SetCompactionObserver(f func(CompactionInfo)) {
+	ix.writeMu.Lock()
+	defer ix.writeMu.Unlock()
+	ix.compactObs = f
+}
+
+// sealLocked freezes the memtable into a new segment. With durability
+// enabled the segment is written to its own file — synchronously when
+// sync is set (checkpoints: EnableDurability, Recover, Close, Compact),
+// otherwise on a background goroutine — and the WAL is rotated; the old
+// log is deleted only after the segment file is durable. Caller holds
+// writeMu.
+func (ix *Index) sealLocked(sync bool) error {
+	seg := ix.live.SealMemtable()
+	if seg == nil {
+		return nil
+	}
+	if ix.dur == nil {
+		return nil
+	}
+	d := ix.live.Dim
+	vecs := ix.live.Data[seg.MinID()*d : (seg.MinID()+seg.Items())*d]
+	oldWAL, err := ix.dur.rotate(ix.live.N)
+	if err != nil {
+		ix.persistErr = firstErr(ix.persistErr, err)
+		return err
+	}
+	if sync {
+		err := ix.persistSegment(seg, vecs, oldWAL)
+		ix.persistErr = firstErr(ix.persistErr, err)
+		return err
+	}
+	ix.bgN++
+	ix.bg.Add(1)
+	go func() {
+		defer ix.bg.Done()
+		err := ix.persistSegment(seg, vecs, oldWAL)
+		ix.writeMu.Lock()
+		defer ix.writeMu.Unlock()
+		ix.bgN--
+		ix.persistErr = firstErr(ix.persistErr, err)
+		if err == nil && !ix.closed {
+			ix.maybeMergeLocked()
+		}
+	}()
+	return nil
+}
+
+// persistSegment writes one sealed segment's file atomically, installs
+// its zero-reference cleanup hook, and retires the WAL that covered it.
+// Pure filesystem work plus reads of immutable state — safe off-lock.
+func (ix *Index) persistSegment(seg *index.Segment, vecs []float32, oldWAL string) error {
+	path, err := ix.dur.writeSegment(seg, vecs, ix.live.Dim)
+	if err != nil {
+		// Keep the old WAL: it is still the only durable copy of these
+		// Adds, and recovery will replay it.
+		return err
+	}
+	seg.SetOnZero(func() { os.Remove(path) })
+	if oldWAL != "" {
+		ix.dur.dropWAL(oldWAL)
+	}
+	return nil
+}
+
+// maybeMergeLocked schedules one background merge when the size-tiered
+// policy finds a run worth folding and no merge is already in flight.
+// Caller holds writeMu.
+func (ix *Index) maybeMergeLocked() {
+	if ix.merging || ix.closed {
+		return
+	}
+	in := ix.live.PlanMerge(ix.mergeBarrier)
+	if in == nil {
+		return
+	}
+	seq := ix.live.TakeSeq()
+	var vecs []float32
+	if ix.dur != nil {
+		d := ix.live.Dim
+		lo := in[0].MinID()
+		count := 0
+		for _, s := range in {
+			count += s.Items()
+		}
+		// Subslice of the immutable prefix: later Adds only ever write
+		// past ix.live.N*d, never into [lo*d, (lo+count)*d).
+		vecs = ix.live.Data[lo*d : (lo+count)*d]
+	}
+	ix.merging = true
+	ix.bgN++
+	ix.bg.Add(1)
+	go ix.runMerge(in, seq, vecs)
+}
+
+// runMerge is the background merger: it folds the planned run into one
+// segment (the O(core) work that must never happen on the publish
+// path), makes the merged file durable first when durability is on,
+// then splices the result into the live segment list.
+func (ix *Index) runMerge(in []*index.Segment, seq uint64, vecs []float32) {
+	defer ix.bg.Done()
+	start := time.Now()
+	merged, err := index.MergeSegments(in, seq)
+	var path string
+	if err == nil && ix.dur != nil {
+		// The merged file must exist before the inputs can ever be
+		// deleted, so every crash window is fully covered.
+		path, err = ix.dur.writeSegment(merged, vecs, ix.live.Dim)
+	}
+	elapsed := time.Since(start)
+
+	ix.writeMu.Lock()
+	ix.merging = false
+	ix.bgN--
+	var obs func(CompactionInfo)
+	var info CompactionInfo
+	if err == nil {
+		err = ix.live.ApplyMerge(in, merged)
+		if err == nil {
+			if path != "" {
+				merged.SetOnZero(func() { os.Remove(path) })
+			}
+			ix.stale.Store(true)
+			obs = ix.compactObs
+			info = CompactionInfo{Duration: elapsed, SegmentsIn: len(in), Items: merged.Items()}
+		} else if path != "" {
+			os.Remove(path)
+		}
+	}
+	ix.persistErr = firstErr(ix.persistErr, err)
+	if !ix.closed {
+		ix.maybeMergeLocked()
+	}
+	rec := ix.rec
+	ix.writeMu.Unlock()
+
+	if obs != nil {
+		obs(info)
+	}
+	if rec != nil && err == nil {
+		// A compaction is its own flight record: one StageCompact span
+		// covering the whole merge, annotated with the items folded.
+		if tr := rec.Begin("compaction"); tr != nil {
+			tr.Record(trace.StageCompact, -1, start, start.Add(elapsed),
+				trace.Work{Candidates: int32(info.Items)})
+			tr.SetTotals(trace.Totals{Candidates: info.Items})
+			rec.Finish(tr, elapsed)
+		}
+	}
+}
+
+func firstErr(a, b error) error {
+	if a != nil {
+		return a
+	}
+	return b
+}
+
+// Compact waits for in-flight background work, then folds every
+// mergeable segment into one inline and seals the memtable first, so
+// the index reaches its most compact shape. It also surfaces any
+// background persistence error. Blocks Adds for the duration; search
+// snapshots are unaffected.
+func (ix *Index) Compact() error {
+	for {
+		ix.bg.Wait()
+		ix.writeMu.Lock()
+		if ix.closed {
+			ix.writeMu.Unlock()
+			return fmt.Errorf("gqr: index is closed")
+		}
+		if !ix.merging && ix.bgN == 0 {
+			break
+		}
+		ix.writeMu.Unlock()
+	}
+	defer ix.writeMu.Unlock()
+	if err := ix.sealLocked(true); err != nil {
+		return err
+	}
+	in := ix.live.SegmentsAbove(ix.mergeBarrier)
+	if len(in) >= 2 {
+		merged, err := index.MergeSegments(in, ix.live.TakeSeq())
+		if err != nil {
+			return err
+		}
+		if ix.dur != nil {
+			d := ix.live.Dim
+			lo := in[0].MinID()
+			count := 0
+			for _, s := range in {
+				count += s.Items()
+			}
+			path, err := ix.dur.writeSegment(merged, ix.live.Data[lo*d:(lo+count)*d], d)
+			if err != nil {
+				return err
+			}
+			merged.SetOnZero(func() { os.Remove(path) })
+		}
+		if err := ix.live.ApplyMerge(in, merged); err != nil {
+			return err
+		}
+		ix.stale.Store(true)
+	}
+	return ix.persistErr
+}
+
+// Close stops background compaction, seals and persists the memtable
+// when durability is enabled (the clean-shutdown WAL handoff: after a
+// clean Close the data directory recovers without any WAL replay), and
+// closes the WAL. The index must not be used afterwards; Close is
+// idempotent. It returns the first error any background persistence
+// hit, so acknowledged-but-unpersisted state is never silently
+// dropped.
+func (ix *Index) Close() error {
+	ix.writeMu.Lock()
+	if ix.closed {
+		ix.writeMu.Unlock()
+		return nil
+	}
+	ix.closed = true
+	ix.writeMu.Unlock()
+	// In-flight seals and merges drain here; closed stops them from
+	// scheduling successors.
+	ix.bg.Wait()
+
+	ix.writeMu.Lock()
+	defer ix.writeMu.Unlock()
+	err := ix.persistErr
+	if ix.dur != nil {
+		// Seal synchronously so every acknowledged Add lands in a
+		// durable segment file; the WALs that covered them are retired
+		// by the persist, leaving only the empty current log.
+		err = firstErr(err, ix.sealLocked(true))
+		err = firstErr(err, ix.dur.close())
+	}
+	return err
 }
 
 // publishLocked snapshots the live index, rebinds the querying method
 // to the immutable view, and swaps the result in as the current read
-// snapshot. Publication shares each table's frozen CSR core (O(1)
-// regardless of bucket count) and clones only the delta tail of recent
-// Adds, compacting the tail into the core once it crosses the storage
-// engine's threshold. Caller holds writeMu (or, during Build/Load, has
-// exclusive access to the index).
+// snapshot. Publication retains the frozen segment list by reference
+// (O(segments)) and clones only the memtable of recent Adds — never
+// O(core) work; folding segments together is the background merger's
+// job. Caller holds writeMu (or, during Build/Load, has exclusive
+// access to the index).
 func (ix *Index) publishLocked() error {
 	view := ix.live.Snapshot()
 	method, err := query.NewMethod(ix.methodName, view)
 	if err != nil {
+		view.Release()
 		return err
 	}
 	s := &snapshot{view: view, method: method, mu: ix.muScale, gen: ix.gen.Add(1)}
 	s.pool.New = func() any { return query.NewSearcher(view, method) }
-	ix.snap.Store(s)
+	old := ix.snap.Swap(s)
 	ix.stale.Store(false)
+	if old != nil {
+		// Drop the unpublished view's segment references. In-flight
+		// searches still holding it are unaffected: a zero refcount only
+		// deletes the segment's file, never its memory.
+		old.view.Release()
+	}
 	return nil
 }
 
@@ -584,9 +888,20 @@ type Stats struct {
 	// rebuilt querying-method views) was published because Add changed
 	// the buckets.
 	MethodRebuilds int64
-	// Compactions counts how many table delta tails have been folded
-	// into fresh frozen CSR cores at snapshot publication.
+	// Compactions counts all compaction events since construction:
+	// memtable seals plus segment merges (Seals + Merges).
 	Compactions int64
+	// Seals counts memtable → frozen-segment transitions; Merges counts
+	// applied segment merges (background or inline Compact).
+	Seals  int64
+	Merges int64
+	// Segments is the frozen segment count; MemtableItems is the number
+	// of Adds not yet sealed into a segment.
+	Segments      int
+	MemtableItems int
+	// WALBytes is the total size of the live write-ahead logs; zero
+	// when durability is off or the WAL is disabled.
+	WALBytes int64
 	// SnapshotGeneration is the generation counter of the published
 	// read snapshot; it starts at 1 (Build) and increments on every
 	// republish.
@@ -615,10 +930,17 @@ func (ix *Index) Stats() Stats {
 		Adds:               ix.adds.Load(),
 		MethodRebuilds:     ix.methodRebuilds.Load(),
 		Compactions:        int64(ix.live.Compactions()),
+		Seals:              int64(ix.live.Seals()),
+		Merges:             int64(ix.live.Merges()),
+		Segments:           ix.live.SegmentCount(),
+		MemtableItems:      ix.live.MemtableItems(),
 		SnapshotGeneration: ix.gen.Load(),
 	}
-	for _, t := range ix.live.Tables {
-		s.Buckets = append(s.Buckets, t.BucketCount())
+	if ix.dur != nil {
+		s.WALBytes = ix.dur.walBytes()
+	}
+	for t := range ix.live.Tables {
+		s.Buckets = append(s.Buckets, ix.live.BucketCount(t))
 	}
 	return s
 }

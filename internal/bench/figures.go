@@ -118,7 +118,7 @@ func runFig6(opt RunOptions, w io.Writer) error {
 			return err
 		}
 		fmt.Fprintf(w, "%s: %d buckets (QR sorts all of them before the first probe)\n",
-			name, ix.Tables[0].BucketCount())
+			name, ix.BucketCount(0))
 		WriteCurves(w, name, curves)
 	}
 	return nil

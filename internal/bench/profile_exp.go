@@ -30,7 +30,7 @@ func runAblProfile(opt RunOptions, w io.Writer) error {
 	}
 	budget := ds.N() / 100 // 1% of the corpus per query
 	fmt.Fprintf(w, "corpus %s, %d buckets, budget %d items/query, %d queries\n\n",
-		name, ix.Tables[0].BucketCount(), budget, ds.NQ())
+		name, ix.BucketCount(0), budget, ds.NQ())
 	fmt.Fprintf(w, "%-8s | %-12s | %-12s | %-12s | %-10s\n", "method", "retrieval", "evaluation", "total", "recall")
 	for _, mName := range []string{"hr", "qr", "ghr", "gqr", "mih"} {
 		m, err := query.NewMethod(mName, ix)

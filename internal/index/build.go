@@ -88,16 +88,21 @@ func BuildP(l hash.Learner, data []float32, n, d, bits, tables int, seed int64, 
 	idx.Timings.Train = time.Since(trainStart)
 
 	// Stages 2+3 per table: chunked parallel coding, then serial CSR
-	// freeze (sort + prefix sums; order-defined, partition-free).
+	// freeze (sort + prefix sums; order-defined, partition-free). The
+	// frozen cores form the index's first segment, covering all n items.
+	cores := make([]*coreStore, 0, tables)
 	for _, h := range hashers {
 		codeStart := time.Now()
 		codes, ids := codeItems(h, data, n, d, procs)
 		idx.Timings.Code += time.Since(codeStart)
 
 		freezeStart := time.Now()
-		idx.Tables = append(idx.Tables, &Table{Hasher: h, core: buildCore(codes, ids), tail: newTailStore()})
+		idx.Tables = append(idx.Tables, &Table{Hasher: h, tail: newTailStore()})
+		cores = append(cores, buildCore(codes, ids))
 		idx.Timings.Freeze += time.Since(freezeStart)
 	}
+	idx.segs = []*Segment{newSegment(cores, 0, n, 0)}
+	idx.segSeq = 1
 	idx.Timings.Procs = procs
 	return idx, nil
 }

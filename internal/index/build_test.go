@@ -36,8 +36,8 @@ func TestBuildPMatchesBuild(t *testing.T) {
 			t.Fatalf("p=%d: %d tables, want %d", p, len(got.Tables), len(want.Tables))
 		}
 		for ti := range want.Tables {
-			wc := want.Tables[ti].Codes()
-			gc := got.Tables[ti].Codes()
+			wc := want.Codes(ti)
+			gc := got.Codes(ti)
 			if len(wc) != len(gc) {
 				t.Fatalf("p=%d table %d: %d codes, want %d", p, ti, len(gc), len(wc))
 			}
@@ -45,8 +45,8 @@ func TestBuildPMatchesBuild(t *testing.T) {
 				if gc[ci] != code {
 					t.Fatalf("p=%d table %d: code[%d] = %d, want %d", p, ti, ci, gc[ci], code)
 				}
-				wb := want.Tables[ti].Bucket(code)
-				gb := got.Tables[ti].Bucket(code)
+				wb := want.Bucket(ti, code)
+				gb := got.Bucket(ti, code)
 				if len(wb) != len(gb) {
 					t.Fatalf("p=%d table %d code %d: bucket len %d, want %d", p, ti, code, len(gb), len(wb))
 				}

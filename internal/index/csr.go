@@ -15,12 +15,12 @@ import (
 //     its own growable probe table (code → bucket position), so probing
 //     either tier is array walks only — no Go map on the query path.
 //
-// Snapshot publication shares the core (O(1)) and clones the tail
-// (O(tail)); once the tail outgrows compactThreshold it is merged into
-// a fresh core and emptied. This replaces the previous
-// map[uint64][]int32 per table, whose snapshot cost was a maps.Clone
-// over every non-empty bucket and whose probes paid Go-map hashing and
-// pointer chasing per lookup.
+// Snapshot publication shares every frozen core by pointer (O(1)) and
+// clones the tail (O(tail)); folding tails into cores happens on the
+// segment seal/merge path (segment.go), never inline on publication.
+// This replaces the previous map[uint64][]int32 per table, whose
+// snapshot cost was a maps.Clone over every non-empty bucket and whose
+// probes paid Go-map hashing and pointer chasing per lookup.
 
 // ProbeTable is an open-addressing hash table mapping uint64 keys to
 // dense slot numbers. It exists to make code → slot lookups two array
@@ -266,14 +266,50 @@ func (ts *tailStore) memoryBytes() int {
 	return total
 }
 
-// compactThreshold is the tail size at which snapshot publication folds
-// the tail into the core: an eighth of the core (amortizing the O(core)
-// merge over at least that many appends) with a floor that keeps tiny
-// indexes from compacting on every publish.
-func compactThreshold(coreItems int) int {
-	t := coreItems / 8
-	if t < 256 {
-		t = 256
+// sealCore freezes a tail into a standalone CSR core (the memtable →
+// segment transition).
+func sealCore(ts *tailStore) *coreStore {
+	empty := newCoreStore(nil, []uint32{0}, nil)
+	return empty.merge(ts)
+}
+
+// mergeCores linearly merges two frozen cores into a fresh one. For a
+// code present in both, a's ids precede b's — callers merge segments in
+// ascending-minID order, so per-bucket id order stays ascending.
+func mergeCores(a, b *coreStore) *coreStore {
+	if b.items() == 0 && len(b.codes) == 0 {
+		return a
 	}
-	return t
+	if a.items() == 0 && len(a.codes) == 0 {
+		return b
+	}
+	codes := make([]uint64, 0, len(a.codes)+len(b.codes))
+	ids := make([]int32, 0, len(a.ids)+len(b.ids))
+	offsets := make([]uint32, 1, len(a.codes)+len(b.codes)+1)
+	emit := func(code uint64, aSlot, bSlot int) {
+		codes = append(codes, code)
+		if aSlot >= 0 {
+			ids = append(ids, a.bucketAt(aSlot)...)
+		}
+		if bSlot >= 0 {
+			ids = append(ids, b.bucketAt(bSlot)...)
+		}
+		offsets = append(offsets, uint32(len(ids)))
+	}
+	i, j := 0, 0
+	for i < len(a.codes) || j < len(b.codes) {
+		switch {
+		case j >= len(b.codes) || (i < len(a.codes) && a.codes[i] < b.codes[j]):
+			emit(a.codes[i], i, -1)
+			i++
+		case i >= len(a.codes) || b.codes[j] < a.codes[i]:
+			emit(b.codes[j], -1, j)
+			j++
+		default:
+			emit(a.codes[i], i, j)
+			i++
+			j++
+		}
+	}
+	return newCoreStore(codes, offsets, ids)
 }

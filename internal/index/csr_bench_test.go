@@ -1,6 +1,7 @@
 package index
 
 import (
+	"fmt"
 	"maps"
 	"math/rand"
 	"runtime"
@@ -81,27 +82,59 @@ func BenchmarkProbe(b *testing.B) {
 	})
 }
 
-// BenchmarkSnapshotPublish measures freezing one table for a read
-// snapshot with a 100-item delta tail (below the compaction threshold,
-// the steady-state publish): the CSR engine shares the core and clones
-// only the tail, where the old layout cloned the whole bucket map.
-func BenchmarkSnapshotPublish(b *testing.B) {
-	codes, ids := benchPairs()
-	const tailN = 100
+// benchPairsN is benchPairs at an arbitrary corpus size.
+func benchPairsN(n int) ([]uint64, []int32) {
+	rng := rand.New(rand.NewSource(20260805))
+	codes := make([]uint64, n)
+	ids := make([]int32, n)
+	for i := range codes {
+		codes[i] = rng.Uint64() & ((1 << benchBits) - 1)
+		ids[i] = int32(i)
+	}
+	return codes, ids
+}
 
-	b.Run("csr", func(b *testing.B) {
-		tbl := &Table{core: buildCore(codes, ids), tail: newTailStore()}
-		rng := rand.New(rand.NewSource(11))
-		for i := 0; i < tailN; i++ {
-			tbl.add(rng.Uint64()&((1<<benchBits)-1), int32(benchItems+i))
-		}
-		b.ResetTimer()
-		for i := 0; i < b.N; i++ {
-			v := tbl.freeze()
-			benchSink = v.tail.items
-		}
-	})
-	b.Run("mapclone", func(b *testing.B) {
+// benchIndexN builds a single-table index holding n frozen items in one
+// segment plus a full (tailN-item) memtable — the worst-case publish
+// moment, right before a seal.
+func benchIndexN(n, tailN int) *Index {
+	codes, ids := benchPairsN(n)
+	ix := &Index{
+		Dim: 1, N: n, Data: make([]float32, n),
+		Tables: []*Table{{tail: newTailStore()}},
+		segs:   []*Segment{newSegment([]*coreStore{buildCore(codes, ids)}, 0, n, 0)},
+		segSeq: 1,
+	}
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < tailN; i++ {
+		ix.Tables[0].tail.add(rng.Uint64()&((1<<benchBits)-1), int32(n+i))
+		ix.Data = append(ix.Data, 0)
+		ix.N++
+	}
+	return ix
+}
+
+// BenchmarkSnapshotPublish measures taking a read snapshot with a full
+// memtable across a 64x range of frozen-corpus sizes. The LSM design's
+// contract is that publication clones only the memtable and retains
+// segments by reference, so ns/op must stay flat as the corpus grows —
+// compare the sizes, and compare against mapclone, the pre-CSR
+// publish that cloned every bucket.
+func BenchmarkSnapshotPublish(b *testing.B) {
+	const tailN = 256
+	for _, n := range []int{10_000, 80_000, 640_000} {
+		b.Run(fmt.Sprintf("lsm/n=%d", n), func(b *testing.B) {
+			ix := benchIndexN(n, tailN)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				v := ix.Snapshot()
+				benchSink = v.MemtableItems()
+				v.Release()
+			}
+		})
+	}
+	b.Run("mapclone/n=50000", func(b *testing.B) {
+		codes, ids := benchPairs()
 		m := benchMap(codes, ids)
 		rng := rand.New(rand.NewSource(11))
 		for i := 0; i < tailN; i++ {
@@ -114,6 +147,31 @@ func BenchmarkSnapshotPublish(b *testing.B) {
 			benchSink = len(v)
 		}
 	})
+}
+
+// TestSnapshotPublishIndependentOfCoreSize is the acceptance check
+// behind the benchmark: publication cost may not scale with the frozen
+// corpus. A 64x larger segment tier must publish in comparable time
+// (generous 8x slack absorbs timer noise); any O(core) copy slipping
+// back into Snapshot blows the ratio out by orders of magnitude.
+func TestSnapshotPublishIndependentOfCoreSize(t *testing.T) {
+	const tailN = 256
+	timePublish := func(n int) float64 {
+		ix := benchIndexN(n, tailN)
+		res := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				v := ix.Snapshot()
+				benchSink = v.MemtableItems()
+				v.Release()
+			}
+		})
+		return float64(res.NsPerOp())
+	}
+	small, large := timePublish(10_000), timePublish(640_000)
+	t.Logf("publish: 10k items %.0f ns/op, 640k items %.0f ns/op", small, large)
+	if large > 8*small && large-small > 100_000 {
+		t.Fatalf("snapshot publish scales with core size: 10k=%.0fns 640k=%.0fns", small, large)
+	}
 }
 
 // TestStorageFootprint logs the measured heap footprint of both layouts

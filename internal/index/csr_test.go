@@ -75,12 +75,15 @@ type refModel map[uint64][]int32
 
 func (m refModel) add(code uint64, id int32) { m[code] = append(m[code], id) }
 
-// checkAgainstModel asserts that tbl and the oracle agree on every
-// observable: bucket count, code list, per-bucket ids (via both Bucket
-// and Probe), and occupancy stats.
-func checkAgainstModel(t *testing.T, tbl *Table, model refModel) {
+// checkAgainstModel asserts that table ti of ix and the oracle agree on
+// every observable: bucket count, code list, per-bucket ids (via both
+// Bucket and Probe), and occupancy stats. IDs within a bucket must be
+// ascending globally: each segment holds a contiguous ascending id
+// range and segments are ordered, so concatenating per-segment lists
+// and the memtable tail reproduces insertion order.
+func checkAgainstModel(t *testing.T, ix *Index, ti int, model refModel) {
 	t.Helper()
-	if got := tbl.BucketCount(); got != len(model) {
+	if got := ix.BucketCount(ti); got != len(model) {
 		t.Fatalf("BucketCount = %d, want %d", got, len(model))
 	}
 	wantCodes := make([]uint64, 0, len(model))
@@ -88,25 +91,30 @@ func checkAgainstModel(t *testing.T, tbl *Table, model refModel) {
 		wantCodes = append(wantCodes, c)
 	}
 	sort.Slice(wantCodes, func(i, j int) bool { return wantCodes[i] < wantCodes[j] })
-	gotCodes := tbl.Codes()
+	gotCodes := ix.Codes(ti)
 	if len(gotCodes) != len(wantCodes) {
 		t.Fatalf("Codes count %d, want %d", len(gotCodes), len(wantCodes))
 	}
 	items, maxSize := 0, 0
+	var ref BucketRef
 	for i, c := range wantCodes {
 		if gotCodes[i] != c {
 			t.Fatalf("Codes[%d] = %d, want %d", i, gotCodes[i], c)
 		}
 		want := model[c]
-		got := tbl.Bucket(c)
+		got := ix.Bucket(ti, c)
 		if len(got) != len(want) {
 			t.Fatalf("bucket %b size %d, want %d", c, len(got), len(want))
 		}
-		ref := tbl.Probe(c)
+		ix.Probe(ti, c, &ref)
 		if ref.Len() != len(want) {
 			t.Fatalf("Probe(%b).Len = %d, want %d", c, ref.Len(), len(want))
 		}
-		flat := append(append([]int32{}, ref.Core...), ref.Tail...)
+		var flat []int32
+		for _, seg := range ref.Segs {
+			flat = append(flat, seg...)
+		}
+		flat = append(flat, ref.Tail...)
 		for j := range want {
 			if got[j] != want[j] || flat[j] != want[j] {
 				t.Fatalf("bucket %b ids diverge at %d: Bucket=%d Probe=%d want %d", c, j, got[j], flat[j], want[j])
@@ -117,26 +125,28 @@ func checkAgainstModel(t *testing.T, tbl *Table, model refModel) {
 			maxSize = len(want)
 		}
 	}
-	s := tbl.Stats()
+	s := ix.TableStats(ti)
 	if s.Items != items || s.Buckets != len(model) || s.MaxBucketSize != maxSize {
 		t.Fatalf("Stats = %+v, want items=%d buckets=%d max=%d", s, items, len(model), maxSize)
 	}
-	// Probing absent codes must miss both tiers.
+	// Probing absent codes must miss every tier.
 	for i := 0; i < 50; i++ {
 		c := uint64(i) << 40 // far outside any short code range
 		if _, exists := model[c]; exists {
 			continue
 		}
-		if tbl.Probe(c).Len() != 0 || tbl.Bucket(c) != nil {
+		ix.Probe(ti, c, &ref)
+		if ref.Len() != 0 || ix.Bucket(ti, c) != nil {
 			t.Fatalf("absent code %d produced a bucket", c)
 		}
 	}
 }
 
-// TestDeltaTailMatchesModelAcrossCompaction grows a table far past the
-// compaction threshold, snapshotting along the way, and checks every
-// observable against the map oracle — on the live table and on each
-// frozen view, including old views after later adds and compactions.
+// TestDeltaTailMatchesModelAcrossCompaction grows an index far past
+// several seal points, snapshotting along the way and folding segments
+// with explicit merges, and checks every observable against the map
+// oracle — on the live index and on each frozen view, including old
+// views taken before later adds, seals and merges.
 func TestDeltaTailMatchesModelAcrossCompaction(t *testing.T) {
 	ds := dataset.Generate(dataset.GeneratorSpec{
 		Name: "csr", N: 1500, Dim: 8, Clusters: 6, LatentDim: 3, Seed: 71,
@@ -151,7 +161,7 @@ func TestDeltaTailMatchesModelAcrossCompaction(t *testing.T) {
 	for i := 0; i < baseN; i++ {
 		model.add(hasher.Code(ds.Vector(i)), int32(i))
 	}
-	checkAgainstModel(t, ix.Tables[0], model)
+	checkAgainstModel(t, ix, 0, model)
 
 	type frozen struct {
 		view  *Index
@@ -174,31 +184,48 @@ func TestDeltaTailMatchesModelAcrossCompaction(t *testing.T) {
 			t.Fatalf("Add returned id %d, want %d", id, i)
 		}
 		model.add(hasher.Code(ds.Vector(i)), id)
+		if ix.MemtableItems() >= 128 {
+			ix.SealMemtable()
+			// Fold eligible segment runs the way the background merger
+			// does, here synchronously so views bracket real merges.
+			if in := ix.PlanMerge(0); in != nil {
+				merged, err := MergeSegments(in, ix.TakeSeq())
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := ix.ApplyMerge(in, merged); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
 		if i%177 == 0 {
 			views = append(views, frozen{view: ix.Snapshot(), model: cloneModel()})
 		}
 	}
-	if ix.Compactions() == 0 {
-		t.Fatalf("no compaction after %d adds (threshold %d)", ds.N()-baseN, compactThreshold(baseN))
+	if ix.Seals() == 0 || ix.Compactions() == 0 {
+		t.Fatalf("no compaction after %d adds: seals=%d merges=%d", ds.N()-baseN, ix.Seals(), ix.Merges())
 	}
-	checkAgainstModel(t, ix.Tables[0], model)
-	// A final snapshot equals the live table.
+	checkAgainstModel(t, ix, 0, model)
+	// A final snapshot equals the live index.
 	final := ix.Snapshot()
-	checkAgainstModel(t, final.Tables[0], model)
+	checkAgainstModel(t, final, 0, model)
+	final.Release()
 	// Old frozen views must still match the state they captured, not
-	// the current one.
+	// the current one — segment refcounts keep merged-away inputs alive
+	// for as long as a view holds them.
 	for vi, f := range views {
 		if f.view.N+len(f.model) == 0 {
 			continue
 		}
-		t.Logf("view %d captured at N=%d", vi, f.view.N)
-		checkAgainstModel(t, f.view.Tables[0], f.model)
+		t.Logf("view %d captured at N=%d segs=%d", vi, f.view.N, f.view.SegmentCount())
+		checkAgainstModel(t, f.view, 0, f.model)
+		f.view.Release()
 	}
 }
 
 // TestCompactionPreservesIDOrder pins that per-bucket id order stays
-// ascending across the tail → core merge (the invariant the searcher's
-// Core-then-Tail iteration relies on).
+// ascending across seals and a full segment merge (the invariant the
+// searcher's segments-then-tail iteration relies on).
 func TestCompactionPreservesIDOrder(t *testing.T) {
 	ds := dataset.Generate(dataset.GeneratorSpec{
 		Name: "ord", N: 900, Dim: 8, Clusters: 4, LatentDim: 3, Seed: 73,
@@ -212,17 +239,32 @@ func TestCompactionPreservesIDOrder(t *testing.T) {
 		if _, err := ix.Add(ds.Vector(i)); err != nil {
 			t.Fatal(err)
 		}
+		if ix.MemtableItems() >= 100 {
+			ix.SealMemtable()
+		}
 	}
-	ix.Snapshot() // trigger compaction (600 adds > threshold)
+	ix.SealMemtable()
+	// Fold everything — base segment included — into one, as Compact does.
+	if in := ix.SegmentsAbove(0); len(in) >= 2 {
+		merged, err := MergeSegments(in, ix.TakeSeq())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ix.ApplyMerge(in, merged); err != nil {
+			t.Fatal(err)
+		}
+	}
 	if ix.Compactions() == 0 {
 		t.Fatal("expected a compaction")
 	}
-	tbl := ix.Tables[0]
-	if tbl.TailItems() != 0 {
-		t.Fatalf("tail still holds %d items after compaction", tbl.TailItems())
+	if ix.MemtableItems() != 0 {
+		t.Fatalf("memtable still holds %d items after seal", ix.MemtableItems())
 	}
-	for _, code := range tbl.Codes() {
-		ids := tbl.Bucket(code)
+	if ix.SegmentCount() != 1 {
+		t.Fatalf("expected one merged segment, have %d", ix.SegmentCount())
+	}
+	for _, code := range ix.Codes(0) {
+		ids := ix.Bucket(0, code)
 		for j := 1; j < len(ids); j++ {
 			if ids[j] <= ids[j-1] {
 				t.Fatalf("bucket %b ids not ascending after compaction: %v", code, ids)

@@ -3,37 +3,110 @@
 // multi-table support (paper §6.3.5) and occupancy statistics used by
 // the experiments (the paper reports bucket counts per dataset in §6.2).
 //
-// Buckets are stored in the two-tier layout of csr.go: a frozen CSR
-// core shared by every snapshot plus a small mutable delta tail that
-// Add feeds and snapshot publication compacts.
+// Storage is LSM-shaped: every table has one mutable memtable (the
+// delta tail of csr.go) that Add feeds, and the index holds a list of
+// frozen immutable Segments — each a CSR core per table covering a
+// contiguous id range. Sealing the memtable into a new segment is
+// O(memtable); folding segments together is the background merger's
+// job (segment.go), so snapshot publication never does O(core) work.
 package index
 
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"gqr/internal/hash"
 )
 
-// Table is a single hash table: posting lists of item ids keyed by
-// binary code, stored as a frozen CSR core plus a mutable delta tail.
+// Table is a single hash table's mutable half: the hasher plus the
+// memtable posting lists (the frozen half lives in the index's segment
+// list, one core per table per segment).
 type Table struct {
 	Hasher hash.Hasher
-	core   *coreStore
 	tail   *tailStore
 }
 
-// NewTable builds a hash table over the n×d data block using the given
-// hasher.
-func NewTable(h hash.Hasher, data []float32, n, d int) *Table {
-	codes, ids := codeItems(h, data, n, d, 1)
-	return &Table{Hasher: h, core: buildCore(codes, ids), tail: newTailStore()}
+// freeze returns an immutable view of the table's memtable. Cost
+// O(memtable).
+func (t *Table) freeze() *Table {
+	return &Table{Hasher: t.Hasher, tail: t.tail.clone()}
 }
 
-// NewTableFromBuckets builds a table from an explicit bucket map,
-// preserving each bucket's id order. Used by loaders and tests; the
-// querying hot path never sees the map.
-func NewTableFromBuckets(h hash.Hasher, buckets map[uint64][]int32) *Table {
+// BucketRef is a handle to one bucket's storage across the LSM
+// hierarchy: one posting-list slice per frozen segment that holds the
+// code (oldest first), plus the memtable slice. Iterating Segs in order
+// and then Tail visits the bucket's ids in ascending order (each
+// segment covers a strictly later id range, and memtable ids are the
+// newest of all). The slices are views into frozen storage; callers
+// must treat them as read-only.
+type BucketRef struct {
+	Segs [][]int32
+	Tail []int32
+}
+
+// Len returns the number of ids the bucket holds.
+func (r *BucketRef) Len() int {
+	n := len(r.Tail)
+	for _, s := range r.Segs {
+		n += len(s)
+	}
+	return n
+}
+
+// merge policy constants: PlanMerge fires on a run of at least
+// mergeFanout adjacent segments whose item counts are within a factor
+// of mergeRatio of each other (size-tiered compaction — merging a huge
+// segment with a tiny one wastes O(huge) work for O(tiny) gain).
+const (
+	mergeFanout = 4
+	mergeRatio  = 4
+)
+
+// Index is a multi-table hash index over one dataset. Vectors are held
+// by reference; the index adds only codes and id lists.
+type Index struct {
+	Dim    int
+	N      int
+	Data   []float32
+	Tables []*Table
+
+	// segs are the frozen segments, ordered by ascending MinID and
+	// covering [0, N-memtable) contiguously.
+	segs   []*Segment
+	segSeq uint64
+
+	// Timings records how long each build stage took (zero for indexes
+	// assembled by loaders rather than Build/BuildP).
+	Timings BuildTimings
+
+	seals  int
+	merges int
+
+	// released latches the first Release of a snapshot view so it drops
+	// its segment references exactly once. Idempotence must not come
+	// from mutating segs: in-flight searches that loaded the old
+	// snapshot still range over the slice.
+	released atomic.Bool
+}
+
+// NewFromBuckets assembles an index from explicit per-table bucket
+// maps, preserving each bucket's id order (one frozen segment covering
+// all n items). Used by loaders and tests; the querying hot path never
+// sees the maps.
+func NewFromBuckets(hashers []hash.Hasher, buckets []map[uint64][]int32, data []float32, n, dim int) *Index {
+	ix := &Index{Dim: dim, N: n, Data: data}
+	cores := make([]*coreStore, len(hashers))
+	for t, h := range hashers {
+		ix.Tables = append(ix.Tables, &Table{Hasher: h, tail: newTailStore()})
+		cores[t] = coreFromBuckets(buckets[t])
+	}
+	ix.segs = []*Segment{newSegment(cores, 0, n, 0)}
+	ix.segSeq = 1
+	return ix
+}
+
+func coreFromBuckets(buckets map[uint64][]int32) *coreStore {
 	codes := make([]uint64, 0, len(buckets))
 	for c := range buckets {
 		codes = append(codes, c)
@@ -45,162 +118,7 @@ func NewTableFromBuckets(h hash.Hasher, buckets map[uint64][]int32) *Table {
 		ids = append(ids, buckets[c]...)
 		offsets = append(offsets, uint32(len(ids)))
 	}
-	return &Table{Hasher: h, core: newCoreStore(codes, offsets, ids), tail: newTailStore()}
-}
-
-// BucketRef is a handle to one bucket's storage: the core segment and
-// the delta-tail segment of its posting list. Iterating Core then Tail
-// visits the bucket's ids in ascending order (tail ids are assigned
-// after every core id).
-type BucketRef struct {
-	Core []int32
-	Tail []int32
-}
-
-// Len returns the number of ids the bucket holds.
-func (r BucketRef) Len() int { return len(r.Core) + len(r.Tail) }
-
-// Probe resolves a code to its bucket via the probe tables of both
-// tiers — the O(1) slot-handle lookup of the querying hot path. No Go
-// map is consulted.
-func (t *Table) Probe(code uint64) BucketRef {
-	return BucketRef{Core: t.core.get(code), Tail: t.tail.get(code)}
-}
-
-// Bucket returns the item ids stored under the given code (nil when
-// the bucket is empty). When the bucket spans both tiers the segments
-// are copied into a fresh slice; hot paths use Probe instead.
-func (t *Table) Bucket(code uint64) []int32 {
-	ref := t.Probe(code)
-	if len(ref.Tail) == 0 {
-		return ref.Core
-	}
-	if len(ref.Core) == 0 {
-		return ref.Tail
-	}
-	out := make([]int32, 0, ref.Len())
-	return append(append(out, ref.Core...), ref.Tail...)
-}
-
-// add appends id to code's posting list in the delta tail.
-func (t *Table) add(code uint64, id int32) { t.tail.add(code, id) }
-
-// freeze returns an immutable view of the table: the core shared by
-// pointer, the tail cloned. Cost O(tail).
-func (t *Table) freeze() *Table {
-	return &Table{Hasher: t.Hasher, core: t.core, tail: t.tail.clone()}
-}
-
-// compact folds the delta tail into a fresh frozen core. Snapshots
-// published earlier keep the old core; the caller must hold the
-// writer lock.
-func (t *Table) compact() {
-	t.core = t.core.merge(t.tail)
-	t.tail = newTailStore()
-}
-
-// compacted returns the table's buckets as a single CSR tier, merging
-// on the fly when the tail is non-empty (the table itself is not
-// mutated). Persistence streams this view.
-func (t *Table) compacted() *coreStore { return t.core.merge(t.tail) }
-
-// TailItems reports how many ids sit in the mutable delta tail —
-// appended by Add and not yet compacted into the core.
-func (t *Table) TailItems() int { return t.tail.items }
-
-// BucketCount returns the number of non-empty buckets, the quantity the
-// paper reports per dataset ("3,872 ... 567,753 buckets", §6.2).
-func (t *Table) BucketCount() int {
-	n := len(t.core.codes)
-	for _, c := range t.tail.codes {
-		if _, ok := t.core.probe.Lookup(c); !ok {
-			n++
-		}
-	}
-	return n
-}
-
-// Codes returns all non-empty bucket codes in ascending order
-// (deterministic iteration for the sort-based querying methods). The
-// returned slice is shared with the table when the tail is empty;
-// callers must treat it as read-only.
-func (t *Table) Codes() []uint64 {
-	if len(t.tail.codes) == 0 {
-		return t.core.codes
-	}
-	tailCodes := make([]uint64, len(t.tail.codes))
-	copy(tailCodes, t.tail.codes)
-	sort.Slice(tailCodes, func(i, j int) bool { return tailCodes[i] < tailCodes[j] })
-	merged := make([]uint64, 0, len(t.core.codes)+len(tailCodes))
-	i, j := 0, 0
-	for i < len(t.core.codes) || j < len(tailCodes) {
-		switch {
-		case j >= len(tailCodes) || (i < len(t.core.codes) && t.core.codes[i] < tailCodes[j]):
-			merged = append(merged, t.core.codes[i])
-			i++
-		case i >= len(t.core.codes) || tailCodes[j] < t.core.codes[i]:
-			merged = append(merged, tailCodes[j])
-			j++
-		default:
-			merged = append(merged, t.core.codes[i])
-			i++
-			j++
-		}
-	}
-	return merged
-}
-
-// Stats summarizes bucket occupancy.
-type Stats struct {
-	Items         int
-	Buckets       int
-	MaxBucketSize int
-	AvgBucketSize float64
-}
-
-// Stats computes occupancy statistics for the table.
-func (t *Table) Stats() Stats {
-	var s Stats
-	for i := range t.core.codes {
-		size := len(t.core.bucketAt(i)) + len(t.tail.get(t.core.codes[i]))
-		s.Buckets++
-		s.Items += size
-		if size > s.MaxBucketSize {
-			s.MaxBucketSize = size
-		}
-	}
-	for pos, c := range t.tail.codes {
-		if _, ok := t.core.probe.Lookup(c); ok {
-			continue // counted with its core bucket above
-		}
-		size := len(t.tail.buckets[pos])
-		s.Buckets++
-		s.Items += size
-		if size > s.MaxBucketSize {
-			s.MaxBucketSize = size
-		}
-	}
-	if s.Buckets > 0 {
-		s.AvgBucketSize = float64(s.Items) / float64(s.Buckets)
-	}
-	return s
-}
-
-// Index is a multi-table hash index over one dataset. Vectors are held
-// by reference; the index adds only codes and id lists.
-type Index struct {
-	Dim    int
-	N      int
-	Data   []float32
-	Tables []*Table
-
-	// Timings records how long each build stage took (zero for indexes
-	// assembled by loaders rather than Build/BuildP).
-	Timings BuildTimings
-
-	// compactions counts how many table tails Snapshot folded into
-	// fresh cores (lifecycle observability).
-	compactions int
+	return newCoreStore(codes, offsets, ids)
 }
 
 // Build trains one hasher per table (distinct seeds) with the given
@@ -218,7 +136,7 @@ func (ix *Index) Vector(i int32) []float32 {
 }
 
 // Add appends one vector to the index, hashing it into every table's
-// delta tail, and returns its new id. The hash functions are NOT
+// memtable, and returns its new id. The hash functions are NOT
 // retrained: like any L2H system, the learned functions are assumed to
 // be trained on a representative sample. Callers that precompute
 // per-table views (the sorting querying methods) must refresh them
@@ -231,34 +149,336 @@ func (ix *Index) Add(vec []float32) (int32, error) {
 	ix.Data = append(ix.Data, vec...)
 	ix.N++
 	for _, t := range ix.Tables {
-		t.add(t.Hasher.Code(vec), id)
+		t.tail.add(t.Hasher.Code(vec), id)
 	}
 	return id, nil
 }
 
-// Snapshot returns an immutable read view of the index. Each table's
-// frozen CSR core is shared by pointer — O(1) however many buckets it
-// holds — and its delta tail is cloned, so publication cost is O(tail),
-// not O(non-empty buckets) as with the previous map layout. When a
-// table's tail has outgrown compactThreshold it is first folded into a
-// fresh core (earlier snapshots keep the old core). The caller must
-// serialize Snapshot with mutations (Add) on the live index; readers of
-// the returned view never touch a memory location a later Add writes.
-func (ix *Index) Snapshot() *Index {
-	view := &Index{Dim: ix.Dim, N: ix.N, Data: ix.Data, Tables: make([]*Table, len(ix.Tables))}
-	for i, t := range ix.Tables {
-		if t.tail.items >= compactThreshold(t.core.items()) {
-			t.compact()
-			ix.compactions++
+// Probe resolves a code to its bucket across every frozen segment and
+// the memtable — the O(segments) slot-handle lookup of the querying hot
+// path. The result is written into ref, reusing its Segs backing array,
+// so a warmed caller probes without allocating. No Go map is consulted.
+func (ix *Index) Probe(t int, code uint64, ref *BucketRef) {
+	segs := ref.Segs[:0]
+	for _, s := range ix.segs {
+		if ids := s.cores[t].get(code); len(ids) > 0 {
+			segs = append(segs, ids)
 		}
+	}
+	ref.Segs = segs
+	ref.Tail = ix.Tables[t].tail.get(code)
+}
+
+// Bucket returns the item ids table t stores under the given code (nil
+// when the bucket is empty), in ascending order. When the bucket spans
+// tiers the slices are copied into a fresh slice; hot paths use Probe.
+func (ix *Index) Bucket(t int, code uint64) []int32 {
+	var ref BucketRef
+	ix.Probe(t, code, &ref)
+	n := ref.Len()
+	if n == 0 {
+		return nil
+	}
+	if len(ref.Segs) == 1 && len(ref.Tail) == 0 {
+		return ref.Segs[0]
+	}
+	if len(ref.Segs) == 0 {
+		return ref.Tail
+	}
+	out := make([]int32, 0, n)
+	for _, s := range ref.Segs {
+		out = append(out, s...)
+	}
+	return append(out, ref.Tail...)
+}
+
+// Codes returns table t's non-empty bucket codes in ascending order
+// (deterministic iteration for the sort-based querying methods). The
+// returned slice is shared with a segment when only one tier holds
+// codes; callers must treat it as read-only.
+func (ix *Index) Codes(t int) []uint64 {
+	lists := make([][]uint64, 0, len(ix.segs)+1)
+	for _, s := range ix.segs {
+		if len(s.cores[t].codes) > 0 {
+			lists = append(lists, s.cores[t].codes)
+		}
+	}
+	ts := ix.Tables[t].tail
+	if len(ts.codes) > 0 {
+		tc := make([]uint64, len(ts.codes))
+		copy(tc, ts.codes)
+		sort.Slice(tc, func(i, j int) bool { return tc[i] < tc[j] })
+		lists = append(lists, tc)
+	}
+	if len(lists) == 0 {
+		return nil
+	}
+	merged := lists[0]
+	for _, l := range lists[1:] {
+		merged = mergeCodeLists(merged, l)
+	}
+	return merged
+}
+
+// mergeCodeLists merges two ascending code lists, dropping duplicates.
+func mergeCodeLists(a, b []uint64) []uint64 {
+	out := make([]uint64, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		switch {
+		case j >= len(b) || (i < len(a) && a[i] < b[j]):
+			out = append(out, a[i])
+			i++
+		case i >= len(a) || b[j] < a[i]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// BucketCount returns table t's number of non-empty buckets, the
+// quantity the paper reports per dataset ("3,872 ... 567,753 buckets",
+// §6.2).
+func (ix *Index) BucketCount(t int) int { return len(ix.Codes(t)) }
+
+// Stats summarizes bucket occupancy.
+type Stats struct {
+	Items         int
+	Buckets       int
+	MaxBucketSize int
+	AvgBucketSize float64
+}
+
+// TableStats computes occupancy statistics for table t across all
+// tiers.
+func (ix *Index) TableStats(t int) Stats {
+	var s Stats
+	tail := ix.Tables[t].tail
+	for _, code := range ix.Codes(t) {
+		size := len(tail.get(code))
+		for _, seg := range ix.segs {
+			size += len(seg.cores[t].get(code))
+		}
+		s.Buckets++
+		s.Items += size
+		if size > s.MaxBucketSize {
+			s.MaxBucketSize = size
+		}
+	}
+	if s.Buckets > 0 {
+		s.AvgBucketSize = float64(s.Items) / float64(s.Buckets)
+	}
+	return s
+}
+
+// MemtableItems reports how many ids sit in one table's memtable —
+// appended by Add and not yet sealed into a segment. Every table's
+// memtable holds the same count (Add feeds them all).
+func (ix *Index) MemtableItems() int {
+	if len(ix.Tables) == 0 {
+		return 0
+	}
+	return ix.Tables[0].tail.items
+}
+
+// SegmentCount returns the number of frozen segments.
+func (ix *Index) SegmentCount() int { return len(ix.segs) }
+
+// Segments returns the frozen segment list (read-only; the slice is
+// the live one, callers must hold the writer lock).
+func (ix *Index) Segments() []*Segment { return ix.segs }
+
+// TakeSeq allocates the next segment sequence number. Caller holds the
+// writer lock.
+func (ix *Index) TakeSeq() uint64 {
+	s := ix.segSeq
+	ix.segSeq++
+	return s
+}
+
+// SealMemtable freezes every table's memtable into one new frozen
+// segment appended to the segment list, and installs fresh empty
+// memtables. Cost O(memtable items); returns nil when the memtable is
+// empty. Earlier snapshots are unaffected (they cloned the memtable
+// and do not see the new segment). Caller holds the writer lock.
+func (ix *Index) SealMemtable() *Segment {
+	items := ix.MemtableItems()
+	if items == 0 {
+		return nil
+	}
+	cores := make([]*coreStore, len(ix.Tables))
+	for t, tbl := range ix.Tables {
+		cores[t] = sealCore(tbl.tail)
+		tbl.tail = newTailStore()
+	}
+	seg := newSegment(cores, ix.N-items, items, ix.TakeSeq())
+	ix.segs = append(ix.segs, seg)
+	ix.seals++
+	return seg
+}
+
+// AppendSegment attaches a segment covering exactly [ix.N, ix.N+count)
+// along with its vectors — the recovery path re-attaching segment files
+// to a base index. The memtable must be empty.
+func (ix *Index) AppendSegment(seg *Segment, vectors []float32) error {
+	if ix.MemtableItems() != 0 {
+		return fmt.Errorf("index: AppendSegment with non-empty memtable")
+	}
+	if len(seg.cores) != len(ix.Tables) {
+		return fmt.Errorf("index: segment has %d tables, index has %d", len(seg.cores), len(ix.Tables))
+	}
+	if seg.minID != ix.N {
+		return fmt.Errorf("index: segment starts at id %d, index ends at %d", seg.minID, ix.N)
+	}
+	if len(vectors) != seg.count*ix.Dim {
+		return fmt.Errorf("index: segment vector block %d floats, want %d", len(vectors), seg.count*ix.Dim)
+	}
+	ix.Data = append(ix.Data, vectors...)
+	ix.N += seg.count
+	ix.segs = append(ix.segs, seg)
+	if seg.seq >= ix.segSeq {
+		ix.segSeq = seg.seq + 1
+	}
+	return nil
+}
+
+// PlanMerge returns a run of adjacent frozen segments worth folding
+// into one (size-tiered policy: the leftmost run of ≥ mergeFanout
+// segments whose sizes are within mergeRatio of each other), or nil.
+// Segments whose id range starts below barrierID are never planned —
+// the durability layer uses this to keep segments covered by the base
+// snapshot out of merges. Caller holds the writer lock; the returned
+// slice is a copy safe to hand to a background goroutine.
+func (ix *Index) PlanMerge(barrierID int) []*Segment {
+	first := 0
+	for first < len(ix.segs) && ix.segs[first].minID < barrierID {
+		first++
+	}
+	for i := first; i < len(ix.segs); i++ {
+		lo, hi := ix.segs[i].count, ix.segs[i].count
+		j := i + 1
+		for j < len(ix.segs) {
+			c := ix.segs[j].count
+			nlo, nhi := lo, hi
+			if c < nlo {
+				nlo = c
+			}
+			if c > nhi {
+				nhi = c
+			}
+			if nhi > mergeRatio*nlo {
+				break
+			}
+			lo, hi = nlo, nhi
+			j++
+		}
+		if j-i >= mergeFanout {
+			out := make([]*Segment, j-i)
+			copy(out, ix.segs[i:j])
+			return out
+		}
+	}
+	return nil
+}
+
+// SegmentsAbove returns a copy of the run of segments whose id range
+// starts at or after barrierID — everything a full inline compaction
+// (Index.Compact at the root) may fold together. Caller holds the
+// writer lock.
+func (ix *Index) SegmentsAbove(barrierID int) []*Segment {
+	first := 0
+	for first < len(ix.segs) && ix.segs[first].minID < barrierID {
+		first++
+	}
+	out := make([]*Segment, len(ix.segs)-first)
+	copy(out, ix.segs[first:])
+	return out
+}
+
+// ApplyMerge splices merged into the segment list in place of the run
+// in (which must still be present, unchanged — validated by pointer),
+// releasing the list's reference on each input. Caller holds the
+// writer lock; snapshots published earlier keep their own references.
+func (ix *Index) ApplyMerge(in []*Segment, merged *Segment) error {
+	lo := -1
+	for i, s := range ix.segs {
+		if s == in[0] {
+			lo = i
+			break
+		}
+	}
+	if lo < 0 || lo+len(in) > len(ix.segs) {
+		return fmt.Errorf("index: merge inputs no longer in segment list")
+	}
+	for k, s := range in {
+		if ix.segs[lo+k] != s {
+			return fmt.Errorf("index: merge input %d no longer in segment list", k)
+		}
+	}
+	out := make([]*Segment, 0, len(ix.segs)-len(in)+1)
+	out = append(out, ix.segs[:lo]...)
+	out = append(out, merged)
+	out = append(out, ix.segs[lo+len(in):]...)
+	ix.segs = out
+	for _, s := range in {
+		s.Release()
+	}
+	ix.merges++
+	return nil
+}
+
+// Snapshot returns an immutable read view of the index: the frozen
+// segment list copied with one reference retained per segment, and
+// every memtable cloned. Publication cost is O(segments + memtable) —
+// never O(core items); folding segments together is the background
+// merger's job. The caller must serialize Snapshot with mutations
+// (Add, SealMemtable, ApplyMerge) on the live index and must Release
+// the view when replacing it; readers of the view never touch a memory
+// location a later Add writes.
+func (ix *Index) Snapshot() *Index {
+	view := &Index{
+		Dim: ix.Dim, N: ix.N, Data: ix.Data,
+		Tables: make([]*Table, len(ix.Tables)),
+		segs:   make([]*Segment, len(ix.segs)),
+	}
+	for i, t := range ix.Tables {
 		view.Tables[i] = t.freeze()
+	}
+	for i, s := range ix.segs {
+		s.Retain()
+		view.segs[i] = s
 	}
 	return view
 }
 
-// Compactions reports how many table tails have been folded into fresh
-// cores by Snapshot since construction.
-func (ix *Index) Compactions() int { return ix.compactions }
+// Release drops a snapshot view's segment references when the view is
+// unpublished; idempotent. It deliberately leaves segs intact — a zero
+// refcount only deletes a segment's file, never its memory, so searches
+// still holding the view keep reading valid data.
+func (ix *Index) Release() {
+	if ix.released.Swap(true) {
+		return
+	}
+	for _, s := range ix.segs {
+		s.Release()
+	}
+}
+
+// Seals reports how many memtables have been sealed into segments.
+func (ix *Index) Seals() int { return ix.seals }
+
+// Merges reports how many background/inline segment merges have been
+// applied.
+func (ix *Index) Merges() int { return ix.merges }
+
+// Compactions reports all compaction events — seals plus merges — since
+// construction (lifecycle observability).
+func (ix *Index) Compactions() int { return ix.seals + ix.merges }
 
 // Bits returns the code length of the index's hashers.
 func (ix *Index) Bits() int { return ix.Tables[0].Hasher.Bits() }
@@ -282,14 +502,17 @@ func CodeLengthFor(n, ep int) int {
 	return m
 }
 
-// MemoryBytes estimates the index's own storage: CSR arrays, probe
-// tables, delta tails and hasher parameters (the vectors belong to the
-// caller). This is the quantity behind the paper's §6.3.5 memory
+// MemoryBytes estimates the index's own storage: per-segment CSR arrays
+// and probe tables, memtables and hasher parameters (the vectors belong
+// to the caller). This is the quantity behind the paper's §6.3.5 memory
 // argument — every extra hash table pays this again.
 func (ix *Index) MemoryBytes() int {
 	total := 0
-	for _, t := range ix.Tables {
-		total += t.core.memoryBytes() + t.tail.memoryBytes() + hasherBytes(t.Hasher)
+	for t, tbl := range ix.Tables {
+		total += tbl.tail.memoryBytes() + hasherBytes(tbl.Hasher)
+		for _, s := range ix.segs {
+			total += s.cores[t].memoryBytes()
+		}
 	}
 	return total
 }

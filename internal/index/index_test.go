@@ -25,7 +25,7 @@ func TestEveryItemRetrievableByOwnCode(t *testing.T) {
 	for i := 0; i < ds.N(); i++ {
 		code := tbl.Hasher.Code(ds.Vector(i))
 		found := false
-		for _, id := range tbl.Bucket(code) {
+		for _, id := range ix.Bucket(0, code) {
 			if id == int32(i) {
 				found = true
 				break
@@ -39,11 +39,11 @@ func TestEveryItemRetrievableByOwnCode(t *testing.T) {
 
 func TestStatsConsistent(t *testing.T) {
 	ix, ds := buildSmall(t, 1)
-	s := ix.Tables[0].Stats()
+	s := ix.TableStats(0)
 	if s.Items != ds.N() {
 		t.Fatalf("stats items %d != N %d", s.Items, ds.N())
 	}
-	if s.Buckets != ix.Tables[0].BucketCount() {
+	if s.Buckets != ix.BucketCount(0) {
 		t.Fatal("stats bucket count mismatch")
 	}
 	if s.MaxBucketSize <= 0 || float64(s.MaxBucketSize) < s.AvgBucketSize {
@@ -53,8 +53,8 @@ func TestStatsConsistent(t *testing.T) {
 
 func TestCodesSortedAndComplete(t *testing.T) {
 	ix, _ := buildSmall(t, 1)
-	codes := ix.Tables[0].Codes()
-	if len(codes) != ix.Tables[0].BucketCount() {
+	codes := ix.Codes(0)
+	if len(codes) != ix.BucketCount(0) {
 		t.Fatal("Codes length mismatch")
 	}
 	for i := 1; i < len(codes); i++ {
@@ -156,7 +156,7 @@ func TestAverageOccupancyNearEP(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := ix.Tables[0].Stats()
+	s := ix.TableStats(0)
 	if s.AvgBucketSize < 2 || s.AvgBucketSize > 200 {
 		t.Fatalf("average occupancy %g too far from EP=10", s.AvgBucketSize)
 	}

@@ -2,6 +2,7 @@ package index
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -39,8 +40,8 @@ var (
 )
 
 // Save writes the index (hashers + buckets) to w in the GQRIDX2 format.
-// Delta tails are merged into the streamed CSR on the fly; the live
-// index is not mutated.
+// Each table's segments and memtable are folded into one streamed CSR
+// tier on the fly; the live index is not mutated.
 func (ix *Index) Save(w io.Writer) error {
 	if ix.N < 0 || ix.N > math.MaxUint32 {
 		return fmt.Errorf("index: save: item count %d does not fit the format", ix.N)
@@ -76,7 +77,7 @@ func (ix *Index) Save(w io.Writer) error {
 		if _, err := bw.Write(blob); err != nil {
 			return err
 		}
-		core := t.compacted()
+		core := ix.compactedCore(ti)
 		if len(core.codes) > math.MaxUint32 || len(core.ids) > math.MaxUint32 {
 			return fmt.Errorf("index: save: table %d bucket structure does not fit the format", ti)
 		}
@@ -141,40 +142,65 @@ func Load(r io.Reader, data []float32, dim int) (*Index, error) {
 		return nil, fmt.Errorf("index: load: implausible table count %d", tables)
 	}
 	ix := &Index{Dim: dim, N: int(n), Data: data}
+	cores := make([]*coreStore, 0, tables)
 	for t := 0; t < int(tables); t++ {
 		blobLen, err := readU32()
 		if err != nil {
 			return nil, err
 		}
-		if blobLen > 1<<30 {
+		if blobLen > 1<<24 {
 			return nil, fmt.Errorf("index: load: implausible hasher size %d", blobLen)
 		}
-		blob := make([]byte, blobLen)
-		if _, err := io.ReadFull(br, blob); err != nil {
+		// CopyN rather than a single up-front allocation: a corrupt
+		// length on a truncated stream then costs only the bytes
+		// actually present.
+		var blobBuf bytes.Buffer
+		if _, err := io.CopyN(&blobBuf, br, int64(blobLen)); err != nil {
 			return nil, fmt.Errorf("index: load: %w", err)
 		}
-		h, err := hash.Unmarshal(blob)
+		h, err := hash.Unmarshal(blobBuf.Bytes())
 		if err != nil {
 			return nil, err
 		}
-		var tbl *Table
+		var core *coreStore
 		if v1 {
-			tbl, err = loadTableV1(br, h, n, t)
+			core, err = loadTableV1(br, n, t)
 		} else {
-			tbl, err = loadTableV2(br, h, n, t)
+			core, err = loadTableV2(br, n, t)
 		}
 		if err != nil {
 			return nil, err
 		}
-		ix.Tables = append(ix.Tables, tbl)
+		ix.Tables = append(ix.Tables, &Table{Hasher: h, tail: newTailStore()})
+		cores = append(cores, core)
 	}
+	ix.segs = []*Segment{newSegment(cores, 0, int(n), 0)}
+	ix.segSeq = 1
 	return ix, nil
+}
+
+// compactedCore folds table t's bucket structure — every segment core
+// plus the memtable — into a single CSR tier (the index itself is not
+// mutated). Persistence streams this view.
+func (ix *Index) compactedCore(t int) *coreStore {
+	var c *coreStore
+	for _, s := range ix.segs {
+		if c == nil {
+			c = s.cores[t]
+		} else {
+			c = mergeCores(c, s.cores[t])
+		}
+	}
+	if c == nil {
+		c = newCoreStore(nil, []uint32{0}, nil)
+	}
+	return c.merge(ix.Tables[t].tail)
 }
 
 // loadTableV2 reads one table's CSR arrays and validates the structural
 // invariants (ascending codes, monotone offsets spanning exactly n ids,
 // ids in range).
-func loadTableV2(br *bufio.Reader, h hash.Hasher, n uint32, t int) (*Table, error) {
+func loadTableV2(br *bufio.Reader, n uint32, t int) (*coreStore, error) {
 	var nb uint32
 	if err := binary.Read(br, binary.LittleEndian, &nb); err != nil {
 		return nil, fmt.Errorf("index: load: %w", err)
@@ -215,13 +241,13 @@ func loadTableV2(br *bufio.Reader, h hash.Hasher, n uint32, t int) (*Table, erro
 			return nil, fmt.Errorf("index: load: item id %d out of range", id)
 		}
 	}
-	return &Table{Hasher: h, core: newCoreStore(codes, offsets, ids), tail: newTailStore()}, nil
+	return newCoreStore(codes, offsets, ids), nil
 }
 
 // loadTableV1 reads one table in the legacy per-bucket record format
 // and assembles the CSR tier from it. V1 writers emitted buckets in
 // ascending code order, which is verified rather than assumed.
-func loadTableV1(br *bufio.Reader, h hash.Hasher, n uint32, t int) (*Table, error) {
+func loadTableV1(br *bufio.Reader, n uint32, t int) (*coreStore, error) {
 	var nb uint32
 	if err := binary.Read(br, binary.LittleEndian, &nb); err != nil {
 		return nil, fmt.Errorf("index: load: %w", err)
@@ -263,5 +289,5 @@ func loadTableV1(br *bufio.Reader, h hash.Hasher, n uint32, t int) (*Table, erro
 	if len(ids) != int(n) {
 		return nil, fmt.Errorf("index: load: table %d indexes %d of %d items", t, len(ids), n)
 	}
-	return &Table{Hasher: h, core: newCoreStore(codes, offsets, ids), tail: newTailStore()}, nil
+	return newCoreStore(codes, offsets, ids), nil
 }

@@ -25,12 +25,12 @@ func sameTables(t *testing.T, label string, a, b *Index, probes []float32, dim i
 	}
 	for ti := range a.Tables {
 		ta, tb := a.Tables[ti], b.Tables[ti]
-		codes := ta.Codes()
-		if got := tb.Codes(); len(got) != len(codes) {
+		codes := a.Codes(ti)
+		if got := b.Codes(ti); len(got) != len(codes) {
 			t.Fatalf("%s: table %d has %d codes, want %d", label, ti, len(got), len(codes))
 		}
 		for _, code := range codes {
-			ids, got := ta.Bucket(code), tb.Bucket(code)
+			ids, got := a.Bucket(ti, code), b.Bucket(ti, code)
 			if len(got) != len(ids) {
 				t.Fatalf("%s: bucket %b size changed", label, code)
 			}
@@ -90,15 +90,15 @@ func TestSaveIncludesDeltaTail(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if ix.Tables[0].TailItems() == 0 {
-		t.Fatal("adds did not land in the delta tail")
+	if ix.MemtableItems() == 0 {
+		t.Fatal("adds did not land in the memtable")
 	}
 	var buf bytes.Buffer
 	if err := ix.Save(&buf); err != nil {
 		t.Fatal(err)
 	}
-	// Save must not have compacted the live index as a side effect.
-	if ix.Tables[0].TailItems() == 0 {
+	// Save must not have sealed the live memtable as a side effect.
+	if ix.MemtableItems() == 0 {
 		t.Fatal("Save compacted the live index")
 	}
 	ix2, err := Load(&buf, ix.Data, ds.Dim)
@@ -166,7 +166,7 @@ func saveV1(w io.Writer, ix *Index) error {
 	if err := writeU32(uint32(len(ix.Tables))); err != nil {
 		return err
 	}
-	for _, t := range ix.Tables {
+	for ti, t := range ix.Tables {
 		blob, err := hash.Marshal(t.Hasher)
 		if err != nil {
 			return err
@@ -177,7 +177,7 @@ func saveV1(w io.Writer, ix *Index) error {
 		if _, err := w.Write(blob); err != nil {
 			return err
 		}
-		codes := t.Codes()
+		codes := ix.Codes(ti)
 		if err := writeU32(uint32(len(codes))); err != nil {
 			return err
 		}
@@ -185,7 +185,7 @@ func saveV1(w io.Writer, ix *Index) error {
 			if err := binary.Write(w, binary.LittleEndian, code); err != nil {
 				return err
 			}
-			ids := t.Bucket(code)
+			ids := ix.Bucket(ti, code)
 			if err := writeU32(uint32(len(ids))); err != nil {
 				return err
 			}
@@ -254,11 +254,11 @@ func TestLoadGoldenV1(t *testing.T) {
 	}
 	// Every item must be findable under its own code via the loaded
 	// hashers — the structure survived the format, not just the bytes.
-	for _, tbl := range ix.Tables {
+	for ti, tbl := range ix.Tables {
 		for i := 0; i < goldenN; i++ {
 			code := tbl.Hasher.Code(vecs[i*goldenDim : (i+1)*goldenDim])
 			found := false
-			for _, id := range tbl.Bucket(code) {
+			for _, id := range ix.Bucket(ti, code) {
 				if id == int32(i) {
 					found = true
 					break
@@ -282,4 +282,54 @@ func TestLoadGoldenV1(t *testing.T) {
 		t.Fatalf("loading re-saved GQRIDX2: %v", err)
 	}
 	sameTables(t, "golden", ix, ix2, vecs[:20*goldenDim], goldenDim)
+}
+
+func goldenV2Path() string { return filepath.Join("testdata", "golden_v2.gqridx") }
+
+// TestLoadGoldenV2 pins the GQRIDX2 byte stream across releases: the
+// committed fixture (written by the CSR-streaming Save of earlier
+// releases) must keep loading, and the current Save must still emit
+// byte-identical output for the same index — both directions of the
+// format contract.
+func TestLoadGoldenV2(t *testing.T) {
+	vecs := goldenVectors()
+	buildGolden := func() *Index {
+		ix, err := Build(hash.LSH{}, vecs, goldenN, goldenDim, 8, 2, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ix
+	}
+	if *updateGolden {
+		var buf bytes.Buffer
+		if err := buildGolden().Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenV2Path(), buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	raw, err := os.ReadFile(goldenV2Path())
+	if err != nil {
+		t.Fatalf("missing golden fixture (regenerate with -update): %v", err)
+	}
+	if !bytes.HasPrefix(raw, magicV2[:]) {
+		t.Fatal("fixture is not a GQRIDX2 file")
+	}
+	ix, err := Load(bytes.NewReader(raw), vecs, goldenDim)
+	if err != nil {
+		t.Fatalf("loading GQRIDX2 fixture: %v", err)
+	}
+	want := buildGolden()
+	sameTables(t, "golden-v2", want, ix, vecs[:20*goldenDim], goldenDim)
+	var buf bytes.Buffer
+	if err := want.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), raw) {
+		t.Fatal("Save no longer reproduces the committed GQRIDX2 fixture byte-for-byte")
+	}
 }

@@ -1,0 +1,96 @@
+package index
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Segment is one frozen, immutable run of the index: the posting lists
+// (one CSR core per table) for the contiguous id range
+// [minID, minID+count). Segments are produced by sealing the memtable
+// and by merging adjacent segments; once built they are never mutated,
+// so any number of readers may share one by pointer.
+//
+// Lifetime is reference-counted: a segment is born with one reference
+// (the live index's segment list) and every published snapshot retains
+// it for the duration of the view. When the count reaches zero the
+// optional onZero hook runs — the durability layer uses it to delete
+// the segment's file once no reader or recovery path can need it.
+type Segment struct {
+	cores  []*coreStore // one per table
+	minID  int          // first id covered
+	count  int          // number of items
+	seq    uint64       // allocation order; names the segment file
+	refs   atomic.Int64
+	onZero atomic.Value // func(); set at most once, after the file exists
+}
+
+func newSegment(cores []*coreStore, minID, count int, seq uint64) *Segment {
+	s := &Segment{cores: cores, minID: minID, count: count, seq: seq}
+	s.refs.Store(1)
+	return s
+}
+
+// MinID returns the first item id the segment covers.
+func (s *Segment) MinID() int { return s.minID }
+
+// Items returns the number of items the segment covers.
+func (s *Segment) Items() int { return s.count }
+
+// Seq returns the segment's allocation sequence number.
+func (s *Segment) Seq() uint64 { return s.seq }
+
+// Tables returns the number of hash tables the segment carries cores
+// for.
+func (s *Segment) Tables() int { return len(s.cores) }
+
+// Retain adds a reference (a snapshot view capturing the segment).
+func (s *Segment) Retain() { s.refs.Add(1) }
+
+// Release drops one reference; the last release runs the onZero hook.
+func (s *Segment) Release() {
+	if s.refs.Add(-1) == 0 {
+		if f, ok := s.onZero.Load().(func()); ok && f != nil {
+			f()
+		}
+	}
+}
+
+// SetOnZero installs the zero-reference hook (segment-file cleanup).
+// If the count already hit zero — the segment was merged away while its
+// file was still being written — the hook runs immediately.
+func (s *Segment) SetOnZero(f func()) {
+	s.onZero.Store(f)
+	if s.refs.Load() == 0 && f != nil {
+		f()
+	}
+}
+
+// MergeSegments folds adjacent segments (ordered by ascending MinID,
+// covering a contiguous id range) into one. Pure function over
+// immutable inputs, so it is safe to run outside any lock — this is the
+// background merger's O(core) work that used to stall snapshot
+// publication.
+func MergeSegments(in []*Segment, seq uint64) (*Segment, error) {
+	if len(in) < 2 {
+		return nil, fmt.Errorf("index: merge needs at least 2 segments, got %d", len(in))
+	}
+	count := 0
+	for k, s := range in {
+		if s.minID != in[0].minID+count {
+			return nil, fmt.Errorf("index: merge inputs not adjacent at segment %d (minID %d, want %d)",
+				k, s.minID, in[0].minID+count)
+		}
+		count += s.count
+	}
+	nt := len(in[0].cores)
+	cores := make([]*coreStore, nt)
+	for t := 0; t < nt; t++ {
+		c := in[0].cores[t]
+		for _, s := range in[1:] {
+			c = mergeCores(c, s.cores[t])
+		}
+		cores[t] = c
+	}
+	return newSegment(cores, in[0].minID, count, seq), nil
+}

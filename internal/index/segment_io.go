@@ -1,0 +1,166 @@
+package index
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Segment file persistence. A segment file makes one frozen segment —
+// its vectors plus its per-table CSR cores — durable independently of
+// the base index file, so the durability layer can retire the WAL that
+// covered those Adds. Unlike the base format, vectors ARE stored: the
+// caller's vector block only covers the corpus the index was built
+// from, and segments hold everything added after that.
+//
+// GQRSEG1, all little-endian:
+//
+//	magic "GQRSEG1\x00"
+//	seq u64 | minID u32 | count u32 | dim u32 | tables u32
+//	vectors (count × dim × f32)
+//	per table: bucket count nb u32
+//	           codes   (nb × u64, strictly ascending)
+//	           offsets ((nb+1) × u32, offsets[0]=0, offsets[nb]=count)
+//	           ids     (count × u32, global ids in [minID, minID+count))
+//
+// Files are written via an atomic temp-file + fsync + rename helper, so
+// a file that exists under its final name is complete; ReadSegment
+// still validates every structural invariant and fails loudly on
+// anything inconsistent (a truncated or corrupted file is an error,
+// never silently-wrong data).
+
+var magicSeg1 = [8]byte{'G', 'Q', 'R', 'S', 'E', 'G', '1', 0}
+
+// maxSegmentItems bounds the per-segment item count accepted at read
+// time, so a corrupt header cannot demand an absurd allocation.
+const maxSegmentItems = 1 << 27
+
+// WriteSegment writes seg and its vector block (count×dim floats,
+// post-normalization) to w in the GQRSEG1 format.
+func WriteSegment(w io.Writer, seg *Segment, vectors []float32, dim int) error {
+	if len(vectors) != seg.count*dim {
+		return fmt.Errorf("index: segment write: vector block %d floats, want %d", len(vectors), seg.count*dim)
+	}
+	if seg.minID < 0 || seg.minID > math.MaxUint32 || seg.count < 0 || seg.count > math.MaxUint32 {
+		return fmt.Errorf("index: segment write: id range [%d,%d) does not fit the format", seg.minID, seg.minID+seg.count)
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magicSeg1[:]); err != nil {
+		return err
+	}
+	for _, v := range []any{seg.seq, uint32(seg.minID), uint32(seg.count), uint32(dim), uint32(len(seg.cores))} {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, vectors); err != nil {
+		return err
+	}
+	for t, core := range seg.cores {
+		if len(core.codes) > math.MaxUint32 {
+			return fmt.Errorf("index: segment write: table %d bucket count does not fit the format", t)
+		}
+		if err := binary.Write(bw, binary.LittleEndian, uint32(len(core.codes))); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, core.codes); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, core.offsets); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, core.ids); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadSegment reads one GQRSEG1 segment and its vector block, validating
+// every structural invariant against the expected dimension and table
+// count. Any inconsistency — truncation, bad magic, out-of-range ids,
+// malformed CSR — is an error.
+func ReadSegment(r io.Reader, dim, tables int) (*Segment, []float32, error) {
+	br := bufio.NewReader(r)
+	var m [8]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, nil, fmt.Errorf("index: segment load: %w", err)
+	}
+	if m != magicSeg1 {
+		return nil, nil, fmt.Errorf("index: segment load: bad magic %q", m[:])
+	}
+	var seq uint64
+	var minID, count, fdim, ftables uint32
+	for _, p := range []any{&seq, &minID, &count, &fdim, &ftables} {
+		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
+			return nil, nil, fmt.Errorf("index: segment load: %w", err)
+		}
+	}
+	if int(fdim) != dim {
+		return nil, nil, fmt.Errorf("index: segment load: file dim %d != index dim %d", fdim, dim)
+	}
+	if int(ftables) != tables {
+		return nil, nil, fmt.Errorf("index: segment load: file has %d tables, index has %d", ftables, tables)
+	}
+	if count == 0 || count > maxSegmentItems {
+		return nil, nil, fmt.Errorf("index: segment load: implausible item count %d", count)
+	}
+	if uint64(minID)+uint64(count) > math.MaxInt32 {
+		return nil, nil, fmt.Errorf("index: segment load: id range [%d,%d) out of range", minID, uint64(minID)+uint64(count))
+	}
+	vectors := make([]float32, int(count)*dim)
+	if err := binary.Read(br, binary.LittleEndian, vectors); err != nil {
+		return nil, nil, fmt.Errorf("index: segment load: %w", err)
+	}
+	cores := make([]*coreStore, tables)
+	for t := 0; t < tables; t++ {
+		var nb uint32
+		if err := binary.Read(br, binary.LittleEndian, &nb); err != nil {
+			return nil, nil, fmt.Errorf("index: segment load: %w", err)
+		}
+		if nb > count {
+			return nil, nil, fmt.Errorf("index: segment load: table %d has %d buckets for %d items", t, nb, count)
+		}
+		codes := make([]uint64, nb)
+		if err := binary.Read(br, binary.LittleEndian, codes); err != nil {
+			return nil, nil, fmt.Errorf("index: segment load: %w", err)
+		}
+		for i := 1; i < len(codes); i++ {
+			if codes[i] <= codes[i-1] {
+				return nil, nil, fmt.Errorf("index: segment load: table %d bucket codes not ascending", t)
+			}
+		}
+		offsets := make([]uint32, nb+1)
+		if err := binary.Read(br, binary.LittleEndian, offsets); err != nil {
+			return nil, nil, fmt.Errorf("index: segment load: %w", err)
+		}
+		if offsets[0] != 0 || offsets[nb] != count {
+			return nil, nil, fmt.Errorf("index: segment load: table %d offsets span [%d,%d], want [0,%d]", t, offsets[0], offsets[nb], count)
+		}
+		for i := 1; i < len(offsets); i++ {
+			if offsets[i] < offsets[i-1] {
+				return nil, nil, fmt.Errorf("index: segment load: table %d offsets not monotone", t)
+			}
+			if offsets[i] == offsets[i-1] {
+				return nil, nil, fmt.Errorf("index: segment load: table %d stores an empty bucket", t)
+			}
+		}
+		ids := make([]int32, count)
+		if err := binary.Read(br, binary.LittleEndian, ids); err != nil {
+			return nil, nil, fmt.Errorf("index: segment load: %w", err)
+		}
+		for _, id := range ids {
+			if uint32(id) < minID || uint32(id) >= minID+count {
+				return nil, nil, fmt.Errorf("index: segment load: item id %d outside [%d,%d)", id, minID, minID+count)
+			}
+		}
+		cores[t] = newCoreStore(codes, offsets, ids)
+	}
+	// A complete file ends here; trailing bytes mean corruption.
+	if _, err := br.ReadByte(); err != io.EOF {
+		return nil, nil, fmt.Errorf("index: segment load: trailing data after segment")
+	}
+	return newSegment(cores, int(minID), int(count), seq), vectors, nil
+}

@@ -63,18 +63,15 @@ func referenceSearch(t *testing.T, ix *index.Index, m Method, q []float32, opt O
 			}
 		}
 		st.BucketsGenerated++
-		ref := ix.Tables[best].Probe(states[best].code)
-		if ref.Len() > 0 {
+		if ids := ix.Bucket(best, states[best].code); len(ids) > 0 {
 			st.BucketsProbed++
-			for _, seg := range [2][]int32{ref.Core, ref.Tail} {
-				for _, id := range seg {
-					if visited[id] {
-						continue
-					}
-					visited[id] = true
-					st.Candidates++
-					top.Offer(vecmath.SquaredL2(q, ix.Vector(id)), id)
+			for _, id := range ids {
+				if visited[id] {
+					continue
 				}
+				visited[id] = true
+				st.Candidates++
+				top.Offer(vecmath.SquaredL2(q, ix.Vector(id)), id)
 			}
 		}
 		if opt.MaxCandidates > 0 && st.Candidates >= opt.MaxCandidates {

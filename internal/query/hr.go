@@ -21,8 +21,8 @@ type HR struct {
 // NewHR builds Hamming ranking over ix.
 func NewHR(ix *index.Index) *HR {
 	h := &HR{ix: ix, codes: make([][]uint64, len(ix.Tables))}
-	for t, tbl := range ix.Tables {
-		h.codes[t] = tbl.Codes()
+	for t := range ix.Tables {
+		h.codes[t] = ix.Codes(t)
 	}
 	return h
 }
@@ -114,8 +114,8 @@ type QR struct {
 // NewQR builds QD ranking over ix.
 func NewQR(ix *index.Index) *QR {
 	h := &QR{ix: ix, codes: make([][]uint64, len(ix.Tables))}
-	for t, tbl := range ix.Tables {
-		h.codes[t] = tbl.Codes()
+	for t := range ix.Tables {
+		h.codes[t] = ix.Codes(t)
 	}
 	return h
 }

@@ -102,9 +102,9 @@ func NewMIH(ix *index.Index, blocks int) *MIH {
 		offset += w
 	}
 	mi.sub = make([][]mihBlock, len(ix.Tables))
-	for t, tbl := range ix.Tables {
+	for t := range ix.Tables {
 		mi.sub[t] = make([]mihBlock, blocks)
-		codes := tbl.Codes()
+		codes := ix.Codes(t)
 		for b := 0; b < blocks; b++ {
 			mi.sub[t][b] = buildMIHBlock(codes, mi.layout[b][0], mi.layout[b][1])
 		}

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"gqr/internal/hash"
 	"gqr/internal/index"
 )
 
@@ -33,12 +34,11 @@ func (s *stubHasher) QueryProjection(x []float32, costs []float64) uint64 {
 func stubIndex(bits int, code uint64, costs []float64) *index.Index {
 	data := make([]float32, 4)
 	h := &stubHasher{bits: bits, code: code, costs: costs}
-	return &index.Index{
-		Dim:    2,
-		N:      2,
-		Data:   data,
-		Tables: []*index.Table{index.NewTableFromBuckets(h, map[uint64][]int32{code: {0, 1}})},
-	}
+	return index.NewFromBuckets(
+		[]hash.Hasher{h},
+		[]map[uint64][]int32{{code: {0, 1}}},
+		data, 2, 2,
+	)
 }
 
 // TestGQROrderingMatchesSubsetSumSort is the definitive Algorithm 2-4

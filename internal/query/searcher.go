@@ -115,6 +115,7 @@ type Searcher struct {
 	states []tableState
 	top    topK
 	cand   []int32
+	ref    index.BucketRef
 	clock  stageClock
 }
 
@@ -267,11 +268,12 @@ func (s *Searcher) Search(q []float32, opt Options) (Result, error) {
 
 		code := states[best].code
 		st.BucketsGenerated++
-		// Slot-handle probe into the CSR storage: the bucket arrives as
-		// its frozen-core segment plus its delta-tail segment, both flat
-		// id arrays — no map lookup on this path.
-		ref := s.ix.Tables[best].Probe(code)
-		if ref.Len() > 0 {
+		// Slot-handle probe into the LSM storage: the bucket arrives as
+		// one flat id slice per frozen segment plus the memtable slice,
+		// written into the searcher's reusable scratch ref — no map
+		// lookup and no allocation on this path.
+		s.ix.Probe(best, code, &s.ref)
+		if s.ref.Len() > 0 {
 			st.BucketsProbed++
 			if clk.on {
 				// The probe span covers everything since the previous
@@ -282,19 +284,21 @@ func (s *Searcher) Search(q []float32, opt Options) (Result, error) {
 				})
 				lastGen = st.BucketsGenerated
 			}
-			// Gather-then-evaluate: first filter both segments against
-			// the visited epochs into the scratch buffer, then run the
+			// Gather-then-evaluate: first filter every tier against the
+			// visited epochs into the scratch buffer, then run the
 			// distance kernel over the batch. Separating the phases keeps
 			// the visited bookkeeping out of the evaluation loop, which
 			// then streams candidate rows from the contiguous data slab.
 			cand := s.cand[:0]
-			for _, id := range ref.Core {
-				if s.visited[id] != s.epoch {
-					s.visited[id] = s.epoch
-					cand = append(cand, id)
+			for _, seg := range s.ref.Segs {
+				for _, id := range seg {
+					if s.visited[id] != s.epoch {
+						s.visited[id] = s.epoch
+						cand = append(cand, id)
+					}
 				}
 			}
-			for _, id := range ref.Tail {
+			for _, id := range s.ref.Tail {
 				if s.visited[id] != s.epoch {
 					s.visited[id] = s.epoch
 					cand = append(cand, id)

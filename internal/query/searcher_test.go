@@ -271,8 +271,8 @@ func TestStatsBucketAccounting(t *testing.T) {
 	if res.Stats.BucketsGenerated != res.Stats.BucketsProbed {
 		t.Fatalf("HR generated %d but probed %d", res.Stats.BucketsGenerated, res.Stats.BucketsProbed)
 	}
-	if res.Stats.BucketsProbed != ix.Tables[0].BucketCount() {
-		t.Fatalf("HR full probe visited %d buckets, table has %d", res.Stats.BucketsProbed, ix.Tables[0].BucketCount())
+	if res.Stats.BucketsProbed != ix.BucketCount(0) {
+		t.Fatalf("HR full probe visited %d buckets, table has %d", res.Stats.BucketsProbed, ix.BucketCount(0))
 	}
 	ghr := NewSearcher(ix, NewGHR(ix))
 	res2, err := ghr.Search(ds.Query(0), Options{K: 5})
@@ -282,8 +282,8 @@ func TestStatsBucketAccounting(t *testing.T) {
 	if res2.Stats.BucketsGenerated != 1<<8 {
 		t.Fatalf("GHR full probe generated %d codes, want 256", res2.Stats.BucketsGenerated)
 	}
-	if res2.Stats.BucketsProbed != ix.Tables[0].BucketCount() {
-		t.Fatalf("GHR probed %d non-empty buckets, table has %d", res2.Stats.BucketsProbed, ix.Tables[0].BucketCount())
+	if res2.Stats.BucketsProbed != ix.BucketCount(0) {
+		t.Fatalf("GHR probed %d non-empty buckets, table has %d", res2.Stats.BucketsProbed, ix.BucketCount(0))
 	}
 }
 

@@ -107,7 +107,7 @@ func TestGQREquivalentToQR(t *testing.T) {
 			if !ok {
 				break
 			}
-			if len(ix.Tables[0].Bucket(code)) == 0 {
+			if len(ix.Bucket(0, code)) == 0 {
 				continue
 			}
 			gqrCodes = append(gqrCodes, code)
@@ -228,7 +228,7 @@ func TestHREmitsExistingBucketsInHammingOrder(t *testing.T) {
 			if !ok {
 				break
 			}
-			if len(ix.Tables[0].Bucket(code)) == 0 {
+			if len(ix.Bucket(0, code)) == 0 {
 				t.Fatalf("HR emitted empty bucket %b", code)
 			}
 			d := bits.OnesCount64(code ^ qcode)
@@ -238,8 +238,8 @@ func TestHREmitsExistingBucketsInHammingOrder(t *testing.T) {
 			prev = d
 			count++
 		}
-		if count != ix.Tables[0].BucketCount() {
-			t.Fatalf("HR emitted %d buckets, table has %d", count, ix.Tables[0].BucketCount())
+		if count != ix.BucketCount(0) {
+			t.Fatalf("HR emitted %d buckets, table has %d", count, ix.BucketCount(0))
 		}
 	}
 }
@@ -269,8 +269,8 @@ func TestQREmitsExistingBucketsInQDOrder(t *testing.T) {
 			prev = score
 			count++
 		}
-		if count != ix.Tables[0].BucketCount() {
-			t.Fatalf("QR emitted %d buckets, table has %d", count, ix.Tables[0].BucketCount())
+		if count != ix.BucketCount(0) {
+			t.Fatalf("QR emitted %d buckets, table has %d", count, ix.BucketCount(0))
 		}
 	}
 }

@@ -37,6 +37,12 @@ const (
 	mIndexAdds       = "gqr_index_adds"
 	mIndexRebuilds   = "gqr_index_method_rebuilds"
 	mIndexSnapGen    = "gqr_index_snapshot_generation"
+	mIndexSegments   = "gqr_index_segments"
+	mIndexMemtable   = "gqr_index_memtable_items"
+	mIndexWALBytes   = "gqr_index_wal_bytes"
+	mIndexSeals      = "gqr_index_seals_total"
+	mIndexMerges     = "gqr_index_merges_total"
+	mIndexMergeSecs  = "gqr_index_merge_seconds"
 )
 
 // initMetrics registers every fixed series up front so /metrics serves
@@ -61,6 +67,12 @@ func (h *Handler) initMetrics() {
 	h.gAdds = h.reg.Gauge(mIndexAdds, "Vectors appended via Add since construction.")
 	h.gRebuilds = h.reg.Gauge(mIndexRebuilds, "Querying-method view rebuilds triggered by Add.")
 	h.gSnapGen = h.reg.Gauge(mIndexSnapGen, "Generation of the published read snapshot searches run on.")
+	h.gSegments = h.reg.Gauge(mIndexSegments, "Frozen LSM segments in the live index.")
+	h.gMemtable = h.reg.Gauge(mIndexMemtable, "Items in the mutable memtable (not yet sealed).")
+	h.gWALBytes = h.reg.Gauge(mIndexWALBytes, "Bytes across live write-ahead log files (0 when durability is off).")
+	h.gSeals = h.reg.Gauge(mIndexSeals, "Memtable seals since construction.")
+	h.gMerges = h.reg.Gauge(mIndexMerges, "Background segment merges since construction.")
+	h.hMerge = h.reg.Histogram(mIndexMergeSecs, "Background segment-merge duration in seconds.", nil)
 	h.updateIndexGauges()
 }
 
@@ -84,6 +96,11 @@ func (h *Handler) updateIndexGauges() {
 	h.gAdds.Set(float64(st.Adds))
 	h.gRebuilds.Set(float64(st.MethodRebuilds))
 	h.gSnapGen.Set(float64(st.SnapshotGeneration))
+	h.gSegments.Set(float64(st.Segments))
+	h.gMemtable.Set(float64(st.MemtableItems))
+	h.gWALBytes.Set(float64(st.WALBytes))
+	h.gSeals.Set(float64(st.Seals))
+	h.gMerges.Set(float64(st.Merges))
 }
 
 // workKey carries the per-request work accumulator through the

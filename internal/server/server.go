@@ -65,6 +65,15 @@ type Handler struct {
 	gAdds         *metrics.Gauge
 	gRebuilds     *metrics.Gauge
 	gSnapGen      *metrics.Gauge
+	gSegments     *metrics.Gauge
+	gMemtable     *metrics.Gauge
+	gWALBytes     *metrics.Gauge
+	gSeals        *metrics.Gauge
+	gMerges       *metrics.Gauge
+
+	// hMerge observes background segment-merge durations, fed by the
+	// index's compaction observer (installed in New).
+	hMerge *metrics.Histogram
 
 	// Per-stage latency histograms, indexed by trace.Stage and fed by
 	// the flight recorder's observer (empty when tracing is off).
@@ -100,6 +109,11 @@ func New(ix *gqr.Index, opts ...Option) *Handler {
 	}
 	h.initMetrics()
 	h.initTracing()
+	// Merge durations arrive by callback — merges run on a background
+	// goroutine, so no scrape-time poll can time them.
+	ix.SetCompactionObserver(func(ci gqr.CompactionInfo) {
+		h.hMerge.Observe(ci.Duration.Seconds())
+	})
 	h.mux.HandleFunc("/search", h.search)
 	h.mux.HandleFunc("/batch", h.batch)
 	h.mux.HandleFunc("/add", h.add)

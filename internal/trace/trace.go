@@ -40,14 +40,15 @@ const (
 	StageEvaluate                // batched exact-distance evaluation
 	StageFinalize                // heap finalize (sort, sqrt, radius cut)
 	StageShard                   // one shard's whole leg of a sharded fan-out
+	StageCompact                 // one background segment merge (compaction traces only)
 )
 
 // NumStages is the number of distinct stages.
-const NumStages = int(StageShard) + 1
+const NumStages = int(StageCompact) + 1
 
 var stageNames = [NumStages]string{
 	"snapshot", "preprocess", "sequence", "probe", "gather", "evaluate",
-	"finalize", "shard",
+	"finalize", "shard", "compact",
 }
 
 // String returns the stage's wire name (used as the metrics label and

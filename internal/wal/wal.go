@@ -1,0 +1,131 @@
+// Package wal implements the write-ahead log of the Add path: an
+// append-only file of CRC-framed vector records, flushed to disk before
+// an Add is acknowledged and replayed at recovery. One log file covers
+// the Adds since the last memtable seal; once the sealed segment's own
+// file is durable, the log that covered it is deleted.
+//
+// Record layout, all little-endian:
+//
+//	u32 payload length | u32 CRC-32 (IEEE) of payload | payload
+//	payload: u64 item id | dim × f32 vector (post-normalization)
+//
+// Replay treats the first malformed record — short frame, wrong length,
+// CRC mismatch — as the torn tail of a crashed append and stops there
+// cleanly: the durability contract covers acknowledged Adds only, and
+// an acknowledged record was fully written and fsynced before the ack.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+)
+
+// Writer appends records to one log file. Not safe for concurrent use;
+// the index serializes appends under its writer lock.
+type Writer struct {
+	f    *os.File
+	path string
+	buf  []byte
+	n    int64
+}
+
+// Create opens a fresh log file at path (which must not already exist —
+// log files are never reopened for append; recovery replays and retires
+// them).
+func Create(path string) (*Writer, error) {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	return &Writer{f: f, path: path}, nil
+}
+
+// Append writes one record and flushes it to stable storage. When
+// Append returns nil the record survives a crash — this is the
+// durability point the Add acknowledgment relies on.
+func (w *Writer) Append(id uint64, vec []float32) error {
+	payload := 8 + 4*len(vec)
+	need := 8 + payload
+	if cap(w.buf) < need {
+		w.buf = make([]byte, need)
+	}
+	b := w.buf[:need]
+	binary.LittleEndian.PutUint32(b[0:], uint32(payload))
+	binary.LittleEndian.PutUint64(b[8:], id)
+	off := 16
+	for _, v := range vec {
+		binary.LittleEndian.PutUint32(b[off:], math.Float32bits(v))
+		off += 4
+	}
+	binary.LittleEndian.PutUint32(b[4:], crc32.ChecksumIEEE(b[8:need]))
+	if _, err := w.f.Write(b); err != nil {
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("wal: sync: %w", err)
+	}
+	w.n += int64(need)
+	return nil
+}
+
+// Bytes returns how many bytes have been appended (and synced).
+func (w *Writer) Bytes() int64 { return w.n }
+
+// Path returns the log file's path.
+func (w *Writer) Path() string { return w.path }
+
+// Close closes the log file. Records are already synced per Append.
+func (w *Writer) Close() error {
+	if w.f == nil {
+		return nil
+	}
+	err := w.f.Close()
+	w.f = nil
+	return err
+}
+
+// Replay reads every intact record of the log at path in order, calling
+// fn for each. The vec slice is reused across calls; fn must copy it to
+// retain it. A record's payload length must be exactly 8+4*dim.
+//
+// Returns clean=true when the file ends exactly at a record boundary.
+// clean=false means a torn tail was found (a crash mid-append); the
+// records before it were all delivered. An error from fn, or a failure
+// to read the file at all, aborts the replay.
+func Replay(path string, dim int, fn func(id uint64, vec []float32) error) (clean bool, err error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return false, fmt.Errorf("wal: replay: %w", err)
+	}
+	want := 8 + 4*dim
+	vec := make([]float32, dim)
+	off := 0
+	for {
+		if off == len(raw) {
+			return true, nil
+		}
+		if off+8 > len(raw) {
+			return false, nil
+		}
+		plen := int(binary.LittleEndian.Uint32(raw[off:]))
+		crc := binary.LittleEndian.Uint32(raw[off+4:])
+		if plen != want || off+8+plen > len(raw) {
+			return false, nil
+		}
+		payload := raw[off+8 : off+8+plen]
+		if crc32.ChecksumIEEE(payload) != crc {
+			return false, nil
+		}
+		id := binary.LittleEndian.Uint64(payload)
+		for i := range vec {
+			vec[i] = math.Float32frombits(binary.LittleEndian.Uint32(payload[8+4*i:]))
+		}
+		if err := fn(id, vec); err != nil {
+			return false, err
+		}
+		off += 8 + plen
+	}
+}

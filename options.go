@@ -80,7 +80,18 @@ type config struct {
 	traceSample   int
 	slowQuery     time.Duration
 	traceCapacity int
+
+	// memtable is the Add count at which the memtable is sealed into a
+	// frozen segment; walOff disables the write-ahead log when
+	// durability is enabled (see WithoutAddWAL).
+	memtable int
+	walOff   bool
 }
+
+// defaultMemtableSize is the memtable seal threshold: small enough that
+// the inline seal cost on the Add path stays microseconds, large enough
+// that segments are worth merging.
+const defaultMemtableSize = 256
 
 func defaultConfig() config {
 	return config{
@@ -89,6 +100,7 @@ func defaultConfig() config {
 		metric:    Euclidean,
 		tables:    1,
 		expected:  10,
+		memtable:  defaultMemtableSize,
 	}
 }
 
@@ -125,6 +137,9 @@ func (c config) validate() error {
 	}
 	if c.traceCapacity < 0 {
 		return fmt.Errorf("gqr: trace buffer capacity %d < 0", c.traceCapacity)
+	}
+	if c.memtable < 1 {
+		return fmt.Errorf("gqr: memtable size %d < 1", c.memtable)
 	}
 	return nil
 }
@@ -204,6 +219,22 @@ func WithTraceBuffer(capacity int) Option {
 func withoutTracing() Option {
 	return func(c *config) { c.traceSample, c.slowQuery = 0, 0 }
 }
+
+// WithMemtableSize sets how many Adds accumulate in the mutable
+// memtable before it is sealed into a frozen segment (default 256).
+// Sealing is the only inline compaction work the Add path ever does —
+// O(memtable), amortized O(1) per Add; folding segments together
+// happens on a background goroutine. Larger values batch more Adds per
+// segment (fewer files under durability) at the cost of a larger
+// memtable clone on snapshot publication.
+func WithMemtableSize(items int) Option { return func(c *config) { c.memtable = items } }
+
+// WithoutAddWAL disables the write-ahead log when durability is enabled
+// (EnableDurability / Recover): Adds are acknowledged without an fsync
+// and are durable only once their segment file is written. Use it when
+// ingest throughput matters more than the last partial memtable of
+// Adds surviving a crash.
+func WithoutAddWAL() Option { return func(c *config) { c.walOff = true } }
 
 // searchConfig collects Search options.
 type searchConfig struct {

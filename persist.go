@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 
 	"gqr/internal/index"
 )
@@ -14,9 +15,10 @@ import (
 // internal index section (hashers + buckets). Vectors are not stored —
 // they are the caller's data and are re-attached at Load. The index
 // section is self-versioned: Save emits the CSR-streaming GQRIDX2
-// format (delta tails are merged in on the fly), and Load accepts both
-// GQRIDX2 and the legacy GQRIDX1 per-bucket records, so files written
-// by earlier releases keep loading.
+// format (every frozen segment and the memtable are folded into one
+// CSR tier per table on the fly), and Load accepts both GQRIDX2 and
+// the legacy GQRIDX1 per-bucket records, so files written by earlier
+// releases keep loading.
 var pubMagic = [8]byte{'G', 'Q', 'R', 'P', 'U', 'B', '1', 0}
 
 // Save writes the trained index to w. The vector block is NOT written;
@@ -27,6 +29,12 @@ var pubMagic = [8]byte{'G', 'Q', 'R', 'P', 'U', 'B', '1', 0}
 func (ix *Index) Save(w io.Writer) error {
 	ix.writeMu.Lock()
 	defer ix.writeMu.Unlock()
+	return ix.saveLocked(w)
+}
+
+// saveLocked streams the index under an already-held writer lock (the
+// durability layer reuses it for the base file).
+func (ix *Index) saveLocked(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.Write(pubMagic[:]); err != nil {
 		return err
@@ -45,27 +53,96 @@ func (ix *Index) Save(w io.Writer) error {
 	return bw.Flush()
 }
 
-// SaveFile writes the index to the named file.
+// SaveFile writes the index to the named file atomically: the bytes go
+// to a temp file in the target directory, are fsynced, and the temp is
+// renamed over the target. A failure mid-write never leaves a
+// truncated, unloadable file at path — the previous file (if any)
+// survives intact.
 func (ix *Index) SaveFile(path string) error {
-	f, err := os.Create(path)
+	return atomicWriteFile(path, ix.Save)
+}
+
+// atomicWriteFile is the shared atomic-persistence helper (SaveFile,
+// index base files, segment files): write writes the full contents to
+// a temp file created in path's directory, which is then fsynced and
+// renamed over path, and the directory is fsynced so the rename itself
+// is durable. On any error the temp file is removed and path is left
+// untouched.
+func atomicWriteFile(path string, write func(io.Writer) error) (err error) {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
+		return fmt.Errorf("gqr: atomic write %s: %w", path, err)
+	}
+	tmp := f.Name()
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+	if err = write(f); err != nil {
 		return err
 	}
-	if err := ix.Save(f); err != nil {
-		f.Close()
-		return err
+	if err = f.Sync(); err != nil {
+		return fmt.Errorf("gqr: atomic write %s: %w", path, err)
 	}
-	return f.Close()
+	if err = f.Close(); err != nil {
+		return fmt.Errorf("gqr: atomic write %s: %w", path, err)
+	}
+	if err = os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("gqr: atomic write %s: %w", path, err)
+	}
+	// fsync the directory so the rename survives a crash too. Failure
+	// here is reported, not ignored: the caller may be about to delete
+	// the WAL this file replaces.
+	if d, derr := os.Open(dir); derr == nil {
+		serr := d.Sync()
+		d.Close()
+		if serr != nil {
+			return fmt.Errorf("gqr: atomic write %s: dir sync: %w", path, serr)
+		}
+	}
+	return nil
 }
 
 // Load restores an index saved with Save, re-attaching the vector
 // block it was built from (same vectors, same order). For an Angular
 // index pass the original (unnormalized) vectors — they are normalized
 // again on load. Runtime-only options (WithTracing,
-// WithSlowQueryThreshold, WithTraceBuffer) may be passed to equip the
-// restored index; structural options (algorithm, method, metric, code
-// length) come from the file and are ignored here.
+// WithSlowQueryThreshold, WithTraceBuffer, WithMemtableSize) may be
+// passed to equip the restored index; structural options (algorithm,
+// method, metric, code length) come from the file and are ignored
+// here.
 func Load(r io.Reader, vectors []float32, dim int, opts ...Option) (*Index, error) {
+	cfg := defaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	out, err := loadUnpublished(r, vectors, dim, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := out.publishLocked(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// loadUnpublished restores an index without publishing a read snapshot
+// (Recover appends segments and replays the WAL first).
+func loadUnpublished(r io.Reader, vectors []float32, dim int, cfg config) (*Index, error) {
+	// The vector block must be a whole number of dim-sized rows for
+	// either metric; catching it here (rather than deep in the index
+	// loader, or not at all on some paths) gives a uniform, clear error
+	// instead of garbage distances at query time.
+	if dim <= 0 || len(vectors)%dim != 0 {
+		return nil, fmt.Errorf("gqr: load: vector block length %d not a multiple of dim %d", len(vectors), dim)
+	}
 	br := bufio.NewReader(r)
 	var m [8]byte
 	if _, err := io.ReadFull(br, m[:]); err != nil {
@@ -103,9 +180,6 @@ func Load(r io.Reader, vectors []float32, dim int, opts ...Option) (*Index, erro
 		return nil, fmt.Errorf("gqr: load: unknown metric %q", metricName)
 	}
 	if metric == Angular {
-		if dim <= 0 || len(vectors)%dim != 0 {
-			return nil, fmt.Errorf("gqr: load: vector block length %d not a multiple of dim %d", len(vectors), dim)
-		}
 		normalized := make([]float32, len(vectors))
 		copy(normalized, vectors)
 		for i := 0; i < len(vectors)/dim; i++ {
@@ -117,18 +191,8 @@ func Load(r io.Reader, vectors []float32, dim int, opts ...Option) (*Index, erro
 	if err != nil {
 		return nil, err
 	}
-	cfg := defaultConfig()
-	for _, o := range opts {
-		o(&cfg)
-	}
-	if err := cfg.validate(); err != nil {
-		return nil, err
-	}
-	out := &Index{live: inner, metric: metric, methodName: methodName, rec: recorderOf(cfg)}
+	out := &Index{live: inner, metric: metric, methodName: methodName, rec: recorderOf(cfg), sealEvery: cfg.memtable}
 	out.muScale = earlyStopScale(inner)
-	if err := out.publishLocked(); err != nil {
-		return nil, err
-	}
 	return out, nil
 }
 

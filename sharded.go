@@ -54,11 +54,11 @@ func BuildSharded(vectors []float32, dim, shards int, opts ...Option) (*ShardedI
 	}
 	n := len(vectors) / dim
 	// Every learner needs at least two training points per shard.
-	if shards > n/2 {
-		shards = n / 2
-	}
-	if shards < 1 {
-		shards = 1
+	// Refusing beats silently building fewer shards than requested: a
+	// caller sizing fan-out or capacity by shard count must be able to
+	// rely on Shards() == the count it asked for.
+	if n < 2*shards {
+		return nil, fmt.Errorf("gqr: %d vectors cannot fill %d shards (need at least 2 vectors per shard)", n, shards)
 	}
 	s := &ShardedIndex{dim: dim, methodName: string(cfg.method), rec: recorderOf(cfg)}
 	shardOpts := append(append([]Option{}, opts...), withoutTracing())
@@ -80,7 +80,10 @@ func BuildSharded(vectors []float32, dim, shards int, opts ...Option) (*ShardedI
 	return s, nil
 }
 
-// Shards returns the number of shards.
+// Shards returns the number of shards — always exactly the count
+// requested at build time: BuildSharded fails when the corpus cannot
+// fill that many shards (fewer than two vectors each) instead of
+// silently clamping the count.
 func (s *ShardedIndex) Shards() int { return len(s.shards) }
 
 // TraceRecorder returns the sharded index's flight recorder, or nil

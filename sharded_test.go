@@ -1,6 +1,9 @@
 package gqr
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 func TestShardedMatchesSingleExact(t *testing.T) {
 	ds := demoData(t)
@@ -78,19 +81,26 @@ func TestShardedMoreShardsThanItems(t *testing.T) {
 	for i := range vecs {
 		vecs[i] = float32(i)
 	}
-	sharded, err := BuildSharded(vecs, 8, 100, WithCodeLength(2))
+	// Too few vectors for the requested fan-out must be an explicit
+	// error, not a silent clamp — Shards() is a capacity contract.
+	if _, err := BuildSharded(vecs, 8, 100, WithCodeLength(2)); err == nil {
+		t.Fatal("100 shards over 4 items must be rejected, not clamped")
+	} else if !strings.Contains(err.Error(), "cannot fill") {
+		t.Fatalf("unhelpful shard-capacity error: %v", err)
+	}
+	// The largest count the corpus can fill still builds and answers.
+	sharded, err := BuildSharded(vecs, 8, 2, WithCodeLength(2))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if sharded.Shards() != 2 {
-		t.Fatalf("shards = %d, want clamp to 2 (two items per shard)", sharded.Shards())
+		t.Fatalf("shards = %d, want exactly the 2 requested", sharded.Shards())
 	}
-	// And the clamped index still answers exactly.
 	nbrs, err := sharded.Search(vecs[8:16], 2)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if nbrs[0].ID != 1 || nbrs[0].Distance != 0 {
-		t.Fatalf("clamped sharded search wrong: %v", nbrs)
+		t.Fatalf("sharded search wrong: %v", nbrs)
 	}
 }

@@ -97,7 +97,7 @@ func TestSearchWithStatsEarlyStop(t *testing.T) {
 			stopped = true
 			// Early stop prunes probing: strictly less than the whole
 			// bucket population must have been generated.
-			if st.BucketsGenerated >= ix.live.Tables[0].BucketCount() {
+			if st.BucketsGenerated >= ix.live.BucketCount(0) {
 				t.Fatalf("early stop did not prune: %+v", st)
 			}
 		}
