@@ -3,9 +3,9 @@
 # flight-recorder race stress.
 GO ?= go
 
-.PHONY: check build vet test race trace-stress durability fuzz-smoke bench bench-smoke bench-json
+.PHONY: check build vet test race trace-stress durability lifecycle fuzz-smoke bench bench-smoke bench-json
 
-check: vet test race trace-stress durability bench-smoke
+check: vet test race trace-stress durability lifecycle bench-smoke
 
 build:
 	$(GO) build ./...
@@ -37,10 +37,20 @@ trace-stress:
 durability:
 	$(GO) test -race -run 'WAL|Durable|Durability|SaveFileAtomic|LoadRejects' . ./internal/wal
 
-# Short fuzz runs over the two untrusted-input parsers: the GQRPUB1
-# index loader and the WAL replayer. Ten seconds each — enough to
-# catch a panic or an unbounded allocation from a hostile length
-# field without stalling CI.
+# Corpus-lifecycle oracle suite under the race detector: random
+# Add/Delete/Update interleavings across seal/merge/crash-recovery
+# boundaries must return search results identical to a fresh index
+# over only the live vectors (all five query methods), and Compact
+# must fold tombstones to the canonical saved form. This is the
+# regression gate for the delete/update path (DESIGN.md §8f).
+lifecycle:
+	$(GO) test -race -run 'Lifecycle' .
+
+# Short fuzz runs over the two untrusted-input parsers: the index
+# loader (GQRPUB1/GQRIDX3 streams, seeded with tombstone bitmaps and
+# metadata slabs) and the WAL replayer (add, meta-add and delete
+# frames). Ten seconds each — enough to catch a panic or an unbounded
+# allocation from a hostile length field without stalling CI.
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzLoad -fuzztime=10s -run '^$$' .
 	$(GO) test -fuzz=FuzzReplay -fuzztime=10s -run '^$$' ./internal/wal

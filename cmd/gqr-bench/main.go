@@ -9,6 +9,7 @@
 //	gqr-bench -list                            # list experiment ids
 //	gqr-bench -json BENCH.json                 # machine-readable micro-benchmarks
 //	gqr-bench -trace-out trace.json            # Chrome trace of a traced query run
+//	gqr-bench -lifecycle                       # search latency at 0/10/50% deleted
 //
 // Corpus sizes scale linearly with -scale; -nq and -k control the query
 // workload (paper defaults: 1000 queries scaled to 100, k=20).
@@ -21,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"os"
 	"strings"
 	"time"
@@ -45,8 +47,16 @@ func main() {
 		traceOut    = flag.String("trace-out", "", "run a traced query workload and write the flight recorder's captures as Chrome trace_event JSON to this file ('-' for stdout)")
 		traceSample = flag.Int("trace-sample", 1, "with -trace-out: capture every n-th query")
 		slowQueryMS = flag.Float64("slow-query-ms", 0, "with -trace-out: also capture queries at or above this latency in milliseconds")
+		lifecycle   = flag.Bool("lifecycle", false, "run the corpus-lifecycle sweep: budget-1000 latency at 0/10/50% deleted, before and after compaction")
 	)
 	flag.Parse()
+
+	if *lifecycle {
+		if err := runLifecycleSweep(os.Stdout, *nq, *k, *seed, *buildProcs); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	if *traceOut != "" {
 		if err := runTraceCapture(*traceOut, *nq, *k, *seed, *buildProcs, *traceSample, *slowQueryMS); err != nil {
@@ -162,6 +172,72 @@ func runTraceCapture(path string, nq, k int, seed int64, buildProcs, sampleEvery
 	st := rec.Stats()
 	fmt.Fprintf(os.Stderr, "gqr-bench: traced %d/%d queries, captured %d traces to %s\n",
 		st.Traced, st.Queries, len(traces), path)
+	return nil
+}
+
+// runLifecycleSweep measures how deletions affect query latency: the
+// budget-1000 workload runs at 0%, 10% and 50% of the corpus deleted,
+// first with the tombstones still pending in the posting lists (each
+// dead id costs a bitmap test in the gather loop) and then after
+// Compact has purged them (dead ids cost nothing). Deleted ids are a
+// seeded permutation, so runs are reproducible.
+func runLifecycleSweep(w io.Writer, nq, k int, seed int64, buildProcs int) error {
+	const n, dim = 20000, 32
+	ds := dataset.Generate(dataset.GeneratorSpec{
+		Name: "lifecycle", N: n, Dim: dim, Clusters: 16, LatentDim: 8, Seed: 23 + seed,
+	})
+	if nq < 1 {
+		nq = 1
+	}
+	ds.SampleQueries(nq, 24+seed)
+	ix, err := gqr.Build(ds.Vectors, ds.Dim,
+		gqr.WithSeed(25+seed),
+		gqr.WithBuildParallelism(buildProcs))
+	if err != nil {
+		return err
+	}
+	nLive := ds.N() // SampleQueries holds sampled rows out of the corpus
+	perm := rand.New(rand.NewSource(26 + seed)).Perm(nLive)
+	fmt.Fprintf(w, "corpus %d x %d, %d queries, k=%d, budget 1000\n\n", nLive, dim, nq, k)
+	fmt.Fprintf(w, "%-9s %-11s %9s %9s %10s %10s\n",
+		"deleted", "phase", "live", "us/query", "cands/q", "filt/q")
+	deleted := 0
+	for _, frac := range []float64{0, 0.10, 0.50} {
+		target := int(frac * float64(nLive))
+		for ; deleted < target; deleted++ {
+			if err := ix.Delete(perm[deleted]); err != nil {
+				return err
+			}
+		}
+		measure := func(phase string) error {
+			var lat time.Duration
+			var cands, filt int
+			for qi := 0; qi < nq; qi++ {
+				start := time.Now()
+				_, st, err := ix.SearchWithStats(ds.Query(qi), k, gqr.WithMaxCandidates(1000))
+				if err != nil {
+					return err
+				}
+				lat += time.Since(start)
+				cands += st.Candidates
+				filt += st.Filtered
+			}
+			fmt.Fprintf(w, "%-9s %-11s %9d %9.1f %10.1f %10.1f\n",
+				fmt.Sprintf("%d%%", int(frac*100)), phase, ix.Stats().LiveItems,
+				float64(lat.Microseconds())/float64(nq),
+				float64(cands)/float64(nq), float64(filt)/float64(nq))
+			return nil
+		}
+		if err := measure("tombstoned"); err != nil {
+			return err
+		}
+		if err := ix.Compact(); err != nil {
+			return err
+		}
+		if err := measure("purged"); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 

@@ -7,13 +7,19 @@
 //
 //	gqr-datagen -corpus cifar-sim -out data/cifar       # named corpus
 //	gqr-datagen -n 50000 -dim 64 -clusters 16 -out data/custom
+//	gqr-datagen -corpus cifar-sim -tags 8 -out data/cifar
 //
-// Writes <out>_base.fvecs, <out>_query.fvecs and <out>_groundtruth.ivecs.
+// Writes <out>_base.fvecs, <out>_query.fvecs and <out>_groundtruth.ivecs;
+// with -tags also <out>_tags.u64, one little-endian metadata word per
+// base vector (a single random category bit in [0,tags)), the input for
+// tag-mask-filtered searches.
 package main
 
 import (
+	"encoding/binary"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 
 	"gqr/internal/dataset"
@@ -30,6 +36,7 @@ func main() {
 		seed     = flag.Int64("seed", 1, "custom corpus: generator seed")
 		nq       = flag.Int("nq", 100, "queries to sample out of the corpus")
 		k        = flag.Int("k", 100, "ground-truth neighbors per query")
+		tags     = flag.Int("tags", 0, "assign each base vector one random category bit in [0,tags) and write <out>_tags.u64 (0 = no tags file)")
 		out      = flag.String("out", "", "output path prefix (required)")
 	)
 	flag.Parse()
@@ -89,6 +96,19 @@ func main() {
 		}
 		return f.Close()
 	})
+	if *tags > 0 {
+		if *tags > 64 {
+			fatal(fmt.Errorf("tags %d > 64 (metadata words are 64-bit)", *tags))
+		}
+		write("_tags.u64", func(p string) error {
+			rng := rand.New(rand.NewSource(*seed + 99))
+			buf := make([]byte, 8*ds.N())
+			for i := 0; i < ds.N(); i++ {
+				binary.LittleEndian.PutUint64(buf[8*i:], 1<<uint(rng.Intn(*tags)))
+			}
+			return os.WriteFile(p, buf, 0o644)
+		})
+	}
 	fmt.Printf("corpus: %d base vectors, %d queries, dim %d, ground-truth k=%d\n",
 		ds.N(), ds.NQ(), ds.Dim, ds.GroundTruthK)
 }

@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"time"
 
@@ -32,6 +33,8 @@ func main() {
 		tables     = flag.Int("tables", 1, "hash tables")
 		seed       = flag.Int64("seed", 0, "training seed")
 		buildProcs = flag.Int("build-procs", 0, "build worker bound (0 = GOMAXPROCS); the index is identical at any setting")
+		deleteFrac = flag.Float64("delete-frac", 0, "delete this fraction of the base (seeded permutation) before querying; recall is computed over live ground-truth ids")
+		compact    = flag.Bool("compact", false, "with -delete-frac, compact the index (purging tombstones) before querying")
 		verbose    = flag.Bool("v", false, "print every query's neighbor list")
 		saveIdx    = flag.String("save", "", "after building, save the index to this file")
 		loadIdx    = flag.String("load", "", "load a previously saved index instead of training")
@@ -98,6 +101,33 @@ func main() {
 		fmt.Println("index saved to", *saveIdx)
 	}
 
+	// Exercise the deletion path: tombstone a seeded permutation prefix,
+	// optionally purge it, and report recall against the ids still live.
+	var dead map[int]bool
+	if *deleteFrac > 0 {
+		if *deleteFrac >= 1 {
+			fatal(fmt.Errorf("delete-frac %v must be in [0,1)", *deleteFrac))
+		}
+		n := len(vecs) / dim
+		perm := rand.New(rand.NewSource(*seed + 4242)).Perm(n)
+		target := int(*deleteFrac * float64(n))
+		dead = make(map[int]bool, target)
+		for _, id := range perm[:target] {
+			if err := ix.Delete(id); err != nil {
+				fatal(err)
+			}
+			dead[id] = true
+		}
+		if *compact {
+			if err := ix.Compact(); err != nil {
+				fatal(err)
+			}
+		}
+		st := ix.Stats()
+		fmt.Printf("deleted %d items (live %d, tombstones %d pending %d, compacted=%v)\n",
+			target, st.LiveItems, st.Tombstones, st.PendingTombstones, *compact)
+	}
+
 	nq := len(queries) / dim
 	var opts []gqr.SearchOption
 	if *budget > 0 {
@@ -120,6 +150,15 @@ func main() {
 		}
 		if truth != nil && qi < len(truth) {
 			want := truth[qi]
+			if dead != nil {
+				live := make([]int32, 0, len(want))
+				for _, id := range want {
+					if !dead[int(id)] {
+						live = append(live, id)
+					}
+				}
+				want = live
+			}
 			if len(want) > *k {
 				want = want[:*k]
 			}

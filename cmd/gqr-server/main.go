@@ -130,7 +130,8 @@ func main() {
 	}
 	st := ix.Stats()
 	logger.Info("index ready",
-		"items", st.Items, "algorithm", st.Algorithm, "method", st.Method,
+		"items", st.Items, "live", st.LiveItems, "tombstones", st.Tombstones,
+		"algorithm", st.Algorithm, "method", st.Method,
 		"bits", st.CodeLength, "tables", st.Tables,
 		"elapsed", time.Since(start).Round(time.Millisecond))
 	if ix.TraceRecorder() != nil {

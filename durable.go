@@ -1,8 +1,10 @@
 package gqr
 
 import (
+	"encoding/binary"
 	"fmt"
 	"io"
+	mathbits "math/bits"
 	"os"
 	"path/filepath"
 	"sort"
@@ -19,17 +21,23 @@ import (
 //	                  caller keeps the matching vector block, e.g. an
 //	                  fvecs file — base vectors are never duplicated)
 //	seg-<seq>.gqrseg  one frozen segment: its vectors plus per-table
-//	                  buckets (GQRSEG1), written when the memtable
+//	                  buckets (GQRSEG2), written when the memtable
 //	                  seals and when segments merge
-//	wal-<n>.log       the write-ahead log of Adds since the last seal,
-//	                  first id n; appended and fsynced before each Add
-//	                  returns, rotated at every seal, deleted once the
-//	                  covering segment file is durable
+//	wal-<n>.log       the write-ahead log of Adds, Deletes and Updates
+//	                  since the last seal, first add id n; appended and
+//	                  fsynced before each mutation returns, rotated at
+//	                  every seal, deleted once the covering segment file
+//	                  and tombstone bitmap are durable
+//	tombs.bits        the tombstone bitmap sidecar, rewritten at every
+//	                  seal/compact/close that retires delete records
 //
-// The durability contract of Add: when Add returns nil with the WAL on,
-// the vector is on stable storage and Recover reconstructs it
-// bit-identically. With WithoutAddWAL only sealed segments are durable.
+// The durability contract of Add/Delete/Update: when the call returns
+// nil with the WAL on, the mutation is on stable storage and Recover
+// reconstructs it bit-identically. With WithoutAddWAL only sealed
+// segments and the tombstone sidecar are durable.
 const baseFileName = "base.gqridx"
+
+const tombsFileName = "tombs.bits"
 
 // durability is the index's durable-storage state. Mutable fields are
 // guarded by the index's writeMu; dir/walOn are immutable.
@@ -44,6 +52,14 @@ type durability struct {
 	// writer's entry under it.
 	szMu     sync.Mutex
 	walSizes map[string]int64
+	// tombMu serializes tombstone-sidecar writes; lastWrittenDead is the
+	// dead count the sidecar (or the base file) already covers. Because
+	// ids are never un-deleted, the bitmap is a pure function of the dead
+	// count, so a write is needed — and ordering is safe — only when the
+	// count grew. Background persists write concurrently with Compact and
+	// Close, hence the dedicated lock.
+	tombMu          sync.Mutex
+	lastWrittenDead int
 }
 
 func (d *durability) walPath(firstID int) string {
@@ -55,11 +71,26 @@ func (d *durability) segPath(seq uint64) string {
 }
 
 // append logs one Add; when it returns nil the record is synced.
-func (d *durability) append(id uint64, vec []float32) error {
+func (d *durability) append(id, meta uint64, vec []float32) error {
 	if d.w == nil {
 		return fmt.Errorf("wal unavailable (a previous rotation failed)")
 	}
-	if err := d.w.Append(id, vec); err != nil {
+	if err := d.w.AppendMeta(id, meta, vec); err != nil {
+		return err
+	}
+	d.szMu.Lock()
+	d.walSizes[d.w.Path()] = d.w.Bytes()
+	d.szMu.Unlock()
+	return nil
+}
+
+// appendDelete logs one Delete; when it returns nil the record is
+// synced — the fsync-before-ack point of the Delete path.
+func (d *durability) appendDelete(id uint64) error {
+	if d.w == nil {
+		return fmt.Errorf("wal unavailable (a previous rotation failed)")
+	}
+	if err := d.w.AppendDelete(id); err != nil {
 		return err
 	}
 	d.szMu.Lock()
@@ -106,15 +137,79 @@ func (d *durability) dropWAL(path string) {
 
 // writeSegment persists one frozen segment atomically and returns its
 // path.
-func (d *durability) writeSegment(seg *index.Segment, vecs []float32, dim int) (string, error) {
+func (d *durability) writeSegment(seg *index.Segment, vecs []float32, meta []uint64, dim int) (string, error) {
 	path := d.segPath(seg.Seq())
 	err := atomicWriteFile(path, func(w io.Writer) error {
-		return index.WriteSegment(w, seg, vecs, dim)
+		return index.WriteSegment(w, seg, vecs, meta, dim)
 	})
 	if err != nil {
 		return "", err
 	}
 	return path, nil
+}
+
+// writeTombs persists the tombstone bitmap sidecar atomically:
+// "GQRTMB1\0", the bit count as u32, then the bitmap words. Writes are
+// skipped unless dead grew past what is already durable — deletes are
+// monotone, so the bitmap for a larger count supersedes any earlier
+// one, and concurrent writers (background seal persists vs. Compact)
+// cannot regress the file.
+func (d *durability) writeTombs(words []uint64, dead, bits int) error {
+	if dead == 0 {
+		return nil
+	}
+	d.tombMu.Lock()
+	defer d.tombMu.Unlock()
+	if dead <= d.lastWrittenDead {
+		return nil
+	}
+	path := filepath.Join(d.dir, tombsFileName)
+	err := atomicWriteFile(path, func(w io.Writer) error {
+		hdr := make([]byte, 12)
+		copy(hdr, "GQRTMB1\x00")
+		binary.LittleEndian.PutUint32(hdr[8:], uint32(bits))
+		if _, err := w.Write(hdr); err != nil {
+			return err
+		}
+		buf := make([]byte, 8*len(words))
+		for i, wd := range words {
+			binary.LittleEndian.PutUint64(buf[8*i:], wd)
+		}
+		_, err := w.Write(buf)
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	d.lastWrittenDead = dead
+	return nil
+}
+
+// loadTombs reads the tombstone bitmap sidecar, returning nil words
+// when the file does not exist. The returned dead count is the bitmap's
+// popcount.
+func loadTombs(dir string) (words []uint64, dead int, err error) {
+	raw, err := os.ReadFile(filepath.Join(dir, tombsFileName))
+	if os.IsNotExist(err) {
+		return nil, 0, nil
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(raw) < 12 || string(raw[:8]) != "GQRTMB1\x00" {
+		return nil, 0, fmt.Errorf("bad tombstone sidecar header")
+	}
+	bits := int(binary.LittleEndian.Uint32(raw[8:]))
+	nw := (bits + 63) / 64
+	if len(raw) != 12+8*nw {
+		return nil, 0, fmt.Errorf("tombstone sidecar is %d bytes, want %d for %d bits", len(raw), 12+8*nw, bits)
+	}
+	words = make([]uint64, nw)
+	for i := range words {
+		words[i] = binary.LittleEndian.Uint64(raw[12+8*i:])
+		dead += mathbits.OnesCount64(words[i])
+	}
+	return words, dead, nil
 }
 
 func (d *durability) walBytes() int64 {
@@ -167,6 +262,10 @@ func (ix *Index) EnableDurability(dir string, opts ...Option) error {
 		return fmt.Errorf("gqr: enable durability: %w", err)
 	}
 	d := &durability{dir: dir, walOn: !cfg.walOff, walSizes: make(map[string]int64)}
+	// The base file embeds the tombstone bitmap (it saves as GQRIDX3
+	// when any item is dead), so the sidecar only needs to cover deletes
+	// past this point.
+	d.lastWrittenDead = ix.live.Tombstones()
 	if d.walOn {
 		if _, err := d.rotate(ix.live.N); err != nil {
 			return fmt.Errorf("gqr: enable durability: %w", err)
@@ -221,23 +320,42 @@ func Recover(dir string, vectors []float32, dim int, opts ...Option) (*Index, er
 	if err := ix.recoverSegments(dir, dim); err != nil {
 		return nil, err
 	}
-	replayed, err := ix.recoverWALs(dir, dim)
+	// Tombstones come from three durable homes, all unioned: the base
+	// file's embedded bitmap (already in live), the sidecar, and delete
+	// records still in the write-ahead logs.
+	tombWords, _, terr := loadTombs(dir)
+	if terr != nil {
+		return nil, fmt.Errorf("gqr: recover: %w", terr)
+	}
+	if tombWords != nil {
+		ix.live.UnionTombs(tombWords)
+	}
+	replayed, deleted, err := ix.recoverWALs(dir, dim)
 	if err != nil {
 		return nil, err
 	}
+	ix.live.RecomputeTombstones()
 
-	// Checkpoint: everything recovered becomes segment-durable, then
-	// the replayed logs are retired and a fresh one opened.
+	// Checkpoint: everything recovered becomes segment-durable and the
+	// unioned bitmap lands in the sidecar, then the replayed logs are
+	// retired and a fresh one opened.
 	d := &durability{dir: dir, walOn: !cfg.walOff, walSizes: make(map[string]int64)}
 	ix.dur = d
 	ix.mergeBarrier = baseID
 	if seg := ix.live.SealMemtable(); seg != nil {
-		vecs := ix.live.Data[seg.MinID()*dim : (seg.MinID()+seg.Items())*dim]
-		path, err := d.writeSegment(seg, vecs, dim)
+		vecs := ix.live.Data[seg.MinID()*dim : (seg.MinID()+seg.Span())*dim]
+		var meta []uint64
+		if slab := ix.live.MetaSlab(); slab != nil {
+			meta = slab[seg.MinID() : seg.MinID()+seg.Span()]
+		}
+		path, err := d.writeSegment(seg, vecs, meta, dim)
 		if err != nil {
 			return nil, fmt.Errorf("gqr: recover: checkpoint: %w", err)
 		}
 		seg.SetOnZero(func() { os.Remove(path) })
+	}
+	if err := d.writeTombs(ix.live.FoldedTombWords(), ix.live.Tombstones(), ix.live.N); err != nil {
+		return nil, fmt.Errorf("gqr: recover: checkpoint: %w", err)
 	}
 	if walFiles, _ := filepath.Glob(filepath.Join(dir, "wal-*.log")); len(walFiles) > 0 {
 		for _, wf := range walFiles {
@@ -250,6 +368,7 @@ func Recover(dir string, vectors []float32, dim int, opts ...Option) (*Index, er
 		}
 	}
 	ix.adds.Add(int64(replayed))
+	ix.deletes.Add(int64(deleted))
 	if err := ix.publishLocked(); err != nil {
 		return nil, err
 	}
@@ -270,6 +389,7 @@ func (ix *Index) recoverSegments(dir string, dim int) error {
 		path string
 		seg  *index.Segment
 		vecs []float32
+		meta []uint64
 	}
 	files := make([]segFile, 0, len(paths))
 	for _, p := range paths {
@@ -277,12 +397,12 @@ func (ix *Index) recoverSegments(dir string, dim int) error {
 		if err != nil {
 			return fmt.Errorf("gqr: recover: %w", err)
 		}
-		seg, vecs, rerr := index.ReadSegment(f, dim, len(ix.live.Tables))
+		seg, vecs, meta, rerr := index.ReadSegment(f, dim, len(ix.live.Tables))
 		f.Close()
 		if rerr != nil {
 			return fmt.Errorf("gqr: recover: segment %s: %w", filepath.Base(p), rerr)
 		}
-		files = append(files, segFile{path: p, seg: seg, vecs: vecs})
+		files = append(files, segFile{path: p, seg: seg, vecs: vecs, meta: meta})
 	}
 	// Ascending start; at equal start the widest file first, so a
 	// merged segment supersedes the inputs it covers.
@@ -290,17 +410,17 @@ func (ix *Index) recoverSegments(dir string, dim int) error {
 		if files[i].seg.MinID() != files[j].seg.MinID() {
 			return files[i].seg.MinID() < files[j].seg.MinID()
 		}
-		return files[i].seg.Items() > files[j].seg.Items()
+		return files[i].seg.Span() > files[j].seg.Span()
 	})
 	for _, sf := range files {
-		end := sf.seg.MinID() + sf.seg.Items()
+		end := sf.seg.MinID() + sf.seg.Span()
 		switch {
 		case end <= ix.live.N:
 			// Fully covered (by the base or by a wider merged file):
 			// a stale leftover whose deletion the crash interrupted.
 			os.Remove(sf.path)
 		case sf.seg.MinID() == ix.live.N:
-			if err := ix.live.AppendSegment(sf.seg, sf.vecs); err != nil {
+			if err := ix.live.AppendSegment(sf.seg, sf.vecs, sf.meta); err != nil {
 				return fmt.Errorf("gqr: recover: segment %s: %w", filepath.Base(sf.path), err)
 			}
 			path := sf.path
@@ -314,18 +434,28 @@ func (ix *Index) recoverSegments(dir string, dim int) error {
 }
 
 // recoverWALs replays the directory's logs in id order onto the live
-// index. Records already covered by a segment file are skipped; a
-// record that would leave an id gap is an error (a missing or deleted
-// log); a torn tail ends its log cleanly.
-func (ix *Index) recoverWALs(dir string, dim int) (int, error) {
+// index. Add records already covered by a segment file are skipped; an
+// add that would leave an id gap is an error (a missing or deleted
+// log); a torn tail ends its log cleanly. Delete records re-tombstone
+// their id — idempotent against the bitmap homes that may already
+// cover them — and must reference an id the replay has seen.
+func (ix *Index) recoverWALs(dir string, dim int) (replayed, deleted int, err error) {
 	walFiles, err := filepath.Glob(filepath.Join(dir, "wal-*.log"))
 	if err != nil {
-		return 0, fmt.Errorf("gqr: recover: %w", err)
+		return 0, 0, fmt.Errorf("gqr: recover: %w", err)
 	}
 	sort.Strings(walFiles) // wal-%016d: lexicographic == numeric
-	replayed := 0
 	for _, wf := range walFiles {
-		_, err := wal.Replay(wf, dim, func(id uint64, vec []float32) error {
+		_, err := wal.Replay(wf, dim, func(op wal.Op, id, meta uint64, vec []float32) error {
+			if op == wal.OpDelete {
+				if id >= uint64(ix.live.N) {
+					return fmt.Errorf("delete record id %d beyond coverage %d", id, ix.live.N)
+				}
+				if ix.live.Delete(int32(id)) {
+					deleted++
+				}
+				return nil
+			}
 			switch {
 			case id < uint64(ix.live.N):
 				return nil // already durable in a segment file
@@ -334,15 +464,15 @@ func (ix *Index) recoverWALs(dir string, dim int) (int, error) {
 			}
 			// The logged vector is post-normalization; applying it
 			// directly (no re-normalize) keeps recovery bit-identical.
-			if _, err := ix.live.Add(vec); err != nil {
+			if _, err := ix.live.AddMeta(vec, meta); err != nil {
 				return err
 			}
 			replayed++
 			return nil
 		})
 		if err != nil {
-			return 0, fmt.Errorf("gqr: recover: wal %s: %w", filepath.Base(wf), err)
+			return 0, 0, fmt.Errorf("gqr: recover: wal %s: %w", filepath.Base(wf), err)
 		}
 	}
-	return replayed, nil
+	return replayed, deleted, nil
 }

@@ -2,6 +2,7 @@ package gqr
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
@@ -453,5 +454,210 @@ func TestDurabilityStateErrors(t *testing.T) {
 	}
 	if _, err := Recover(t.TempDir(), vecs, dim); err == nil {
 		t.Fatal("Recover from an empty directory must fail")
+	}
+}
+
+// TestDurableWALDeleteReplay pins delete durability: deletes and
+// updates acknowledged after the last seal live only in the WAL, and a
+// crash must replay them bit-identically — tombstones, metadata word
+// and the update's replacement vector all intact.
+func TestDurableWALDeleteReplay(t *testing.T) {
+	const dim, baseN = 6, 50
+	base := durVecs(baseN, dim, 24)
+	dir := t.TempDir()
+
+	ix, err := Build(base, dim, WithSeed(25)) // default memtable: nothing seals
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.EnableDurability(dir); err != nil {
+		t.Fatal(err)
+	}
+	tagged, err := ix.AddWithMeta(durVecs(1, dim, 26), 0b10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Delete(3); err != nil {
+		t.Fatal(err)
+	}
+	repl := durVecs(1, dim, 27)
+	moved, err := ix.Update(tagged, repl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := saveBytes(t, ix)
+	wantStats := ix.Stats()
+
+	// Crash: no Close. Everything above is only in the WAL.
+	rec, err := Recover(dir, base, dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	if got := saveBytes(t, rec); !bytes.Equal(got, want) {
+		t.Fatal("WAL replay of delete/update frames is not bit-identical")
+	}
+	st := rec.Stats()
+	if st.LiveItems != wantStats.LiveItems || st.Tombstones != wantStats.Tombstones {
+		t.Fatalf("recovered live=%d tombstones=%d, want live=%d tombstones=%d",
+			st.LiveItems, st.Tombstones, wantStats.LiveItems, wantStats.Tombstones)
+	}
+	// The updated item kept its metadata word across replay: the
+	// tag-mask search finds the replacement at its new id.
+	nbrs, err := rec.Search(repl, 1, WithTagMask(0b10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nbrs) != 1 || nbrs[0].ID != moved || nbrs[0].Distance != 0 {
+		t.Fatalf("updated item lost across replay: %+v", nbrs)
+	}
+	for _, deadID := range []int{3, tagged} {
+		if err := rec.Delete(deadID); !errors.Is(err, ErrNotFound) {
+			t.Fatalf("id %d came back alive after replay: %v", deadID, err)
+		}
+	}
+}
+
+// TestDurableWALUpdateTornTailKeepsBoth pins the documented crash
+// semantics of Update: the add frame is logged before the delete frame,
+// so a crash between the two replays as a duplicate — old and new item
+// both live — never as a lost vector.
+func TestDurableWALUpdateTornTailKeepsBoth(t *testing.T) {
+	const dim, baseN = 6, 40
+	base := durVecs(baseN, dim, 28)
+	dir := t.TempDir()
+	src := filepath.Join(dir, "src")
+
+	ix, err := Build(base, dim, WithSeed(29))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.EnableDurability(src); err != nil {
+		t.Fatal(err)
+	}
+	const victim = 7
+	repl := durVecs(1, dim, 30)
+	newID, err := ix.Update(victim, repl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if newID != baseN {
+		t.Fatalf("update returned id %d, want %d", newID, baseN)
+	}
+	wals, err := filepath.Glob(filepath.Join(src, "wal-*.log"))
+	if err != nil || len(wals) != 1 {
+		t.Fatalf("expected one WAL file, found %v (%v)", wals, err)
+	}
+	raw, err := os.ReadFile(wals[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Frames: add (8-byte header + id + vec) then delete (header + id).
+	addFrame, deleteFrame := 8+8+4*dim, 8+8
+	if len(raw) != addFrame+deleteFrame {
+		t.Fatalf("WAL is %d bytes, want %d", len(raw), addFrame+deleteFrame)
+	}
+	cdir := filepath.Join(dir, "between-frames")
+	copyDir(t, src, cdir)
+	if err := os.WriteFile(filepath.Join(cdir, filepath.Base(wals[0])), raw[:addFrame], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Recover(cdir, base, dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	st := rec.Stats()
+	if st.LiveItems != baseN+1 || st.Tombstones != 0 {
+		t.Fatalf("crash between update frames: live=%d tombstones=%d, want %d live and 0 dead",
+			st.LiveItems, st.Tombstones, baseN+1)
+	}
+	// Both copies answer: the old vector at its old id, the new at its
+	// new id — a duplicate, not a loss.
+	old, err := rec.Search(base[victim*dim:(victim+1)*dim], 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old[0].ID != victim || old[0].Distance != 0 {
+		t.Fatalf("old copy lost: %+v", old)
+	}
+	fresh, err := rec.Search(repl, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh[0].ID != baseN || fresh[0].Distance != 0 {
+		t.Fatalf("new copy lost: %+v", fresh)
+	}
+
+	// The full log replays the complete update: old id dead, new live.
+	full, err := Recover(src, base, dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer full.Close()
+	if st := full.Stats(); st.LiveItems != baseN || st.Tombstones != 1 {
+		t.Fatalf("full replay: live=%d tombstones=%d, want %d and 1", st.LiveItems, st.Tombstones, baseN)
+	}
+	if err := full.Delete(victim); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("victim survived the full update replay: %v", err)
+	}
+}
+
+// TestDurableTombstoneSidecarRecovery pins the tombs.bits path: deletes
+// sealed into segments leave the WAL, so a crash after the seal must
+// restore them from the persisted bitmap sidecar, not from replay.
+func TestDurableTombstoneSidecarRecovery(t *testing.T) {
+	const dim, baseN, addN = 6, 60, 40
+	base := durVecs(baseN, dim, 31)
+	adds := durVecs(addN, dim, 32)
+	dir := t.TempDir()
+
+	ix, err := Build(base, dim, WithSeed(33), WithMemtableSize(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.EnableDurability(dir); err != nil {
+		t.Fatal(err)
+	}
+	// Deletes early, adds after: the seals the later adds trigger rotate
+	// and retire the WAL that held the delete frames.
+	for i := 0; i < 4; i++ {
+		if _, err := ix.Add(adds[i*dim : (i+1)*dim]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, id := range []int{2, baseN + 1, baseN + 3} {
+		if err := ix.Delete(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 4; i < addN; i++ {
+		if _, err := ix.Add(adds[i*dim : (i+1)*dim]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Compact seals and persists everything, retiring the WALs that held
+	// the delete frames; the sidecar is now their only durable home.
+	if err := ix.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if wb := ix.Stats().WALBytes; wb != 0 {
+		t.Fatalf("WAL holds %d bytes after Compact; the sidecar must carry the deletes alone", wb)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "tombs.bits")); err != nil {
+		t.Fatalf("tombstone sidecar missing after Compact: %v", err)
+	}
+	want := saveBytes(t, ix)
+
+	rec, err := Recover(dir, base, dim, WithMemtableSize(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	if got := saveBytes(t, rec); !bytes.Equal(got, want) {
+		t.Fatal("sidecar recovery is not bit-identical")
+	}
+	if st := rec.Stats(); st.Tombstones != 3 || st.LiveItems != baseN+addN-3 {
+		t.Fatalf("recovered live=%d tombstones=%d, want %d and 3", st.LiveItems, st.Tombstones, baseN+addN-3)
 	}
 }

@@ -28,18 +28,46 @@ func FuzzLoad(f *testing.F) {
 	f.Add(valid[:9])
 	f.Add([]byte("GQRPUB1\x00"))
 	f.Add([]byte{})
+	// A GQRIDX3 stream too: tombstones plus a metadata slab, so the
+	// fuzzer mutates the v3-only blocks (bitmap, dead count, meta flag).
+	if err := ix.SetMetadata(make([]uint64, 30)); err != nil {
+		f.Fatal(err)
+	}
+	if _, err := ix.AddWithMeta(vecs[:dim], 0b11); err != nil {
+		f.Fatal(err)
+	}
+	for _, id := range []int{2, 17, 30} {
+		if err := ix.Delete(id); err != nil {
+			f.Fatal(err)
+		}
+	}
+	grown := append(append([]float32{}, vecs...), vecs[:dim]...)
+	buf.Reset()
+	if err := ix.Save(&buf); err != nil {
+		f.Fatal(err)
+	}
+	validV3 := buf.Bytes()
+	f.Add(validV3)
+	f.Add(validV3[:len(validV3)/2])
+	f.Add(validV3[:len(validV3)-7])
 	f.Fuzz(func(t *testing.T, data []byte) {
-		out, err := Load(bytes.NewReader(data), vecs, dim)
-		if err != nil {
-			return
-		}
-		// Anything that loads must be internally consistent and usable.
-		st := out.Stats()
-		if st.Items != len(vecs)/dim {
-			t.Fatalf("loaded index claims %d items over a %d-vector block", st.Items, len(vecs)/dim)
-		}
-		if _, err := out.Search(vecs[:dim], 3); err != nil {
-			t.Fatalf("loaded index cannot search: %v", err)
+		for _, block := range [][]float32{vecs, grown} {
+			out, err := Load(bytes.NewReader(data), block, dim)
+			if err != nil {
+				continue
+			}
+			// Anything that loads must be internally consistent and usable.
+			st := out.Stats()
+			if st.Items != len(block)/dim {
+				t.Fatalf("loaded index claims %d items over a %d-vector block", st.Items, len(block)/dim)
+			}
+			if st.LiveItems+st.Tombstones != st.Items || st.LiveItems < 0 {
+				t.Fatalf("inconsistent lifecycle counts: items=%d live=%d tombstones=%d",
+					st.Items, st.LiveItems, st.Tombstones)
+			}
+			if _, err := out.Search(block[:dim], 3); err != nil {
+				t.Fatalf("loaded index cannot search: %v", err)
+			}
 		}
 	})
 }

@@ -1,6 +1,7 @@
 package gqr
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"os"
@@ -15,6 +16,14 @@ import (
 	"gqr/internal/trace"
 	"gqr/internal/vecmath"
 )
+
+// ErrNotFound reports a lifecycle operation against an id that does not
+// exist or has already been deleted. Match with errors.Is.
+var ErrNotFound = errors.New("gqr: vector not found")
+
+// ErrDimension reports a vector whose dimension does not match the
+// index's. Match with errors.Is.
+var ErrDimension = errors.New("gqr: dimension mismatch")
 
 // Neighbor is one search result: an item id (the row index of the
 // vector in the build block) and its exact Euclidean distance to the
@@ -43,7 +52,13 @@ type SearchStats struct {
 	// sum already exceeded the current k-th-best distance. Those items
 	// are included in Candidates; the counter shows how much evaluation
 	// work early abandonment saved.
-	EarlyAbandoned int           `json:"earlyAbandoned"`
+	EarlyAbandoned int `json:"earlyAbandoned"`
+	// Filtered counts gathered ids dropped before evaluation —
+	// tombstoned items plus items rejected by WithFilter/WithTagMask.
+	// They are not included in Candidates: a dropped id costs a bitmap
+	// test (and possibly a predicate call), never a distance
+	// computation.
+	Filtered       int           `json:"filtered,omitempty"`
 	EarlyStopped   bool          `json:"earlyStopped"`
 	RetrievalTime  time.Duration `json:"retrievalTime"`
 	EvaluationTime time.Duration `json:"evaluationTime"`
@@ -65,6 +80,7 @@ func (s *SearchStats) merge(o SearchStats) {
 	s.BucketsProbed += o.BucketsProbed
 	s.Candidates += o.Candidates
 	s.EarlyAbandoned += o.EarlyAbandoned
+	s.Filtered += o.Filtered
 	s.EarlyStopped = s.EarlyStopped || o.EarlyStopped
 	s.RetrievalTime += o.RetrievalTime
 	s.EvaluationTime += o.EvaluationTime
@@ -77,6 +93,7 @@ func statsOf(st query.Stats) SearchStats {
 		BucketsProbed:    st.BucketsProbed,
 		Candidates:       st.Candidates,
 		EarlyAbandoned:   st.EarlyAbandoned,
+		Filtered:         st.Filtered,
 		EarlyStopped:     st.EarlyStopped,
 		RetrievalTime:    st.RetrievalTime,
 		EvaluationTime:   st.EvaluationTime,
@@ -165,6 +182,7 @@ type Index struct {
 	// published because of those Adds, and the generation counter.
 	buildTime      time.Duration
 	adds           atomic.Int64
+	deletes        atomic.Int64
 	methodRebuilds atomic.Int64
 	gen            atomic.Uint64
 
@@ -340,6 +358,7 @@ func totalsOf(k int, sc searchConfig, st SearchStats) trace.Totals {
 		BucketsProbed:    st.BucketsProbed,
 		Candidates:       st.Candidates,
 		EarlyAbandoned:   st.EarlyAbandoned,
+		Filtered:         st.Filtered,
 		EarlyStopped:     st.EarlyStopped,
 	}
 }
@@ -371,6 +390,8 @@ func (ix *Index) searchTraced(q []float32, k int, sc searchConfig, tr *trace.Tra
 		Mu:            snap.mu,
 		Profile:       sc.profile,
 		Trace:         tr,
+		TagMask:       sc.tagMask,
+		Filter:        filterOf(sc.filter),
 	})
 	if err != nil {
 		return nil, SearchStats{}, err
@@ -382,6 +403,16 @@ func (ix *Index) searchTraced(q []float32, k int, sc searchConfig, tr *trace.Tra
 	return out, statsOf(res.Stats), nil
 }
 
+// filterOf adapts the public filter signature (plain int ids) to the
+// internal one. nil stays nil, so unfiltered searches keep the
+// allocation-free gather fast path.
+func filterOf(f func(id int, meta uint64) bool) func(int32, uint64) bool {
+	if f == nil {
+		return nil
+	}
+	return func(id int32, meta uint64) bool { return f(int(id), meta) }
+}
+
 // Add appends one vector to the index and returns its id (the next row
 // index). The learned hash functions are not retrained — as with every
 // L2H system they are assumed trained on a representative sample — so
@@ -391,6 +422,13 @@ func (ix *Index) searchTraced(q []float32, k int, sc searchConfig, tr *trace.Tra
 // first search issued after Add returns publishes a fresh snapshot
 // that includes the vector. Adds are serialized with each other.
 func (ix *Index) Add(vec []float32) (int, error) {
+	return ix.AddWithMeta(vec, 0)
+}
+
+// AddWithMeta is Add with a per-item metadata word, the input of
+// WithFilter and WithTagMask. A zero word is free; the first nonzero
+// word allocates the index's metadata slab (zeros for earlier items).
+func (ix *Index) AddWithMeta(vec []float32, meta uint64) (int, error) {
 	if ix.metric == Angular {
 		if len(vec) != ix.live.Dim { // Dim is immutable after Build
 			return 0, fmt.Errorf("gqr: vector dim %d != index dim %d", len(vec), ix.live.Dim)
@@ -405,6 +443,18 @@ func (ix *Index) Add(vec []float32) (int, error) {
 	if ix.closed {
 		return 0, fmt.Errorf("gqr: index is closed")
 	}
+	id, err := ix.addLocked(vec, meta)
+	if err != nil {
+		return 0, err
+	}
+	ix.maybeSealLocked()
+	return id, nil
+}
+
+// addLocked appends one already-normalized vector: WAL first (the
+// durability point), then the live index. Caller holds writeMu and
+// seals afterwards via maybeSealLocked.
+func (ix *Index) addLocked(vec []float32, meta uint64) (int, error) {
 	if len(vec) != ix.live.Dim {
 		return 0, fmt.Errorf("gqr: vector dim %d != index dim %d", len(vec), ix.live.Dim)
 	}
@@ -412,21 +462,117 @@ func (ix *Index) Add(vec []float32) (int, error) {
 	// is acknowledged. The vector is logged post-normalization so replay
 	// reconstructs the stored bytes exactly (bit-identical recovery).
 	if ix.dur != nil && ix.dur.walOn {
-		if err := ix.dur.append(uint64(ix.live.N), vec); err != nil {
+		if err := ix.dur.append(uint64(ix.live.N), meta, vec); err != nil {
 			return 0, fmt.Errorf("gqr: wal append: %w", err)
 		}
 	}
-	id, err := ix.live.Add(vec)
+	id, err := ix.live.AddMeta(vec, meta)
 	if err != nil {
 		return 0, err
 	}
 	ix.stale.Store(true)
 	ix.adds.Add(1)
+	return int(id), nil
+}
+
+// maybeSealLocked seals the memtable once it reaches the configured
+// size and kicks the background merger. Caller holds writeMu.
+func (ix *Index) maybeSealLocked() {
 	if ix.live.MemtableItems() >= ix.sealEvery {
 		ix.sealLocked(false)
 		ix.maybeMergeLocked()
 	}
-	return int(id), nil
+}
+
+// Delete tombstones one item by id. The id stays permanently allocated
+// (ids are row indexes and are never reused) but the item stops
+// appearing in search results from the next snapshot on; its storage is
+// reclaimed from the posting lists when a seal or merge purges the
+// range. With the WAL on, the delete record is fsynced before the call
+// returns — the same durability contract as Add. Deleting an unknown or
+// already-deleted id returns ErrNotFound.
+func (ix *Index) Delete(id int) error {
+	ix.writeMu.Lock()
+	defer ix.writeMu.Unlock()
+	if ix.closed {
+		return fmt.Errorf("gqr: index is closed")
+	}
+	return ix.deleteLocked(id)
+}
+
+func (ix *Index) deleteLocked(id int) error {
+	if id < 0 || id >= ix.live.N || ix.live.IsDeleted(int32(id)) {
+		return fmt.Errorf("gqr: delete id %d: %w", id, ErrNotFound)
+	}
+	if ix.dur != nil && ix.dur.walOn {
+		if err := ix.dur.appendDelete(uint64(id)); err != nil {
+			return fmt.Errorf("gqr: wal append: %w", err)
+		}
+	}
+	ix.live.Delete(int32(id))
+	ix.deletes.Add(1)
+	ix.stale.Store(true)
+	return nil
+}
+
+// Update replaces one item's vector: a delete of id plus an add of vec,
+// applied atomically with respect to snapshots (no published snapshot
+// ever shows both or neither). The item keeps its metadata word but
+// gets a NEW id — the returned one — because ids are row indexes into
+// contiguous storage. Updating an unknown or deleted id returns
+// ErrNotFound; a wrong-dimension vector returns ErrDimension before
+// anything is applied. On the WAL, the add record is written before the
+// delete record, so a crash between the two replays as a duplicate
+// (old and new both live, the update unacknowledged), never as a loss.
+func (ix *Index) Update(id int, vec []float32) (int, error) {
+	if ix.metric == Angular && len(vec) == ix.live.Dim {
+		n := make([]float32, len(vec))
+		copy(n, vec)
+		normalizeRow(n)
+		vec = n
+	}
+	ix.writeMu.Lock()
+	defer ix.writeMu.Unlock()
+	if ix.closed {
+		return 0, fmt.Errorf("gqr: index is closed")
+	}
+	if len(vec) != ix.live.Dim {
+		return 0, fmt.Errorf("gqr: update id %d: vector dim %d != index dim %d: %w", id, len(vec), ix.live.Dim, ErrDimension)
+	}
+	if id < 0 || id >= ix.live.N || ix.live.IsDeleted(int32(id)) {
+		return 0, fmt.Errorf("gqr: update id %d: %w", id, ErrNotFound)
+	}
+	meta := ix.live.MetaOf(int32(id))
+	newID, err := ix.addLocked(vec, meta)
+	if err != nil {
+		return 0, err
+	}
+	if err := ix.deleteLocked(id); err != nil {
+		return 0, err
+	}
+	ix.maybeSealLocked()
+	return newID, nil
+}
+
+// SetMetadata attaches one metadata word per current item (the
+// WithFilter / WithTagMask input for corpora whose tags are known at
+// build time; per-item words for later adds go through AddWithMeta).
+// len(meta) must equal the current item count. The slice is copied.
+// Metadata set before EnableDurability is persisted with the base;
+// words set afterwards for pre-existing items are not re-persisted.
+func (ix *Index) SetMetadata(meta []uint64) error {
+	ix.writeMu.Lock()
+	defer ix.writeMu.Unlock()
+	if ix.closed {
+		return fmt.Errorf("gqr: index is closed")
+	}
+	cp := make([]uint64, len(meta))
+	copy(cp, meta)
+	if err := ix.live.SetMeta(cp); err != nil {
+		return fmt.Errorf("gqr: %w", err)
+	}
+	ix.stale.Store(true)
+	return nil
 }
 
 // CompactionInfo describes one applied segment merge, delivered to the
@@ -439,6 +585,9 @@ type CompactionInfo struct {
 	SegmentsIn int
 	// Items is the merged segment's item count.
 	Items int
+	// Purged is how many tombstoned items the merge dropped from the
+	// posting lists (the inputs' live counts minus the output's).
+	Purged int
 }
 
 // SetCompactionObserver installs a hook invoked after every applied
@@ -465,14 +614,27 @@ func (ix *Index) sealLocked(sync bool) error {
 		return nil
 	}
 	d := ix.live.Dim
-	vecs := ix.live.Data[seg.MinID()*d : (seg.MinID()+seg.Items())*d]
+	// The segment file covers the memtable's full id range (its span),
+	// including slots purged at seal; the posting lists inside list only
+	// live items.
+	vecs := ix.live.Data[seg.MinID()*d : (seg.MinID()+seg.Span())*d]
+	var meta []uint64
+	if slab := ix.live.MetaSlab(); slab != nil {
+		meta = slab[seg.MinID() : seg.MinID()+seg.Span()]
+	}
+	// Capture the tombstone bitmap under the lock: the WAL being retired
+	// may hold delete records, whose only other durable home is the
+	// tombs.bits sidecar written before the log is dropped.
+	tombs := ix.live.FoldedTombWords()
+	dead := ix.live.Tombstones()
+	bits := ix.live.N
 	oldWAL, err := ix.dur.rotate(ix.live.N)
 	if err != nil {
 		ix.persistErr = firstErr(ix.persistErr, err)
 		return err
 	}
 	if sync {
-		err := ix.persistSegment(seg, vecs, oldWAL)
+		err := ix.persistSegment(seg, vecs, meta, tombs, dead, bits, oldWAL)
 		ix.persistErr = firstErr(ix.persistErr, err)
 		return err
 	}
@@ -480,7 +642,7 @@ func (ix *Index) sealLocked(sync bool) error {
 	ix.bg.Add(1)
 	go func() {
 		defer ix.bg.Done()
-		err := ix.persistSegment(seg, vecs, oldWAL)
+		err := ix.persistSegment(seg, vecs, meta, tombs, dead, bits, oldWAL)
 		ix.writeMu.Lock()
 		defer ix.writeMu.Unlock()
 		ix.bgN--
@@ -492,14 +654,19 @@ func (ix *Index) sealLocked(sync bool) error {
 	return nil
 }
 
-// persistSegment writes one sealed segment's file atomically, installs
-// its zero-reference cleanup hook, and retires the WAL that covered it.
-// Pure filesystem work plus reads of immutable state — safe off-lock.
-func (ix *Index) persistSegment(seg *index.Segment, vecs []float32, oldWAL string) error {
-	path, err := ix.dur.writeSegment(seg, vecs, ix.live.Dim)
+// persistSegment writes one sealed segment's file atomically, persists
+// the tombstone bitmap the retiring WAL's delete records folded into,
+// installs the segment's zero-reference cleanup hook, and only then
+// retires the WAL. Pure filesystem work plus reads of immutable state —
+// safe off-lock.
+func (ix *Index) persistSegment(seg *index.Segment, vecs []float32, meta, tombs []uint64, dead, bits int, oldWAL string) error {
+	path, err := ix.dur.writeSegment(seg, vecs, meta, ix.live.Dim)
 	if err != nil {
 		// Keep the old WAL: it is still the only durable copy of these
 		// Adds, and recovery will replay it.
+		return err
+	}
+	if err := ix.dur.writeTombs(tombs, dead, bits); err != nil {
 		return err
 	}
 	seg.SetOnZero(func() { os.Remove(path) })
@@ -522,36 +689,51 @@ func (ix *Index) maybeMergeLocked() {
 	}
 	seq := ix.live.TakeSeq()
 	var vecs []float32
+	var meta []uint64
 	if ix.dur != nil {
 		d := ix.live.Dim
 		lo := in[0].MinID()
-		count := 0
+		span := 0
 		for _, s := range in {
-			count += s.Items()
+			span += s.Span()
 		}
 		// Subslice of the immutable prefix: later Adds only ever write
-		// past ix.live.N*d, never into [lo*d, (lo+count)*d).
-		vecs = ix.live.Data[lo*d : (lo+count)*d]
+		// past ix.live.N*d, never into [lo*d, (lo+span)*d).
+		vecs = ix.live.Data[lo*d : (lo+span)*d]
+		if slab := ix.live.MetaSlab(); slab != nil {
+			meta = slab[lo : lo+span]
+		}
+	}
+	// A merge is where tombstoned items are purged for good: hand the
+	// merger a frozen bitmap (copy-on-write, safe off-lock) when any of
+	// the inputs still carry dead ids in their posting lists.
+	var tombs []uint64
+	if ix.live.PendingTombstones() > 0 {
+		tombs = ix.live.FoldedTombWords()
 	}
 	ix.merging = true
 	ix.bgN++
 	ix.bg.Add(1)
-	go ix.runMerge(in, seq, vecs)
+	go ix.runMerge(in, seq, vecs, meta, tombs)
 }
 
 // runMerge is the background merger: it folds the planned run into one
 // segment (the O(core) work that must never happen on the publish
 // path), makes the merged file durable first when durability is on,
 // then splices the result into the live segment list.
-func (ix *Index) runMerge(in []*index.Segment, seq uint64, vecs []float32) {
+func (ix *Index) runMerge(in []*index.Segment, seq uint64, vecs []float32, meta, tombs []uint64) {
 	defer ix.bg.Done()
 	start := time.Now()
-	merged, err := index.MergeSegments(in, seq)
+	liveIn := 0
+	for _, s := range in {
+		liveIn += s.Items()
+	}
+	merged, err := index.MergeSegments(in, seq, tombs)
 	var path string
 	if err == nil && ix.dur != nil {
 		// The merged file must exist before the inputs can ever be
 		// deleted, so every crash window is fully covered.
-		path, err = ix.dur.writeSegment(merged, vecs, ix.live.Dim)
+		path, err = ix.dur.writeSegment(merged, vecs, meta, ix.live.Dim)
 	}
 	elapsed := time.Since(start)
 
@@ -568,7 +750,7 @@ func (ix *Index) runMerge(in []*index.Segment, seq uint64, vecs []float32) {
 			}
 			ix.stale.Store(true)
 			obs = ix.compactObs
-			info = CompactionInfo{Duration: elapsed, SegmentsIn: len(in), Items: merged.Items()}
+			info = CompactionInfo{Duration: elapsed, SegmentsIn: len(in), Items: merged.Items(), Purged: liveIn - merged.Items()}
 		} else if path != "" {
 			os.Remove(path)
 		}
@@ -620,24 +802,46 @@ func (ix *Index) Compact() error {
 		}
 		ix.writeMu.Unlock()
 	}
-	defer ix.writeMu.Unlock()
+	var obs func(CompactionInfo)
+	var info CompactionInfo
+	defer func() {
+		ix.writeMu.Unlock()
+		if obs != nil {
+			obs(info)
+		}
+	}()
 	if err := ix.sealLocked(true); err != nil {
 		return err
 	}
 	in := ix.live.SegmentsAbove(ix.mergeBarrier)
-	if len(in) >= 2 {
-		merged, err := index.MergeSegments(in, ix.live.TakeSeq())
+	// Fold when there is more than one segment, or when a lone segment
+	// still carries tombstoned ids in its posting lists: compaction is
+	// the canonical form, and dead items must not survive it.
+	if len(in) >= 2 || (len(in) == 1 && ix.live.PendingTombstones() > 0) {
+		var tombs []uint64
+		if ix.live.PendingTombstones() > 0 {
+			tombs = ix.live.FoldedTombWords()
+		}
+		liveIn := 0
+		for _, s := range in {
+			liveIn += s.Items()
+		}
+		merged, err := index.MergeSegments(in, ix.live.TakeSeq(), tombs)
 		if err != nil {
 			return err
 		}
 		if ix.dur != nil {
 			d := ix.live.Dim
 			lo := in[0].MinID()
-			count := 0
+			span := 0
 			for _, s := range in {
-				count += s.Items()
+				span += s.Span()
 			}
-			path, err := ix.dur.writeSegment(merged, ix.live.Data[lo*d:(lo+count)*d], d)
+			var meta []uint64
+			if slab := ix.live.MetaSlab(); slab != nil {
+				meta = slab[lo : lo+span]
+			}
+			path, err := ix.dur.writeSegment(merged, ix.live.Data[lo*d:(lo+span)*d], meta, d)
 			if err != nil {
 				return err
 			}
@@ -647,8 +851,23 @@ func (ix *Index) Compact() error {
 			return err
 		}
 		ix.stale.Store(true)
+		obs = ix.compactObs
+		info = CompactionInfo{SegmentsIn: len(in), Items: merged.Items(), Purged: liveIn - merged.Items()}
+	}
+	if err := ix.writeTombsLocked(); err != nil {
+		return err
 	}
 	return ix.persistErr
+}
+
+// writeTombsLocked persists the current tombstone bitmap sidecar when
+// durability is on and any item has ever been deleted. Caller holds
+// writeMu.
+func (ix *Index) writeTombsLocked() error {
+	if ix.dur == nil || ix.live.Tombstones() == 0 {
+		return nil
+	}
+	return ix.dur.writeTombs(ix.live.FoldedTombWords(), ix.live.Tombstones(), ix.live.N)
 }
 
 // Close stops background compaction, seals and persists the memtable
@@ -676,8 +895,11 @@ func (ix *Index) Close() error {
 	if ix.dur != nil {
 		// Seal synchronously so every acknowledged Add lands in a
 		// durable segment file; the WALs that covered them are retired
-		// by the persist, leaving only the empty current log.
+		// by the persist, leaving only the empty current log. The
+		// tombstone bitmap is persisted too, so a clean shutdown's
+		// deletes recover without WAL replay.
 		err = firstErr(err, ix.sealLocked(true))
+		err = firstErr(err, ix.writeTombsLocked())
 		err = firstErr(err, ix.dur.close())
 	}
 	return err
@@ -830,6 +1052,8 @@ func (ix *Index) SearchBatchWithStats(queries []float32, k int, opts ...SearchOp
 					Mu:            snap.mu,
 					Profile:       sc.profile,
 					Trace:         tr,
+					TagMask:       sc.tagMask,
+					Filter:        filterOf(sc.filter),
 				})
 				if err != nil {
 					if tr != nil {
@@ -884,6 +1108,17 @@ type Stats struct {
 	FreezeTime       time.Duration
 	// Adds counts vectors appended through Add since construction.
 	Adds int64
+	// Deletes counts tombstones recorded through Delete and Update
+	// since construction (Items above counts allocated ids, live or
+	// dead).
+	Deletes int64
+	// LiveItems is Items minus Tombstones: the number of vectors a
+	// search can return. Tombstones is how many ids have been deleted;
+	// PendingTombstones is the subset still occupying posting-list
+	// slots because no seal or merge has purged their range yet.
+	LiveItems         int
+	Tombstones        int
+	PendingTombstones int
 	// MethodRebuilds counts how often a fresh read snapshot (with
 	// rebuilt querying-method views) was published because Add changed
 	// the buckets.
@@ -928,6 +1163,10 @@ func (ix *Index) Stats() Stats {
 		CodeTime:           ix.live.Timings.Code,
 		FreezeTime:         ix.live.Timings.Freeze,
 		Adds:               ix.adds.Load(),
+		Deletes:            ix.deletes.Load(),
+		LiveItems:          ix.live.LiveItems(),
+		Tombstones:         ix.live.Tombstones(),
+		PendingTombstones:  ix.live.PendingTombstones(),
 		MethodRebuilds:     ix.methodRebuilds.Load(),
 		Compactions:        int64(ix.live.Compactions()),
 		Seals:              int64(ix.live.Seals()),

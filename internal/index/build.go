@@ -101,7 +101,7 @@ func BuildP(l hash.Learner, data []float32, n, d, bits, tables int, seed int64, 
 		cores = append(cores, buildCore(codes, ids))
 		idx.Timings.Freeze += time.Since(freezeStart)
 	}
-	idx.segs = []*Segment{newSegment(cores, 0, n, 0)}
+	idx.segs = []*Segment{newSegment(cores, 0, n, n, 0)}
 	idx.segSeq = 1
 	idx.Timings.Procs = procs
 	return idx, nil

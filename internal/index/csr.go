@@ -273,6 +273,48 @@ func sealCore(ts *tailStore) *coreStore {
 	return empty.merge(ts)
 }
 
+// tombTest reports whether id's bit is set in the bitmap (ids past the
+// bitmap's end are live).
+func tombTest(words []uint64, id int32) bool {
+	w := int(id) >> 6
+	return w < len(words) && words[w]&(1<<(uint(id)&63)) != 0
+}
+
+// filterCore rewrites a frozen core without the ids whose bits are set
+// in tombs, dropping buckets that become empty. When nothing is dead the
+// input is returned unchanged (no copy) — the common case for a merge
+// run with no tombstones in range.
+func filterCore(c *coreStore, tombs []uint64) *coreStore {
+	if len(tombs) == 0 {
+		return c
+	}
+	dead := 0
+	for _, id := range c.ids {
+		if tombTest(tombs, id) {
+			dead++
+		}
+	}
+	if dead == 0 {
+		return c
+	}
+	codes := make([]uint64, 0, len(c.codes))
+	ids := make([]int32, 0, len(c.ids)-dead)
+	offsets := make([]uint32, 1, len(c.codes)+1)
+	for s, code := range c.codes {
+		before := len(ids)
+		for _, id := range c.bucketAt(s) {
+			if !tombTest(tombs, id) {
+				ids = append(ids, id)
+			}
+		}
+		if len(ids) > before {
+			codes = append(codes, code)
+			offsets = append(offsets, uint32(len(ids)))
+		}
+	}
+	return newCoreStore(codes, offsets, ids)
+}
+
 // mergeCores linearly merges two frozen cores into a fresh one. For a
 // code present in both, a's ids precede b's — callers merge segments in
 // ascending-minID order, so per-bucket id order stays ascending.

@@ -102,7 +102,7 @@ func benchIndexN(n, tailN int) *Index {
 	ix := &Index{
 		Dim: 1, N: n, Data: make([]float32, n),
 		Tables: []*Table{{tail: newTailStore()}},
-		segs:   []*Segment{newSegment([]*coreStore{buildCore(codes, ids)}, 0, n, 0)},
+		segs:   []*Segment{newSegment([]*coreStore{buildCore(codes, ids)}, 0, n, n, 0)},
 		segSeq: 1,
 	}
 	rng := rand.New(rand.NewSource(11))

@@ -189,7 +189,7 @@ func TestDeltaTailMatchesModelAcrossCompaction(t *testing.T) {
 			// Fold eligible segment runs the way the background merger
 			// does, here synchronously so views bracket real merges.
 			if in := ix.PlanMerge(0); in != nil {
-				merged, err := MergeSegments(in, ix.TakeSeq())
+				merged, err := MergeSegments(in, ix.TakeSeq(), nil)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -246,7 +246,7 @@ func TestCompactionPreservesIDOrder(t *testing.T) {
 	ix.SealMemtable()
 	// Fold everything — base segment included — into one, as Compact does.
 	if in := ix.SegmentsAbove(0); len(in) >= 2 {
-		merged, err := MergeSegments(in, ix.TakeSeq())
+		merged, err := MergeSegments(in, ix.TakeSeq(), nil)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -13,11 +13,16 @@ package index
 
 import (
 	"fmt"
+	mathbits "math/bits"
 	"sort"
 	"sync/atomic"
 
 	"gqr/internal/hash"
 )
+
+// popcount counts set bits (named to avoid shadowing by the `bits`
+// code-length parameters used throughout this package).
+func popcount(x uint64) int { return mathbits.OnesCount64(x) }
 
 // Table is a single hash table's mutable half: the hasher plus the
 // memtable posting lists (the frozen half lives in the index's segment
@@ -63,6 +68,21 @@ const (
 	mergeRatio  = 4
 )
 
+// tombSet tracks deleted ids. The frozen half is a dense bitmap over
+// the contiguous id space, shared by pointer across snapshots exactly
+// like the CSR cores; recent deletes sit in a small delta map that
+// foldTombs copies into a fresh bitmap (copy-on-write) before a
+// snapshot publishes. dead counts every id ever deleted; pending counts
+// the dead ids still present in some posting list — seal and merge
+// purge them, decrementing pending, so pending==0 means searches pay
+// nothing for past deletes.
+type tombSet struct {
+	words   []uint64
+	delta   map[int32]struct{}
+	dead    int
+	pending int
+}
+
 // Index is a multi-table hash index over one dataset. Vectors are held
 // by reference; the index adds only codes and id lists.
 type Index struct {
@@ -70,6 +90,13 @@ type Index struct {
 	N      int
 	Data   []float32
 	Tables []*Table
+
+	// Meta is the optional per-item metadata word (one uint64 per id,
+	// filter/tag-mask input). nil until the first nonzero word arrives;
+	// once allocated it is kept exactly N long.
+	Meta []uint64
+
+	tombs tombSet
 
 	// segs are the frozen segments, ordered by ascending MinID and
 	// covering [0, N-memtable) contiguously.
@@ -101,7 +128,7 @@ func NewFromBuckets(hashers []hash.Hasher, buckets []map[uint64][]int32, data []
 		ix.Tables = append(ix.Tables, &Table{Hasher: h, tail: newTailStore()})
 		cores[t] = coreFromBuckets(buckets[t])
 	}
-	ix.segs = []*Segment{newSegment(cores, 0, n, 0)}
+	ix.segs = []*Segment{newSegment(cores, 0, n, n, 0)}
 	ix.segSeq = 1
 	return ix
 }
@@ -142,16 +169,174 @@ func (ix *Index) Vector(i int32) []float32 {
 // per-table views (the sorting querying methods) must refresh them
 // afterwards.
 func (ix *Index) Add(vec []float32) (int32, error) {
+	return ix.AddMeta(vec, 0)
+}
+
+// AddMeta appends one vector with a metadata word. A zero word costs
+// nothing until some item carries a nonzero one; the first nonzero word
+// allocates the meta slab with zeros for every earlier id.
+func (ix *Index) AddMeta(vec []float32, meta uint64) (int32, error) {
 	if len(vec) != ix.Dim {
 		return 0, fmt.Errorf("index: vector dim %d != index dim %d", len(vec), ix.Dim)
 	}
 	id := int32(ix.N)
 	ix.Data = append(ix.Data, vec...)
+	if meta != 0 && ix.Meta == nil {
+		ix.Meta = make([]uint64, ix.N, ix.N+1)
+	}
+	if ix.Meta != nil {
+		ix.Meta = append(ix.Meta, meta)
+	}
 	ix.N++
 	for _, t := range ix.Tables {
 		t.tail.add(t.Hasher.Code(vec), id)
 	}
 	return id, nil
+}
+
+// MetaOf returns item id's metadata word (zero when no slab exists).
+func (ix *Index) MetaOf(id int32) uint64 {
+	if ix.Meta == nil || int(id) >= len(ix.Meta) {
+		return 0
+	}
+	return ix.Meta[id]
+}
+
+// SetMeta replaces the whole metadata slab. len(meta) must be N (or
+// meta nil to drop the slab). The caller hands over ownership.
+func (ix *Index) SetMeta(meta []uint64) error {
+	if meta != nil && len(meta) != ix.N {
+		return fmt.Errorf("index: meta slab has %d words, index has %d items", len(meta), ix.N)
+	}
+	ix.Meta = meta
+	return nil
+}
+
+// MetaSlab returns the metadata slab (nil when no item carries one).
+// Read-only for snapshot views.
+func (ix *Index) MetaSlab() []uint64 { return ix.Meta }
+
+// IsDeleted reports whether id is tombstoned (frozen bitmap or delta).
+func (ix *Index) IsDeleted(id int32) bool {
+	if tombTest(ix.tombs.words, id) {
+		return true
+	}
+	if ix.tombs.delta != nil {
+		_, ok := ix.tombs.delta[id]
+		return ok
+	}
+	return false
+}
+
+// Delete tombstones id, reporting whether it was live. The id's vector
+// and posting-list entries stay in place until the next seal or merge
+// purges them; searches skip it via the bitmap from the next snapshot
+// on. Caller holds the writer lock.
+func (ix *Index) Delete(id int32) bool {
+	if id < 0 || int(id) >= ix.N || ix.IsDeleted(id) {
+		return false
+	}
+	if ix.tombs.delta == nil {
+		ix.tombs.delta = make(map[int32]struct{})
+	}
+	ix.tombs.delta[id] = struct{}{}
+	ix.tombs.dead++
+	ix.tombs.pending++
+	return true
+}
+
+// foldTombs folds the delete delta into a fresh bitmap (copy-on-write:
+// snapshots sharing the old words are unaffected). No-op when the delta
+// is empty, so snapshot publication stays O(segments + memtable).
+func (ix *Index) foldTombs() {
+	t := &ix.tombs
+	if len(t.delta) == 0 {
+		return
+	}
+	w := make([]uint64, (ix.N+63)/64)
+	copy(w, t.words)
+	for id := range t.delta {
+		w[id>>6] |= 1 << (uint(id) & 63)
+	}
+	t.words = w
+	t.delta = nil
+}
+
+// TombWords returns the frozen tombstone bitmap (nil when nothing was
+// ever deleted or the deletes still sit in the delta). Read-only.
+func (ix *Index) TombWords() []uint64 { return ix.tombs.words }
+
+// FoldedTombWords folds the delta and returns the bitmap, or nil when
+// no id is dead. Caller holds the writer lock.
+func (ix *Index) FoldedTombWords() []uint64 {
+	if ix.tombs.dead == 0 {
+		return nil
+	}
+	ix.foldTombs()
+	return ix.tombs.words
+}
+
+// LiveItems returns the number of non-deleted items.
+func (ix *Index) LiveItems() int { return ix.N - ix.tombs.dead }
+
+// Tombstones returns the number of deleted items.
+func (ix *Index) Tombstones() int { return ix.tombs.dead }
+
+// PendingTombstones returns the number of deleted ids still present in
+// posting lists (not yet purged by a seal or merge).
+func (ix *Index) PendingTombstones() int { return ix.tombs.pending }
+
+// deadInRange counts set bitmap bits in [lo, hi). Delta deletes are not
+// counted; callers fold first.
+func (ix *Index) deadInRange(lo, hi int) int {
+	n := 0
+	for id := lo; id < hi; id++ {
+		if tombTest(ix.tombs.words, int32(id)) {
+			n++
+		}
+	}
+	return n
+}
+
+// UnionTombs ors an external bitmap (recovery's tombs.bits file) into
+// the tombstone set. Bits at or past N are ignored — with the WAL off
+// they can name adds that were legitimately lost. Counters are left for
+// RecomputeTombstones. Caller holds the writer lock.
+func (ix *Index) UnionTombs(words []uint64) {
+	ix.foldTombs()
+	nw := (ix.N + 63) / 64
+	if len(words) > nw {
+		words = words[:nw]
+	}
+	w := make([]uint64, nw)
+	copy(w, ix.tombs.words)
+	for i, x := range words {
+		w[i] |= x
+	}
+	if tail := ix.N & 63; tail != 0 {
+		w[nw-1] &= (1 << uint(tail)) - 1
+	}
+	ix.tombs.words = w
+}
+
+// RecomputeTombstones rebuilds the dead and pending counters from the
+// bitmap and the segment metadata — the recovery path's final step,
+// after segments, tombs.bits and WAL deletes have all been applied.
+// Caller holds the writer lock.
+func (ix *Index) RecomputeTombstones() {
+	ix.foldTombs()
+	dead := 0
+	for _, x := range ix.tombs.words {
+		dead += popcount(x)
+	}
+	ix.tombs.dead = dead
+	pending := 0
+	for _, s := range ix.segs {
+		pending += ix.deadInRange(s.minID, s.minID+s.span) - (s.span - s.items)
+	}
+	mt := ix.MemtableItems()
+	pending += ix.deadInRange(ix.N-mt, ix.N)
+	ix.tombs.pending = pending
 }
 
 // Probe resolves a code to its bucket across every frozen segment and
@@ -307,25 +492,39 @@ func (ix *Index) TakeSeq() uint64 {
 // empty. Earlier snapshots are unaffected (they cloned the memtable
 // and do not see the new segment). Caller holds the writer lock.
 func (ix *Index) SealMemtable() *Segment {
-	items := ix.MemtableItems()
-	if items == 0 {
+	span := ix.MemtableItems()
+	if span == 0 {
 		return nil
+	}
+	// Fold first so the memtable's own dead ids are in the bitmap; the
+	// sealed cores are then filtered, so a fresh segment is born
+	// tombstone-free and pending drops by the purged count.
+	var tombs []uint64
+	if ix.tombs.dead > 0 {
+		ix.foldTombs()
+		tombs = ix.tombs.words
 	}
 	cores := make([]*coreStore, len(ix.Tables))
 	for t, tbl := range ix.Tables {
-		cores[t] = sealCore(tbl.tail)
+		cores[t] = filterCore(sealCore(tbl.tail), tombs)
 		tbl.tail = newTailStore()
 	}
-	seg := newSegment(cores, ix.N-items, items, ix.TakeSeq())
+	items := span
+	if len(cores) > 0 {
+		items = cores[0].items()
+	}
+	seg := newSegment(cores, ix.N-span, span, items, ix.TakeSeq())
+	ix.tombs.pending -= span - items
 	ix.segs = append(ix.segs, seg)
 	ix.seals++
 	return seg
 }
 
-// AppendSegment attaches a segment covering exactly [ix.N, ix.N+count)
-// along with its vectors — the recovery path re-attaching segment files
-// to a base index. The memtable must be empty.
-func (ix *Index) AppendSegment(seg *Segment, vectors []float32) error {
+// AppendSegment attaches a segment covering exactly [ix.N, ix.N+span)
+// along with its vectors and optional metadata words — the recovery
+// path re-attaching segment files to a base index. The memtable must be
+// empty.
+func (ix *Index) AppendSegment(seg *Segment, vectors []float32, meta []uint64) error {
 	if ix.MemtableItems() != 0 {
 		return fmt.Errorf("index: AppendSegment with non-empty memtable")
 	}
@@ -335,11 +534,24 @@ func (ix *Index) AppendSegment(seg *Segment, vectors []float32) error {
 	if seg.minID != ix.N {
 		return fmt.Errorf("index: segment starts at id %d, index ends at %d", seg.minID, ix.N)
 	}
-	if len(vectors) != seg.count*ix.Dim {
-		return fmt.Errorf("index: segment vector block %d floats, want %d", len(vectors), seg.count*ix.Dim)
+	if len(vectors) != seg.span*ix.Dim {
+		return fmt.Errorf("index: segment vector block %d floats, want %d", len(vectors), seg.span*ix.Dim)
+	}
+	if meta != nil && len(meta) != seg.span {
+		return fmt.Errorf("index: segment meta block %d words, want %d", len(meta), seg.span)
 	}
 	ix.Data = append(ix.Data, vectors...)
-	ix.N += seg.count
+	if meta != nil && ix.Meta == nil {
+		ix.Meta = make([]uint64, ix.N)
+	}
+	if ix.Meta != nil {
+		if meta != nil {
+			ix.Meta = append(ix.Meta, meta...)
+		} else {
+			ix.Meta = append(ix.Meta, make([]uint64, seg.span)...)
+		}
+	}
+	ix.N += seg.span
 	ix.segs = append(ix.segs, seg)
 	if seg.seq >= ix.segSeq {
 		ix.segSeq = seg.seq + 1
@@ -354,16 +566,26 @@ func (ix *Index) AppendSegment(seg *Segment, vectors []float32) error {
 // the durability layer uses this to keep segments covered by the base
 // snapshot out of merges. Caller holds the writer lock; the returned
 // slice is a copy safe to hand to a background goroutine.
+// mergeWeight is a segment's size for the tiering policy: live items
+// (what a merge actually copies), floored at 1 so fully-purged segments
+// still tier with their neighbours instead of poisoning the ratio.
+func mergeWeight(s *Segment) int {
+	if s.items < 1 {
+		return 1
+	}
+	return s.items
+}
+
 func (ix *Index) PlanMerge(barrierID int) []*Segment {
 	first := 0
 	for first < len(ix.segs) && ix.segs[first].minID < barrierID {
 		first++
 	}
 	for i := first; i < len(ix.segs); i++ {
-		lo, hi := ix.segs[i].count, ix.segs[i].count
+		lo, hi := mergeWeight(ix.segs[i]), mergeWeight(ix.segs[i])
 		j := i + 1
 		for j < len(ix.segs) {
-			c := ix.segs[j].count
+			c := mergeWeight(ix.segs[j])
 			nlo, nhi := lo, hi
 			if c < nlo {
 				nlo = c
@@ -425,6 +647,12 @@ func (ix *Index) ApplyMerge(in []*Segment, merged *Segment) error {
 	out = append(out, merged)
 	out = append(out, ix.segs[lo+len(in):]...)
 	ix.segs = out
+	// Ids the merge purged are no longer in any posting list.
+	purged := -merged.items
+	for _, s := range in {
+		purged += s.items
+	}
+	ix.tombs.pending -= purged
 	for _, s := range in {
 		s.Release()
 	}
@@ -441,8 +669,11 @@ func (ix *Index) ApplyMerge(in []*Segment, merged *Segment) error {
 // the view when replacing it; readers of the view never touch a memory
 // location a later Add writes.
 func (ix *Index) Snapshot() *Index {
+	ix.foldTombs() // COW: no-op unless deletes arrived since last fold
 	view := &Index{
 		Dim: ix.Dim, N: ix.N, Data: ix.Data,
+		Meta:   ix.Meta,
+		tombs:  tombSet{words: ix.tombs.words, dead: ix.tombs.dead, pending: ix.tombs.pending},
 		Tables: make([]*Table, len(ix.Tables)),
 		segs:   make([]*Segment, len(ix.segs)),
 	}

@@ -14,11 +14,30 @@ import (
 // Index persistence. The file stores the trained hashers and the bucket
 // structure — everything derived from training — but not the raw
 // vectors, which the caller supplies again at load time (the index only
-// ever references them). Two formats, all little-endian:
+// ever references them). Three formats, all little-endian:
 //
-// GQRIDX2 (written by Save) streams each table's compacted CSR tier
-// directly — the on-disk layout IS the in-memory layout, so loading is
-// three bulk reads per table:
+// GQRIDX3 (written by Save when the index carries lifecycle state —
+// tombstones or per-item metadata) extends v2 with a tombstone bitmap
+// and an optional meta block. The streamed posting lists are the PURGED
+// view: no tombstoned id appears in any bucket, so the save is the
+// canonical compacted form regardless of how many pending tombstones
+// the in-memory index still holds:
+//
+//	magic "GQRIDX3\x00" | dim u32 | n u32 | tables u32
+//	deadCount u32
+//	if deadCount > 0: bitmap (⌈n/64⌉ × u64, one bit per id)
+//	metaFlag u8
+//	if metaFlag == 1: meta (n × u64)
+//	per table: hasher blob (u32 length + bytes)
+//	           bucket count nb u32
+//	           codes   (nb × u64, strictly ascending)
+//	           offsets ((nb+1) × u32, offsets[0]=0, offsets[nb]=live)
+//	           ids     (live × u32, live = n − deadCount)
+//
+// GQRIDX2 (written by Save otherwise; the common tombstone-free case
+// stays bit-identical with older writers) streams each table's
+// compacted CSR tier directly — the on-disk layout IS the in-memory
+// layout, so loading is three bulk reads per table:
 //
 //	magic "GQRIDX2\x00" | dim u32 | n u32 | tables u32
 //	per table: hasher blob (u32 length + bytes)
@@ -37,11 +56,14 @@ import (
 var (
 	magicV1 = [8]byte{'G', 'Q', 'R', 'I', 'D', 'X', '1', 0}
 	magicV2 = [8]byte{'G', 'Q', 'R', 'I', 'D', 'X', '2', 0}
+	magicV3 = [8]byte{'G', 'Q', 'R', 'I', 'D', 'X', '3', 0}
 )
 
-// Save writes the index (hashers + buckets) to w in the GQRIDX2 format.
-// Each table's segments and memtable are folded into one streamed CSR
-// tier on the fly; the live index is not mutated.
+// Save writes the index (hashers + buckets) to w — GQRIDX3 when the
+// index holds tombstones or metadata, GQRIDX2 otherwise. Each table's
+// segments and memtable are folded into one streamed CSR tier on the
+// fly, with tombstoned ids purged; aside from folding the tombstone
+// delta into the frozen bitmap, the live index is not mutated.
 func (ix *Index) Save(w io.Writer) error {
 	if ix.N < 0 || ix.N > math.MaxUint32 {
 		return fmt.Errorf("index: save: item count %d does not fit the format", ix.N)
@@ -49,8 +71,14 @@ func (ix *Index) Save(w io.Writer) error {
 	if ix.Dim < 0 || ix.Dim > math.MaxUint32 {
 		return fmt.Errorf("index: save: dim %d does not fit the format", ix.Dim)
 	}
+	v3 := ix.tombs.dead > 0 || len(ix.tombs.delta) > 0 || ix.Meta != nil
+	tombs := ix.FoldedTombWords()
 	bw := bufio.NewWriter(w)
-	if _, err := bw.Write(magicV2[:]); err != nil {
+	magic := magicV2
+	if v3 {
+		magic = magicV3
+	}
+	if _, err := bw.Write(magic[:]); err != nil {
 		return err
 	}
 	writeU32 := func(v uint32) error { return binary.Write(bw, binary.LittleEndian, v) }
@@ -62,6 +90,30 @@ func (ix *Index) Save(w io.Writer) error {
 	}
 	if err := writeU32(uint32(len(ix.Tables))); err != nil {
 		return err
+	}
+	if v3 {
+		if err := writeU32(uint32(ix.tombs.dead)); err != nil {
+			return err
+		}
+		if ix.tombs.dead > 0 {
+			words := make([]uint64, (ix.N+63)/64)
+			copy(words, tombs)
+			if err := binary.Write(bw, binary.LittleEndian, words); err != nil {
+				return err
+			}
+		}
+		metaFlag := uint8(0)
+		if ix.Meta != nil {
+			metaFlag = 1
+		}
+		if err := binary.Write(bw, binary.LittleEndian, metaFlag); err != nil {
+			return err
+		}
+		if ix.Meta != nil {
+			if err := binary.Write(bw, binary.LittleEndian, ix.Meta); err != nil {
+				return err
+			}
+		}
 	}
 	for ti, t := range ix.Tables {
 		blob, err := hash.Marshal(t.Hasher)
@@ -77,7 +129,7 @@ func (ix *Index) Save(w io.Writer) error {
 		if _, err := bw.Write(blob); err != nil {
 			return err
 		}
-		core := ix.compactedCore(ti)
+		core := filterCore(ix.compactedCore(ti), tombs)
 		if len(core.codes) > math.MaxUint32 || len(core.ids) > math.MaxUint32 {
 			return fmt.Errorf("index: save: table %d bucket structure does not fit the format", ti)
 		}
@@ -97,21 +149,25 @@ func (ix *Index) Save(w io.Writer) error {
 	return bw.Flush()
 }
 
-// Load reads an index saved with Save — either the current GQRIDX2
-// format or the legacy GQRIDX1 — and re-attaches the vector block
-// (which must be the same data the index was built from: same count and
-// dimension; ids are validated against n).
+// Load reads an index saved with Save — the current GQRIDX3, GQRIDX2 or
+// the legacy GQRIDX1 — and re-attaches the vector block (which must be
+// the same data the index was built from: same count and dimension; ids
+// are validated against n). A v3 file restores the tombstone bitmap and
+// per-item metadata; its posting lists are validated to be fully purged
+// (no tombstoned id appears, exactly live = n − dead ids per table).
 func Load(r io.Reader, data []float32, dim int) (*Index, error) {
 	br := bufio.NewReader(r)
 	var m [8]byte
 	if _, err := io.ReadFull(br, m[:]); err != nil {
 		return nil, fmt.Errorf("index: load: %w", err)
 	}
-	var v1 bool
+	var v1, v3 bool
 	switch m {
 	case magicV1:
 		v1 = true
 	case magicV2:
+	case magicV3:
+		v3 = true
 	default:
 		return nil, fmt.Errorf("index: load: bad magic %q", m[:])
 	}
@@ -142,6 +198,48 @@ func Load(r io.Reader, data []float32, dim int) (*Index, error) {
 		return nil, fmt.Errorf("index: load: implausible table count %d", tables)
 	}
 	ix := &Index{Dim: dim, N: int(n), Data: data}
+	live := n
+	var tombWords []uint64
+	if v3 {
+		dead, err := readU32()
+		if err != nil {
+			return nil, fmt.Errorf("index: load: %w", err)
+		}
+		if dead > n {
+			return nil, fmt.Errorf("index: load: %d tombstones for %d items", dead, n)
+		}
+		if dead > 0 {
+			tombWords = make([]uint64, (int(n)+63)/64)
+			if err := binary.Read(br, binary.LittleEndian, tombWords); err != nil {
+				return nil, fmt.Errorf("index: load: %w", err)
+			}
+			setBits := 0
+			for _, w := range tombWords {
+				setBits += popcount(w)
+			}
+			if setBits != int(dead) {
+				return nil, fmt.Errorf("index: load: tombstone bitmap has %d bits set, header says %d", setBits, dead)
+			}
+			if tail := int(n) & 63; tail != 0 && tombWords[len(tombWords)-1]>>uint(tail) != 0 {
+				return nil, fmt.Errorf("index: load: tombstone bitmap marks ids past item count %d", n)
+			}
+			ix.tombs = tombSet{words: tombWords, dead: int(dead)}
+		}
+		live = n - dead
+		var metaFlag uint8
+		if err := binary.Read(br, binary.LittleEndian, &metaFlag); err != nil {
+			return nil, fmt.Errorf("index: load: %w", err)
+		}
+		if metaFlag > 1 {
+			return nil, fmt.Errorf("index: load: bad meta flag %d", metaFlag)
+		}
+		if metaFlag == 1 {
+			ix.Meta = make([]uint64, n)
+			if err := binary.Read(br, binary.LittleEndian, ix.Meta); err != nil {
+				return nil, fmt.Errorf("index: load: %w", err)
+			}
+		}
+	}
 	cores := make([]*coreStore, 0, tables)
 	for t := 0; t < int(tables); t++ {
 		blobLen, err := readU32()
@@ -166,15 +264,22 @@ func Load(r io.Reader, data []float32, dim int) (*Index, error) {
 		if v1 {
 			core, err = loadTableV1(br, n, t)
 		} else {
-			core, err = loadTableV2(br, n, t)
+			core, err = loadTableV2(br, n, live, t)
 		}
 		if err != nil {
 			return nil, err
 		}
+		if tombWords != nil {
+			for _, id := range core.ids {
+				if tombTest(tombWords, id) {
+					return nil, fmt.Errorf("index: load: table %d posting lists contain tombstoned id %d", t, id)
+				}
+			}
+		}
 		ix.Tables = append(ix.Tables, &Table{Hasher: h, tail: newTailStore()})
 		cores = append(cores, core)
 	}
-	ix.segs = []*Segment{newSegment(cores, 0, int(n), 0)}
+	ix.segs = []*Segment{newSegment(cores, 0, int(n), int(live), 0)}
 	ix.segSeq = 1
 	return ix, nil
 }
@@ -197,16 +302,17 @@ func (ix *Index) compactedCore(t int) *coreStore {
 	return c.merge(ix.Tables[t].tail)
 }
 
-// loadTableV2 reads one table's CSR arrays and validates the structural
-// invariants (ascending codes, monotone offsets spanning exactly n ids,
-// ids in range).
-func loadTableV2(br *bufio.Reader, n uint32, t int) (*coreStore, error) {
+// loadTableV2 reads one table's CSR arrays (shared by the v2 and v3
+// formats) and validates the structural invariants (ascending codes,
+// monotone offsets spanning exactly live ids, ids in range). live == n
+// for v2 files; a v3 file stores only non-tombstoned ids.
+func loadTableV2(br *bufio.Reader, n, live uint32, t int) (*coreStore, error) {
 	var nb uint32
 	if err := binary.Read(br, binary.LittleEndian, &nb); err != nil {
 		return nil, fmt.Errorf("index: load: %w", err)
 	}
-	if uint64(nb) > uint64(n) {
-		return nil, fmt.Errorf("index: load: table %d has %d buckets for %d items", t, nb, n)
+	if uint64(nb) > uint64(live) {
+		return nil, fmt.Errorf("index: load: table %d has %d buckets for %d items", t, nb, live)
 	}
 	codes := make([]uint64, nb)
 	if err := binary.Read(br, binary.LittleEndian, codes); err != nil {
@@ -221,8 +327,8 @@ func loadTableV2(br *bufio.Reader, n uint32, t int) (*coreStore, error) {
 	if err := binary.Read(br, binary.LittleEndian, offsets); err != nil {
 		return nil, fmt.Errorf("index: load: %w", err)
 	}
-	if offsets[0] != 0 || offsets[nb] != n {
-		return nil, fmt.Errorf("index: load: table %d offsets span [%d,%d], want [0,%d]", t, offsets[0], offsets[nb], n)
+	if offsets[0] != 0 || offsets[nb] != live {
+		return nil, fmt.Errorf("index: load: table %d offsets span [%d,%d], want [0,%d]", t, offsets[0], offsets[nb], live)
 	}
 	for i := 1; i < len(offsets); i++ {
 		if offsets[i] < offsets[i-1] {
@@ -232,7 +338,7 @@ func loadTableV2(br *bufio.Reader, n uint32, t int) (*coreStore, error) {
 			return nil, fmt.Errorf("index: load: table %d stores an empty bucket", t)
 		}
 	}
-	ids := make([]int32, n)
+	ids := make([]int32, live)
 	if err := binary.Read(br, binary.LittleEndian, ids); err != nil {
 		return nil, fmt.Errorf("index: load: %w", err)
 	}

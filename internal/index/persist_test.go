@@ -333,3 +333,115 @@ func TestLoadGoldenV2(t *testing.T) {
 		t.Fatal("Save no longer reproduces the committed GQRIDX2 fixture byte-for-byte")
 	}
 }
+
+func goldenV3Path() string { return filepath.Join("testdata", "golden_v3.gqridx") }
+
+// goldenV3Deleted and goldenV3Meta define the lifecycle state baked
+// into the v3 fixture: a handful of tombstoned ids and a metadata word
+// per item (two tag bits cycling).
+var goldenV3Deleted = []int32{3, 40, 41, 119}
+
+func goldenV3Meta() []uint64 {
+	meta := make([]uint64, goldenN)
+	for i := range meta {
+		meta[i] = 1 << uint(i%2)
+	}
+	return meta
+}
+
+// buildGoldenV3 reproduces the index behind the v3 fixture: the same
+// build as the v1/v2 goldens plus deletes and per-item metadata.
+func buildGoldenV3(t *testing.T, vecs []float32) *Index {
+	t.Helper()
+	ix, err := Build(hash.LSH{}, vecs, goldenN, goldenDim, 8, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.SetMeta(goldenV3Meta()); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range goldenV3Deleted {
+		if !ix.Delete(id) {
+			t.Fatalf("golden delete of id %d failed", id)
+		}
+	}
+	return ix
+}
+
+// TestLoadGoldenV3 pins the GQRIDX3 byte stream across releases: the
+// committed fixture must keep loading with its tombstones and metadata
+// intact (purged posting lists validated), and the current Save must
+// still reproduce it byte-for-byte.
+func TestLoadGoldenV3(t *testing.T) {
+	vecs := goldenVectors()
+	if *updateGolden {
+		var buf bytes.Buffer
+		if err := buildGoldenV3(t, vecs).Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenV3Path(), buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	raw, err := os.ReadFile(goldenV3Path())
+	if err != nil {
+		t.Fatalf("missing golden fixture (regenerate with -update): %v", err)
+	}
+	if !bytes.HasPrefix(raw, magicV3[:]) {
+		t.Fatal("fixture is not a GQRIDX3 file")
+	}
+	ix, err := Load(bytes.NewReader(raw), vecs, goldenDim)
+	if err != nil {
+		t.Fatalf("loading GQRIDX3 fixture: %v", err)
+	}
+	if ix.N != goldenN || ix.LiveItems() != goldenN-len(goldenV3Deleted) {
+		t.Fatalf("fixture shape: N=%d live=%d", ix.N, ix.LiveItems())
+	}
+	dead := make(map[int32]bool, len(goldenV3Deleted))
+	for _, id := range goldenV3Deleted {
+		dead[id] = true
+		if !ix.IsDeleted(id) {
+			t.Fatalf("id %d lost its tombstone across the format", id)
+		}
+	}
+	for want, got := 0, ix.MetaSlab(); want < goldenN; want++ {
+		if got[want] != 1<<uint(want%2) {
+			t.Fatalf("id %d metadata word %b lost across the format", want, got[want])
+		}
+	}
+	// The v3 posting lists are the purged view: every live item sits in
+	// its own bucket, no dead id appears anywhere.
+	for ti := range ix.Tables {
+		seen := 0
+		for _, code := range ix.Codes(ti) {
+			for _, id := range ix.Bucket(ti, code) {
+				if dead[id] {
+					t.Fatalf("table %d still lists tombstoned id %d", ti, id)
+				}
+				seen++
+			}
+		}
+		if seen != goldenN-len(goldenV3Deleted) {
+			t.Fatalf("table %d lists %d ids, want %d live", ti, seen, goldenN-len(goldenV3Deleted))
+		}
+	}
+	// Save must reproduce the fixture byte-for-byte, from the loaded
+	// index and from a from-scratch rebuild alike.
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), raw) {
+		t.Fatal("re-save of the loaded v3 fixture is not byte-identical")
+	}
+	buf.Reset()
+	if err := buildGoldenV3(t, vecs).Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), raw) {
+		t.Fatal("Save no longer reproduces the committed GQRIDX3 fixture byte-for-byte")
+	}
+}

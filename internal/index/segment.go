@@ -7,9 +7,15 @@ import (
 
 // Segment is one frozen, immutable run of the index: the posting lists
 // (one CSR core per table) for the contiguous id range
-// [minID, minID+count). Segments are produced by sealing the memtable
+// [minID, minID+span). Segments are produced by sealing the memtable
 // and by merging adjacent segments; once built they are never mutated,
 // so any number of readers may share one by pointer.
+//
+// span counts every id slot the segment covers, dead or alive; items
+// counts the ids actually present in the posting lists. The two differ
+// when tombstoned ids were purged at seal or merge time: the id range
+// stays contiguous (vectors are never moved), but the dead ids simply
+// do not appear in any bucket. items <= span always.
 //
 // Lifetime is reference-counted: a segment is born with one reference
 // (the live index's segment list) and every published snapshot retains
@@ -19,14 +25,15 @@ import (
 type Segment struct {
 	cores  []*coreStore // one per table
 	minID  int          // first id covered
-	count  int          // number of items
+	span   int          // width of the covered id range
+	items  int          // live ids in the posting lists (<= span)
 	seq    uint64       // allocation order; names the segment file
 	refs   atomic.Int64
 	onZero atomic.Value // func(); set at most once, after the file exists
 }
 
-func newSegment(cores []*coreStore, minID, count int, seq uint64) *Segment {
-	s := &Segment{cores: cores, minID: minID, count: count, seq: seq}
+func newSegment(cores []*coreStore, minID, span, items int, seq uint64) *Segment {
+	s := &Segment{cores: cores, minID: minID, span: span, items: items, seq: seq}
 	s.refs.Store(1)
 	return s
 }
@@ -34,8 +41,13 @@ func newSegment(cores []*coreStore, minID, count int, seq uint64) *Segment {
 // MinID returns the first item id the segment covers.
 func (s *Segment) MinID() int { return s.minID }
 
-// Items returns the number of items the segment covers.
-func (s *Segment) Items() int { return s.count }
+// Span returns the width of the contiguous id range the segment covers,
+// counting purged (tombstoned) slots.
+func (s *Segment) Span() int { return s.span }
+
+// Items returns the number of ids present in the segment's posting
+// lists — the live population at seal/merge time.
+func (s *Segment) Items() int { return s.items }
 
 // Seq returns the segment's allocation sequence number.
 func (s *Segment) Seq() uint64 { return s.seq }
@@ -67,30 +79,38 @@ func (s *Segment) SetOnZero(f func()) {
 }
 
 // MergeSegments folds adjacent segments (ordered by ascending MinID,
-// covering a contiguous id range) into one. Pure function over
-// immutable inputs, so it is safe to run outside any lock — this is the
-// background merger's O(core) work that used to stall snapshot
-// publication.
-func MergeSegments(in []*Segment, seq uint64) (*Segment, error) {
-	if len(in) < 2 {
+// covering a contiguous id range) into one, dropping any id whose bit is
+// set in tombs (a frozen tombstone bitmap over the full id space; nil
+// means no purging). The merged segment is tombstone-free with respect
+// to tombs: purge happens here, during the background merge, so the
+// merger is the one place dead ids leave the posting lists. Pure
+// function over immutable inputs, so it is safe to run outside any
+// lock. A single input is accepted when tombs is non-nil — that is the
+// purge-only rewrite Compact uses for a lone segment.
+func MergeSegments(in []*Segment, seq uint64, tombs []uint64) (*Segment, error) {
+	if len(in) < 2 && !(len(in) == 1 && tombs != nil) {
 		return nil, fmt.Errorf("index: merge needs at least 2 segments, got %d", len(in))
 	}
-	count := 0
+	span := 0
 	for k, s := range in {
-		if s.minID != in[0].minID+count {
+		if s.minID != in[0].minID+span {
 			return nil, fmt.Errorf("index: merge inputs not adjacent at segment %d (minID %d, want %d)",
-				k, s.minID, in[0].minID+count)
+				k, s.minID, in[0].minID+span)
 		}
-		count += s.count
+		span += s.span
 	}
 	nt := len(in[0].cores)
 	cores := make([]*coreStore, nt)
 	for t := 0; t < nt; t++ {
-		c := in[0].cores[t]
+		c := filterCore(in[0].cores[t], tombs)
 		for _, s := range in[1:] {
-			c = mergeCores(c, s.cores[t])
+			c = mergeCores(c, filterCore(s.cores[t], tombs))
 		}
 		cores[t] = c
 	}
-	return newSegment(cores, in[0].minID, count, seq), nil
+	items := 0
+	if nt > 0 {
+		items = cores[0].items()
+	}
+	return newSegment(cores, in[0].minID, span, items, seq), nil
 }

@@ -15,15 +15,26 @@ import (
 // caller's vector block only covers the corpus the index was built
 // from, and segments hold everything added after that.
 //
-// GQRSEG1, all little-endian:
+// GQRSEG2 (written by WriteSegment), all little-endian:
 //
-//	magic "GQRSEG1\x00"
-//	seq u64 | minID u32 | count u32 | dim u32 | tables u32
-//	vectors (count × dim × f32)
+//	magic "GQRSEG2\x00"
+//	seq u64 | minID u32 | span u32 | items u32 | dim u32 | tables u32
+//	metaFlag u8
+//	vectors (span × dim × f32)
+//	if metaFlag == 1: meta (span × u64)
 //	per table: bucket count nb u32
 //	           codes   (nb × u64, strictly ascending)
-//	           offsets ((nb+1) × u32, offsets[0]=0, offsets[nb]=count)
-//	           ids     (count × u32, global ids in [minID, minID+count))
+//	           offsets ((nb+1) × u32, offsets[0]=0, offsets[nb]=items)
+//	           ids     (items × u32, global ids in [minID, minID+span))
+//
+// span counts every id slot in the covered range; items counts the ids
+// actually present in the posting lists. They differ when tombstoned
+// ids were purged at seal/merge time — the vectors of dead ids are
+// still stored (the id range stays contiguous) but no bucket names
+// them. items may be 0 for a fully-purged segment.
+//
+// GQRSEG1 (legacy, still loadable) is the same layout without the items
+// field and the metaFlag byte: span == items == count, no meta block.
 //
 // Files are written via an atomic temp-file + fsync + rename helper, so
 // a file that exists under its final name is complete; ReadSegment
@@ -31,32 +42,48 @@ import (
 // anything inconsistent (a truncated or corrupted file is an error,
 // never silently-wrong data).
 
-var magicSeg1 = [8]byte{'G', 'Q', 'R', 'S', 'E', 'G', '1', 0}
+var (
+	magicSeg1 = [8]byte{'G', 'Q', 'R', 'S', 'E', 'G', '1', 0}
+	magicSeg2 = [8]byte{'G', 'Q', 'R', 'S', 'E', 'G', '2', 0}
+)
 
 // maxSegmentItems bounds the per-segment item count accepted at read
 // time, so a corrupt header cannot demand an absurd allocation.
 const maxSegmentItems = 1 << 27
 
-// WriteSegment writes seg and its vector block (count×dim floats,
-// post-normalization) to w in the GQRSEG1 format.
-func WriteSegment(w io.Writer, seg *Segment, vectors []float32, dim int) error {
-	if len(vectors) != seg.count*dim {
-		return fmt.Errorf("index: segment write: vector block %d floats, want %d", len(vectors), seg.count*dim)
+// WriteSegment writes seg, its vector block (span×dim floats,
+// post-normalization) and its optional metadata words (span of them, or
+// nil) to w in the GQRSEG2 format.
+func WriteSegment(w io.Writer, seg *Segment, vectors []float32, meta []uint64, dim int) error {
+	if len(vectors) != seg.span*dim {
+		return fmt.Errorf("index: segment write: vector block %d floats, want %d", len(vectors), seg.span*dim)
 	}
-	if seg.minID < 0 || seg.minID > math.MaxUint32 || seg.count < 0 || seg.count > math.MaxUint32 {
-		return fmt.Errorf("index: segment write: id range [%d,%d) does not fit the format", seg.minID, seg.minID+seg.count)
+	if meta != nil && len(meta) != seg.span {
+		return fmt.Errorf("index: segment write: meta block %d words, want %d", len(meta), seg.span)
+	}
+	if seg.minID < 0 || seg.minID > math.MaxUint32 || seg.span < 0 || seg.span > math.MaxUint32 {
+		return fmt.Errorf("index: segment write: id range [%d,%d) does not fit the format", seg.minID, seg.minID+seg.span)
 	}
 	bw := bufio.NewWriter(w)
-	if _, err := bw.Write(magicSeg1[:]); err != nil {
+	if _, err := bw.Write(magicSeg2[:]); err != nil {
 		return err
 	}
-	for _, v := range []any{seg.seq, uint32(seg.minID), uint32(seg.count), uint32(dim), uint32(len(seg.cores))} {
+	metaFlag := uint8(0)
+	if meta != nil {
+		metaFlag = 1
+	}
+	for _, v := range []any{seg.seq, uint32(seg.minID), uint32(seg.span), uint32(seg.items), uint32(dim), uint32(len(seg.cores)), metaFlag} {
 		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
 			return err
 		}
 	}
 	if err := binary.Write(bw, binary.LittleEndian, vectors); err != nil {
 		return err
+	}
+	if meta != nil {
+		if err := binary.Write(bw, binary.LittleEndian, meta); err != nil {
+			return err
+		}
 	}
 	for t, core := range seg.cores {
 		if len(core.codes) > math.MaxUint32 {
@@ -78,89 +105,116 @@ func WriteSegment(w io.Writer, seg *Segment, vectors []float32, dim int) error {
 	return bw.Flush()
 }
 
-// ReadSegment reads one GQRSEG1 segment and its vector block, validating
+// ReadSegment reads one segment file (GQRSEG2 or legacy GQRSEG1), its
+// vector block and its metadata words (nil when absent), validating
 // every structural invariant against the expected dimension and table
 // count. Any inconsistency — truncation, bad magic, out-of-range ids,
 // malformed CSR — is an error.
-func ReadSegment(r io.Reader, dim, tables int) (*Segment, []float32, error) {
+func ReadSegment(r io.Reader, dim, tables int) (*Segment, []float32, []uint64, error) {
 	br := bufio.NewReader(r)
 	var m [8]byte
 	if _, err := io.ReadFull(br, m[:]); err != nil {
-		return nil, nil, fmt.Errorf("index: segment load: %w", err)
+		return nil, nil, nil, fmt.Errorf("index: segment load: %w", err)
 	}
-	if m != magicSeg1 {
-		return nil, nil, fmt.Errorf("index: segment load: bad magic %q", m[:])
+	var v1 bool
+	switch m {
+	case magicSeg1:
+		v1 = true
+	case magicSeg2:
+	default:
+		return nil, nil, nil, fmt.Errorf("index: segment load: bad magic %q", m[:])
 	}
 	var seq uint64
-	var minID, count, fdim, ftables uint32
-	for _, p := range []any{&seq, &minID, &count, &fdim, &ftables} {
+	var minID, span, items, fdim, ftables uint32
+	var metaFlag uint8
+	hdr := []any{&seq, &minID, &span, &items, &fdim, &ftables, &metaFlag}
+	if v1 {
+		hdr = []any{&seq, &minID, &span, &fdim, &ftables}
+	}
+	for _, p := range hdr {
 		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
-			return nil, nil, fmt.Errorf("index: segment load: %w", err)
+			return nil, nil, nil, fmt.Errorf("index: segment load: %w", err)
 		}
 	}
+	if v1 {
+		items = span
+	}
 	if int(fdim) != dim {
-		return nil, nil, fmt.Errorf("index: segment load: file dim %d != index dim %d", fdim, dim)
+		return nil, nil, nil, fmt.Errorf("index: segment load: file dim %d != index dim %d", fdim, dim)
 	}
 	if int(ftables) != tables {
-		return nil, nil, fmt.Errorf("index: segment load: file has %d tables, index has %d", ftables, tables)
+		return nil, nil, nil, fmt.Errorf("index: segment load: file has %d tables, index has %d", ftables, tables)
 	}
-	if count == 0 || count > maxSegmentItems {
-		return nil, nil, fmt.Errorf("index: segment load: implausible item count %d", count)
+	if span == 0 || span > maxSegmentItems {
+		return nil, nil, nil, fmt.Errorf("index: segment load: implausible item count %d", span)
 	}
-	if uint64(minID)+uint64(count) > math.MaxInt32 {
-		return nil, nil, fmt.Errorf("index: segment load: id range [%d,%d) out of range", minID, uint64(minID)+uint64(count))
+	if items > span {
+		return nil, nil, nil, fmt.Errorf("index: segment load: %d live items exceed span %d", items, span)
 	}
-	vectors := make([]float32, int(count)*dim)
+	if metaFlag > 1 {
+		return nil, nil, nil, fmt.Errorf("index: segment load: bad meta flag %d", metaFlag)
+	}
+	if uint64(minID)+uint64(span) > math.MaxInt32 {
+		return nil, nil, nil, fmt.Errorf("index: segment load: id range [%d,%d) out of range", minID, uint64(minID)+uint64(span))
+	}
+	vectors := make([]float32, int(span)*dim)
 	if err := binary.Read(br, binary.LittleEndian, vectors); err != nil {
-		return nil, nil, fmt.Errorf("index: segment load: %w", err)
+		return nil, nil, nil, fmt.Errorf("index: segment load: %w", err)
+	}
+	var meta []uint64
+	if metaFlag == 1 {
+		meta = make([]uint64, span)
+		if err := binary.Read(br, binary.LittleEndian, meta); err != nil {
+			return nil, nil, nil, fmt.Errorf("index: segment load: %w", err)
+		}
 	}
 	cores := make([]*coreStore, tables)
 	for t := 0; t < tables; t++ {
 		var nb uint32
 		if err := binary.Read(br, binary.LittleEndian, &nb); err != nil {
-			return nil, nil, fmt.Errorf("index: segment load: %w", err)
+			return nil, nil, nil, fmt.Errorf("index: segment load: %w", err)
 		}
-		if nb > count {
-			return nil, nil, fmt.Errorf("index: segment load: table %d has %d buckets for %d items", t, nb, count)
+		if nb > items {
+			return nil, nil, nil, fmt.Errorf("index: segment load: table %d has %d buckets for %d items", t, nb, items)
 		}
 		codes := make([]uint64, nb)
 		if err := binary.Read(br, binary.LittleEndian, codes); err != nil {
-			return nil, nil, fmt.Errorf("index: segment load: %w", err)
+			return nil, nil, nil, fmt.Errorf("index: segment load: %w", err)
 		}
 		for i := 1; i < len(codes); i++ {
 			if codes[i] <= codes[i-1] {
-				return nil, nil, fmt.Errorf("index: segment load: table %d bucket codes not ascending", t)
+				return nil, nil, nil, fmt.Errorf("index: segment load: table %d bucket codes not ascending", t)
 			}
 		}
 		offsets := make([]uint32, nb+1)
 		if err := binary.Read(br, binary.LittleEndian, offsets); err != nil {
-			return nil, nil, fmt.Errorf("index: segment load: %w", err)
+			return nil, nil, nil, fmt.Errorf("index: segment load: %w", err)
 		}
-		if offsets[0] != 0 || offsets[nb] != count {
-			return nil, nil, fmt.Errorf("index: segment load: table %d offsets span [%d,%d], want [0,%d]", t, offsets[0], offsets[nb], count)
+		if offsets[0] != 0 || offsets[nb] != items {
+			return nil, nil, nil, fmt.Errorf("index: segment load: table %d offsets span [%d,%d], want [0,%d]", t, offsets[0], offsets[nb], items)
 		}
 		for i := 1; i < len(offsets); i++ {
 			if offsets[i] < offsets[i-1] {
-				return nil, nil, fmt.Errorf("index: segment load: table %d offsets not monotone", t)
+				return nil, nil, nil, fmt.Errorf("index: segment load: table %d offsets not monotone", t)
 			}
 			if offsets[i] == offsets[i-1] {
-				return nil, nil, fmt.Errorf("index: segment load: table %d stores an empty bucket", t)
+				return nil, nil, nil, fmt.Errorf("index: segment load: table %d stores an empty bucket", t)
 			}
 		}
-		ids := make([]int32, count)
+		ids := make([]int32, items)
 		if err := binary.Read(br, binary.LittleEndian, ids); err != nil {
-			return nil, nil, fmt.Errorf("index: segment load: %w", err)
+			return nil, nil, nil, fmt.Errorf("index: segment load: %w", err)
 		}
 		for _, id := range ids {
-			if uint32(id) < minID || uint32(id) >= minID+count {
-				return nil, nil, fmt.Errorf("index: segment load: item id %d outside [%d,%d)", id, minID, minID+count)
+			if uint32(id) < minID || uint32(id) >= minID+span {
+				return nil, nil, nil, fmt.Errorf("index: segment load: item id %d outside [%d,%d)", id, minID, minID+span)
 			}
 		}
 		cores[t] = newCoreStore(codes, offsets, ids)
 	}
 	// A complete file ends here; trailing bytes mean corruption.
 	if _, err := br.ReadByte(); err != io.EOF {
-		return nil, nil, fmt.Errorf("index: segment load: trailing data after segment")
+		return nil, nil, nil, fmt.Errorf("index: segment load: trailing data after segment")
 	}
-	return newSegment(cores, int(minID), int(count), seq), vectors, nil
+	return newSegment(cores, int(minID), int(span), int(items), seq), vectors, meta, nil
 }

@@ -48,6 +48,14 @@ type Options struct {
 	// same stage boundaries, so SearchStats timing and trace spans
 	// always tell one story.
 	Trace *trace.Trace
+	// TagMask, when nonzero, keeps only items whose metadata word has
+	// every mask bit set (meta & TagMask == TagMask) — the tag fast
+	// path, evaluated as one AND per candidate inside the gather loop.
+	TagMask uint64
+	// Filter, when non-nil, keeps only items it reports true for. It
+	// runs inside the gather loop after the tombstone and tag-mask
+	// tests, so rejected items never reach the distance kernel.
+	Filter func(id int32, meta uint64) bool
 }
 
 // Stats reports the work one Search performed.
@@ -68,6 +76,11 @@ type Stats struct {
 	// distance. These items can never enter the result; the counter
 	// shows how much evaluation work the bounded kernel saved.
 	EarlyAbandoned int
+	// Filtered counts gathered ids dropped before evaluation —
+	// tombstoned items plus items rejected by TagMask or Filter. These
+	// do NOT count as Candidates: they cost a bitmap test (and possibly
+	// a predicate call), never a distance computation.
+	Filtered int
 	// EarlyStopped reports whether the QD lower-bound rule fired.
 	EarlyStopped bool
 	// RetrievalTime and EvaluationTime split the query time between
@@ -107,6 +120,14 @@ type Searcher struct {
 	visited []uint32
 	epoch   uint32
 	qbuf    []float32
+
+	// tombs is the bound view's tombstone bitmap, cached at
+	// construction and only when the view still has dead ids in its
+	// posting lists (pending > 0) — once every tombstone is purged by a
+	// seal or merge, searches skip even the per-bucket branch. meta is
+	// the view's metadata slab (nil when no item carries a word).
+	tombs []uint64
+	meta  []uint64
 
 	// Reusable per-query scratch (sized on first use, recycled after):
 	// the merged probe-sequence states, the bounded top-k heap, the
@@ -167,7 +188,12 @@ type tableState struct {
 // be mutated while the Searcher is in use; bind to a snapshot when
 // writers are live.
 func NewSearcher(ix *index.Index, method Method) *Searcher {
-	return &Searcher{ix: ix, method: method, visited: make([]uint32, ix.N)}
+	s := &Searcher{ix: ix, method: method, visited: make([]uint32, ix.N)}
+	if ix.PendingTombstones() > 0 {
+		s.tombs = ix.TombWords()
+	}
+	s.meta = ix.MetaSlab()
+	return s
 }
 
 // Method returns the bound querying method.
@@ -289,19 +315,30 @@ func (s *Searcher) Search(q []float32, opt Options) (Result, error) {
 			// distance kernel over the batch. Separating the phases keeps
 			// the visited bookkeeping out of the evaluation loop, which
 			// then streams candidate rows from the contiguous data slab.
-			cand := s.cand[:0]
-			for _, seg := range s.ref.Segs {
-				for _, id := range seg {
+			// The gather loop is the lifecycle interception point: when
+			// the view carries pending tombstones or the query a filter,
+			// the filtering variant drops those ids here — a bitmap test
+			// or predicate call each, never a distance computation. The
+			// plain loops below are the unfiltered fast path, untouched.
+			var cand []int32
+			filteredBefore := st.Filtered
+			if s.tombs != nil || opt.TagMask != 0 || opt.Filter != nil {
+				cand = s.gatherFiltered(&opt, &st)
+			} else {
+				cand = s.cand[:0]
+				for _, seg := range s.ref.Segs {
+					for _, id := range seg {
+						if s.visited[id] != s.epoch {
+							s.visited[id] = s.epoch
+							cand = append(cand, id)
+						}
+					}
+				}
+				for _, id := range s.ref.Tail {
 					if s.visited[id] != s.epoch {
 						s.visited[id] = s.epoch
 						cand = append(cand, id)
 					}
-				}
-			}
-			for _, id := range s.ref.Tail {
-				if s.visited[id] != s.epoch {
-					s.visited[id] = s.epoch
-					cand = append(cand, id)
 				}
 			}
 			s.cand = cand
@@ -309,6 +346,7 @@ func (s *Searcher) Search(q []float32, opt Options) (Result, error) {
 			if clk.on {
 				clk.tick(trace.StageGather, int32(best), trace.Work{
 					Candidates: int32(len(cand)),
+					Filtered:   int32(st.Filtered - filteredBefore),
 				})
 			}
 			s.evaluateBatch(q, cand, &st)
@@ -359,6 +397,55 @@ func (s *Searcher) Search(q []float32, opt Options) (Result, error) {
 		st.EvaluationTime = clk.dur[trace.StageGather] + clk.dur[trace.StageEvaluate]
 	}
 	return Result{IDs: ids, Dists: dists, Stats: st}, nil
+}
+
+// gatherFiltered is the filtering variant of the gather loop: it walks
+// the probed bucket's tiers like the fast path but drops tombstoned ids
+// (bitmap test) and, when the query carries a TagMask or Filter, items
+// whose metadata word fails them. Dropped ids are still marked visited
+// — re-testing them in another bucket would be wasted work — and are
+// counted in Stats.Filtered, not Candidates.
+func (s *Searcher) gatherFiltered(opt *Options, st *Stats) []int32 {
+	cand := s.cand[:0]
+	keep := func(id int32) bool {
+		if w := int(id) >> 6; w < len(s.tombs) && s.tombs[w]&(1<<(uint(id)&63)) != 0 {
+			return false
+		}
+		var meta uint64
+		if s.meta != nil {
+			meta = s.meta[id]
+		}
+		if opt.TagMask != 0 && meta&opt.TagMask != opt.TagMask {
+			return false
+		}
+		if opt.Filter != nil && !opt.Filter(id, meta) {
+			return false
+		}
+		return true
+	}
+	for _, seg := range s.ref.Segs {
+		for _, id := range seg {
+			if s.visited[id] != s.epoch {
+				s.visited[id] = s.epoch
+				if keep(id) {
+					cand = append(cand, id)
+				} else {
+					st.Filtered++
+				}
+			}
+		}
+	}
+	for _, id := range s.ref.Tail {
+		if s.visited[id] != s.epoch {
+			s.visited[id] = s.epoch
+			if keep(id) {
+				cand = append(cand, id)
+			} else {
+				st.Filtered++
+			}
+		}
+	}
+	return cand
 }
 
 // evaluateBatch runs the evaluation stage over one gathered candidate

@@ -35,6 +35,11 @@ const (
 	mIndexFreezeSecs = "gqr_index_build_freeze_seconds"
 	mIndexBuildProcs = "gqr_index_build_parallelism"
 	mIndexAdds       = "gqr_index_adds"
+	mIndexDeletes    = "gqr_index_deletes"
+	mIndexLive       = "gqr_index_live_items"
+	mIndexTombs      = "gqr_index_tombstones"
+	mIndexTombsPend  = "gqr_index_tombstones_pending"
+	mIndexPurged     = "gqr_index_purged_total"
 	mIndexRebuilds   = "gqr_index_method_rebuilds"
 	mIndexSnapGen    = "gqr_index_snapshot_generation"
 	mIndexSegments   = "gqr_index_segments"
@@ -65,6 +70,11 @@ func (h *Handler) initMetrics() {
 	h.gFreezeSecs = h.reg.Gauge(mIndexFreezeSecs, "Build stage: CSR core construction (freeze) time in seconds.")
 	h.gBuildProcs = h.reg.Gauge(mIndexBuildProcs, "Resolved worker bound the index build ran with (0 when loaded from disk).")
 	h.gAdds = h.reg.Gauge(mIndexAdds, "Vectors appended via Add since construction.")
+	h.gDeletes = h.reg.Gauge(mIndexDeletes, "Tombstones recorded via Delete/Update since construction.")
+	h.gLive = h.reg.Gauge(mIndexLive, "Live (searchable) vectors: allocated ids minus tombstones.")
+	h.gTombs = h.reg.Gauge(mIndexTombs, "Deleted ids (permanently allocated, never returned by searches).")
+	h.gTombsPend = h.reg.Gauge(mIndexTombsPend, "Tombstoned ids still occupying posting-list slots (not yet purged by a seal or merge).")
+	h.cPurged = h.reg.Counter(mIndexPurged, "Tombstoned items dropped from posting lists by merges and compactions.")
 	h.gRebuilds = h.reg.Gauge(mIndexRebuilds, "Querying-method view rebuilds triggered by Add.")
 	h.gSnapGen = h.reg.Gauge(mIndexSnapGen, "Generation of the published read snapshot searches run on.")
 	h.gSegments = h.reg.Gauge(mIndexSegments, "Frozen LSM segments in the live index.")
@@ -94,6 +104,10 @@ func (h *Handler) updateIndexGauges() {
 	h.gFreezeSecs.Set(st.FreezeTime.Seconds())
 	h.gBuildProcs.Set(float64(st.BuildParallelism))
 	h.gAdds.Set(float64(st.Adds))
+	h.gDeletes.Set(float64(st.Deletes))
+	h.gLive.Set(float64(st.LiveItems))
+	h.gTombs.Set(float64(st.Tombstones))
+	h.gTombsPend.Set(float64(st.PendingTombstones))
 	h.gRebuilds.Set(float64(st.MethodRebuilds))
 	h.gSnapGen.Set(float64(st.SnapshotGeneration))
 	h.gSegments.Set(float64(st.Segments))
@@ -162,6 +176,9 @@ var knownPaths = map[string]bool{
 func pathLabel(p string) string {
 	if knownPaths[p] {
 		return p
+	}
+	if strings.HasPrefix(p, "/vector/") {
+		return "/vector/{id}"
 	}
 	if strings.HasPrefix(p, "/debug/pprof") {
 		return "/debug/pprof"

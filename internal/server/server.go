@@ -1,9 +1,13 @@
 // Package server exposes a gqr index over HTTP with a small JSON API:
 //
 //	POST /search  {"query":[...], "k":10, "maxCandidates":1000,
-//	               "radius":0, "earlyStop":false, "includeStats":true}
+//	               "radius":0, "earlyStop":false, "tagMask":0,
+//	               "includeStats":true}
 //	POST /batch   {"queries":[[...],[...]], "k":10, ...}
-//	POST /add     {"vector":[...]}
+//	POST /add     {"vector":[...], "meta":0}
+//	DELETE /vector/{id}   tombstone one item (404 unknown/deleted)
+//	PUT    /vector/{id}   {"vector":[...]} replace it, returning the
+//	                      new id (404 unknown/deleted, 409 wrong dim)
 //	GET  /stats
 //	GET  /healthz
 //	GET  /metrics   Prometheus text exposition
@@ -21,10 +25,12 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log/slog"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"time"
 
 	"gqr"
@@ -63,6 +69,10 @@ type Handler struct {
 	gFreezeSecs   *metrics.Gauge
 	gBuildProcs   *metrics.Gauge
 	gAdds         *metrics.Gauge
+	gDeletes      *metrics.Gauge
+	gLive         *metrics.Gauge
+	gTombs        *metrics.Gauge
+	gTombsPend    *metrics.Gauge
 	gRebuilds     *metrics.Gauge
 	gSnapGen      *metrics.Gauge
 	gSegments     *metrics.Gauge
@@ -71,9 +81,11 @@ type Handler struct {
 	gSeals        *metrics.Gauge
 	gMerges       *metrics.Gauge
 
-	// hMerge observes background segment-merge durations, fed by the
-	// index's compaction observer (installed in New).
-	hMerge *metrics.Histogram
+	// hMerge observes background segment-merge durations and cPurged the
+	// tombstoned items those merges dropped, both fed by the index's
+	// compaction observer (installed in New).
+	hMerge  *metrics.Histogram
+	cPurged *metrics.Counter
 
 	// Per-stage latency histograms, indexed by trace.Stage and fed by
 	// the flight recorder's observer (empty when tracing is off).
@@ -113,10 +125,13 @@ func New(ix *gqr.Index, opts ...Option) *Handler {
 	// goroutine, so no scrape-time poll can time them.
 	ix.SetCompactionObserver(func(ci gqr.CompactionInfo) {
 		h.hMerge.Observe(ci.Duration.Seconds())
+		h.cPurged.Add(int64(ci.Purged))
 	})
 	h.mux.HandleFunc("/search", h.search)
 	h.mux.HandleFunc("/batch", h.batch)
 	h.mux.HandleFunc("/add", h.add)
+	h.mux.HandleFunc("DELETE /vector/{id}", h.deleteVector)
+	h.mux.HandleFunc("PUT /vector/{id}", h.updateVector)
 	h.mux.HandleFunc("/stats", h.stats)
 	h.mux.HandleFunc("/healthz", h.healthz)
 	h.mux.HandleFunc("/metrics", h.metricsHandler)
@@ -144,6 +159,10 @@ type SearchRequest struct {
 	MaxBuckets    int       `json:"maxBuckets,omitempty"`
 	Radius        float64   `json:"radius,omitempty"`
 	EarlyStop     bool      `json:"earlyStop,omitempty"`
+	// TagMask keeps only items whose metadata word contains every set
+	// bit (gqr.WithTagMask); rejected items are filtered before any
+	// distance computation.
+	TagMask uint64 `json:"tagMask,omitempty"`
 	// IncludeStats echoes the query's work stats (buckets generated and
 	// probed, candidates, early-stop flag, retrieval/evaluation time) in
 	// the response.
@@ -170,6 +189,7 @@ type BatchRequest struct {
 	MaxBuckets    int         `json:"maxBuckets,omitempty"`
 	Radius        float64     `json:"radius,omitempty"`
 	EarlyStop     bool        `json:"earlyStop,omitempty"`
+	TagMask       uint64      `json:"tagMask,omitempty"`
 	IncludeStats  bool        `json:"includeStats,omitempty"`
 }
 
@@ -190,13 +210,26 @@ type BatchResponse struct {
 	Results []BatchEntry `json:"results"`
 }
 
-// AddRequest is the /add request body.
+// AddRequest is the /add request body. Meta is the optional per-item
+// metadata word consulted by tagMask/filtered searches.
 type AddRequest struct {
 	Vector []float32 `json:"vector"`
+	Meta   uint64    `json:"meta,omitempty"`
 }
 
 // AddResponse is the /add response body.
 type AddResponse struct {
+	ID int `json:"id"`
+}
+
+// UpdateRequest is the PUT /vector/{id} request body.
+type UpdateRequest struct {
+	Vector []float32 `json:"vector"`
+}
+
+// UpdateResponse is the PUT /vector/{id} response body: the item's new
+// id (updates re-append; ids are never reused).
+type UpdateResponse struct {
 	ID int `json:"id"`
 }
 
@@ -210,7 +243,7 @@ func (h *Handler) search(w http.ResponseWriter, r *http.Request) {
 		h.httpError(w, http.StatusBadRequest, "invalid JSON: %v", err)
 		return
 	}
-	opts := optsOf(req.MaxCandidates, req.MaxBuckets, req.Radius, req.EarlyStop)
+	opts := optsOf(req.MaxCandidates, req.MaxBuckets, req.Radius, req.EarlyStop, req.TagMask)
 	if req.IncludeStats {
 		opts = append(opts, gqr.WithProfile())
 	}
@@ -251,7 +284,7 @@ func (h *Handler) batch(w http.ResponseWriter, r *http.Request) {
 		flat = append(flat, q...)
 		backMap = append(backMap, i)
 	}
-	opts := optsOf(req.MaxCandidates, req.MaxBuckets, req.Radius, req.EarlyStop)
+	opts := optsOf(req.MaxCandidates, req.MaxBuckets, req.Radius, req.EarlyStop, req.TagMask)
 	if req.IncludeStats {
 		opts = append(opts, gqr.WithProfile())
 	}
@@ -300,12 +333,64 @@ func (h *Handler) add(w http.ResponseWriter, r *http.Request) {
 		h.httpError(w, http.StatusBadRequest, "invalid JSON: %v", err)
 		return
 	}
-	id, err := h.ix.Add(req.Vector)
+	id, err := h.ix.AddWithMeta(req.Vector, req.Meta)
 	if err != nil {
 		h.httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	h.writeJSON(w, AddResponse{ID: id})
+}
+
+// vectorID parses the {id} path segment; ok=false means the 400 is
+// already written.
+func (h *Handler) vectorID(w http.ResponseWriter, r *http.Request) (int, bool) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		h.httpError(w, http.StatusBadRequest, "bad vector id %q", r.PathValue("id"))
+		return 0, false
+	}
+	return id, true
+}
+
+func (h *Handler) deleteVector(w http.ResponseWriter, r *http.Request) {
+	id, ok := h.vectorID(w, r)
+	if !ok {
+		return
+	}
+	if err := h.ix.Delete(id); err != nil {
+		if errors.Is(err, gqr.ErrNotFound) {
+			h.httpError(w, http.StatusNotFound, "%v", err)
+		} else {
+			h.httpError(w, http.StatusInternalServerError, "%v", err)
+		}
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (h *Handler) updateVector(w http.ResponseWriter, r *http.Request) {
+	id, ok := h.vectorID(w, r)
+	if !ok {
+		return
+	}
+	var req UpdateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		h.httpError(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		return
+	}
+	newID, err := h.ix.Update(id, req.Vector)
+	if err != nil {
+		switch {
+		case errors.Is(err, gqr.ErrNotFound):
+			h.httpError(w, http.StatusNotFound, "%v", err)
+		case errors.Is(err, gqr.ErrDimension):
+			h.httpError(w, http.StatusConflict, "%v", err)
+		default:
+			h.httpError(w, http.StatusInternalServerError, "%v", err)
+		}
+		return
+	}
+	h.writeJSON(w, UpdateResponse{ID: newID})
 }
 
 func (h *Handler) stats(w http.ResponseWriter, r *http.Request) {
@@ -321,7 +406,7 @@ func (h *Handler) healthz(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "ok")
 }
 
-func optsOf(maxCand, maxBuckets int, radius float64, earlyStop bool) []gqr.SearchOption {
+func optsOf(maxCand, maxBuckets int, radius float64, earlyStop bool, tagMask uint64) []gqr.SearchOption {
 	var opts []gqr.SearchOption
 	if maxCand > 0 {
 		opts = append(opts, gqr.WithMaxCandidates(maxCand))
@@ -334,6 +419,9 @@ func optsOf(maxCand, maxBuckets int, radius float64, earlyStop bool) []gqr.Searc
 	}
 	if earlyStop {
 		opts = append(opts, gqr.WithEarlyStop())
+	}
+	if tagMask != 0 {
+		opts = append(opts, gqr.WithTagMask(tagMask))
 	}
 	return opts
 }

@@ -3,6 +3,7 @@ package server
 import (
 	"bytes"
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"sync"
@@ -304,4 +305,168 @@ func TestConcurrentAddSearchOverHTTP(t *testing.T) {
 		}
 	}()
 	wg.Wait()
+}
+
+// do issues a request with an arbitrary method (DELETE, PUT) and an
+// optional JSON body, decoding a JSON response into out on 200.
+func do(t *testing.T, method, url string, body, out any) *http.Response {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp
+}
+
+func TestDeleteVectorEndpoint(t *testing.T) {
+	srv, ds := testServer(t)
+	// Success: 204, and the item stops appearing in results.
+	if resp := do(t, http.MethodDelete, srv.URL+"/vector/17", nil, nil); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete gave status %d", resp.StatusCode)
+	}
+	var out SearchResponse
+	post(t, srv.URL+"/search", SearchRequest{Query: ds.Vector(17), K: 3}, &out)
+	for _, nb := range out.Neighbors {
+		if nb.ID == 17 {
+			t.Fatal("deleted vector still returned by /search")
+		}
+	}
+	// Double delete and unknown id: 404. Garbage id: 400.
+	if resp := do(t, http.MethodDelete, srv.URL+"/vector/17", nil, nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("double delete gave status %d", resp.StatusCode)
+	}
+	if resp := do(t, http.MethodDelete, srv.URL+"/vector/99999", nil, nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown id gave status %d", resp.StatusCode)
+	}
+	if resp := do(t, http.MethodDelete, srv.URL+"/vector/xyz", nil, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage id gave status %d", resp.StatusCode)
+	}
+	// The route is method-scoped: GET on it is 405.
+	if resp := do(t, http.MethodGet, srv.URL+"/vector/17", nil, nil); resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /vector/{id} gave status %d", resp.StatusCode)
+	}
+}
+
+func TestUpdateVectorEndpoint(t *testing.T) {
+	srv, ds := testServer(t)
+	// Wrong dimension: 409 Conflict, nothing applied.
+	if resp := do(t, http.MethodPut, srv.URL+"/vector/3", UpdateRequest{Vector: ds.Vector(0)[:2]}, nil); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("wrong dim gave status %d", resp.StatusCode)
+	}
+	// Unknown id: 404.
+	if resp := do(t, http.MethodPut, srv.URL+"/vector/99999", UpdateRequest{Vector: ds.Vector(0)}, nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown id gave status %d", resp.StatusCode)
+	}
+	// Bad JSON: 400.
+	req, _ := http.NewRequest(http.MethodPut, srv.URL+"/vector/3", bytes.NewReader([]byte("{")))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad JSON gave status %d", resp.StatusCode)
+	}
+	// Success: the item moves to a fresh id and is found there.
+	var upd UpdateResponse
+	if resp := do(t, http.MethodPut, srv.URL+"/vector/3", UpdateRequest{Vector: ds.Query(0)}, &upd); resp.StatusCode != http.StatusOK {
+		t.Fatalf("update gave status %d", resp.StatusCode)
+	}
+	if upd.ID != ds.N() {
+		t.Fatalf("update returned id %d, want %d", upd.ID, ds.N())
+	}
+	var out SearchResponse
+	post(t, srv.URL+"/search", SearchRequest{Query: ds.Query(0), K: 1}, &out)
+	if len(out.Neighbors) != 1 || out.Neighbors[0].ID != upd.ID || out.Neighbors[0].Distance != 0 {
+		t.Fatalf("updated vector not at its new id: %+v", out.Neighbors)
+	}
+	// The old id is gone: a second update of it is 404.
+	if resp := do(t, http.MethodPut, srv.URL+"/vector/3", UpdateRequest{Vector: ds.Query(0)}, nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("update of dead id gave status %d", resp.StatusCode)
+	}
+}
+
+func TestSearchTagMaskParam(t *testing.T) {
+	srv, ds := testServer(t)
+	// One tagged vector in an untagged corpus: a masked search may only
+	// ever return it.
+	var added AddResponse
+	if resp := post(t, srv.URL+"/add", AddRequest{Vector: ds.Query(0), Meta: 0b1000}, &added); resp.StatusCode != http.StatusOK {
+		t.Fatalf("add gave status %d", resp.StatusCode)
+	}
+	var out SearchResponse
+	if resp := post(t, srv.URL+"/search", SearchRequest{Query: ds.Query(0), K: 5, TagMask: 0b1000, IncludeStats: true}, &out); resp.StatusCode != http.StatusOK {
+		t.Fatalf("masked search gave status %d", resp.StatusCode)
+	}
+	if len(out.Neighbors) != 1 || out.Neighbors[0].ID != added.ID || out.Neighbors[0].Distance != 0 {
+		t.Fatalf("masked search: %+v, want only the tagged id %d", out.Neighbors, added.ID)
+	}
+	if out.Stats == nil || out.Stats.Filtered == 0 {
+		t.Fatalf("masked search reported no filtered work: %+v", out.Stats)
+	}
+	// The same mask on /batch.
+	var bout BatchResponse
+	if resp := post(t, srv.URL+"/batch", BatchRequest{Queries: [][]float32{ds.Query(0)}, K: 5, TagMask: 0b1000}, &bout); resp.StatusCode != http.StatusOK {
+		t.Fatalf("masked batch gave status %d", resp.StatusCode)
+	}
+	if len(bout.Results) != 1 || len(bout.Results[0].Neighbors) != 1 || bout.Results[0].Neighbors[0].ID != added.ID {
+		t.Fatalf("masked batch: %+v", bout.Results)
+	}
+}
+
+func TestStatszReportsLifecycle(t *testing.T) {
+	srv, _ := testServer(t)
+	if resp := do(t, http.MethodDelete, srv.URL+"/vector/0", nil, nil); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete gave status %d", resp.StatusCode)
+	}
+	resp, err := http.Get(srv.URL + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var statsz struct {
+		Index gqr.Stats `json:"index"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&statsz); err != nil {
+		t.Fatal(err)
+	}
+	if statsz.Index.Tombstones != 1 || statsz.Index.Deletes != 1 {
+		t.Fatalf("statsz tombstones=%d deletes=%d after one delete", statsz.Index.Tombstones, statsz.Index.Deletes)
+	}
+	if statsz.Index.LiveItems != statsz.Index.Items-1 {
+		t.Fatalf("statsz live=%d items=%d", statsz.Index.LiveItems, statsz.Index.Items)
+	}
+	// The Prometheus view carries the same gauges.
+	mresp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"gqr_index_tombstones 1", "gqr_index_deletes 1"} {
+		if !bytes.Contains(raw, []byte(want)) {
+			t.Fatalf("/metrics missing %q", want)
+		}
+	}
 }

@@ -100,6 +100,9 @@ type Work struct {
 	// Abandoned counts candidates whose distance computation the
 	// bounded kernel cut short.
 	Abandoned int32 `json:"abandoned,omitempty"`
+	// Filtered counts gathered ids dropped before evaluation —
+	// tombstoned items and items rejected by a metadata filter.
+	Filtered int32 `json:"filtered,omitempty"`
 }
 
 func (w *Work) add(o Work) {
@@ -107,6 +110,7 @@ func (w *Work) add(o Work) {
 	w.Probed += o.Probed
 	w.Candidates += o.Candidates
 	w.Abandoned += o.Abandoned
+	w.Filtered += o.Filtered
 }
 
 // Span is one timed stage occurrence. Start is the offset from the
@@ -133,6 +137,7 @@ type Totals struct {
 	BucketsProbed    int  `json:"bucketsProbed"`
 	Candidates       int  `json:"candidates"`
 	EarlyAbandoned   int  `json:"earlyAbandoned"`
+	Filtered         int  `json:"filtered,omitempty"`
 	EarlyStopped     bool `json:"earlyStopped"`
 }
 
@@ -258,6 +263,7 @@ func (t *Trace) MergeChild(c *Trace, shard int32, total time.Duration) {
 		Probed:     int32(c.Totals.BucketsProbed),
 		Candidates: int32(c.Totals.Candidates),
 		Abandoned:  int32(c.Totals.EarlyAbandoned),
+		Filtered:   int32(c.Totals.Filtered),
 	}
 	t.StageWork[StageShard].add(shardWork)
 	if len(t.Spans) < t.maxSpans {

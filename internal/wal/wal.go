@@ -1,18 +1,27 @@
-// Package wal implements the write-ahead log of the Add path: an
-// append-only file of CRC-framed vector records, flushed to disk before
-// an Add is acknowledged and replayed at recovery. One log file covers
-// the Adds since the last memtable seal; once the sealed segment's own
-// file is durable, the log that covered it is deleted.
+// Package wal implements the write-ahead log of the mutation path: an
+// append-only file of CRC-framed records, flushed to disk before a
+// mutation is acknowledged and replayed at recovery. One log file
+// covers the mutations since the last memtable seal; once the sealed
+// segment's own file (and the tombstone bitmap) is durable, the log
+// that covered it is deleted.
 //
 // Record layout, all little-endian:
 //
 //	u32 payload length | u32 CRC-32 (IEEE) of payload | payload
-//	payload: u64 item id | dim × f32 vector (post-normalization)
 //
-// Replay treats the first malformed record — short frame, wrong length,
-// CRC mismatch — as the torn tail of a crashed append and stops there
-// cleanly: the durability contract covers acknowledged Adds only, and
-// an acknowledged record was fully written and fsynced before the ack.
+// Three payload shapes, told apart by length alone (for any dim ≥ 1 the
+// three lengths are distinct, so no flag byte is needed and the legacy
+// add frame keeps its exact bytes):
+//
+//	add:      u64 item id | dim × f32 vector    (8 + 4*dim bytes)
+//	add+meta: u64 item id | u64 meta | vector  (16 + 4*dim bytes)
+//	delete:   u64 item id                       (8 bytes)
+//
+// Vectors are post-normalization. Replay treats the first malformed
+// record — short frame, wrong length, CRC mismatch — as the torn tail
+// of a crashed append and stops there cleanly: the durability contract
+// covers acknowledged mutations only, and an acknowledged record was
+// fully written and fsynced before the ack.
 package wal
 
 import (
@@ -21,6 +30,14 @@ import (
 	"hash/crc32"
 	"math"
 	"os"
+)
+
+// Op is the kind of one replayed record.
+type Op uint8
+
+const (
+	OpAdd Op = iota
+	OpDelete
 )
 
 // Writer appends records to one log file. Not safe for concurrent use;
@@ -43,11 +60,31 @@ func Create(path string) (*Writer, error) {
 	return &Writer{f: f, path: path}, nil
 }
 
-// Append writes one record and flushes it to stable storage. When
+// Append writes one add record and flushes it to stable storage. When
 // Append returns nil the record survives a crash — this is the
 // durability point the Add acknowledgment relies on.
 func (w *Writer) Append(id uint64, vec []float32) error {
+	return w.appendFrame(id, 0, false, vec)
+}
+
+// AppendMeta writes one add record carrying a nonzero metadata word.
+// (A zero word uses the legacy add frame — same replay outcome, fewer
+// bytes, and bit-identical logs for meta-free workloads.)
+func (w *Writer) AppendMeta(id, meta uint64, vec []float32) error {
+	return w.appendFrame(id, meta, meta != 0, vec)
+}
+
+// AppendDelete writes one delete record and flushes it to stable
+// storage — the fsync-before-ack point of the Delete path.
+func (w *Writer) AppendDelete(id uint64) error {
+	return w.appendFrame(id, 0, false, nil)
+}
+
+func (w *Writer) appendFrame(id, meta uint64, withMeta bool, vec []float32) error {
 	payload := 8 + 4*len(vec)
+	if withMeta {
+		payload += 8
+	}
 	need := 8 + payload
 	if cap(w.buf) < need {
 		w.buf = make([]byte, need)
@@ -56,6 +93,10 @@ func (w *Writer) Append(id uint64, vec []float32) error {
 	binary.LittleEndian.PutUint32(b[0:], uint32(payload))
 	binary.LittleEndian.PutUint64(b[8:], id)
 	off := 16
+	if withMeta {
+		binary.LittleEndian.PutUint64(b[16:], meta)
+		off = 24
+	}
 	for _, v := range vec {
 		binary.LittleEndian.PutUint32(b[off:], math.Float32bits(v))
 		off += 4
@@ -88,19 +129,23 @@ func (w *Writer) Close() error {
 }
 
 // Replay reads every intact record of the log at path in order, calling
-// fn for each. The vec slice is reused across calls; fn must copy it to
-// retain it. A record's payload length must be exactly 8+4*dim.
+// fn for each. For OpAdd, vec is the logged vector (reused across
+// calls; fn must copy it to retain it) and meta the metadata word (zero
+// for legacy frames). For OpDelete, vec is nil and meta zero. A
+// record's payload length must be one of the three shapes for dim.
 //
 // Returns clean=true when the file ends exactly at a record boundary.
 // clean=false means a torn tail was found (a crash mid-append); the
 // records before it were all delivered. An error from fn, or a failure
 // to read the file at all, aborts the replay.
-func Replay(path string, dim int, fn func(id uint64, vec []float32) error) (clean bool, err error) {
+func Replay(path string, dim int, fn func(op Op, id, meta uint64, vec []float32) error) (clean bool, err error) {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		return false, fmt.Errorf("wal: replay: %w", err)
 	}
-	want := 8 + 4*dim
+	addLen := 8 + 4*dim
+	metaLen := 16 + 4*dim
+	const delLen = 8
 	vec := make([]float32, dim)
 	off := 0
 	for {
@@ -112,7 +157,7 @@ func Replay(path string, dim int, fn func(id uint64, vec []float32) error) (clea
 		}
 		plen := int(binary.LittleEndian.Uint32(raw[off:]))
 		crc := binary.LittleEndian.Uint32(raw[off+4:])
-		if plen != want || off+8+plen > len(raw) {
+		if (plen != addLen && plen != metaLen && plen != delLen) || off+8+plen > len(raw) {
 			return false, nil
 		}
 		payload := raw[off+8 : off+8+plen]
@@ -120,11 +165,24 @@ func Replay(path string, dim int, fn func(id uint64, vec []float32) error) (clea
 			return false, nil
 		}
 		id := binary.LittleEndian.Uint64(payload)
-		for i := range vec {
-			vec[i] = math.Float32frombits(binary.LittleEndian.Uint32(payload[8+4*i:]))
-		}
-		if err := fn(id, vec); err != nil {
-			return false, err
+		switch plen {
+		case delLen:
+			if err := fn(OpDelete, id, 0, nil); err != nil {
+				return false, err
+			}
+		default:
+			var meta uint64
+			vecOff := 8
+			if plen == metaLen {
+				meta = binary.LittleEndian.Uint64(payload[8:])
+				vecOff = 16
+			}
+			for i := range vec {
+				vec[i] = math.Float32frombits(binary.LittleEndian.Uint32(payload[vecOff+4*i:]))
+			}
+			if err := fn(OpAdd, id, meta, vec); err != nil {
+				return false, err
+			}
 		}
 		off += 8 + plen
 	}

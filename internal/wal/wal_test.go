@@ -8,8 +8,10 @@ import (
 )
 
 type rec struct {
-	id  uint64
-	vec []float32
+	op   Op
+	id   uint64
+	meta uint64
+	vec  []float32
 }
 
 func writeLog(t *testing.T, path string, recs []rec) {
@@ -44,8 +46,8 @@ func genRecs(n, dim int, seed int64) []rec {
 func replayAll(t *testing.T, path string, dim int) ([]rec, bool) {
 	t.Helper()
 	var got []rec
-	clean, err := Replay(path, dim, func(id uint64, vec []float32) error {
-		got = append(got, rec{id: id, vec: append([]float32{}, vec...)})
+	clean, err := Replay(path, dim, func(op Op, id, meta uint64, vec []float32) error {
+		got = append(got, rec{op: op, id: id, meta: meta, vec: append([]float32{}, vec...)})
 		return nil
 	})
 	if err != nil {
@@ -76,6 +78,123 @@ func TestWALRoundTrip(t *testing.T) {
 				t.Fatalf("record %d vec[%d] not bit-identical", i, j)
 			}
 		}
+	}
+}
+
+// TestWALMixedOpsRoundTrip interleaves the three frame shapes — legacy
+// add, add+meta, delete — and checks replay returns each op, id, meta
+// word and vector bit-identically, in order.
+func TestWALMixedOpsRoundTrip(t *testing.T) {
+	const dim = 5
+	path := filepath.Join(t.TempDir(), "wal-0.log")
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []rec{
+		{op: OpAdd, id: 10, meta: 0, vec: []float32{1, 2, 3, 4, 5}},
+		{op: OpDelete, id: 3},
+		{op: OpAdd, id: 11, meta: 0xdeadbeefcafe, vec: []float32{6, 7, 8, 9, 10}},
+		{op: OpDelete, id: 10},
+		{op: OpAdd, id: 12, meta: 0, vec: []float32{-1, -2, -3, -4, -5}},
+	}
+	for _, r := range want {
+		var err error
+		switch r.op {
+		case OpAdd:
+			err = w.AppendMeta(r.id, r.meta, r.vec)
+		case OpDelete:
+			err = w.AppendDelete(r.id)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, clean := replayAll(t, path, dim)
+	if !clean {
+		t.Fatal("intact log reported a torn tail")
+	}
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i, r := range want {
+		g := got[i]
+		if g.op != r.op || g.id != r.id || g.meta != r.meta {
+			t.Fatalf("record %d = {op:%d id:%d meta:%#x}, want {op:%d id:%d meta:%#x}",
+				i, g.op, g.id, g.meta, r.op, r.id, r.meta)
+		}
+		if r.op == OpDelete {
+			if len(g.vec) != 0 {
+				t.Fatalf("record %d: delete delivered a vector", i)
+			}
+			continue
+		}
+		for j := range r.vec {
+			if g.vec[j] != r.vec[j] {
+				t.Fatalf("record %d vec[%d] not bit-identical", i, j)
+			}
+		}
+	}
+}
+
+// TestWALZeroMetaUsesLegacyFrame pins the compatibility contract: an
+// AppendMeta with a zero word must produce exactly the bytes Append
+// produces, so meta-free logs stay bit-identical across versions.
+func TestWALZeroMetaUsesLegacyFrame(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "wal-a.log")
+	b := filepath.Join(dir, "wal-b.log")
+	vec := []float32{1.5, -2.5, 3.25}
+	wa, err := Create(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wa.Append(7, vec)
+	wa.Close()
+	wb, err := Create(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wb.AppendMeta(7, 0, vec)
+	wb.Close()
+	ra, _ := os.ReadFile(a)
+	rb, _ := os.ReadFile(b)
+	if len(ra) == 0 || string(ra) != string(rb) {
+		t.Fatalf("zero-meta frame differs from legacy frame: %d vs %d bytes", len(ra), len(rb))
+	}
+}
+
+// TestWALDeleteTornTail truncates a delete frame at every byte: the
+// partial frame must be discarded as a torn tail, never misparsed.
+func TestWALDeleteTornTail(t *testing.T) {
+	const dim = 3
+	dir := t.TempDir()
+	full := filepath.Join(dir, "wal-full.log")
+	w, err := Create(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Append(1, []float32{1, 2, 3})
+	w.AppendDelete(1)
+	w.Close()
+	raw, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addFrame := 8 + 8 + 4*dim
+	for cut := addFrame + 1; cut < len(raw); cut++ {
+		path := filepath.Join(dir, "wal-cut.log")
+		if err := os.WriteFile(path, raw[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got, clean := replayAll(t, path, dim)
+		if clean || len(got) != 1 || got[0].op != OpAdd {
+			t.Fatalf("cut=%d: got %d records clean=%v, want the add only with a torn tail", cut, len(got), clean)
+		}
+		os.Remove(path)
 	}
 }
 
@@ -182,6 +301,8 @@ func FuzzReplay(f *testing.F) {
 	}
 	w.Append(1, []float32{1, 2, 3})
 	w.Append(2, []float32{4, 5, 6})
+	w.AppendDelete(1)
+	w.AppendMeta(3, 0x42, []float32{7, 8, 9})
 	w.Close()
 	seed, err := os.ReadFile(seedPath)
 	if err != nil {
@@ -190,6 +311,8 @@ func FuzzReplay(f *testing.F) {
 	f.Add(seed, 3)
 	f.Add([]byte{}, 1)
 	f.Add(seed[:len(seed)-5], 3)
+	f.Add(seed[:len(seed)-13], 3) // cuts into the meta frame
+	f.Add(seed, 2)                // wrong dim: every frame length misparses
 	f.Fuzz(func(t *testing.T, raw []byte, dim int) {
 		if dim < 1 || dim > 64 {
 			return
@@ -198,9 +321,18 @@ func FuzzReplay(f *testing.F) {
 		if err := os.WriteFile(path, raw, 0o644); err != nil {
 			t.Skip()
 		}
-		_, err := Replay(path, dim, func(id uint64, vec []float32) error {
-			if len(vec) != dim {
-				t.Fatalf("replayed vector has %d dims, want %d", len(vec), dim)
+		_, err := Replay(path, dim, func(op Op, id, meta uint64, vec []float32) error {
+			switch op {
+			case OpAdd:
+				if len(vec) != dim {
+					t.Fatalf("replayed vector has %d dims, want %d", len(vec), dim)
+				}
+			case OpDelete:
+				if vec != nil || meta != 0 {
+					t.Fatalf("delete record delivered vec=%v meta=%d", vec, meta)
+				}
+			default:
+				t.Fatalf("unknown op %d", op)
 			}
 			return nil
 		})

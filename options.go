@@ -243,6 +243,8 @@ type searchConfig struct {
 	earlyStop     bool
 	radius        float64
 	profile       bool
+	tagMask       uint64
+	filter        func(id int, meta uint64) bool
 }
 
 // SearchOption configures one Search call.
@@ -271,6 +273,25 @@ func WithEarlyStop() SearchOption { return func(c *searchConfig) { c.earlyStop =
 // can contain an in-radius item, making the search exact without a
 // candidate budget.
 func WithRadius(r float64) SearchOption { return func(c *searchConfig) { c.radius = r } }
+
+// WithTagMask keeps only items whose metadata word contains every bit
+// of mask (meta&mask == mask). The test is pushed into the gather loop
+// — an AND and a compare per gathered id, before any distance is
+// computed — so it is the cheap path for tag-style predicates; use
+// WithFilter for arbitrary ones. Items added without metadata have a
+// zero word and match only the zero mask.
+func WithTagMask(mask uint64) SearchOption { return func(c *searchConfig) { c.tagMask = mask } }
+
+// WithFilter keeps only items the predicate accepts, given their id and
+// metadata word (zero when the item has none). The predicate runs in
+// the gather loop before evaluation — rejected items never cost a
+// distance computation — and may be called from multiple goroutines
+// when searches run concurrently, so it must be safe for concurrent
+// use and should be cheap. Combine with WithTagMask: the mask test runs
+// first.
+func WithFilter(f func(id int, meta uint64) bool) SearchOption {
+	return func(c *searchConfig) { c.filter = f }
+}
 
 // WithProfile enables per-stage timing in the stats returned by
 // SearchWithStats: SearchStats.RetrievalTime and EvaluationTime split

@@ -90,6 +90,20 @@ func (s *ShardedIndex) Shards() int { return len(s.shards) }
 // when tracing was not enabled at construction.
 func (s *ShardedIndex) TraceRecorder() *trace.Recorder { return s.rec }
 
+// Delete routes a tombstone to the shard owning the global id: the
+// owner records it (WAL-first when that shard is durable) and the item
+// stops appearing in fan-out results from the next snapshot on.
+// Deleting an unknown or already-deleted id returns ErrNotFound.
+func (s *ShardedIndex) Delete(globalID int) error {
+	if globalID < 0 {
+		return fmt.Errorf("gqr: delete id %d: %w", globalID, ErrNotFound)
+	}
+	// base is ascending; the owner is the last shard starting at or
+	// below the id. Ids past the owner's range fail its own bound check.
+	i := sort.Search(len(s.base), func(j int) bool { return s.base[j] > globalID }) - 1
+	return s.shards[i].Delete(globalID - s.base[i])
+}
+
 // Search fans the query out to every shard concurrently and merges the
 // per-shard top-k into a global top-k (ascending distance, ids are
 // global row indexes of the build block). Search options apply per
@@ -180,8 +194,15 @@ func (s *ShardedIndex) searchFanout(q []float32, k int, opts []SearchOption) ([]
 			if tr != nil {
 				child = s.rec.Child(s.methodName)
 			}
+			// Shards see local ids; a caller filter sees global ones, so
+			// the shard's leg gets a translating wrapper.
+			sci := sc
+			if sc.filter != nil {
+				base, f := s.base[i], sc.filter
+				sci.filter = func(id int, meta uint64) bool { return f(id+base, meta) }
+			}
 			start := time.Now()
-			nbrs, st, err := s.shards[i].searchTraced(q, k, sc, child)
+			nbrs, st, err := s.shards[i].searchTraced(q, k, sci, child)
 			o.dur = time.Since(start)
 			o.tr = child
 			if err != nil {
