@@ -65,14 +65,22 @@ bench-smoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
 
 # Machine-readable ns/op + allocs/op for the evaluation-stage hot path
-# (per-method Search at budget 1000), the vecmath kernels and the build
-# pipeline (whole-build plus train/code/freeze stages per learner, at
-# p=1 and p=GOMAXPROCS), written as JSON for cross-commit perf diffing.
-# The document embeds host/run metadata (Go version, GOMAXPROCS, CPU
-# count, commit) so snapshots are comparable across machines.
-# BENCH_PR6.json in the repo root is the committed snapshot from the
-# flight-recorder PR (BENCH_PR5.json: parallel-build overhaul,
-# BENCH_PR4.json: evaluation-kernel snapshot).
+# (per-method Search at budget 1000, plain and re-ranked), the vecmath
+# kernels and the build pipeline (whole-build plus train/code/freeze
+# stages per learner, at p=1 and p=GOMAXPROCS), written as JSON for
+# cross-commit perf diffing, plus the quantized re-ranking sweep
+# (m × rerank-factor grid: recall@10, latency, ADC work per query).
+# The documents embed host/run metadata (Go version, GOMAXPROCS, CPU
+# count, commit, whether re-ranking ran) so snapshots are comparable
+# across machines. BENCH_PR9.json, BENCH_PR9_d128.json (the
+# evaluation-heavy d=128 regime) and BENCH_PR9_micro.json in the repo
+# root are the committed snapshots from the re-ranking PR
+# (BENCH_PR6.json: flight-recorder PR, BENCH_PR5.json: parallel-build
+# overhaul, BENCH_PR4.json: evaluation-kernel snapshot).
 bench-json:
-	$(GO) run ./cmd/gqr-bench -json BENCH_PR6.json
-	@cat BENCH_PR6.json
+	$(GO) run ./cmd/gqr-bench -json BENCH_PR9_micro.json
+	@cat BENCH_PR9_micro.json
+	$(GO) run ./cmd/gqr-bench -nq 50 -k 10 -rerank BENCH_PR9.json
+	@cat BENCH_PR9.json
+	$(GO) run ./cmd/gqr-bench -nq 50 -k 10 -rerank-dim 128 -rerank BENCH_PR9_d128.json
+	@cat BENCH_PR9_d128.json

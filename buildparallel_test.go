@@ -95,6 +95,63 @@ func searchAll(t *testing.T, ix *Index, ds *dataset.Dataset) string {
 	return b.String()
 }
 
+// TestParallelBuildRerankIsBitForBitIdentical extends the oracle to
+// reranking-enabled builds: PQ/OPQ training, code assignment and the
+// rotation must all be bit-for-bit identical at any worker count — the
+// persisted stream now also carries the quantizer blob and the code
+// slab, so bytes.Equal covers them too.
+func TestParallelBuildRerankIsBitForBitIdentical(t *testing.T) {
+	ds := parallelOracleData(t)
+	variants := []struct {
+		name string
+		opts []Option
+	}{
+		{"pq", []Option{WithReranking(4, 32, 4)}},
+		{"opq", []Option{WithReranking(4, 32, 4), WithOPQRotation()}},
+	}
+	for _, v := range variants {
+		t.Run(v.name, func(t *testing.T) {
+			build := func(procs int) *Index {
+				ix, err := Build(ds.Vectors, ds.Dim, append([]Option{
+					WithAlgorithm(ITQ),
+					WithCodeLength(8),
+					WithTables(2),
+					WithSeed(42),
+					WithBuildParallelism(procs),
+				}, v.opts...)...)
+				if err != nil {
+					t.Fatalf("p=%d: %v", procs, err)
+				}
+				return ix
+			}
+			serial := build(1)
+			var want bytes.Buffer
+			if err := serial.Save(&want); err != nil {
+				t.Fatal(err)
+			}
+			wantRes := searchAll(t, serial, ds)
+			if st := serial.Stats(); st.RerankM != 4 {
+				t.Fatalf("reranking not active on oracle build: RerankM = %d", st.RerankM)
+			}
+			for _, p := range []int{2, 8} {
+				par := build(p)
+				var got bytes.Buffer
+				if err := par.Save(&got); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(want.Bytes(), got.Bytes()) {
+					t.Fatalf("%s: persisted rerank index at p=%d differs from serial build (%d vs %d bytes)",
+						v.name, p, got.Len(), want.Len())
+				}
+				if gotRes := searchAll(t, par, ds); wantRes != gotRes {
+					t.Fatalf("%s: rerank search results at p=%d differ from serial build:\n%s\nvs\n%s",
+						v.name, p, gotRes, wantRes)
+				}
+			}
+		})
+	}
+}
+
 // TestParallelBuildStatsReportStages checks that a parallel build
 // surfaces its stage timings and resolved worker bound through Stats.
 func TestParallelBuildStatsReportStages(t *testing.T) {

@@ -137,10 +137,10 @@ func (d *durability) dropWAL(path string) {
 
 // writeSegment persists one frozen segment atomically and returns its
 // path.
-func (d *durability) writeSegment(seg *index.Segment, vecs []float32, meta []uint64, dim int) (string, error) {
+func (d *durability) writeSegment(seg *index.Segment, vecs []float32, meta []uint64, qcodes []uint8, dim int) (string, error) {
 	path := d.segPath(seg.Seq())
 	err := atomicWriteFile(path, func(w io.Writer) error {
-		return index.WriteSegment(w, seg, vecs, meta, dim)
+		return index.WriteSegment(w, seg, vecs, meta, qcodes, dim)
 	})
 	if err != nil {
 		return "", err
@@ -348,7 +348,7 @@ func Recover(dir string, vectors []float32, dim int, opts ...Option) (*Index, er
 		if slab := ix.live.MetaSlab(); slab != nil {
 			meta = slab[seg.MinID() : seg.MinID()+seg.Span()]
 		}
-		path, err := d.writeSegment(seg, vecs, meta, dim)
+		path, err := d.writeSegment(seg, vecs, meta, ix.live.CodesRange(seg.MinID(), seg.Span()), dim)
 		if err != nil {
 			return nil, fmt.Errorf("gqr: recover: checkpoint: %w", err)
 		}
@@ -386,10 +386,11 @@ func (ix *Index) recoverSegments(dir string, dim int) error {
 		return fmt.Errorf("gqr: recover: %w", err)
 	}
 	type segFile struct {
-		path string
-		seg  *index.Segment
-		vecs []float32
-		meta []uint64
+		path   string
+		seg    *index.Segment
+		vecs   []float32
+		meta   []uint64
+		qcodes []uint8
 	}
 	files := make([]segFile, 0, len(paths))
 	for _, p := range paths {
@@ -397,12 +398,12 @@ func (ix *Index) recoverSegments(dir string, dim int) error {
 		if err != nil {
 			return fmt.Errorf("gqr: recover: %w", err)
 		}
-		seg, vecs, meta, rerr := index.ReadSegment(f, dim, len(ix.live.Tables))
+		seg, vecs, meta, qcodes, rerr := index.ReadSegment(f, dim, len(ix.live.Tables))
 		f.Close()
 		if rerr != nil {
 			return fmt.Errorf("gqr: recover: segment %s: %w", filepath.Base(p), rerr)
 		}
-		files = append(files, segFile{path: p, seg: seg, vecs: vecs, meta: meta})
+		files = append(files, segFile{path: p, seg: seg, vecs: vecs, meta: meta, qcodes: qcodes})
 	}
 	// Ascending start; at equal start the widest file first, so a
 	// merged segment supersedes the inputs it covers.
@@ -420,7 +421,7 @@ func (ix *Index) recoverSegments(dir string, dim int) error {
 			// a stale leftover whose deletion the crash interrupted.
 			os.Remove(sf.path)
 		case sf.seg.MinID() == ix.live.N:
-			if err := ix.live.AppendSegment(sf.seg, sf.vecs, sf.meta); err != nil {
+			if err := ix.live.AppendSegment(sf.seg, sf.vecs, sf.meta, sf.qcodes); err != nil {
 				return fmt.Errorf("gqr: recover: segment %s: %w", filepath.Base(sf.path), err)
 			}
 			path := sf.path

@@ -50,6 +50,24 @@ func FuzzLoad(f *testing.F) {
 	f.Add(validV3)
 	f.Add(validV3[:len(validV3)/2])
 	f.Add(validV3[:len(validV3)-7])
+	// And a GQRIDX4 stream: quantizer blob, rerank factor and the code
+	// slab, so the fuzzer mutates the v4-only blocks (blob length, shape
+	// header, factor bounds, slab size) too.
+	ix4, err := Build(vecs, dim, WithSeed(31), WithReranking(2, 8, 2))
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := ix4.Delete(5); err != nil {
+		f.Fatal(err)
+	}
+	buf.Reset()
+	if err := ix4.Save(&buf); err != nil {
+		f.Fatal(err)
+	}
+	validV4 := buf.Bytes()
+	f.Add(validV4)
+	f.Add(validV4[:len(validV4)/2])
+	f.Add(validV4[:len(validV4)-3])
 	f.Fuzz(func(t *testing.T, data []byte) {
 		for _, block := range [][]float32{vecs, grown} {
 			out, err := Load(bytes.NewReader(data), block, dim)

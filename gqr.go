@@ -12,6 +12,7 @@ import (
 
 	"gqr/internal/hash"
 	"gqr/internal/index"
+	"gqr/internal/quantization"
 	"gqr/internal/query"
 	"gqr/internal/trace"
 	"gqr/internal/vecmath"
@@ -58,7 +59,13 @@ type SearchStats struct {
 	// They are not included in Candidates: a dropped id costs a bitmap
 	// test (and possibly a predicate call), never a distance
 	// computation.
-	Filtered       int           `json:"filtered,omitempty"`
+	Filtered int `json:"filtered,omitempty"`
+	// ADCScored counts candidates scored by the quantized re-ranking
+	// stage's ADC table; Reranked counts the survivors handed to exact
+	// evaluation (those survivors are what Candidates counts as
+	// evaluated work). Both zero when the index has no reranker.
+	ADCScored      int           `json:"adcScored,omitempty"`
+	Reranked       int           `json:"reranked,omitempty"`
 	EarlyStopped   bool          `json:"earlyStopped"`
 	RetrievalTime  time.Duration `json:"retrievalTime"`
 	EvaluationTime time.Duration `json:"evaluationTime"`
@@ -81,6 +88,8 @@ func (s *SearchStats) merge(o SearchStats) {
 	s.Candidates += o.Candidates
 	s.EarlyAbandoned += o.EarlyAbandoned
 	s.Filtered += o.Filtered
+	s.ADCScored += o.ADCScored
+	s.Reranked += o.Reranked
 	s.EarlyStopped = s.EarlyStopped || o.EarlyStopped
 	s.RetrievalTime += o.RetrievalTime
 	s.EvaluationTime += o.EvaluationTime
@@ -94,6 +103,8 @@ func statsOf(st query.Stats) SearchStats {
 		Candidates:       st.Candidates,
 		EarlyAbandoned:   st.EarlyAbandoned,
 		Filtered:         st.Filtered,
+		ADCScored:        st.ADCScored,
+		Reranked:         st.Reranked,
 		EarlyStopped:     st.EarlyStopped,
 		RetrievalTime:    st.RetrievalTime,
 		EvaluationTime:   st.EvaluationTime,
@@ -249,6 +260,36 @@ func Build(vectors []float32, dim int, opts ...Option) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.rerank {
+		m := cfg.rerankM
+		if m == 0 {
+			m = 8
+		}
+		if m > dim {
+			m = dim
+		}
+		kq := cfg.rerankK
+		if kq == 0 {
+			kq = quantization.MaxCentroids
+		}
+		if kq > n {
+			kq = n
+		}
+		factor := cfg.rerankFactor
+		if factor == 0 {
+			factor = 8
+		}
+		// A distinct seed stream from the hash learners, derived from the
+		// build seed so the whole index stays reproducible.
+		q, err := quantization.TrainReranker(vectors, n, dim, m, kq, cfg.opq, cfg.seed+7331, cfg.procs)
+		if err != nil {
+			return nil, err
+		}
+		if err := ix.AttachQuantizer(q, q.EncodeAll(vectors, n, cfg.procs)); err != nil {
+			return nil, err
+		}
+		ix.RerankFactor = factor
+	}
 	out := &Index{live: ix, metric: cfg.metric, methodName: string(cfg.method), rec: recorderOf(cfg), sealEvery: cfg.memtable}
 	out.muScale = earlyStopScale(ix)
 	if err := out.publishLocked(); err != nil {
@@ -359,6 +400,8 @@ func totalsOf(k int, sc searchConfig, st SearchStats) trace.Totals {
 		Candidates:       st.Candidates,
 		EarlyAbandoned:   st.EarlyAbandoned,
 		Filtered:         st.Filtered,
+		ADCScored:        st.ADCScored,
+		Reranked:         st.Reranked,
 		EarlyStopped:     st.EarlyStopped,
 	}
 }
@@ -622,6 +665,7 @@ func (ix *Index) sealLocked(sync bool) error {
 	if slab := ix.live.MetaSlab(); slab != nil {
 		meta = slab[seg.MinID() : seg.MinID()+seg.Span()]
 	}
+	qcodes := ix.live.CodesRange(seg.MinID(), seg.Span())
 	// Capture the tombstone bitmap under the lock: the WAL being retired
 	// may hold delete records, whose only other durable home is the
 	// tombs.bits sidecar written before the log is dropped.
@@ -634,7 +678,7 @@ func (ix *Index) sealLocked(sync bool) error {
 		return err
 	}
 	if sync {
-		err := ix.persistSegment(seg, vecs, meta, tombs, dead, bits, oldWAL)
+		err := ix.persistSegment(seg, vecs, meta, qcodes, tombs, dead, bits, oldWAL)
 		ix.persistErr = firstErr(ix.persistErr, err)
 		return err
 	}
@@ -642,7 +686,7 @@ func (ix *Index) sealLocked(sync bool) error {
 	ix.bg.Add(1)
 	go func() {
 		defer ix.bg.Done()
-		err := ix.persistSegment(seg, vecs, meta, tombs, dead, bits, oldWAL)
+		err := ix.persistSegment(seg, vecs, meta, qcodes, tombs, dead, bits, oldWAL)
 		ix.writeMu.Lock()
 		defer ix.writeMu.Unlock()
 		ix.bgN--
@@ -659,8 +703,8 @@ func (ix *Index) sealLocked(sync bool) error {
 // installs the segment's zero-reference cleanup hook, and only then
 // retires the WAL. Pure filesystem work plus reads of immutable state —
 // safe off-lock.
-func (ix *Index) persistSegment(seg *index.Segment, vecs []float32, meta, tombs []uint64, dead, bits int, oldWAL string) error {
-	path, err := ix.dur.writeSegment(seg, vecs, meta, ix.live.Dim)
+func (ix *Index) persistSegment(seg *index.Segment, vecs []float32, meta []uint64, qcodes []uint8, tombs []uint64, dead, bits int, oldWAL string) error {
+	path, err := ix.dur.writeSegment(seg, vecs, meta, qcodes, ix.live.Dim)
 	if err != nil {
 		// Keep the old WAL: it is still the only durable copy of these
 		// Adds, and recovery will replay it.
@@ -690,6 +734,7 @@ func (ix *Index) maybeMergeLocked() {
 	seq := ix.live.TakeSeq()
 	var vecs []float32
 	var meta []uint64
+	var qcodes []uint8
 	if ix.dur != nil {
 		d := ix.live.Dim
 		lo := in[0].MinID()
@@ -703,6 +748,7 @@ func (ix *Index) maybeMergeLocked() {
 		if slab := ix.live.MetaSlab(); slab != nil {
 			meta = slab[lo : lo+span]
 		}
+		qcodes = ix.live.CodesRange(lo, span)
 	}
 	// A merge is where tombstoned items are purged for good: hand the
 	// merger a frozen bitmap (copy-on-write, safe off-lock) when any of
@@ -714,14 +760,14 @@ func (ix *Index) maybeMergeLocked() {
 	ix.merging = true
 	ix.bgN++
 	ix.bg.Add(1)
-	go ix.runMerge(in, seq, vecs, meta, tombs)
+	go ix.runMerge(in, seq, vecs, meta, qcodes, tombs)
 }
 
 // runMerge is the background merger: it folds the planned run into one
 // segment (the O(core) work that must never happen on the publish
 // path), makes the merged file durable first when durability is on,
 // then splices the result into the live segment list.
-func (ix *Index) runMerge(in []*index.Segment, seq uint64, vecs []float32, meta, tombs []uint64) {
+func (ix *Index) runMerge(in []*index.Segment, seq uint64, vecs []float32, meta []uint64, qcodes []uint8, tombs []uint64) {
 	defer ix.bg.Done()
 	start := time.Now()
 	liveIn := 0
@@ -733,7 +779,7 @@ func (ix *Index) runMerge(in []*index.Segment, seq uint64, vecs []float32, meta,
 	if err == nil && ix.dur != nil {
 		// The merged file must exist before the inputs can ever be
 		// deleted, so every crash window is fully covered.
-		path, err = ix.dur.writeSegment(merged, vecs, meta, ix.live.Dim)
+		path, err = ix.dur.writeSegment(merged, vecs, meta, qcodes, ix.live.Dim)
 	}
 	elapsed := time.Since(start)
 
@@ -841,7 +887,7 @@ func (ix *Index) Compact() error {
 			if slab := ix.live.MetaSlab(); slab != nil {
 				meta = slab[lo : lo+span]
 			}
-			path, err := ix.dur.writeSegment(merged, ix.live.Data[lo*d:(lo+span)*d], meta, d)
+			path, err := ix.dur.writeSegment(merged, ix.live.Data[lo*d:(lo+span)*d], meta, ix.live.CodesRange(lo, span), d)
 			if err != nil {
 				return err
 			}
@@ -1141,6 +1187,15 @@ type Stats struct {
 	// read snapshot; it starts at 1 (Build) and increments on every
 	// republish.
 	SnapshotGeneration uint64
+	// RerankM and RerankK describe the serving quantizer (subspaces and
+	// centroids per subspace) and RerankFactor the re-ranking stage's
+	// survivor budget (the factor·k quantized-best candidates that get
+	// exact distances); all zero when WithReranking was not used.
+	// OPQRotation reports whether codes sit behind a learned rotation.
+	RerankM      int
+	RerankK      int
+	RerankFactor int
+	OPQRotation  bool
 }
 
 // Stats reports size, occupancy and lifecycle information. It reads
@@ -1177,6 +1232,10 @@ func (ix *Index) Stats() Stats {
 	}
 	if ix.dur != nil {
 		s.WALBytes = ix.dur.walBytes()
+	}
+	if q := ix.live.Quantizer(); q != nil {
+		s.RerankM, s.RerankK, s.RerankFactor = q.M(), q.K(), ix.live.RerankFactor
+		s.OPQRotation = q.Rotated()
 	}
 	for t := range ix.live.Tables {
 		s.Buckets = append(s.Buckets, ix.live.BucketCount(t))

@@ -18,6 +18,7 @@ import (
 	"sync/atomic"
 
 	"gqr/internal/hash"
+	"gqr/internal/quantization"
 )
 
 // popcount counts set bits (named to avoid shadowing by the `bits`
@@ -95,6 +96,24 @@ type Index struct {
 	// filter/tag-mask input). nil until the first nonzero word arrives;
 	// once allocated it is kept exactly N long.
 	Meta []uint64
+
+	// Quant is the optional serving quantizer behind the re-ranking
+	// stage; Codes is its id-aligned code slab (N·M bytes, like Data but
+	// one byte per subspace). Both are shared by reference across
+	// snapshots: appends only ever write past a published view's N, and
+	// ids are never reused, so tombstone purges need no code movement —
+	// a dead id's code simply stops being referenced by posting lists,
+	// exactly like its vector.
+	Quant  *quantization.Reranker
+	QCodes []uint8
+	// RerankFactor is the serving default for the re-ranking stage's
+	// survivor budget (exact evaluations per query = factor × k); it is
+	// persisted with the quantizer so a loaded index serves identically.
+	RerankFactor int
+
+	// encRot is the writer-side rotation scratch for per-Add encoding
+	// (callers serialize mutation, so one buffer suffices).
+	encRot []float32
 
 	tombs tombSet
 
@@ -187,6 +206,11 @@ func (ix *Index) AddMeta(vec []float32, meta uint64) (int32, error) {
 	if ix.Meta != nil {
 		ix.Meta = append(ix.Meta, meta)
 	}
+	if ix.Quant != nil {
+		m := ix.Quant.M()
+		ix.QCodes = append(ix.QCodes, make([]uint8, m)...)
+		ix.Quant.EncodeTo(vec, ix.QCodes[len(ix.QCodes)-m:], ix.encRot)
+	}
 	ix.N++
 	for _, t := range ix.Tables {
 		t.tail.add(t.Hasher.Code(vec), id)
@@ -215,6 +239,66 @@ func (ix *Index) SetMeta(meta []uint64) error {
 // MetaSlab returns the metadata slab (nil when no item carries one).
 // Read-only for snapshot views.
 func (ix *Index) MetaSlab() []uint64 { return ix.Meta }
+
+// AttachQuantizer installs a trained serving quantizer with its
+// pre-encoded code slab (len N·M). Subsequent Adds keep the slab
+// id-aligned by encoding on append.
+func (ix *Index) AttachQuantizer(q *quantization.Reranker, codes []uint8) error {
+	if q == nil {
+		return fmt.Errorf("index: nil quantizer")
+	}
+	if q.Dim() != ix.Dim {
+		return fmt.Errorf("index: quantizer dim %d != index dim %d", q.Dim(), ix.Dim)
+	}
+	if len(codes) != ix.N*q.M() {
+		return fmt.Errorf("index: code slab %d bytes, want %d (n=%d, m=%d)",
+			len(codes), ix.N*q.M(), ix.N, q.M())
+	}
+	if err := validateCodes(q, codes); err != nil {
+		return err
+	}
+	ix.Quant = q
+	ix.QCodes = codes
+	if q.Rotated() {
+		ix.encRot = make([]float32, ix.Dim)
+	}
+	return nil
+}
+
+// validateCodes rejects code bytes outside the quantizer's centroid
+// range. Codes arrive from untrusted files (base image, segment
+// sidecars); an out-of-range byte would index past the end of a query's
+// ADC table row at serving time.
+func validateCodes(q *quantization.Reranker, codes []uint8) error {
+	if k := q.K(); k < quantization.MaxCentroids {
+		limit := uint8(k)
+		for i, c := range codes {
+			if c >= limit {
+				return fmt.Errorf("index: code byte %d at %d out of range (K=%d)", c, i, k)
+			}
+		}
+	}
+	return nil
+}
+
+// Quantizer returns the serving quantizer, or nil when re-ranking is
+// not enabled.
+func (ix *Index) Quantizer() *quantization.Reranker { return ix.Quant }
+
+// CodesSlab returns the id-aligned code slab (nil without a
+// quantizer). Read-only for snapshot views.
+func (ix *Index) CodesSlab() []uint8 { return ix.QCodes }
+
+// CodesRange returns the code sub-slab covering span items starting at
+// id minID (nil without a quantizer) — the column the persistence
+// layer writes alongside a segment's vectors.
+func (ix *Index) CodesRange(minID, span int) []uint8 {
+	if ix.Quant == nil {
+		return nil
+	}
+	m := ix.Quant.M()
+	return ix.QCodes[minID*m : (minID+span)*m]
+}
 
 // IsDeleted reports whether id is tombstoned (frozen bitmap or delta).
 func (ix *Index) IsDeleted(id int32) bool {
@@ -524,7 +608,7 @@ func (ix *Index) SealMemtable() *Segment {
 // along with its vectors and optional metadata words — the recovery
 // path re-attaching segment files to a base index. The memtable must be
 // empty.
-func (ix *Index) AppendSegment(seg *Segment, vectors []float32, meta []uint64) error {
+func (ix *Index) AppendSegment(seg *Segment, vectors []float32, meta []uint64, codes []uint8) error {
 	if ix.MemtableItems() != 0 {
 		return fmt.Errorf("index: AppendSegment with non-empty memtable")
 	}
@@ -540,6 +624,14 @@ func (ix *Index) AppendSegment(seg *Segment, vectors []float32, meta []uint64) e
 	if meta != nil && len(meta) != seg.span {
 		return fmt.Errorf("index: segment meta block %d words, want %d", len(meta), seg.span)
 	}
+	if ix.Quant != nil && codes != nil {
+		if len(codes) != seg.span*ix.Quant.M() {
+			return fmt.Errorf("index: segment code block %d bytes, want %d", len(codes), seg.span*ix.Quant.M())
+		}
+		if err := validateCodes(ix.Quant, codes); err != nil {
+			return err
+		}
+	}
 	ix.Data = append(ix.Data, vectors...)
 	if meta != nil && ix.Meta == nil {
 		ix.Meta = make([]uint64, ix.N)
@@ -549,6 +641,16 @@ func (ix *Index) AppendSegment(seg *Segment, vectors []float32, meta []uint64) e
 			ix.Meta = append(ix.Meta, meta...)
 		} else {
 			ix.Meta = append(ix.Meta, make([]uint64, seg.span)...)
+		}
+	}
+	if ix.Quant != nil {
+		if codes != nil {
+			ix.QCodes = append(ix.QCodes, codes...)
+		} else {
+			// Legacy segment file without a code column: re-encode. The
+			// quantizer is deterministic, so the slab matches what a
+			// code-carrying file would have restored.
+			ix.QCodes = append(ix.QCodes, ix.Quant.EncodeAll(vectors, seg.span, 1)...)
 		}
 	}
 	ix.N += seg.span
@@ -672,10 +774,13 @@ func (ix *Index) Snapshot() *Index {
 	ix.foldTombs() // COW: no-op unless deletes arrived since last fold
 	view := &Index{
 		Dim: ix.Dim, N: ix.N, Data: ix.Data,
-		Meta:   ix.Meta,
-		tombs:  tombSet{words: ix.tombs.words, dead: ix.tombs.dead, pending: ix.tombs.pending},
-		Tables: make([]*Table, len(ix.Tables)),
-		segs:   make([]*Segment, len(ix.segs)),
+		Meta:         ix.Meta,
+		Quant:        ix.Quant,
+		QCodes:       ix.QCodes,
+		RerankFactor: ix.RerankFactor,
+		tombs:        tombSet{words: ix.tombs.words, dead: ix.tombs.dead, pending: ix.tombs.pending},
+		Tables:       make([]*Table, len(ix.Tables)),
+		segs:         make([]*Segment, len(ix.segs)),
 	}
 	for i, t := range ix.Tables {
 		view.Tables[i] = t.freeze()
@@ -738,7 +843,7 @@ func CodeLengthFor(n, ep int) int {
 // to the caller). This is the quantity behind the paper's §6.3.5 memory
 // argument — every extra hash table pays this again.
 func (ix *Index) MemoryBytes() int {
-	total := 0
+	total := len(ix.QCodes) // quantizer code slab (1 byte per subspace per item)
 	for t, tbl := range ix.Tables {
 		total += tbl.tail.memoryBytes() + hasherBytes(tbl.Hasher)
 		for _, s := range ix.segs {

@@ -9,12 +9,28 @@ import (
 	"math"
 
 	"gqr/internal/hash"
+	"gqr/internal/quantization"
 )
 
 // Index persistence. The file stores the trained hashers and the bucket
 // structure — everything derived from training — but not the raw
 // vectors, which the caller supplies again at load time (the index only
-// ever references them). Three formats, all little-endian:
+// ever references them). Four formats, all little-endian:
+//
+// GQRIDX4 (written by Save when the index carries a serving quantizer)
+// extends v3 with the quantizer parameters and the id-aligned code
+// slab. The lifecycle block is always present in a v4 stream (a zero
+// deadCount / zero metaFlag when unused):
+//
+//	magic "GQRIDX4\x00" | dim u32 | n u32 | tables u32
+//	deadCount u32
+//	if deadCount > 0: bitmap (⌈n/64⌉ × u64, one bit per id)
+//	metaFlag u8
+//	if metaFlag == 1: meta (n × u64)
+//	quantizer blob (u32 length + quantization.Reranker marshaling)
+//	rerank factor u32 (serving default for the re-ranking stage)
+//	codes (n × M bytes, id-aligned; M from the quantizer)
+//	per table: identical to v3
 //
 // GQRIDX3 (written by Save when the index carries lifecycle state —
 // tombstones or per-item metadata) extends v2 with a tombstone bitmap
@@ -57,7 +73,12 @@ var (
 	magicV1 = [8]byte{'G', 'Q', 'R', 'I', 'D', 'X', '1', 0}
 	magicV2 = [8]byte{'G', 'Q', 'R', 'I', 'D', 'X', '2', 0}
 	magicV3 = [8]byte{'G', 'Q', 'R', 'I', 'D', 'X', '3', 0}
+	magicV4 = [8]byte{'G', 'Q', 'R', 'I', 'D', 'X', '4', 0}
 )
+
+// maxQuantBlob bounds the quantizer blob accepted from untrusted
+// streams (a generous ceiling: 256 centroids × 64k dims × 4 bytes).
+const maxQuantBlob = 1 << 26
 
 // Save writes the index (hashers + buckets) to w — GQRIDX3 when the
 // index holds tombstones or metadata, GQRIDX2 otherwise. Each table's
@@ -71,11 +92,15 @@ func (ix *Index) Save(w io.Writer) error {
 	if ix.Dim < 0 || ix.Dim > math.MaxUint32 {
 		return fmt.Errorf("index: save: dim %d does not fit the format", ix.Dim)
 	}
-	v3 := ix.tombs.dead > 0 || len(ix.tombs.delta) > 0 || ix.Meta != nil
+	v4 := ix.Quant != nil
+	v3 := v4 || ix.tombs.dead > 0 || len(ix.tombs.delta) > 0 || ix.Meta != nil
 	tombs := ix.FoldedTombWords()
 	bw := bufio.NewWriter(w)
 	magic := magicV2
-	if v3 {
+	switch {
+	case v4:
+		magic = magicV4
+	case v3:
 		magic = magicV3
 	}
 	if _, err := bw.Write(magic[:]); err != nil {
@@ -113,6 +138,30 @@ func (ix *Index) Save(w io.Writer) error {
 			if err := binary.Write(bw, binary.LittleEndian, ix.Meta); err != nil {
 				return err
 			}
+		}
+	}
+	if v4 {
+		blob := ix.Quant.Marshal()
+		if len(blob) > maxQuantBlob {
+			return fmt.Errorf("index: save: quantizer blob too large (%d bytes)", len(blob))
+		}
+		if err := writeU32(uint32(len(blob))); err != nil {
+			return err
+		}
+		if _, err := bw.Write(blob); err != nil {
+			return err
+		}
+		if ix.RerankFactor < 0 || ix.RerankFactor > math.MaxUint32 {
+			return fmt.Errorf("index: save: rerank factor %d does not fit the format", ix.RerankFactor)
+		}
+		if err := writeU32(uint32(ix.RerankFactor)); err != nil {
+			return err
+		}
+		if len(ix.QCodes) != ix.N*ix.Quant.M() {
+			return fmt.Errorf("index: save: code slab %d bytes for %d items", len(ix.QCodes), ix.N)
+		}
+		if _, err := bw.Write(ix.QCodes); err != nil {
+			return err
 		}
 	}
 	for ti, t := range ix.Tables {
@@ -161,13 +210,15 @@ func Load(r io.Reader, data []float32, dim int) (*Index, error) {
 	if _, err := io.ReadFull(br, m[:]); err != nil {
 		return nil, fmt.Errorf("index: load: %w", err)
 	}
-	var v1, v3 bool
+	var v1, v3, v4 bool
 	switch m {
 	case magicV1:
 		v1 = true
 	case magicV2:
 	case magicV3:
 		v3 = true
+	case magicV4:
+		v3, v4 = true, true
 	default:
 		return nil, fmt.Errorf("index: load: bad magic %q", m[:])
 	}
@@ -238,6 +289,41 @@ func Load(r io.Reader, data []float32, dim int) (*Index, error) {
 			if err := binary.Read(br, binary.LittleEndian, ix.Meta); err != nil {
 				return nil, fmt.Errorf("index: load: %w", err)
 			}
+		}
+	}
+	if v4 {
+		blobLen, err := readU32()
+		if err != nil {
+			return nil, fmt.Errorf("index: load: %w", err)
+		}
+		if blobLen == 0 || blobLen > maxQuantBlob {
+			return nil, fmt.Errorf("index: load: implausible quantizer size %d", blobLen)
+		}
+		var blobBuf bytes.Buffer
+		if _, err := io.CopyN(&blobBuf, br, int64(blobLen)); err != nil {
+			return nil, fmt.Errorf("index: load: %w", err)
+		}
+		q, err := quantization.UnmarshalReranker(blobBuf.Bytes())
+		if err != nil {
+			return nil, fmt.Errorf("index: load: %w", err)
+		}
+		if q.Dim() != dim {
+			return nil, fmt.Errorf("index: load: quantizer dim %d != index dim %d", q.Dim(), dim)
+		}
+		factor, err := readU32()
+		if err != nil {
+			return nil, fmt.Errorf("index: load: rerank factor: %w", err)
+		}
+		if factor == 0 || factor > 1<<20 {
+			return nil, fmt.Errorf("index: load: implausible rerank factor %d", factor)
+		}
+		ix.RerankFactor = int(factor)
+		codes := make([]uint8, int(n)*q.M())
+		if _, err := io.ReadFull(br, codes); err != nil {
+			return nil, fmt.Errorf("index: load: code slab: %w", err)
+		}
+		if err := ix.AttachQuantizer(q, codes); err != nil {
+			return nil, fmt.Errorf("index: load: %w", err)
 		}
 	}
 	cores := make([]*coreStore, 0, tables)

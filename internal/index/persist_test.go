@@ -12,6 +12,7 @@ import (
 
 	"gqr/internal/dataset"
 	"gqr/internal/hash"
+	"gqr/internal/quantization"
 )
 
 var updateGolden = flag.Bool("update", false, "regenerate golden persistence fixtures")
@@ -443,5 +444,92 @@ func TestLoadGoldenV3(t *testing.T) {
 	}
 	if !bytes.Equal(buf.Bytes(), raw) {
 		t.Fatal("Save no longer reproduces the committed GQRIDX3 fixture byte-for-byte")
+	}
+}
+
+func goldenV4Path() string { return filepath.Join("testdata", "golden_v4.gqridx") }
+
+// buildGoldenV4 reproduces the index behind the v4 fixture: the v3
+// lifecycle state plus an OPQ-rotated serving quantizer, its id-aligned
+// code column and a persisted rerank factor.
+func buildGoldenV4(t *testing.T, vecs []float32) *Index {
+	t.Helper()
+	ix := buildGoldenV3(t, vecs)
+	q, err := quantization.TrainReranker(vecs, goldenN, goldenDim, 3, 16, true, 11, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.AttachQuantizer(q, q.EncodeAll(vecs, goldenN, 1)); err != nil {
+		t.Fatal(err)
+	}
+	ix.RerankFactor = 5
+	return ix
+}
+
+// TestLoadGoldenV4 pins the GQRIDX4 byte stream across releases: the
+// committed fixture must keep loading with its quantizer, code column,
+// rerank factor, tombstones and metadata intact, and the current Save
+// must still reproduce it byte-for-byte.
+func TestLoadGoldenV4(t *testing.T) {
+	vecs := goldenVectors()
+	if *updateGolden {
+		var buf bytes.Buffer
+		if err := buildGoldenV4(t, vecs).Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenV4Path(), buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	raw, err := os.ReadFile(goldenV4Path())
+	if err != nil {
+		t.Fatalf("missing golden fixture (regenerate with -update): %v", err)
+	}
+	if !bytes.HasPrefix(raw, magicV4[:]) {
+		t.Fatal("fixture is not a GQRIDX4 file")
+	}
+	ix, err := Load(bytes.NewReader(raw), vecs, goldenDim)
+	if err != nil {
+		t.Fatalf("loading GQRIDX4 fixture: %v", err)
+	}
+	if ix.N != goldenN || ix.LiveItems() != goldenN-len(goldenV3Deleted) {
+		t.Fatalf("fixture shape: N=%d live=%d", ix.N, ix.LiveItems())
+	}
+	q := ix.Quantizer()
+	if q == nil {
+		t.Fatal("quantizer lost across the format")
+	}
+	if q.M() != 3 || q.K() != 16 || !q.Rotated() || ix.RerankFactor != 5 {
+		t.Fatalf("quantizer config lost: M=%d K=%d rot=%v factor=%d",
+			q.M(), q.K(), q.Rotated(), ix.RerankFactor)
+	}
+	// The code column must be the loaded quantizer's own coding of the
+	// vector block, id-aligned (tombstoned rows keep their slot).
+	if got, want := ix.CodesSlab(), q.EncodeAll(vecs, goldenN, 1); !bytes.Equal(got, want) {
+		t.Fatal("code column no longer matches the quantizer's coding of the block")
+	}
+	for _, id := range goldenV3Deleted {
+		if !ix.IsDeleted(id) {
+			t.Fatalf("id %d lost its tombstone across the format", id)
+		}
+	}
+	// Save must reproduce the fixture byte-for-byte, from the loaded
+	// index and from a from-scratch rebuild alike.
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), raw) {
+		t.Fatal("re-save of the loaded v4 fixture is not byte-identical")
+	}
+	buf.Reset()
+	if err := buildGoldenV4(t, vecs).Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), raw) {
+		t.Fatal("Save no longer reproduces the committed GQRIDX4 fixture byte-for-byte")
 	}
 }

@@ -15,7 +15,20 @@ import (
 // caller's vector block only covers the corpus the index was built
 // from, and segments hold everything added after that.
 //
-// GQRSEG2 (written by WriteSegment), all little-endian:
+// GQRSEG3 (written by WriteSegment when the index carries a serving
+// quantizer) extends SEG2 with the segment's id-aligned quantizer code
+// column, so recovery restores codes without re-encoding:
+//
+//	magic "GQRSEG3\x00"
+//	seq u64 | minID u32 | span u32 | items u32 | dim u32 | tables u32
+//	metaFlag u8 | codeM u8 (bytes per item, ≥ 1)
+//	vectors (span × dim × f32)
+//	if metaFlag == 1: meta (span × u64)
+//	qcodes (span × codeM bytes)
+//	per table: identical to SEG2
+//
+// GQRSEG2 (written by WriteSegment otherwise; quantizer-free indexes
+// stay bit-identical with older writers), all little-endian:
 //
 //	magic "GQRSEG2\x00"
 //	seq u64 | minID u32 | span u32 | items u32 | dim u32 | tables u32
@@ -45,6 +58,7 @@ import (
 var (
 	magicSeg1 = [8]byte{'G', 'Q', 'R', 'S', 'E', 'G', '1', 0}
 	magicSeg2 = [8]byte{'G', 'Q', 'R', 'S', 'E', 'G', '2', 0}
+	magicSeg3 = [8]byte{'G', 'Q', 'R', 'S', 'E', 'G', '3', 0}
 )
 
 // maxSegmentItems bounds the per-segment item count accepted at read
@@ -52,27 +66,46 @@ var (
 const maxSegmentItems = 1 << 27
 
 // WriteSegment writes seg, its vector block (span×dim floats,
-// post-normalization) and its optional metadata words (span of them, or
-// nil) to w in the GQRSEG2 format.
-func WriteSegment(w io.Writer, seg *Segment, vectors []float32, meta []uint64, dim int) error {
+// post-normalization), its optional metadata words (span of them, or
+// nil) and its optional quantizer code column (span×M bytes, or nil) to
+// w — GQRSEG3 when codes are present, GQRSEG2 otherwise.
+func WriteSegment(w io.Writer, seg *Segment, vectors []float32, meta []uint64, qcodes []uint8, dim int) error {
 	if len(vectors) != seg.span*dim {
 		return fmt.Errorf("index: segment write: vector block %d floats, want %d", len(vectors), seg.span*dim)
 	}
 	if meta != nil && len(meta) != seg.span {
 		return fmt.Errorf("index: segment write: meta block %d words, want %d", len(meta), seg.span)
 	}
+	codeM := 0
+	if qcodes != nil {
+		if seg.span == 0 || len(qcodes)%seg.span != 0 || len(qcodes) == 0 {
+			return fmt.Errorf("index: segment write: code block %d bytes does not divide span %d", len(qcodes), seg.span)
+		}
+		codeM = len(qcodes) / seg.span
+		if codeM > math.MaxUint8 {
+			return fmt.Errorf("index: segment write: %d code bytes per item does not fit the format", codeM)
+		}
+	}
 	if seg.minID < 0 || seg.minID > math.MaxUint32 || seg.span < 0 || seg.span > math.MaxUint32 {
 		return fmt.Errorf("index: segment write: id range [%d,%d) does not fit the format", seg.minID, seg.minID+seg.span)
 	}
 	bw := bufio.NewWriter(w)
-	if _, err := bw.Write(magicSeg2[:]); err != nil {
+	magic := magicSeg2
+	if codeM > 0 {
+		magic = magicSeg3
+	}
+	if _, err := bw.Write(magic[:]); err != nil {
 		return err
 	}
 	metaFlag := uint8(0)
 	if meta != nil {
 		metaFlag = 1
 	}
-	for _, v := range []any{seg.seq, uint32(seg.minID), uint32(seg.span), uint32(seg.items), uint32(dim), uint32(len(seg.cores)), metaFlag} {
+	hdr := []any{seg.seq, uint32(seg.minID), uint32(seg.span), uint32(seg.items), uint32(dim), uint32(len(seg.cores)), metaFlag}
+	if codeM > 0 {
+		hdr = append(hdr, uint8(codeM))
+	}
+	for _, v := range hdr {
 		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
 			return err
 		}
@@ -82,6 +115,11 @@ func WriteSegment(w io.Writer, seg *Segment, vectors []float32, meta []uint64, d
 	}
 	if meta != nil {
 		if err := binary.Write(bw, binary.LittleEndian, meta); err != nil {
+			return err
+		}
+	}
+	if codeM > 0 {
+		if _, err := bw.Write(qcodes); err != nil {
 			return err
 		}
 	}
@@ -105,116 +143,132 @@ func WriteSegment(w io.Writer, seg *Segment, vectors []float32, meta []uint64, d
 	return bw.Flush()
 }
 
-// ReadSegment reads one segment file (GQRSEG2 or legacy GQRSEG1), its
-// vector block and its metadata words (nil when absent), validating
-// every structural invariant against the expected dimension and table
-// count. Any inconsistency — truncation, bad magic, out-of-range ids,
+// ReadSegment reads one segment file (GQRSEG3, GQRSEG2 or legacy
+// GQRSEG1), its vector block, its metadata words (nil when absent) and
+// its quantizer code column (nil when absent), validating every
+// structural invariant against the expected dimension and table count.
+// Any inconsistency — truncation, bad magic, out-of-range ids,
 // malformed CSR — is an error.
-func ReadSegment(r io.Reader, dim, tables int) (*Segment, []float32, []uint64, error) {
+func ReadSegment(r io.Reader, dim, tables int) (*Segment, []float32, []uint64, []uint8, error) {
 	br := bufio.NewReader(r)
 	var m [8]byte
 	if _, err := io.ReadFull(br, m[:]); err != nil {
-		return nil, nil, nil, fmt.Errorf("index: segment load: %w", err)
+		return nil, nil, nil, nil, fmt.Errorf("index: segment load: %w", err)
 	}
-	var v1 bool
+	var v1, v3 bool
 	switch m {
 	case magicSeg1:
 		v1 = true
 	case magicSeg2:
+	case magicSeg3:
+		v3 = true
 	default:
-		return nil, nil, nil, fmt.Errorf("index: segment load: bad magic %q", m[:])
+		return nil, nil, nil, nil, fmt.Errorf("index: segment load: bad magic %q", m[:])
 	}
 	var seq uint64
 	var minID, span, items, fdim, ftables uint32
-	var metaFlag uint8
+	var metaFlag, codeM uint8
 	hdr := []any{&seq, &minID, &span, &items, &fdim, &ftables, &metaFlag}
+	if v3 {
+		hdr = append(hdr, &codeM)
+	}
 	if v1 {
 		hdr = []any{&seq, &minID, &span, &fdim, &ftables}
 	}
 	for _, p := range hdr {
 		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
-			return nil, nil, nil, fmt.Errorf("index: segment load: %w", err)
+			return nil, nil, nil, nil, fmt.Errorf("index: segment load: %w", err)
 		}
 	}
 	if v1 {
 		items = span
 	}
+	if v3 && codeM == 0 {
+		return nil, nil, nil, nil, fmt.Errorf("index: segment load: v3 segment without code bytes")
+	}
 	if int(fdim) != dim {
-		return nil, nil, nil, fmt.Errorf("index: segment load: file dim %d != index dim %d", fdim, dim)
+		return nil, nil, nil, nil, fmt.Errorf("index: segment load: file dim %d != index dim %d", fdim, dim)
 	}
 	if int(ftables) != tables {
-		return nil, nil, nil, fmt.Errorf("index: segment load: file has %d tables, index has %d", ftables, tables)
+		return nil, nil, nil, nil, fmt.Errorf("index: segment load: file has %d tables, index has %d", ftables, tables)
 	}
 	if span == 0 || span > maxSegmentItems {
-		return nil, nil, nil, fmt.Errorf("index: segment load: implausible item count %d", span)
+		return nil, nil, nil, nil, fmt.Errorf("index: segment load: implausible item count %d", span)
 	}
 	if items > span {
-		return nil, nil, nil, fmt.Errorf("index: segment load: %d live items exceed span %d", items, span)
+		return nil, nil, nil, nil, fmt.Errorf("index: segment load: %d live items exceed span %d", items, span)
 	}
 	if metaFlag > 1 {
-		return nil, nil, nil, fmt.Errorf("index: segment load: bad meta flag %d", metaFlag)
+		return nil, nil, nil, nil, fmt.Errorf("index: segment load: bad meta flag %d", metaFlag)
 	}
 	if uint64(minID)+uint64(span) > math.MaxInt32 {
-		return nil, nil, nil, fmt.Errorf("index: segment load: id range [%d,%d) out of range", minID, uint64(minID)+uint64(span))
+		return nil, nil, nil, nil, fmt.Errorf("index: segment load: id range [%d,%d) out of range", minID, uint64(minID)+uint64(span))
 	}
 	vectors := make([]float32, int(span)*dim)
 	if err := binary.Read(br, binary.LittleEndian, vectors); err != nil {
-		return nil, nil, nil, fmt.Errorf("index: segment load: %w", err)
+		return nil, nil, nil, nil, fmt.Errorf("index: segment load: %w", err)
 	}
 	var meta []uint64
 	if metaFlag == 1 {
 		meta = make([]uint64, span)
 		if err := binary.Read(br, binary.LittleEndian, meta); err != nil {
-			return nil, nil, nil, fmt.Errorf("index: segment load: %w", err)
+			return nil, nil, nil, nil, fmt.Errorf("index: segment load: %w", err)
+		}
+	}
+	var qcodes []uint8
+	if v3 {
+		qcodes = make([]uint8, int(span)*int(codeM))
+		if _, err := io.ReadFull(br, qcodes); err != nil {
+			return nil, nil, nil, nil, fmt.Errorf("index: segment load: code column: %w", err)
 		}
 	}
 	cores := make([]*coreStore, tables)
 	for t := 0; t < tables; t++ {
 		var nb uint32
 		if err := binary.Read(br, binary.LittleEndian, &nb); err != nil {
-			return nil, nil, nil, fmt.Errorf("index: segment load: %w", err)
+			return nil, nil, nil, nil, fmt.Errorf("index: segment load: %w", err)
 		}
 		if nb > items {
-			return nil, nil, nil, fmt.Errorf("index: segment load: table %d has %d buckets for %d items", t, nb, items)
+			return nil, nil, nil, nil, fmt.Errorf("index: segment load: table %d has %d buckets for %d items", t, nb, items)
 		}
 		codes := make([]uint64, nb)
 		if err := binary.Read(br, binary.LittleEndian, codes); err != nil {
-			return nil, nil, nil, fmt.Errorf("index: segment load: %w", err)
+			return nil, nil, nil, nil, fmt.Errorf("index: segment load: %w", err)
 		}
 		for i := 1; i < len(codes); i++ {
 			if codes[i] <= codes[i-1] {
-				return nil, nil, nil, fmt.Errorf("index: segment load: table %d bucket codes not ascending", t)
+				return nil, nil, nil, nil, fmt.Errorf("index: segment load: table %d bucket codes not ascending", t)
 			}
 		}
 		offsets := make([]uint32, nb+1)
 		if err := binary.Read(br, binary.LittleEndian, offsets); err != nil {
-			return nil, nil, nil, fmt.Errorf("index: segment load: %w", err)
+			return nil, nil, nil, nil, fmt.Errorf("index: segment load: %w", err)
 		}
 		if offsets[0] != 0 || offsets[nb] != items {
-			return nil, nil, nil, fmt.Errorf("index: segment load: table %d offsets span [%d,%d], want [0,%d]", t, offsets[0], offsets[nb], items)
+			return nil, nil, nil, nil, fmt.Errorf("index: segment load: table %d offsets span [%d,%d], want [0,%d]", t, offsets[0], offsets[nb], items)
 		}
 		for i := 1; i < len(offsets); i++ {
 			if offsets[i] < offsets[i-1] {
-				return nil, nil, nil, fmt.Errorf("index: segment load: table %d offsets not monotone", t)
+				return nil, nil, nil, nil, fmt.Errorf("index: segment load: table %d offsets not monotone", t)
 			}
 			if offsets[i] == offsets[i-1] {
-				return nil, nil, nil, fmt.Errorf("index: segment load: table %d stores an empty bucket", t)
+				return nil, nil, nil, nil, fmt.Errorf("index: segment load: table %d stores an empty bucket", t)
 			}
 		}
 		ids := make([]int32, items)
 		if err := binary.Read(br, binary.LittleEndian, ids); err != nil {
-			return nil, nil, nil, fmt.Errorf("index: segment load: %w", err)
+			return nil, nil, nil, nil, fmt.Errorf("index: segment load: %w", err)
 		}
 		for _, id := range ids {
 			if uint32(id) < minID || uint32(id) >= minID+span {
-				return nil, nil, nil, fmt.Errorf("index: segment load: item id %d outside [%d,%d)", id, minID, minID+span)
+				return nil, nil, nil, nil, fmt.Errorf("index: segment load: item id %d outside [%d,%d)", id, minID, minID+span)
 			}
 		}
 		cores[t] = newCoreStore(codes, offsets, ids)
 	}
 	// A complete file ends here; trailing bytes mean corruption.
 	if _, err := br.ReadByte(); err != io.EOF {
-		return nil, nil, nil, fmt.Errorf("index: segment load: trailing data after segment")
+		return nil, nil, nil, nil, fmt.Errorf("index: segment load: trailing data after segment")
 	}
-	return newSegment(cores, int(minID), int(span), int(items), seq), vectors, meta, nil
+	return newSegment(cores, int(minID), int(span), int(items), seq), vectors, meta, qcodes, nil
 }

@@ -1,0 +1,78 @@
+package query
+
+// Deterministic in-place selection for the flat ADC re-ranking path:
+// adcSelectTop partitions the parallel (dists, ids) arrays so that the
+// first `keep` entries are exactly the `keep` best candidates under
+// ascending (distance, id) order. The (distance, id) key is a total
+// order, so the selected set depends only on the candidates' values —
+// never on arrival order — which is what keeps re-ranked results
+// identical across segment layouts (memtable sizes, merges, recovery).
+// Entries inside and outside the prefix are otherwise unordered.
+
+// adcLessV reports whether candidate (da, ia) precedes (db, ib).
+func adcLessV(da float32, ia int32, db float32, ib int32) bool {
+	if da != db {
+		return da < db
+	}
+	return ia < ib
+}
+
+// adcSelectTop runs a median-of-three Hoare quickselect. Expected
+// O(len) comparisons; the pivot never lands on an extreme of a 3+
+// element range, so every partition strictly shrinks the span.
+func adcSelectTop(dists []float32, ids []int32, keep int) {
+	if keep <= 0 || keep >= len(ids) {
+		return
+	}
+	lo, hi := 0, len(ids)-1
+	for lo < hi {
+		j := adcPartition(dists, ids, lo, hi)
+		// [lo..j] all precede-or-equal [j+1..hi]; recurse into the side
+		// holding the keep boundary (index keep-1).
+		if keep-1 <= j {
+			hi = j
+		} else {
+			lo = j + 1
+		}
+	}
+}
+
+// adcPartition is a Hoare partition of [lo, hi] around the median of
+// the first, middle and last entries; it returns j in [lo, hi-1] with
+// every entry of [lo..j] ≤ every entry of [j+1..hi].
+func adcPartition(dists []float32, ids []int32, lo, hi int) int {
+	mid := int(uint(lo+hi) >> 1)
+	if adcLessV(dists[mid], ids[mid], dists[lo], ids[lo]) {
+		dists[mid], dists[lo] = dists[lo], dists[mid]
+		ids[mid], ids[lo] = ids[lo], ids[mid]
+	}
+	if adcLessV(dists[hi], ids[hi], dists[lo], ids[lo]) {
+		dists[hi], dists[lo] = dists[lo], dists[hi]
+		ids[hi], ids[lo] = ids[lo], ids[hi]
+	}
+	if adcLessV(dists[hi], ids[hi], dists[mid], ids[mid]) {
+		dists[hi], dists[mid] = dists[mid], dists[hi]
+		ids[hi], ids[mid] = ids[mid], ids[hi]
+	}
+	pd, pid := dists[mid], ids[mid]
+	i, j := lo-1, hi+1
+	for {
+		for {
+			i++
+			if !adcLessV(dists[i], ids[i], pd, pid) {
+				break
+			}
+		}
+		for {
+			j--
+			if !adcLessV(pd, pid, dists[j], ids[j]) {
+				break
+			}
+		}
+		if i >= j {
+			return j
+		}
+		dists[i], dists[j] = dists[j], dists[i]
+		ids[i], ids[j] = ids[j], ids[i]
+	}
+}

@@ -1,0 +1,110 @@
+package query
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// selectRef computes the reference survivor set by fully sorting
+// (dist, id) pairs.
+func selectRef(dists []float32, ids []int32, keep int) map[int32]bool {
+	type pair struct {
+		d  float32
+		id int32
+	}
+	ps := make([]pair, len(ids))
+	for i := range ids {
+		ps[i] = pair{dists[i], ids[i]}
+	}
+	sort.Slice(ps, func(a, b int) bool {
+		if ps[a].d != ps[b].d {
+			return ps[a].d < ps[b].d
+		}
+		return ps[a].id < ps[b].id
+	})
+	if keep > len(ps) {
+		keep = len(ps)
+	}
+	set := make(map[int32]bool, keep)
+	for _, p := range ps[:keep] {
+		set[p.id] = true
+	}
+	return set
+}
+
+// TestADCSelectTopMatchesSort checks the quickselect prefix against a
+// full sort across sizes, keeps and heavy duplicate regimes (duplicate
+// quantized distances are the norm: items sharing a PQ code share a
+// distance, so the id tie-break decides the survivor boundary).
+func TestADCSelectTopMatchesSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(700)
+		keep := 1 + rng.Intn(n+20)
+		vals := 1 + rng.Intn(8) // few distinct values → many exact ties
+		dists := make([]float32, n)
+		ids := make([]int32, n)
+		perm := rng.Perm(n)
+		for i := 0; i < n; i++ {
+			dists[i] = float32(rng.Intn(vals))
+			ids[i] = int32(perm[i])
+		}
+		want := selectRef(dists, ids, keep)
+
+		adcSelectTop(dists, ids, keep)
+		cut := keep
+		if cut > n {
+			cut = n
+		}
+		if got := len(ids); got != n {
+			t.Fatalf("trial %d: length changed: %d -> %d", trial, n, got)
+		}
+		for _, id := range ids[:cut] {
+			if !want[id] {
+				t.Fatalf("trial %d (n=%d keep=%d): id %d in prefix but not in reference set",
+					trial, n, keep, id)
+			}
+		}
+	}
+}
+
+// TestADCSelectTopIsArrivalOrderIndependent shuffles the same candidate
+// set and checks the selected prefix is the same set every time — the
+// property the lifecycle oracle relies on when segment layouts differ.
+func TestADCSelectTopIsArrivalOrderIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const n, keep = 500, 40
+	baseD := make([]float32, n)
+	baseI := make([]int32, n)
+	for i := 0; i < n; i++ {
+		baseD[i] = float32(rng.Intn(5))
+		baseI[i] = int32(i)
+	}
+	var want map[int32]bool
+	for round := 0; round < 20; round++ {
+		d := append([]float32(nil), baseD...)
+		ids := append([]int32(nil), baseI...)
+		rng.Shuffle(n, func(a, b int) {
+			d[a], d[b] = d[b], d[a]
+			ids[a], ids[b] = ids[b], ids[a]
+		})
+		adcSelectTop(d, ids, keep)
+		got := make(map[int32]bool, keep)
+		for _, id := range ids[:keep] {
+			got[id] = true
+		}
+		if round == 0 {
+			want = got
+			continue
+		}
+		if len(got) != len(want) {
+			t.Fatalf("round %d: %d unique survivors, want %d", round, len(got), len(want))
+		}
+		for id := range want {
+			if !got[id] {
+				t.Fatalf("round %d: survivor set changed: id %d missing", round, id)
+			}
+		}
+	}
+}

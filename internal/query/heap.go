@@ -149,6 +149,17 @@ func (t *topK) Full() bool { return len(t.dists) == t.k }
 // the caller's: only meaningful when Full).
 func (t *topK) Worst() float64 { return t.dists[0] }
 
+// AppendIDs drains the heap's ids into dst (append semantics, heap
+// order), destroying the heap — the non-allocating counterpart of
+// Sorted for callers that re-score the entries anyway, like the
+// re-ranking stage handing its survivors to exact evaluation.
+func (t *topK) AppendIDs(dst []int32) []int32 {
+	dst = append(dst, t.ids...)
+	t.dists = t.dists[:0]
+	t.ids = t.ids[:0]
+	return dst
+}
+
 // Sorted extracts the entries in ascending (distance, id) order,
 // destroying the heap.
 func (t *topK) Sorted() (ids []int32, dists []float64) {

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"gqr/internal/index"
+	"gqr/internal/quantization"
 	"gqr/internal/trace"
 	"gqr/internal/vecmath"
 )
@@ -81,6 +82,11 @@ type Stats struct {
 	// do NOT count as Candidates: they cost a bitmap test (and possibly
 	// a predicate call), never a distance computation.
 	Filtered int
+	// ADCScored counts candidates scored by the re-ranking stage's ADC
+	// table; Reranked counts the survivors it handed to exact
+	// evaluation. Both zero when the bound view has no quantizer.
+	ADCScored int
+	Reranked  int
 	// EarlyStopped reports whether the QD lower-bound rule fired.
 	EarlyStopped bool
 	// RetrievalTime and EvaluationTime split the query time between
@@ -88,9 +94,9 @@ type Stats struct {
 	// Both are derived from the same stage clock the flight recorder
 	// uses: RetrievalTime = sequence init + probing (sequence
 	// advances, merged best-first scan, bucket lookups, empty
-	// buckets), EvaluationTime = candidate gather + batched
-	// evaluation. Populated when Options.Profile is set or a Trace is
-	// attached.
+	// buckets), EvaluationTime = candidate gather + ADC re-ranking +
+	// batched evaluation. Populated when Options.Profile is set or a
+	// Trace is attached.
 	RetrievalTime  time.Duration
 	EvaluationTime time.Duration
 }
@@ -120,6 +126,30 @@ type Searcher struct {
 	visited []uint32
 	epoch   uint32
 	qbuf    []float32
+
+	// quant/codes/factor are the bound view's serving quantizer state
+	// (nil/0 when the index was built without WithReranking): the
+	// shared id-aligned code slab and the heap-widening factor. The
+	// ADC table, its rotation scratch, the widened heap and the
+	// survivor buffer are per-searcher scratch, so a warmed re-ranked
+	// search allocates nothing extra.
+	quant   *quantization.Reranker
+	codes   []uint8
+	factor  int
+	adcRows [][256]float32
+	rotQ    []float32
+	rtop    topK
+	surv    []int32
+	// Flat ADC collection (the default rerank path when early-stop is
+	// off): scored (distance, id) pairs land in these parallel arrays
+	// and one deterministic quickselect at drain keeps the best
+	// `keep` = factor·k — O(candidates) total instead of a heap's
+	// O(candidates·log(factor·k)) sift traffic, which is what made the
+	// widened heap's cost grow superlinearly in the factor.
+	adcDists []float32
+	adcIDs   []int32
+	keep     int
+	flatADC  bool
 
 	// tombs is the bound view's tombstone bitmap, cached at
 	// construction and only when the view still has dead ids in its
@@ -193,6 +223,12 @@ func NewSearcher(ix *index.Index, method Method) *Searcher {
 		s.tombs = ix.TombWords()
 	}
 	s.meta = ix.MetaSlab()
+	if q := ix.Quantizer(); q != nil && ix.RerankFactor > 0 {
+		s.quant, s.codes, s.factor = q, ix.CodesSlab(), ix.RerankFactor
+		if q.Rotated() {
+			s.rotQ = make([]float32, ix.Dim)
+		}
+	}
 	return s
 }
 
@@ -256,7 +292,32 @@ func (s *Searcher) Search(q []float32, opt Options) (Result, error) {
 	}
 	top := &s.top
 	top.Reset(opt.K)
+	// Quantized re-ranking: build the query's ADC lookup table once (M·K
+	// float32s, cache-resident for the whole probe loop) and widen the
+	// collection heap to factor·k. Candidates are then scored by M table
+	// lookups each during probing; only the heap's survivors get an exact
+	// distance after the loop.
+	rerank := s.quant != nil
 	useEarlyStop := opt.EarlyStop && opt.Mu > 0 && s.method.QDScores()
+	probeTop := top
+	s.flatADC = false
+	if rerank {
+		s.adcRows = s.quant.ADCRows(q, s.adcRows, s.rotQ)
+		s.keep = s.factor * opt.K
+		// Early-stop needs a running factor·k-th best for its µ·QD rule,
+		// so that path keeps the widened heap; everything else collects
+		// flat and selects once at drain.
+		if useEarlyStop {
+			s.rtop.Reset(s.keep)
+			probeTop = &s.rtop
+		} else {
+			s.flatADC = true
+			s.adcDists, s.adcIDs = s.adcDists[:0], s.adcIDs[:0]
+		}
+		if clk.on {
+			clk.tick(trace.StageRerank, -1, trace.Work{})
+		}
+	}
 	// Work deltas since the last probe/evaluate span (traced path only).
 	lastGen, lastAband := 0, 0
 
@@ -281,8 +342,12 @@ func (s *Searcher) Search(q []float32, opt Options) (Result, error) {
 			// µ·QD lower-bounds the true distance of every item in any
 			// bucket with this or a larger QD (Theorem 2); distances
 			// here are squared, so compare against the squared bound.
+			// Under re-ranking the live heap holds ADC distances, so the
+			// rule compares the bound against the quantized k-th best —
+			// an approximation of the exact rule, consistent with the
+			// stage's approximate candidate selection.
 			bound := opt.Mu * states[best].score
-			if useEarlyStop && top.Full() && bound*bound >= top.Worst() {
+			if useEarlyStop && probeTop.Full() && bound*bound >= probeTop.Worst() {
 				st.EarlyStopped = true
 				break
 			}
@@ -349,12 +414,25 @@ func (s *Searcher) Search(q []float32, opt Options) (Result, error) {
 					Filtered:   int32(st.Filtered - filteredBefore),
 				})
 			}
-			s.evaluateBatch(q, cand, &st)
-			if clk.on {
-				clk.tick(trace.StageEvaluate, int32(best), trace.Work{
-					Abandoned: int32(st.EarlyAbandoned - lastAband),
-				})
-				lastAband = st.EarlyAbandoned
+			if rerank {
+				if s.flatADC {
+					s.adcCollectBatch(cand, &st)
+				} else {
+					s.adcScoreBatch(cand, &st)
+				}
+				if clk.on {
+					clk.tick(trace.StageRerank, int32(best), trace.Work{
+						ADCScored: int32(len(cand)),
+					})
+				}
+			} else {
+				s.evaluateBatch(q, cand, &st)
+				if clk.on {
+					clk.tick(trace.StageEvaluate, int32(best), trace.Work{
+						Abandoned: int32(st.EarlyAbandoned - lastAband),
+					})
+					lastAband = st.EarlyAbandoned
+				}
 			}
 		}
 
@@ -372,6 +450,35 @@ func (s *Searcher) Search(q []float32, opt Options) (Result, error) {
 		clk.tick(trace.StageProbe, -1, trace.Work{
 			Buckets: int32(st.BucketsGenerated - lastGen),
 		})
+	}
+	if rerank {
+		// Exact evaluation runs once, over the re-ranking survivors —
+		// at most factor·k items regardless of how many candidates the
+		// probe loop gathered.
+		var surv []int32
+		if s.flatADC {
+			if len(s.adcIDs) > s.keep {
+				adcSelectTop(s.adcDists, s.adcIDs, s.keep)
+				s.adcDists, s.adcIDs = s.adcDists[:s.keep], s.adcIDs[:s.keep]
+			}
+			surv = s.adcIDs
+			if clk.on {
+				// The selection belongs to the rerank stage, not to the
+				// exact evaluation that follows.
+				clk.tick(trace.StageRerank, -1, trace.Work{})
+			}
+		} else {
+			s.surv = s.rtop.AppendIDs(s.surv[:0])
+			surv = s.surv
+		}
+		st.Reranked = len(surv)
+		s.evaluateBatch(q, surv, &st)
+		if clk.on {
+			clk.tick(trace.StageEvaluate, -1, trace.Work{
+				Candidates: int32(len(surv)),
+				Abandoned:  int32(st.EarlyAbandoned - lastAband),
+			})
+		}
 	}
 
 	ids, dists := top.Sorted()
@@ -394,7 +501,7 @@ func (s *Searcher) Search(q []float32, opt Options) (Result, error) {
 	if clk.on {
 		clk.tick(trace.StageFinalize, -1, trace.Work{})
 		st.RetrievalTime = clk.dur[trace.StageSequence] + clk.dur[trace.StageProbe]
-		st.EvaluationTime = clk.dur[trace.StageGather] + clk.dur[trace.StageEvaluate]
+		st.EvaluationTime = clk.dur[trace.StageGather] + clk.dur[trace.StageRerank] + clk.dur[trace.StageEvaluate]
 	}
 	return Result{IDs: ids, Dists: dists, Stats: st}, nil
 }
@@ -446,6 +553,157 @@ func (s *Searcher) gatherFiltered(opt *Options, st *Stats) []int32 {
 		}
 	}
 	return cand
+}
+
+// adcScoreBatch runs the re-ranking stage over one gathered candidate
+// batch: each id costs M table lookups into the query's ADC table (no
+// vector row is touched — the whole batch reads the byte-code slab and
+// an ~M·K·4-byte table, both cache-resident), and the quantized
+// distance competes for a slot in the widened rerank heap.
+func (s *Searcher) adcScoreBatch(ids []int32, st *Stats) {
+	m := s.quant.M()
+	rows, codes, rtop := s.adcRows, s.codes, &s.rtop
+	// Track the heap's worst locally: once full, most candidates lose on
+	// one float compare and never pay the Offer call.
+	bound := math.Inf(1)
+	if rtop.Full() {
+		bound = rtop.Worst()
+	}
+	if m == 8 && len(rows) == 8 {
+		// The default shape gets a fully unrolled loop over fixed-size
+		// array views: every bounds check is either hoisted into the two
+		// conversions or eliminated (a byte can't index past a [256]
+		// row), and the pairwise float32 sums pipeline independently.
+		r := (*[8][256]float32)(rows)
+		for _, id := range ids {
+			off := int(id) * 8
+			c := (*[8]uint8)(codes[off : off+8])
+			d := float64((r[0][c[0]] + r[1][c[1]] + r[2][c[2]] + r[3][c[3]]) +
+				(r[4][c[4]] + r[5][c[5]] + r[6][c[6]] + r[7][c[7]]))
+			if d > bound {
+				continue
+			}
+			if rtop.Offer(d, id) && rtop.Full() {
+				bound = rtop.Worst()
+			}
+		}
+		st.ADCScored += len(ids)
+		return
+	}
+	if m == 16 && len(rows) == 16 {
+		// Same array-view trick for the high-fidelity shape: sixteen
+		// check-free lookups in four independent 4-wide chains.
+		r := (*[16][256]float32)(rows)
+		for _, id := range ids {
+			off := int(id) * 16
+			c := (*[16]uint8)(codes[off : off+16])
+			d := float64(((r[0][c[0]] + r[1][c[1]] + r[2][c[2]] + r[3][c[3]]) +
+				(r[4][c[4]] + r[5][c[5]] + r[6][c[6]] + r[7][c[7]])) +
+				((r[8][c[8]] + r[9][c[9]] + r[10][c[10]] + r[11][c[11]]) +
+					(r[12][c[12]] + r[13][c[13]] + r[14][c[14]] + r[15][c[15]])))
+			if d > bound {
+				continue
+			}
+			if rtop.Offer(d, id) && rtop.Full() {
+				bound = rtop.Worst()
+			}
+		}
+		st.ADCScored += len(ids)
+		return
+	}
+	for _, id := range ids {
+		off := int(id) * m
+		code := codes[off : off+m : off+m]
+		var d0, d1 float32
+		sub := 0
+		for ; sub+2 <= m; sub += 2 {
+			d0 += rows[sub][code[sub]]
+			d1 += rows[sub+1][code[sub+1]]
+		}
+		if sub < m {
+			d0 += rows[sub][code[sub]]
+		}
+		d := float64(d0) + float64(d1)
+		if d > bound {
+			continue
+		}
+		if rtop.Offer(d, id) && rtop.Full() {
+			bound = rtop.Worst()
+		}
+	}
+	st.ADCScored += len(ids)
+}
+
+// adcCollectBatch is the flat counterpart of adcScoreBatch: quantized
+// distances are appended to the (dists, ids) scratch arrays with no
+// per-candidate heap work; one quickselect at drain (adcSelectTop)
+// keeps the best factor·k. For unbounded-budget searches the buffer is
+// folded back down to the running top-keep whenever it outgrows a few
+// multiples of keep — selection retains every candidate that could
+// still survive, so compaction never changes the final set, it only
+// bounds memory.
+func (s *Searcher) adcCollectBatch(ids []int32, st *Stats) {
+	m := s.quant.M()
+	rows, codes := s.adcRows, s.codes
+	// Pre-grow the output arrays once per batch: the scoring loops then
+	// store by index (one bounds check the compiler can hoist) instead
+	// of paying two append capacity checks per candidate.
+	dd, di := s.adcDists, s.adcIDs
+	base := len(dd)
+	need := base + len(ids)
+	if cap(dd) < need {
+		grown := make([]float32, base, need+need/2)
+		copy(grown, dd)
+		dd = grown
+	}
+	dd = dd[:need]
+	di = append(di, ids...)
+	out := dd[base:need:need]
+	switch {
+	case m == 8 && len(rows) == 8:
+		r := (*[8][256]float32)(rows)
+		for i, id := range ids {
+			off := int(id) * 8
+			c := (*[8]uint8)(codes[off : off+8])
+			out[i] = (r[0][c[0]] + r[1][c[1]] + r[2][c[2]] + r[3][c[3]]) +
+				(r[4][c[4]] + r[5][c[5]] + r[6][c[6]] + r[7][c[7]])
+		}
+	case m == 16 && len(rows) == 16:
+		r := (*[16][256]float32)(rows)
+		for i, id := range ids {
+			off := int(id) * 16
+			c := (*[16]uint8)(codes[off : off+16])
+			out[i] = ((r[0][c[0]] + r[1][c[1]] + r[2][c[2]] + r[3][c[3]]) +
+				(r[4][c[4]] + r[5][c[5]] + r[6][c[6]] + r[7][c[7]])) +
+				((r[8][c[8]] + r[9][c[9]] + r[10][c[10]] + r[11][c[11]]) +
+					(r[12][c[12]] + r[13][c[13]] + r[14][c[14]] + r[15][c[15]]))
+		}
+	default:
+		for i, id := range ids {
+			off := int(id) * m
+			code := codes[off : off+m : off+m]
+			var d0, d1 float32
+			sub := 0
+			for ; sub+2 <= m; sub += 2 {
+				d0 += rows[sub][code[sub]]
+				d1 += rows[sub+1][code[sub+1]]
+			}
+			if sub < m {
+				d0 += rows[sub][code[sub]]
+			}
+			out[i] = d0 + d1
+		}
+	}
+	st.ADCScored += len(ids)
+	lim := s.keep * 4
+	if lim < 4096 {
+		lim = 4096
+	}
+	if len(di) > lim {
+		adcSelectTop(dd, di, s.keep)
+		dd, di = dd[:s.keep], di[:s.keep]
+	}
+	s.adcDists, s.adcIDs = dd, di
 }
 
 // evaluateBatch runs the evaluation stage over one gathered candidate

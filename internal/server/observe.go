@@ -23,6 +23,8 @@ const (
 	mBucketsProbed   = "gqr_search_buckets_probed_total"
 	mCandidates      = "gqr_search_candidates_total"
 	mAbandoned       = "gqr_search_early_abandoned_total"
+	mADCScored       = "gqr_search_adc_scored_total"
+	mReranked        = "gqr_search_reranked_total"
 	mEarlyStops      = "gqr_search_early_stops_total"
 	mQueryErrors     = "gqr_search_query_errors_total"
 	mIndexItems      = "gqr_index_items"
@@ -58,6 +60,8 @@ func (h *Handler) initMetrics() {
 	h.cBucketsProbed = h.reg.Counter(mBucketsProbed, "Non-empty buckets evaluated.")
 	h.cCandidates = h.reg.Counter(mCandidates, "Distinct items whose exact distance was computed (the paper's retrieved items).")
 	h.cAbandoned = h.reg.Counter(mAbandoned, "Candidates whose distance computation was cut short by the early-abandon bound (subset of candidates).")
+	h.cADCScored = h.reg.Counter(mADCScored, "Candidates scored by the quantized re-ranking stage's ADC table (0 when the index has no reranker).")
+	h.cReranked = h.reg.Counter(mReranked, "Re-ranking survivors handed to exact evaluation (at most factor*k per query).")
 	h.cEarlyStops = h.reg.Counter(mEarlyStops, "Queries terminated by the QD lower-bound rule (paper §4.1).")
 	h.cQueryErrors = h.reg.Counter(mQueryErrors, "Per-query failures inside /batch requests.")
 	h.gItems = h.reg.Gauge(mIndexItems, "Vectors in the index.")
@@ -138,6 +142,8 @@ func (h *Handler) recordSearchWork(r *http.Request, st gqr.SearchStats, n int) {
 	h.cBucketsProbed.Add(int64(st.BucketsProbed))
 	h.cCandidates.Add(int64(st.Candidates))
 	h.cAbandoned.Add(int64(st.EarlyAbandoned))
+	h.cADCScored.Add(int64(st.ADCScored))
+	h.cReranked.Add(int64(st.Reranked))
 	if st.EarlyStopped {
 		h.cEarlyStops.Inc()
 	}
@@ -147,6 +153,8 @@ func (h *Handler) recordSearchWork(r *http.Request, st gqr.SearchStats, n int) {
 		wc.stats.BucketsProbed += st.BucketsProbed
 		wc.stats.Candidates += st.Candidates
 		wc.stats.EarlyAbandoned += st.EarlyAbandoned
+		wc.stats.ADCScored += st.ADCScored
+		wc.stats.Reranked += st.Reranked
 		wc.stats.EarlyStopped = wc.stats.EarlyStopped || st.EarlyStopped
 		wc.stats.RetrievalTime += st.RetrievalTime
 		wc.stats.EvaluationTime += st.EvaluationTime
@@ -240,6 +248,8 @@ type SearchTotals struct {
 	BucketsProbed    int64 `json:"bucketsProbed"`
 	Candidates       int64 `json:"candidates"`
 	EarlyAbandoned   int64 `json:"earlyAbandoned"`
+	ADCScored        int64 `json:"adcScored"`
+	Reranked         int64 `json:"reranked"`
 	EarlyStops       int64 `json:"earlyStops"`
 	QueryErrors      int64 `json:"queryErrors"`
 }
@@ -277,6 +287,8 @@ func (h *Handler) statszHandler(w http.ResponseWriter, r *http.Request) {
 			BucketsProbed:    h.cBucketsProbed.Value(),
 			Candidates:       h.cCandidates.Value(),
 			EarlyAbandoned:   h.cAbandoned.Value(),
+			ADCScored:        h.cADCScored.Value(),
+			Reranked:         h.cReranked.Value(),
 			EarlyStops:       h.cEarlyStops.Value(),
 			QueryErrors:      h.cQueryErrors.Value(),
 		},

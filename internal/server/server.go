@@ -55,6 +55,8 @@ type Handler struct {
 	cBucketsProbed *metrics.Counter
 	cCandidates    *metrics.Counter
 	cAbandoned     *metrics.Counter
+	cADCScored     *metrics.Counter
+	cReranked      *metrics.Counter
 	cEarlyStops    *metrics.Counter
 	cQueryErrors   *metrics.Counter
 

@@ -37,6 +37,7 @@ const (
 	StageSequence                // probe-sequence generation (per-table init)
 	StageProbe                   // sequence advance + merged best-first scan + bucket lookup
 	StageGather                  // visited-filtered candidate gather
+	StageRerank                  // ADC table build + quantized candidate scoring
 	StageEvaluate                // batched exact-distance evaluation
 	StageFinalize                // heap finalize (sort, sqrt, radius cut)
 	StageShard                   // one shard's whole leg of a sharded fan-out
@@ -47,8 +48,8 @@ const (
 const NumStages = int(StageCompact) + 1
 
 var stageNames = [NumStages]string{
-	"snapshot", "preprocess", "sequence", "probe", "gather", "evaluate",
-	"finalize", "shard", "compact",
+	"snapshot", "preprocess", "sequence", "probe", "gather", "rerank",
+	"evaluate", "finalize", "shard", "compact",
 }
 
 // String returns the stage's wire name (used as the metrics label and
@@ -103,6 +104,9 @@ type Work struct {
 	// Filtered counts gathered ids dropped before evaluation —
 	// tombstoned items and items rejected by a metadata filter.
 	Filtered int32 `json:"filtered,omitempty"`
+	// ADCScored counts candidates scored through the quantized
+	// re-ranking stage's asymmetric-distance lookup table.
+	ADCScored int32 `json:"adcScored,omitempty"`
 }
 
 func (w *Work) add(o Work) {
@@ -111,6 +115,7 @@ func (w *Work) add(o Work) {
 	w.Candidates += o.Candidates
 	w.Abandoned += o.Abandoned
 	w.Filtered += o.Filtered
+	w.ADCScored += o.ADCScored
 }
 
 // Span is one timed stage occurrence. Start is the offset from the
@@ -138,6 +143,8 @@ type Totals struct {
 	Candidates       int  `json:"candidates"`
 	EarlyAbandoned   int  `json:"earlyAbandoned"`
 	Filtered         int  `json:"filtered,omitempty"`
+	ADCScored        int  `json:"adcScored,omitempty"`
+	Reranked         int  `json:"reranked,omitempty"`
 	EarlyStopped     bool `json:"earlyStopped"`
 }
 
@@ -264,6 +271,7 @@ func (t *Trace) MergeChild(c *Trace, shard int32, total time.Duration) {
 		Candidates: int32(c.Totals.Candidates),
 		Abandoned:  int32(c.Totals.EarlyAbandoned),
 		Filtered:   int32(c.Totals.Filtered),
+		ADCScored:  int32(c.Totals.ADCScored),
 	}
 	t.StageWork[StageShard].add(shardWork)
 	if len(t.Spans) < t.maxSpans {

@@ -86,6 +86,14 @@ type config struct {
 	// durability is enabled (see WithoutAddWAL).
 	memtable int
 	walOff   bool
+
+	// Quantized re-ranking (see WithReranking / WithOPQRotation). Zero
+	// values for m/k/factor pick defaults at build time.
+	rerank       bool
+	rerankM      int
+	rerankK      int
+	rerankFactor int
+	opq          bool
 }
 
 // defaultMemtableSize is the memtable seal threshold: small enough that
@@ -140,6 +148,20 @@ func (c config) validate() error {
 	}
 	if c.memtable < 1 {
 		return fmt.Errorf("gqr: memtable size %d < 1", c.memtable)
+	}
+	if c.opq && !c.rerank {
+		return fmt.Errorf("gqr: WithOPQRotation requires WithReranking")
+	}
+	if c.rerank {
+		if c.rerankM < 0 {
+			return fmt.Errorf("gqr: rerank subspace count %d < 0", c.rerankM)
+		}
+		if c.rerankK < 0 || c.rerankK > 256 {
+			return fmt.Errorf("gqr: rerank centroid count %d out of [0,256]", c.rerankK)
+		}
+		if c.rerankFactor < 0 {
+			return fmt.Errorf("gqr: rerank factor %d < 0", c.rerankFactor)
+		}
 	}
 	return nil
 }
@@ -228,6 +250,27 @@ func withoutTracing() Option {
 // segment (fewer files under durability) at the cost of a larger
 // memtable clone on snapshot publication.
 func WithMemtableSize(items int) Option { return func(c *config) { c.memtable = items } }
+
+// WithReranking enables the quantized re-ranking stage: Build trains a
+// product-quantization codebook over the corpus (m subspaces of k
+// centroids each; every item stores m code bytes), and each query
+// scores its gathered candidates through a per-query ADC lookup table
+// first, keeping only the best factor×k for exact distance evaluation.
+// With a candidate budget far above k this trades a ≤1% recall dip for
+// a large evaluation-cost cut: candidates cost m table lookups instead
+// of a dim-float L2. Zero values pick defaults: m=8 (clamped to dim),
+// k=256 (clamped to n), factor=8. Off by default; when off, behavior
+// and persisted bytes are identical to an index built without it.
+func WithReranking(m, k, factor int) Option {
+	return func(c *config) { c.rerank, c.rerankM, c.rerankK, c.rerankFactor = true, m, k, factor }
+}
+
+// WithOPQRotation upgrades WithReranking's quantizer to optimized
+// product quantization: a learned orthogonal rotation (Procrustes
+// iterations) is applied before subspace quantization, cutting code
+// distortion when coordinates are correlated. Costs one dim×dim
+// rotation per encoded item and per query; requires WithReranking.
+func WithOPQRotation() Option { return func(c *config) { c.opq = true } }
 
 // WithoutAddWAL disables the write-ahead log when durability is enabled
 // (EnableDurability / Recover): Adds are acknowledged without an fsync

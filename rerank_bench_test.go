@@ -1,0 +1,65 @@
+package gqr
+
+// Benchmarks behind the PR 9 acceptance gate: public Search with the
+// quantized re-ranking stage enabled must beat the plain
+// evaluation-heavy budget-1000 configs (BENCH_PR6) while staying
+// within the public-API allocation budget. The plain/rerank pairs run
+// on the same corpus and operating point as BenchmarkSearch*Budget1000
+// so the ns/op deltas isolate the serving-path change.
+
+import (
+	"fmt"
+	"testing"
+
+	"gqr/internal/dataset"
+)
+
+func rerankBenchIndex(b *testing.B, extra ...Option) (*Index, *dataset.Dataset) {
+	b.Helper()
+	ds := dataset.Generate(dataset.GeneratorSpec{
+		Name: "bench", N: 20000, Dim: 32, Clusters: 16, LatentDim: 8, Seed: 17,
+	})
+	ds.SampleQueries(64, 18)
+	opts := append([]Option{WithSeed(19)}, extra...)
+	ix, err := Build(ds.Vectors, ds.Dim, opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ix, ds
+}
+
+func benchRerankSearch(b *testing.B, extra ...Option) {
+	ix, ds := rerankBenchIndex(b, extra...)
+	if _, err := ix.Search(ds.Query(0), 10, WithMaxCandidates(1000)); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := ds.Query(i % ds.NQ())
+		if _, err := ix.Search(q, 10, WithMaxCandidates(1000)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRerankSearch pairs each query method's plain budget-1000
+// Search against the same build with re-ranking at defaults (m=8,
+// K=256, factor=8). The rerank rows are the numbers recorded in
+// BENCH_PR9.json's sweep at the matched operating point.
+func BenchmarkRerankSearch(b *testing.B) {
+	for _, m := range []QueryMethod{HR, GHR, QR, GQR, MIH} {
+		b.Run(fmt.Sprintf("%s/plain", m), func(b *testing.B) {
+			benchRerankSearch(b, WithQueryMethod(m))
+		})
+		b.Run(fmt.Sprintf("%s/rerank", m), func(b *testing.B) {
+			benchRerankSearch(b, WithQueryMethod(m), WithReranking(8, 0, 8))
+		})
+	}
+}
+
+// BenchmarkRerankSearchOPQ measures the rotation's query-time cost on
+// top of plain PQ re-ranking (one extra dim×dim mat-vec per query).
+func BenchmarkRerankSearchOPQ(b *testing.B) {
+	benchRerankSearch(b, WithReranking(8, 0, 8), WithOPQRotation())
+}

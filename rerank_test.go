@@ -1,0 +1,396 @@
+package gqr
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// rerankOracleBuild builds the 5-method oracle corpus with the given
+// extra options on top of the fixed seed.
+func rerankOracleBuild(t *testing.T, vecs []float32, dim int, method QueryMethod, extra ...Option) *Index {
+	t.Helper()
+	opts := append([]Option{WithSeed(53), WithQueryMethod(method)}, extra...)
+	ix, err := Build(vecs, dim, opts...)
+	if err != nil {
+		t.Fatalf("%s: %v", method, err)
+	}
+	return ix
+}
+
+// TestRerankWideFactorMatchesPlain is the result-equality oracle for
+// the re-ranking stage: when the widened ADC heap is large enough to
+// hold every gathered candidate (factor·k ≥ budget), the exact stage
+// sees the same candidate set as a plain search, so results must be
+// bit-identical to a build without re-ranking — for all five querying
+// methods. This pins both the ADC stage's losslessness at full width
+// and the code column's id alignment.
+func TestRerankWideFactorMatchesPlain(t *testing.T) {
+	const dim, n, k, budget = 12, 1500, 5, 400
+	vecs := gaussBlock(n, dim, 101)
+	queries := gaussBlock(8, dim, 102)
+	for _, method := range []QueryMethod{GQR, QR, HR, GHR, MIH} {
+		t.Run(string(method), func(t *testing.T) {
+			plain := rerankOracleBuild(t, vecs, dim, method)
+			// factor·k = 400 ≥ budget, so no candidate is dropped by ADC.
+			wide := rerankOracleBuild(t, vecs, dim, method, WithReranking(4, 64, budget/k))
+			for qi := 0; qi < 8; qi++ {
+				q := queries[qi*dim : (qi+1)*dim]
+				want, err := plain.Search(q, k, WithMaxCandidates(budget))
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, st, err := wide.SearchWithStats(q, k, WithMaxCandidates(budget))
+				if err != nil {
+					t.Fatal(err)
+				}
+				sameNeighbors(t, "wide-factor rerank vs plain", got, want)
+				if st.ADCScored == 0 || st.Reranked == 0 {
+					t.Fatalf("rerank stage did not run: %+v", st)
+				}
+				if st.Reranked > st.ADCScored {
+					t.Fatalf("more survivors than scored: %+v", st)
+				}
+			}
+		})
+	}
+}
+
+// TestRerankDisabledIsUnchanged extends the equality oracle in the
+// other direction: a build without WithReranking must behave exactly
+// like one that never had the feature — no quantizer in stats, no ADC
+// work counted, and (the real gate, checked against the plain build
+// twin) identical results.
+func TestRerankDisabledIsUnchanged(t *testing.T) {
+	const dim, n, k = 12, 800, 5
+	vecs := gaussBlock(n, dim, 103)
+	q := gaussBlock(1, dim, 104)
+	ix, err := Build(vecs, dim, WithSeed(53))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nbrs, st, err := ix.SearchWithStats(q, k, WithMaxCandidates(200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nbrs) != k {
+		t.Fatalf("%d neighbors, want %d", len(nbrs), k)
+	}
+	if st.ADCScored != 0 || st.Reranked != 0 {
+		t.Fatalf("disabled build counted rerank work: %+v", st)
+	}
+	s := ix.Stats()
+	if s.RerankM != 0 || s.RerankK != 0 || s.RerankFactor != 0 || s.OPQRotation {
+		t.Fatalf("disabled build reports quantizer config: %+v", s)
+	}
+}
+
+// TestRerankStatsAndConfig pins the observable surface: Stats reports
+// the trained quantizer's shape (with defaults applied), search stats
+// count ADC-scored candidates and survivors, and the survivor count is
+// bounded by factor·k.
+func TestRerankStatsAndConfig(t *testing.T) {
+	const dim, n, k = 16, 1200, 10
+	vecs := gaussBlock(n, dim, 105)
+	q := gaussBlock(1, dim, 106)
+	ix, err := Build(vecs, dim, WithSeed(53), WithReranking(0, 0, 0), WithOPQRotation())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := ix.Stats()
+	if s.RerankM != 8 || s.RerankK != 256 || s.RerankFactor != 8 || !s.OPQRotation {
+		t.Fatalf("defaulted quantizer config: m=%d k=%d factor=%d opq=%v",
+			s.RerankM, s.RerankK, s.RerankFactor, s.OPQRotation)
+	}
+	nbrs, st, err := ix.SearchWithStats(q, k, WithMaxCandidates(600))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nbrs) != k {
+		t.Fatalf("%d neighbors, want %d", len(nbrs), k)
+	}
+	if st.ADCScored < st.Candidates-st.Filtered || st.ADCScored == 0 {
+		t.Fatalf("ADCScored %d vs candidates %d", st.ADCScored, st.Candidates)
+	}
+	if st.Reranked == 0 || st.Reranked > s.RerankFactor*k {
+		t.Fatalf("Reranked %d outside (0, %d]", st.Reranked, s.RerankFactor*k)
+	}
+}
+
+// TestRerankOptionValidation pins the config error paths.
+func TestRerankOptionValidation(t *testing.T) {
+	vecs := gaussBlock(50, 8, 107)
+	if _, err := Build(vecs, 8, WithOPQRotation()); err == nil {
+		t.Fatal("WithOPQRotation without WithReranking accepted")
+	}
+	if _, err := Build(vecs, 8, WithReranking(-1, 0, 0)); err == nil {
+		t.Fatal("negative m accepted")
+	}
+	if _, err := Build(vecs, 8, WithReranking(0, 300, 0)); err == nil {
+		t.Fatal("k above one-byte limit accepted")
+	}
+	if _, err := Build(vecs, 8, WithReranking(0, 0, -2)); err == nil {
+		t.Fatal("negative factor accepted")
+	}
+}
+
+// TestRerankLifecycleOracleChurn is the lifecycle oracle with the
+// quantized stage enabled: a churned subject (small memtable, seals,
+// background merges, inline compactions) must stay bit-identical to a
+// reference that saw the same operations in one giant memtable. Both
+// share the build-time quantizer, and per-add encoding plus the purge
+// paths must keep codes id-aligned — any drift shows up as diverging
+// ADC scores and therefore diverging results.
+func TestRerankLifecycleOracleChurn(t *testing.T) {
+	const (
+		dim, baseN = 8, 400
+		ops        = 240
+		k          = 8
+	)
+	base := gaussBlock(baseN, dim, 51)
+	queries := gaussBlock(6, dim, 52)
+	rerank := WithReranking(4, 64, 4)
+	for _, method := range []QueryMethod{GQR, MIH} {
+		t.Run(string(method), func(t *testing.T) {
+			subject, err := Build(base, dim, WithSeed(53), WithQueryMethod(method), WithMemtableSize(32), rerank)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reference, err := Build(base, dim, WithSeed(53), WithQueryMethod(method), WithMemtableSize(1<<20), rerank)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cs := newCorpusState(base, dim)
+			rng := rand.New(rand.NewSource(54))
+			for i := 0; i < ops; i++ {
+				applyOp(t, rng, cs, dim, subject, reference)
+				if i%80 == 79 {
+					if err := subject.Compact(); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			if err := subject.Compact(); err != nil {
+				t.Fatal(err)
+			}
+			if st := subject.Stats(); st.Seals == 0 || st.PendingTombstones != 0 {
+				t.Fatalf("churn did not exercise the LSM: %+v", st)
+			}
+			checkRerankOracle(t, string(method), cs, queries, dim, k, subject, reference)
+		})
+	}
+}
+
+// checkRerankOracle compares subject and reference searches (budgeted
+// and unbudgeted) under re-ranking: full bit-identity, no dead ids.
+// Unlike checkOracle it does not compare against brute force — the
+// quantized stage is approximate by design.
+func checkRerankOracle(t *testing.T, label string, cs *corpusState, queries []float32, dim, k int, subject, reference *Index) {
+	t.Helper()
+	if st := subject.Stats(); st.LiveItems != len(cs.live) {
+		t.Fatalf("%s: LiveItems = %d, oracle has %d", label, st.LiveItems, len(cs.live))
+	}
+	dead := make(map[int]bool)
+	for id := range cs.vecs {
+		dead[id] = true
+	}
+	for _, id := range cs.live {
+		delete(dead, id)
+	}
+	for qi := 0; qi+dim <= len(queries); qi += dim {
+		q := queries[qi : qi+dim]
+		for _, budget := range []int{0, 120} {
+			var opts []SearchOption
+			if budget > 0 {
+				opts = append(opts, WithMaxCandidates(budget))
+			}
+			got, gotSt, err := subject.SearchWithStats(q, k, opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, wantSt, err := reference.SearchWithStats(q, k, opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameNeighbors(t, label+": churned vs reference", got, want)
+			if gotSt.ADCScored != wantSt.ADCScored || gotSt.Reranked != wantSt.Reranked {
+				t.Fatalf("%s: rerank work diverged: %+v vs %+v", label, gotSt, wantSt)
+			}
+			if gotSt.ADCScored == 0 {
+				t.Fatalf("%s: rerank stage did not run", label)
+			}
+			for _, nb := range got {
+				if dead[nb.ID] {
+					t.Fatalf("%s: deleted id %d returned", label, nb.ID)
+				}
+			}
+		}
+	}
+}
+
+// TestRerankSaveLoadCanonicalForm pins persistence of the quantized
+// column through the LSM: Save is a fixpoint of Compact, the churned
+// index's canonical bytes match the unchurned twin, and a save/load
+// round trip preserves the quantizer, the serving factor and every
+// result bit-for-bit.
+func TestRerankSaveLoadCanonicalForm(t *testing.T) {
+	const dim, baseN, addN, k = 8, 200, 90, 6
+	base := gaussBlock(baseN, dim, 81)
+	adds := gaussBlock(addN, dim, 82)
+	queries := gaussBlock(4, dim, 85)
+	rerank := WithReranking(4, 32, 3)
+
+	subject, err := Build(base, dim, WithSeed(83), WithMemtableSize(16), rerank)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reference, err := Build(base, dim, WithSeed(83), WithMemtableSize(1<<20), rerank)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < addN; i++ {
+		vec := adds[i*dim : (i+1)*dim]
+		if _, err := subject.Add(vec); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := reference.Add(vec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rng := rand.New(rand.NewSource(84))
+	for _, id := range rng.Perm(baseN + addN)[:40] {
+		if err := subject.Delete(id); err != nil {
+			t.Fatal(err)
+		}
+		if err := reference.Delete(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	saveBefore := saveBytes(t, subject)
+	if err := subject.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	saveAfter := saveBytes(t, subject)
+	if !bytes.Equal(saveBefore, saveAfter) {
+		t.Fatal("Compact changed the persisted bytes under re-ranking")
+	}
+	if got := saveBytes(t, reference); !bytes.Equal(got, saveAfter) {
+		t.Fatal("churned canonical bytes differ from the unchurned reference")
+	}
+	grown := append(append([]float32{}, base...), adds...)
+	loaded, err := Load(bytes.NewReader(saveAfter), grown, dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := saveBytes(t, loaded); !bytes.Equal(got, saveAfter) {
+		t.Fatal("save/load round trip is not a fixpoint under re-ranking")
+	}
+	ls := loaded.Stats()
+	if ls.RerankM != 4 || ls.RerankK != 32 || ls.RerankFactor != 3 || ls.OPQRotation {
+		t.Fatalf("round trip lost quantizer config: %+v", ls)
+	}
+	for qi := 0; qi < 4; qi++ {
+		q := queries[qi*dim : (qi+1)*dim]
+		want, err := subject.Search(q, k, WithMaxCandidates(150))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := loaded.Search(q, k, WithMaxCandidates(150))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameNeighbors(t, "loaded vs saved", got, want)
+	}
+}
+
+// TestRerankCrashRecovery churns a durable re-ranked index, abandons it
+// without Close, and recovers from the data directory: the recovered
+// incarnation must be bit-identical (persisted bytes and results) to
+// the crashed one, proving WAL replay re-encodes codes and the segment
+// sidecar carries the code column across the crash boundary.
+func TestRerankCrashRecovery(t *testing.T) {
+	const dim, baseN, k = 8, 300, 6
+	base := gaussBlock(baseN, dim, 61)
+	queries := gaussBlock(5, dim, 62)
+	dir := t.TempDir()
+	rerank := WithReranking(4, 32, 4)
+
+	subject, err := Build(base, dim, WithSeed(63), WithMemtableSize(32), rerank)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := subject.EnableDurability(dir); err != nil {
+		t.Fatal(err)
+	}
+	reference, err := Build(base, dim, WithSeed(63), WithMemtableSize(1<<20), rerank)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := newCorpusState(base, dim)
+	rng := rand.New(rand.NewSource(64))
+	for round := 0; round < 2; round++ {
+		for i := 0; i < 60; i++ {
+			applyOp(t, rng, cs, dim, subject, reference)
+		}
+		if err := subject.Compact(); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 20; i++ {
+			applyOp(t, rng, cs, dim, subject, reference)
+		}
+		want := saveBytes(t, subject)
+		subject, err = Recover(dir, base, dim, WithMemtableSize(32))
+		if err != nil {
+			t.Fatalf("round %d: recover: %v", round, err)
+		}
+		if got := saveBytes(t, subject); !bytes.Equal(got, want) {
+			t.Fatalf("round %d: recovered re-ranked index differs from the crashed one", round)
+		}
+	}
+	checkRerankOracle(t, "crash-churned", cs, queries, dim, k, subject, reference)
+	if err := subject.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRerankSearchAllocs is the public-API allocation gate: Search
+// stays within the documented bound with re-ranking off and on (the
+// steady state reuses the ADC table, the flat scoring buffers and the
+// survivor scratch).
+func TestRerankSearchAllocs(t *testing.T) {
+	if raceEnabled {
+		// The race runtime randomly drops sync.Pool puts (to surface
+		// reuse races), so the pooled searcher scratch re-allocates
+		// nondeterministically and AllocsPerRun is meaningless here.
+		t.Skip("allocation counts are nondeterministic under -race")
+	}
+	const dim, n, k = 16, 2000, 10
+	vecs := gaussBlock(n, dim, 111)
+	q := gaussBlock(1, dim, 112)
+	for _, tc := range []struct {
+		name string
+		opts []Option
+	}{
+		{"plain", nil},
+		{"rerank", []Option{WithReranking(8, 64, 4)}},
+		{"opq", []Option{WithReranking(8, 64, 4), WithOPQRotation()}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ix, err := Build(vecs, dim, append([]Option{WithSeed(113)}, tc.opts...)...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := ix.Search(q, k, WithMaxCandidates(500)); err != nil {
+				t.Fatal(err)
+			}
+			allocs := testing.AllocsPerRun(50, func() {
+				if _, err := ix.Search(q, k, WithMaxCandidates(500)); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if allocs > 4 {
+				t.Fatalf("Search allocates %.1f/op, budget is 4", allocs)
+			}
+		})
+	}
+}
