@@ -118,6 +118,32 @@ func benchSearchParallel(b *testing.B, m QueryMethod, budget int) {
 	})
 }
 
+// benchSearchBatch measures amortized per-query cost through the batch
+// engine at a fixed batch size: b.N counts queries, so ns/op is
+// directly comparable with the single-query benchmarks above.
+func benchSearchBatch(b *testing.B, m QueryMethod, batch, budget int) {
+	ix, ds := apiIndex(b, m)
+	flat := make([]float32, 0, batch*ds.Dim)
+	for qi := 0; qi < batch; qi++ {
+		flat = append(flat, ds.Query(qi%ds.NQ())...)
+	}
+	// Warm the searcher pool and pooled batch scratch off the clock.
+	if _, err := ix.SearchBatch(flat, 10, WithMaxCandidates(budget)); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for done := 0; done < b.N; done += batch {
+		if _, err := ix.SearchBatch(flat, 10, WithMaxCandidates(budget)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSearchBatch1Budget1000(b *testing.B)   { benchSearchBatch(b, GQR, 1, 1000) }
+func BenchmarkSearchBatch64Budget1000(b *testing.B)  { benchSearchBatch(b, GQR, 64, 1000) }
+func BenchmarkSearchBatch256Budget1000(b *testing.B) { benchSearchBatch(b, GQR, 256, 1000) }
+
 func BenchmarkSearchParallel(b *testing.B)      { benchSearchParallel(b, GQR, 1000) }
 func BenchmarkSearchParallelHR(b *testing.B)    { benchSearchParallel(b, HR, 1000) }
 func BenchmarkSearchGQRBudget1000(b *testing.B) { benchSearch(b, GQR, 1000) }

@@ -1,0 +1,266 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"gqr"
+	"gqr/internal/bench"
+	"gqr/internal/dataset"
+)
+
+// batchRow is one (configuration, batch size) measurement in the
+// batched-execution sweep.
+type batchRow struct {
+	Label  string `json:"label"`
+	Dim    int    `json:"dim"`
+	Budget int    `json:"budget"`
+	// Batch 0 is the sequential reference row (a plain Search loop);
+	// batch n ≥ 1 runs the workload through SearchBatch n queries at a
+	// time.
+	Batch int `json:"batch"`
+	// QPS is queries per second over the row's best timing cycle;
+	// USPerQ is its inverse in microseconds.
+	QPS    float64 `json:"qps"`
+	USPerQ float64 `json:"usPerQuery"`
+	// P99us is the 99th-percentile per-query latency in microseconds. A
+	// batched query's latency is its whole call's latency — results
+	// only arrive when the batch completes — so large batches trade
+	// tail latency for throughput and this column prices that trade.
+	P99us float64 `json:"p99us"`
+	// Speedup is QPS relative to the same configuration's batch=1 row
+	// (the plain sequential Search loop).
+	Speedup float64 `json:"speedupVsBatch1,omitempty"`
+}
+
+// batchReport is the JSON document `gqr-bench -batch` emits.
+type batchReport struct {
+	Meta   bench.RunMeta `json:"meta"`
+	N      int           `json:"n"`
+	NQ     int           `json:"nq"`
+	K      int           `json:"k"`
+	Budget int           `json:"budget"`
+	Rows   []batchRow    `json:"rows"`
+}
+
+// runBatchSweep measures SearchBatch throughput against the sequential
+// baseline: every querying method at d=128 (where the per-query
+// projection matmul the batch engine amortizes is largest), the
+// coalesced-duplicates workload, and GQR at d=32, each at batch sizes
+// 1, 8, 64 and 256 through the batch API. Every configuration also
+// times a batch-0 row — a plain sequential Search loop, the number a
+// caller gets without the batch API — so the report separates the
+// API's fixed cost (batch 1 vs 0) from its scaling (batch n vs 1).
+//
+// Timing uses the same discipline as the re-ranking sweep: all rows
+// are timed back-to-back in round-robin cycles so they share the
+// host's conditions, and each row keeps its best cycle. Per-call
+// latencies from the best cycle give the p99 column (every query in a
+// call observes the call's full latency).
+func runBatchSweep(path string, nq, k int, seed int64, buildProcs int) error {
+	const n, budget = 20000, 1000
+	batchSizes := []int{0, 1, 8, 64, 256}
+	// The largest batch size must be reachable, or its row would
+	// silently degenerate into the one below it.
+	if nq < batchSizes[len(batchSizes)-1] {
+		nq = batchSizes[len(batchSizes)-1]
+	}
+
+	type sweepCase struct {
+		label  string
+		dim    int
+		n      int
+		budget int
+		method gqr.QueryMethod
+		// distinct > 0 tiles that many distinct queries to fill the
+		// block (the coalesced-duplicates workload); 0 uses nq distinct.
+		distinct int
+		ds       *dataset.Dataset
+		queries  []float32 // flat nq×dim block
+		ix       *gqr.Index
+	}
+	var cases []*sweepCase
+	for _, m := range []gqr.QueryMethod{gqr.GQR, gqr.QR, gqr.HR, gqr.GHR, gqr.MIH} {
+		cases = append(cases, &sweepCase{label: fmt.Sprintf("%s d=128", m), dim: 128, n: n, budget: budget, method: m})
+	}
+	// The coalesced-duplicates workload: 32 distinct queries tiled to nq,
+	// the shape a server-side coalescing window produces when concurrent
+	// clients ask for the same items. Batches larger than the distinct
+	// set exercise duplicate suppression — each distinct query runs once
+	// per call and the copies are free.
+	cases = append(cases, &sweepCase{label: "gqr d=128 dup", dim: 128, n: n, budget: budget, method: gqr.GQR, distinct: 32})
+	cases = append(cases, &sweepCase{label: "gqr d=32", dim: 32, n: n, budget: budget, method: gqr.GQR})
+
+	// One corpus per (dimensionality, size), shared across its cases.
+	type corpusKey struct{ dim, n int }
+	corpora := map[corpusKey]*dataset.Dataset{}
+	for _, c := range cases {
+		ds := corpora[corpusKey{c.dim, c.n}]
+		if ds == nil {
+			latent := 8
+			if c.dim >= 128 {
+				latent = 12
+			}
+			ds = dataset.Generate(dataset.GeneratorSpec{
+				Name: "batchsweep", N: c.n, Dim: c.dim, Clusters: 16, LatentDim: latent, Seed: 31 + seed,
+			})
+			ds.SampleQueries(nq, 32+seed)
+			corpora[corpusKey{c.dim, c.n}] = ds
+		}
+		c.ds = ds
+		c.queries = make([]float32, 0, nq*c.dim)
+		for qi := 0; qi < nq; qi++ {
+			src := qi
+			if c.distinct > 0 {
+				src = qi % c.distinct
+			}
+			c.queries = append(c.queries, ds.Query(src)...)
+		}
+	}
+
+	for _, c := range cases {
+		ix, err := gqr.Build(c.ds.Vectors, c.dim,
+			gqr.WithSeed(33+seed),
+			gqr.WithBuildParallelism(buildProcs),
+			gqr.WithQueryMethod(c.method))
+		if err != nil {
+			return fmt.Errorf("%s: %w", c.label, err)
+		}
+		c.ix = ix
+		// Warm the searcher pool and batch scratch off the clock.
+		if _, err := ix.SearchBatch(c.queries[:c.dim*2], k, gqr.WithMaxCandidates(c.budget)); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "gqr-bench: built %s\n", c.label)
+	}
+
+	report := batchReport{Meta: bench.Meta(), N: n, NQ: nq, K: k, Budget: budget}
+
+	// Row order interleaves batch sizes within each configuration; the
+	// cycle loop interleaves everything across time.
+	type rowKey struct {
+		ci, batch int
+	}
+	var rows []rowKey
+	for ci := range cases {
+		for _, b := range batchSizes {
+			rows = append(rows, rowKey{ci, b})
+		}
+	}
+	best := make([]time.Duration, len(rows))
+	bestCalls := make([][]time.Duration, len(rows))
+
+	const timingCycles = 7
+	callLat := make([]time.Duration, 0, nq)
+	for cycle := 0; cycle < timingCycles; cycle++ {
+		for ri, rk := range rows {
+			c := cases[rk.ci]
+			callLat = callLat[:0]
+			start := time.Now()
+			if rk.batch == 0 {
+				for qi := 0; qi < nq; qi++ {
+					s := time.Now()
+					if _, err := c.ix.Search(c.queries[qi*c.dim:(qi+1)*c.dim], k, gqr.WithMaxCandidates(c.budget)); err != nil {
+						return err
+					}
+					callLat = append(callLat, time.Since(s))
+				}
+			} else {
+				for lo := 0; lo < nq; lo += rk.batch {
+					hi := lo + rk.batch
+					if hi > nq {
+						hi = nq
+					}
+					s := time.Now()
+					if _, err := c.ix.SearchBatch(c.queries[lo*c.dim:hi*c.dim], k, gqr.WithMaxCandidates(c.budget)); err != nil {
+						return err
+					}
+					callLat = append(callLat, time.Since(s))
+				}
+			}
+			if el := time.Since(start); cycle == 0 || el < best[ri] {
+				best[ri] = el
+				bestCalls[ri] = append(bestCalls[ri][:0], callLat...)
+			}
+		}
+	}
+
+	for ri, rk := range rows {
+		c := cases[rk.ci]
+		row := batchRow{
+			Label:  c.label,
+			Dim:    c.dim,
+			Budget: c.budget,
+			Batch:  rk.batch,
+			QPS:    float64(nq) / best[ri].Seconds(),
+			USPerQ: float64(best[ri].Microseconds()) / float64(nq),
+			P99us:  p99PerQuery(bestCalls[ri], rk.batch, nq),
+		}
+		report.Rows = append(report.Rows, row)
+	}
+	// Speedup vs the configuration's own batch=1 row (always first in
+	// each group of len(batchSizes) rows).
+	for ri := range report.Rows {
+		baseQPS := report.Rows[ri-ri%len(batchSizes)+1].QPS
+		if report.Rows[ri].Batch > 1 && baseQPS > 0 {
+			report.Rows[ri].Speedup = report.Rows[ri].QPS / baseQPS
+		}
+	}
+
+	var w io.Writer = os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		return err
+	}
+	for _, row := range report.Rows {
+		fmt.Fprintf(os.Stderr, "gqr-bench: %-12s batch %3d  %9.0f qps  %7.1f us/q  p99 %7.1f us  %5.2fx\n",
+			row.Label, row.Batch, row.QPS, row.USPerQ, row.P99us, row.Speedup)
+	}
+	return nil
+}
+
+// p99PerQuery computes the 99th-percentile per-query latency from one
+// cycle's call latencies: each call's latency is observed by every
+// query in that call (batchSize queries, fewer for the tail call).
+func p99PerQuery(calls []time.Duration, batch, nq int) float64 {
+	type weighted struct {
+		lat time.Duration
+		n   int
+	}
+	ws := make([]weighted, len(calls))
+	remaining := nq
+	for i, lat := range calls {
+		sz := batch
+		if sz > remaining {
+			sz = remaining
+		}
+		remaining -= sz
+		ws[i] = weighted{lat, sz}
+	}
+	sort.Slice(ws, func(a, b int) bool { return ws[a].lat < ws[b].lat })
+	target := (99*nq + 99) / 100 // ceil(0.99 * nq)
+	cum := 0
+	for _, w := range ws {
+		cum += w.n
+		if cum >= target {
+			return float64(w.lat.Microseconds())
+		}
+	}
+	if len(ws) == 0 {
+		return 0
+	}
+	return float64(ws[len(ws)-1].lat.Microseconds())
+}

@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"math"
 	"os"
-	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -79,6 +78,13 @@ type SearchStats struct {
 	SlowestShard     int           `json:"slowestShard,omitempty"`
 	SlowestShardTime time.Duration `json:"slowestShardTime,omitempty"`
 }
+
+// Merge accumulates another search's work counters into s: counts and
+// stage times add up, EarlyStopped ORs. The shard-attribution fields
+// (ShardCount, SlowestShard*) are left untouched — they describe one
+// fan-out, not a sum. Use it for cumulative accounting over many
+// queries, e.g. totalling a batch's work.
+func (s *SearchStats) Merge(o SearchStats) { s.merge(o) }
 
 // merge accumulates another search's work into s (used by the sharded
 // index and by cumulative per-batch accounting).
@@ -995,137 +1001,6 @@ func (ix *Index) currentSnapshot() (*snapshot, error) {
 		ix.writeMu.Unlock()
 	}
 	return ix.snap.Load(), nil
-}
-
-// BatchQueryResult is one query's outcome inside a batch: its
-// neighbors and work stats, or the error that failed this query alone.
-// Structural problems that invalidate the whole batch (a block length
-// that is not a multiple of dim, a non-positive k) are reported by the
-// batch call itself, not per query.
-type BatchQueryResult struct {
-	Neighbors []Neighbor
-	Stats     SearchStats
-	Err       error
-}
-
-// SearchBatch answers many queries concurrently: queries is an
-// nq×dim row-major block, and the result slice has one neighbor list
-// per query. Parallelism is capped at GOMAXPROCS; every worker searches
-// the same read snapshot (captured once at the start of the batch) with
-// its own pooled searcher, so batch throughput scales with cores and a
-// concurrent Add never affects a batch in flight — its vector appears
-// in the snapshot the next call captures. The first per-query error, if
-// any, fails the call; use SearchBatchWithStats to get per-query errors
-// and work stats instead.
-func (ix *Index) SearchBatch(queries []float32, k int, opts ...SearchOption) ([][]Neighbor, error) {
-	results, err := ix.SearchBatchWithStats(queries, k, opts...)
-	if err != nil {
-		return nil, err
-	}
-	out := make([][]Neighbor, len(results))
-	for i, r := range results {
-		if r.Err != nil {
-			return nil, r.Err
-		}
-		out[i] = r.Neighbors
-	}
-	return out, nil
-}
-
-// SearchBatchWithStats is SearchBatch with per-query outcomes: each
-// entry carries the query's neighbors, its §2.2 work stats, and an Err
-// set only for that query's failure. The call-level error is reserved
-// for structural problems that invalidate the whole batch (bad block
-// length, non-positive k).
-func (ix *Index) SearchBatchWithStats(queries []float32, k int, opts ...SearchOption) ([]BatchQueryResult, error) {
-	dim := ix.live.Dim // immutable after Build
-	if dim <= 0 || len(queries)%dim != 0 {
-		return nil, fmt.Errorf("gqr: query block length %d not a multiple of dim %d", len(queries), dim)
-	}
-	if k <= 0 {
-		return nil, fmt.Errorf("gqr: K must be positive, got %d", k)
-	}
-	var sc searchConfig
-	for _, o := range opts {
-		o(&sc)
-	}
-	// One snapshot for the whole batch: every worker probes the same
-	// consistent view, however many Adds land while the batch runs.
-	snap, err := ix.currentSnapshot()
-	if err != nil {
-		return nil, err
-	}
-	nq := len(queries) / dim
-	out := make([]BatchQueryResult, nq)
-
-	workers := runtime.GOMAXPROCS(0)
-	if workers > nq {
-		workers = nq
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			s := snap.searcher()
-			defer snap.release(s)
-			for qi := range next {
-				q := queries[qi*dim : (qi+1)*dim]
-				// Per-query tracing: each batch query is its own flight
-				// record (the snapshot-acquire stage is absent — the
-				// snapshot was captured once for the whole batch).
-				var tr *trace.Trace
-				if ix.rec != nil {
-					tr = ix.rec.Begin(ix.methodName)
-				}
-				if ix.metric == Angular {
-					qb := s.Qbuf()
-					copy(qb, q)
-					normalizeRow(qb)
-					q = qb
-				}
-				tr.Mark(trace.StagePreprocess, -1)
-				res, err := s.Search(q, query.Options{
-					K:             k,
-					MaxCandidates: sc.maxCandidates,
-					MaxBuckets:    sc.maxBuckets,
-					EarlyStop:     sc.earlyStop,
-					Radius:        sc.radius,
-					Mu:            snap.mu,
-					Profile:       sc.profile,
-					Trace:         tr,
-					TagMask:       sc.tagMask,
-					Filter:        filterOf(sc.filter),
-				})
-				if err != nil {
-					if tr != nil {
-						ix.rec.Recycle(tr)
-					}
-					out[qi].Err = err
-					continue
-				}
-				nbrs := make([]Neighbor, len(res.IDs))
-				for i := range res.IDs {
-					nbrs[i] = Neighbor{ID: int(res.IDs[i]), Distance: res.Dists[i]}
-				}
-				out[qi] = BatchQueryResult{Neighbors: nbrs, Stats: statsOf(res.Stats)}
-				if tr != nil {
-					tr.SetTotals(totalsOf(k, sc, out[qi].Stats))
-					ix.rec.Finish(tr, time.Since(tr.Begin))
-				}
-			}
-		}()
-	}
-	for qi := 0; qi < nq; qi++ {
-		next <- qi
-	}
-	close(next)
-	wg.Wait()
-	return out, nil
 }
 
 // Stats describes the built index.

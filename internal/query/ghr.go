@@ -39,6 +39,17 @@ func (g *GHR) NewSequenceReuse(t int, q []float32, reuse ProbeSequence) ProbeSeq
 	return s
 }
 
+// NewSequencePrepared implements PreparedMethod: GHR enumerates from the
+// query's code alone, so the precomputed one replaces the Code call.
+func (g *GHR) NewSequencePrepared(t int, code uint64, _ []float64, reuse ProbeSequence) ProbeSequence {
+	s, ok := reuse.(*ghrSeq)
+	if !ok || s == nil {
+		s = &ghrSeq{}
+	}
+	*s = ghrSeq{qcode: code, m: g.ix.Tables[t].Hasher.Bits()}
+	return s
+}
+
 type ghrSeq struct {
 	qcode   uint64
 	m       int

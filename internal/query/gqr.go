@@ -72,6 +72,26 @@ func (g *GQR) NewSequence(t int, q []float32) ProbeSequence {
 func (g *GQR) NewSequenceReuse(t int, q []float32, reuse ProbeSequence) ProbeSequence {
 	hasher := g.ix.Tables[t].Hasher
 	m := hasher.Bits()
+	s := gqrSeqOf(reuse, m)
+	s.qcode = hasher.QueryProjection(q, s.costs)
+	return g.startSeq(s, m)
+}
+
+// NewSequencePrepared implements PreparedMethod: the (code, costs)
+// pair replaces the QueryProjection call; everything downstream — the
+// cost sort, the f mapping, the generation heap — is the shared setup,
+// so the sequence is identical to NewSequenceReuse's.
+func (g *GQR) NewSequencePrepared(t int, code uint64, costs []float64, reuse ProbeSequence) ProbeSequence {
+	m := g.ix.Tables[t].Hasher.Bits()
+	s := gqrSeqOf(reuse, m)
+	copy(s.costs, costs)
+	s.qcode = code
+	return g.startSeq(s, m)
+}
+
+// gqrSeqOf recycles (or allocates) a gqrSeq with its buffers grown to m
+// bits.
+func gqrSeqOf(reuse ProbeSequence, m int) *gqrSeq {
 	s, ok := reuse.(*gqrSeq)
 	if !ok || s == nil {
 		s = &gqrSeq{}
@@ -80,7 +100,13 @@ func (g *GQR) NewSequenceReuse(t int, q []float32, reuse ProbeSequence) ProbeSeq
 	s.order = grown(s.order, m)
 	s.sorted = grown(s.sorted, m)
 	s.origBit = grown(s.origBit, m)
-	s.qcode = hasher.QueryProjection(q, s.costs)
+	return s
+}
+
+// startSeq finishes sequence setup from s.qcode and s.costs: sort the
+// flipping costs into the sorted projected vector and reset the
+// generation heap.
+func (g *GQR) startSeq(s *gqrSeq, m int) *gqrSeq {
 	s.m = m
 	s.tree = g.sharedTree
 	s.heap.Reset()

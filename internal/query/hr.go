@@ -42,7 +42,18 @@ func (h *HR) NewSequence(t int, q []float32) ProbeSequence {
 // ordered/score lists and counting-sort scratch, so restarting costs
 // one O(B) counting-sort pass and no allocations.
 func (h *HR) NewSequenceReuse(t int, q []float32, reuse ProbeSequence) ProbeSequence {
-	qcode := h.ix.Tables[t].Hasher.Code(q)
+	return h.startSeq(t, h.ix.Tables[t].Hasher.Code(q), reuse)
+}
+
+// NewSequencePrepared implements PreparedMethod: HR needs only the
+// query's code, so the precomputed one replaces the Code call and the
+// counting sort proceeds unchanged.
+func (h *HR) NewSequencePrepared(t int, code uint64, _ []float64, reuse ProbeSequence) ProbeSequence {
+	return h.startSeq(t, code, reuse)
+}
+
+// startSeq runs HR's counting sort for one query code.
+func (h *HR) startSeq(t int, qcode uint64, reuse ProbeSequence) ProbeSequence {
 	m := h.ix.Tables[t].Hasher.Bits()
 	codes := h.codes[t]
 	s, ok := reuse.(*hrSeq)
@@ -137,18 +148,37 @@ func (h *QR) NewSequence(t int, q []float32) ProbeSequence {
 // restarting allocates nothing.
 func (h *QR) NewSequenceReuse(t int, q []float32, reuse ProbeSequence) ProbeSequence {
 	hasher := h.ix.Tables[t].Hasher
-	m := hasher.Bits()
-	codes := h.codes[t]
+	s := qrSeqOf(reuse, hasher.Bits(), len(h.codes[t]))
+	qcode := hasher.QueryProjection(q, s.costs)
+	return h.startSeq(t, qcode, s)
+}
+
+// NewSequencePrepared implements PreparedMethod: the precomputed
+// (code, costs) pair replaces the QueryProjection call; the QD scoring
+// and in-place sort are the shared path.
+func (h *QR) NewSequencePrepared(t int, code uint64, costs []float64, reuse ProbeSequence) ProbeSequence {
+	s := qrSeqOf(reuse, h.ix.Tables[t].Hasher.Bits(), len(h.codes[t]))
+	copy(s.costs, costs)
+	return h.startSeq(t, code, s)
+}
+
+// qrSeqOf recycles (or allocates) a qrSeq with its buffers grown.
+func qrSeqOf(reuse ProbeSequence, m, nb int) *qrSeq {
 	s, ok := reuse.(*qrSeq)
 	if !ok || s == nil {
 		s = &qrSeq{}
 	}
 	s.costs = grown(s.costs, m)
-	s.codes = grown(s.codes, len(codes))
-	s.scores = grown(s.scores, len(codes))
+	s.codes = grown(s.codes, nb)
+	s.scores = grown(s.scores, nb)
 	s.pos = 0
-	qcode := hasher.QueryProjection(q, s.costs)
+	return s
+}
 
+// startSeq scores every bucket by quantization distance from s.costs
+// and sorts the pairs in place.
+func (h *QR) startSeq(t int, qcode uint64, s *qrSeq) ProbeSequence {
+	codes := h.codes[t]
 	for i, c := range codes {
 		s.codes[i] = c
 		diff := c ^ qcode

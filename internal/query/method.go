@@ -59,6 +59,21 @@ type Method interface {
 	QDScores() bool
 }
 
+// PreparedMethod is implemented by methods whose sequences can start
+// from a precomputed (code, costs) pair — the outputs of
+// hash.Hasher.QueryProjection — instead of re-deriving them from the
+// query vector. This is the batched-execution hook: a BatchPlan
+// computes every query's projection with one parallel matmul per
+// table, and the searcher hands each sequence its precomputed pair.
+// Hamming methods (HR, GHR, MIH) consume only the code and ignore
+// costs; QD methods (QR, GQR) copy the costs into their own scratch.
+// NewSequencePrepared must be behaviorally identical to
+// NewSequenceReuse fed the same query: same emission order, same
+// scores.
+type PreparedMethod interface {
+	NewSequencePrepared(t int, code uint64, costs []float64, reuse ProbeSequence) ProbeSequence
+}
+
 // grown returns s resized to length n, reallocating only when the
 // capacity is insufficient — the common helper behind every sequence's
 // scratch reuse. Contents are unspecified; callers overwrite.

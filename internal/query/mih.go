@@ -128,15 +128,26 @@ func (mi *MIH) NewSequence(t int, q []float32) ProbeSequence {
 // seen set (cleared, buckets retained), so a warmed sequence restarts
 // without allocating.
 func (mi *MIH) NewSequenceReuse(t int, q []float32, reuse ProbeSequence) ProbeSequence {
-	hasher := mi.ix.Tables[t].Hasher
-	m := hasher.Bits()
+	return mi.startSeq(t, mi.ix.Tables[t].Hasher.Code(q), reuse)
+}
+
+// NewSequencePrepared implements PreparedMethod: MIH searches from the
+// query's code alone, so the precomputed one replaces the Code call and
+// the substring enumeration proceeds unchanged.
+func (mi *MIH) NewSequencePrepared(t int, code uint64, _ []float64, reuse ProbeSequence) ProbeSequence {
+	return mi.startSeq(t, code, reuse)
+}
+
+// startSeq resets (or allocates) a mihSeq for one query code.
+func (mi *MIH) startSeq(t int, qcode uint64, reuse ProbeSequence) ProbeSequence {
+	m := mi.ix.Tables[t].Hasher.Bits()
 	s, ok := reuse.(*mihSeq)
 	if !ok || s == nil {
 		s = &mihSeq{seen: make(map[uint64]bool)}
 	}
 	s.mi = mi
 	s.t = t
-	s.qcode = hasher.Code(q)
+	s.qcode = qcode
 	s.m = m
 	s.radius = -1
 	s.group = nil

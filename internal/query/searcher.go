@@ -57,6 +57,15 @@ type Options struct {
 	// runs inside the gather loop after the tombstone and tag-mask
 	// tests, so rejected items never reach the distance kernel.
 	Filter func(id int32, meta uint64) bool
+	// Prepared, when non-nil, supplies this query's batch-precomputed
+	// retrieval inputs (per-table codes and flipping costs, pre-built
+	// ADC rows). The searcher consumes them in place of its own
+	// per-query projection and ADC build; tables whose Costs entry is
+	// nil fall back to the per-query path. Results are bit-identical
+	// either way — NewSequencePrepared is behaviorally identical to
+	// NewSequenceReuse, and the prepared ADC rows hold the same values
+	// Reranker.ADCRows would produce.
+	Prepared *Prepared
 }
 
 // Stats reports the work one Search performed.
@@ -123,6 +132,7 @@ type Result struct {
 type Searcher struct {
 	ix      *index.Index
 	method  Method
+	pm      PreparedMethod // method's prepared-start hook, nil if unsupported
 	visited []uint32
 	epoch   uint32
 	qbuf    []float32
@@ -219,6 +229,7 @@ type tableState struct {
 // writers are live.
 func NewSearcher(ix *index.Index, method Method) *Searcher {
 	s := &Searcher{ix: ix, method: method, visited: make([]uint32, ix.N)}
+	s.pm, _ = method.(PreparedMethod)
 	if ix.PendingTombstones() > 0 {
 		s.tombs = ix.TombWords()
 	}
@@ -283,8 +294,13 @@ func (s *Searcher) Search(q []float32, opt Options) (Result, error) {
 		s.states = make([]tableState, len(s.ix.Tables))
 	}
 	states := s.states
+	prep := opt.Prepared
 	for t := range states {
-		states[t].seq = s.method.NewSequenceReuse(t, q, states[t].seq)
+		if prep != nil && s.pm != nil && t < len(prep.Costs) && prep.Costs[t] != nil {
+			states[t].seq = s.pm.NewSequencePrepared(t, prep.Codes[t], prep.Costs[t], states[t].seq)
+		} else {
+			states[t].seq = s.method.NewSequenceReuse(t, q, states[t].seq)
+		}
 		states[t].code, states[t].score, states[t].alive = states[t].seq.Next()
 	}
 	if clk.on {
@@ -301,8 +317,18 @@ func (s *Searcher) Search(q []float32, opt Options) (Result, error) {
 	useEarlyStop := opt.EarlyStop && opt.Mu > 0 && s.method.QDScores()
 	probeTop := top
 	s.flatADC = false
+	// Prepared ADC rows replace the per-query table build; the
+	// searcher's own scratch is saved and restored so the batch arena
+	// never leaks into pooled per-searcher state (pooled searchers are
+	// shared with the single-query path).
+	var savedADC [][256]float32
+	usePrepADC := false
 	if rerank {
-		s.adcRows = s.quant.ADCRows(q, s.adcRows, s.rotQ)
+		if prep != nil && len(prep.ADCRows) == s.quant.M() {
+			savedADC, s.adcRows, usePrepADC = s.adcRows, prep.ADCRows, true
+		} else {
+			s.adcRows = s.quant.ADCRows(q, s.adcRows, s.rotQ)
+		}
 		s.keep = s.factor * opt.K
 		// Early-stop needs a running factor·k-th best for its µ·QD rule,
 		// so that path keeps the widened heap; everything else collects
@@ -479,6 +505,10 @@ func (s *Searcher) Search(q []float32, opt Options) (Result, error) {
 				Abandoned:  int32(st.EarlyAbandoned - lastAband),
 			})
 		}
+	}
+
+	if usePrepADC {
+		s.adcRows = savedADC
 	}
 
 	ids, dists := top.Sorted()

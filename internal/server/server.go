@@ -59,6 +59,11 @@ type Handler struct {
 	cReranked      *metrics.Counter
 	cEarlyStops    *metrics.Counter
 	cQueryErrors   *metrics.Counter
+	// cBatches counts batch executions (explicit /batch requests and
+	// coalescer flushes); hBatchSize observes their sizes, so the
+	// histogram shows how well coalescing is packing requests.
+	cBatches   *metrics.Counter
+	hBatchSize *metrics.Histogram
 
 	// Index lifecycle gauges, refreshed on every scrape.
 	gItems        *metrics.Gauge
@@ -92,6 +97,12 @@ type Handler struct {
 	// Per-stage latency histograms, indexed by trace.Stage and fed by
 	// the flight recorder's observer (empty when tracing is off).
 	hStage [trace.NumStages]*metrics.Histogram
+
+	// coal is the /search request coalescer, nil unless WithCoalescing
+	// enabled it; coalWindow/coalMax carry the option values into New.
+	coal       *coalescer
+	coalWindow time.Duration
+	coalMax    int
 }
 
 // Option configures a Handler.
@@ -109,6 +120,20 @@ func WithRegistry(r *metrics.Registry) Option { return func(h *Handler) { h.reg 
 // deployments opt in explicitly (the -pprof flag of cmd/gqr-server).
 func WithPprof() Option { return func(h *Handler) { h.pprof = true } }
 
+// WithCoalescing enables server-side request coalescing on /search:
+// concurrent requests with identical search parameters are held for up
+// to window and answered by one batched execution (shared projection
+// matmuls, shared ADC arena), at most maxBatch requests per batch
+// (≤ 0 picks 64). Every request's result stays bit-identical to an
+// uncoalesced search, and a request whose context deadline lands
+// inside the window shrinks the window for its batch. Off by default:
+// coalescing adds up to window latency per request, so it is a
+// throughput-over-latency trade the operator opts into (the
+// -batch-window / -batch-max flags of cmd/gqr-server).
+func WithCoalescing(window time.Duration, maxBatch int) Option {
+	return func(h *Handler) { h.coalWindow, h.coalMax = window, maxBatch }
+}
+
 // New wraps an index in an http.Handler.
 func New(ix *gqr.Index, opts ...Option) *Handler {
 	h := &Handler{ix: ix, mux: http.NewServeMux(), start: time.Now()}
@@ -123,6 +148,9 @@ func New(ix *gqr.Index, opts ...Option) *Handler {
 	}
 	h.initMetrics()
 	h.initTracing()
+	if h.coalWindow > 0 {
+		h.coal = newCoalescer(h, h.coalWindow, h.coalMax)
+	}
 	// Merge durations arrive by callback — merges run on a background
 	// goroutine, so no scrape-time poll can time them.
 	ix.SetCompactionObserver(func(ci gqr.CompactionInfo) {
@@ -204,12 +232,27 @@ type BatchEntry struct {
 	Error     string           `json:"error,omitempty"`
 }
 
+// BatchStats aggregates one /batch execution: how many queries
+// answered and failed, the summed §2.2 work counters across the
+// answered ones, and — when the request asked for stats — which query
+// was slowest (by retrieval + evaluation time) and how long it took.
+// SlowestQuery is -1 when per-query timing was not collected.
+type BatchStats struct {
+	Answered         int             `json:"answered"`
+	Failed           int             `json:"failed"`
+	Stats            gqr.SearchStats `json:"stats"`
+	SlowestQuery     int             `json:"slowestQuery"`
+	SlowestQueryTime time.Duration   `json:"slowestQueryTimeNs,omitempty"`
+}
+
 // BatchResponse is the /batch response body. Per-query failures (for
 // example one ragged query in an otherwise valid batch) appear as
 // entries with a non-empty Error; only structural problems — bad k,
-// malformed JSON — fail the whole request with a 400.
+// malformed JSON — fail the whole request with a 400. Batch summarizes
+// the whole execution.
 type BatchResponse struct {
 	Results []BatchEntry `json:"results"`
+	Batch   *BatchStats  `json:"batch,omitempty"`
 }
 
 // AddRequest is the /add request body. Meta is the optional per-item
@@ -243,6 +286,29 @@ func (h *Handler) search(w http.ResponseWriter, r *http.Request) {
 	var req SearchRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		h.httpError(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		return
+	}
+	// Coalescing path: well-formed queries ride a shared batch (results
+	// are bit-identical to a direct search). Malformed ones fall
+	// through to the direct path, whose validation produces the right
+	// error without poisoning a batch's flat block.
+	if h.coal != nil && len(req.Query) == h.ix.Stats().Dim && req.K > 0 {
+		key := batchKey{
+			k: req.K, maxCand: req.MaxCandidates, maxBuckets: req.MaxBuckets,
+			radius: req.Radius, earlyStop: req.EarlyStop, tagMask: req.TagMask,
+			stats: req.IncludeStats,
+		}
+		res := h.coal.submit(r.Context(), key, req.Query)
+		if res.err != nil {
+			h.httpError(w, http.StatusBadRequest, "%v", res.err)
+			return
+		}
+		h.recordSearchWork(r, res.st, 1)
+		resp := SearchResponse{Neighbors: toJSON(res.nbrs)}
+		if req.IncludeStats {
+			resp.Stats = &res.st
+		}
+		h.writeJSON(w, resp)
 		return
 	}
 	opts := optsOf(req.MaxCandidates, req.MaxBuckets, req.Radius, req.EarlyStop, req.TagMask)
@@ -297,31 +363,33 @@ func (h *Handler) batch(w http.ResponseWriter, r *http.Request) {
 		h.httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	var total gqr.SearchStats
-	var answered, failed int
+	agg := BatchStats{SlowestQuery: -1}
 	for bi, res := range results {
 		i := backMap[bi]
 		if res.Err != nil {
 			resp.Results[i].Error = res.Err.Error()
-			failed++
+			agg.Failed++
 			continue
 		}
 		resp.Results[i].Neighbors = toJSON(res.Neighbors)
 		if req.IncludeStats {
 			st := res.Stats
 			resp.Results[i].Stats = &st
+			// Per-query timing exists only under WithProfile, which
+			// IncludeStats turns on; attribute the batch's slowest query.
+			if qt := st.RetrievalTime + st.EvaluationTime; agg.SlowestQuery < 0 || qt > agg.SlowestQueryTime {
+				agg.SlowestQuery, agg.SlowestQueryTime = i, qt
+			}
 		}
-		total.BucketsGenerated += res.Stats.BucketsGenerated
-		total.BucketsProbed += res.Stats.BucketsProbed
-		total.Candidates += res.Stats.Candidates
-		total.EarlyStopped = total.EarlyStopped || res.Stats.EarlyStopped
-		total.RetrievalTime += res.Stats.RetrievalTime
-		total.EvaluationTime += res.Stats.EvaluationTime
-		answered++
+		agg.Stats.Merge(res.Stats)
+		agg.Answered++
 	}
-	failed += len(req.Queries) - len(backMap)
-	h.recordSearchWork(r, total, answered)
-	h.cQueryErrors.Add(int64(failed))
+	agg.Failed += len(req.Queries) - len(backMap)
+	h.cBatches.Inc()
+	h.hBatchSize.Observe(float64(len(backMap)))
+	h.recordSearchWork(r, agg.Stats, agg.Answered)
+	h.cQueryErrors.Add(int64(agg.Failed))
+	resp.Batch = &agg
 	h.writeJSON(w, resp)
 }
 

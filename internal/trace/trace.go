@@ -42,14 +42,15 @@ const (
 	StageFinalize                // heap finalize (sort, sqrt, radius cut)
 	StageShard                   // one shard's whole leg of a sharded fan-out
 	StageCompact                 // one background segment merge (compaction traces only)
+	StageBatch                   // one batch's shared preprocessing (batch traces only)
 )
 
 // NumStages is the number of distinct stages.
-const NumStages = int(StageCompact) + 1
+const NumStages = int(StageBatch) + 1
 
 var stageNames = [NumStages]string{
 	"snapshot", "preprocess", "sequence", "probe", "gather", "rerank",
-	"evaluate", "finalize", "shard", "compact",
+	"evaluate", "finalize", "shard", "compact", "batch",
 }
 
 // String returns the stage's wire name (used as the metrics label and

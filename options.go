@@ -336,6 +336,13 @@ func WithFilter(f func(id int, meta uint64) bool) SearchOption {
 	return func(c *searchConfig) { c.filter = f }
 }
 
+// withConfig replays an already-parsed searchConfig as a SearchOption.
+// The sharded batch fan-out parses options once, rewraps the filter per
+// shard (id translation), and hands each shard its copy through this.
+func withConfig(sc searchConfig) SearchOption {
+	return func(c *searchConfig) { *c = sc }
+}
+
 // WithProfile enables per-stage timing in the stats returned by
 // SearchWithStats: SearchStats.RetrievalTime and EvaluationTime split
 // the query between deciding which buckets to probe and computing exact

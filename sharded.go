@@ -263,6 +263,106 @@ func (s *ShardedIndex) searchFanout(q []float32, k int, opts []SearchOption) ([]
 	return merged, total, outs, nil
 }
 
+// SearchBatch fans a whole query batch out to every shard and merges
+// per query: each shard runs its own batched engine (amortized
+// projections, shared ADC arena, cache-blocked execution) over the full
+// block concurrently with the other shards. The first per-query error,
+// if any, fails the call; shard-level failures fail it too.
+func (s *ShardedIndex) SearchBatch(queries []float32, k int, opts ...SearchOption) ([][]Neighbor, error) {
+	results, err := s.SearchBatchWithStats(queries, k, opts...)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]Neighbor, len(results))
+	for i, r := range results {
+		if r.Err != nil {
+			return nil, r.Err
+		}
+		out[i] = r.Neighbors
+	}
+	return out, nil
+}
+
+// SearchBatchWithStats is SearchBatch with per-query outcomes, merged
+// exactly like the single-query fan-out: per query, shard results are
+// combined by ascending (distance, global id) and truncated to k, work
+// stats are summed across shards, and ShardCount is set. A query's Err
+// is set when any shard failed it. The call-level error is reserved for
+// structural problems (bad block length, non-positive k) and joined
+// shard-level failures.
+func (s *ShardedIndex) SearchBatchWithStats(queries []float32, k int, opts ...SearchOption) ([]BatchQueryResult, error) {
+	if s.dim <= 0 || len(queries)%s.dim != 0 {
+		return nil, fmt.Errorf("gqr: query block length %d not a multiple of dim %d", len(queries), s.dim)
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("gqr: K must be positive, got %d", k)
+	}
+	var sc searchConfig
+	for _, o := range opts {
+		o(&sc)
+	}
+	nq := len(queries) / s.dim
+	perShard := make([][]BatchQueryResult, len(s.shards))
+	errs := make([]error, len(s.shards))
+	var wg sync.WaitGroup
+	for i := range s.shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Shards see local ids; a caller filter sees global ones.
+			sci := sc
+			if sc.filter != nil {
+				base, f := s.base[i], sc.filter
+				sci.filter = func(id int, meta uint64) bool { return f(id+base, meta) }
+			}
+			res, err := s.shards[i].SearchBatchWithStats(queries, k, withConfig(sci))
+			if err != nil {
+				errs[i] = fmt.Errorf("gqr: shard %d: %w", i, err)
+				return
+			}
+			perShard[i] = res
+		}(i)
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+	out := make([]BatchQueryResult, nq)
+	for qi := range out {
+		var merged []Neighbor
+		var total SearchStats
+		var qerrs []error
+		for i := range perShard {
+			r := perShard[i][qi]
+			if r.Err != nil {
+				qerrs = append(qerrs, fmt.Errorf("gqr: shard %d: %w", i, r.Err))
+				continue
+			}
+			for _, n := range r.Neighbors {
+				n.ID += s.base[i]
+				merged = append(merged, n)
+			}
+			total.merge(r.Stats)
+		}
+		if err := errors.Join(qerrs...); err != nil {
+			out[qi].Err = err
+			continue
+		}
+		total.ShardCount = len(s.shards)
+		sort.Slice(merged, func(a, b int) bool {
+			if merged[a].Distance != merged[b].Distance {
+				return merged[a].Distance < merged[b].Distance
+			}
+			return merged[a].ID < merged[b].ID
+		})
+		if len(merged) > k {
+			merged = merged[:k]
+		}
+		out[qi] = BatchQueryResult{Neighbors: merged, Stats: total}
+	}
+	return out, nil
+}
+
 // Stats returns the per-shard statistics.
 func (s *ShardedIndex) Stats() []Stats {
 	out := make([]Stats, len(s.shards))
